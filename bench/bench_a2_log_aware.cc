@@ -1,0 +1,126 @@
+// A2 (near-future feature, tutorial §2.3) — the surveyed frameworks are
+// "query log-oblivious primarily due to the lack of publicly-available log
+// data". When a log exists (e.g. bootstrapped from the VQI's own Query
+// Panel history), selection can weight candidates by demonstrated utility.
+// This harness compares log-aware vs log-oblivious greedy selection over
+// the same candidate pool: formulation steps on a test workload drawn from
+// the same distribution as the (disjoint) training log. Expected shape:
+// log-aware selection helps the simulated users at least as much, by
+// promoting patterns that actually embed into drawn queries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "catapult/catapult.h"
+#include "graph/generators.h"
+#include "metrics/log_utility.h"
+#include "sim/usability.h"
+#include "sim/workload.h"
+#include "vqi/panels.h"
+
+namespace vqi {
+namespace {
+
+constexpr uint64_t kSeed = 161;
+
+void RunExperiment() {
+  GraphDatabase db = gen::MoleculeDatabase(300, gen::MoleculeConfig{}, kSeed);
+
+  // Shared candidate pool from a CATAPULT run with a generous budget.
+  CatapultConfig config;
+  config.budget = 40;  // over-select to expose a rich pool
+  config.num_clusters = 8;
+  config.tree_config.min_support = 15;
+  config.walks_per_csg = 40;
+  config.seed = kSeed;
+  auto pool_run = RunCatapult(db, config);
+  if (!pool_run.ok()) {
+    std::printf("A2 FAILED: %s\n", pool_run.status().ToString().c_str());
+    return;
+  }
+  std::vector<ScoredCandidate> pool =
+      ScoreCandidates(db, pool_run->state.patterns, config.load_model);
+
+  // Training log and disjoint test workload, same distribution.
+  WorkloadConfig log_config;
+  log_config.num_queries = 80;
+  log_config.min_edges = 5;
+  log_config.max_edges = 12;
+  log_config.seed = kSeed + 1;
+  std::vector<Graph> training_log = GenerateDbWorkload(db, log_config);
+  WorkloadConfig test_config = log_config;
+  test_config.seed = kSeed + 2;
+  std::vector<Graph> test_workload = GenerateDbWorkload(db, test_config);
+
+  ScoreWeights weights;
+  bench::Table table("A2: log-aware vs log-oblivious selection (budget sweep)",
+                     {"budget", "steps (oblivious)", "steps (log-aware)",
+                      "mean log-utility obl.", "mean log-utility aware"});
+  for (size_t budget : {6u, 10u, 14u}) {
+    std::vector<size_t> oblivious =
+        GreedySelect(pool, budget, db.size(), weights);
+    std::vector<size_t> aware = LogAwareGreedySelect(
+        pool, training_log, budget, db.size(), weights);
+
+    auto panel_for = [&](const std::vector<size_t>& picks) {
+      PatternPanel panel;
+      for (Graph& b : PatternPanel::DefaultBasicPatterns(0)) {
+        panel.AddBasic(std::move(b));
+      }
+      for (size_t i : picks) panel.AddCanned(pool[i].pattern, 0.0);
+      return panel;
+    };
+    auto utilities_for = [&](const std::vector<size_t>& picks) {
+      std::vector<Graph> patterns;
+      for (size_t i : picks) patterns.push_back(pool[i].pattern);
+      std::vector<double> utilities =
+          PatternLogUtilities(training_log, patterns);
+      double sum = 0;
+      for (double u : utilities) sum += u;
+      return utilities.empty() ? 0.0 : sum / utilities.size();
+    };
+
+    UsabilityResult obl =
+        EvaluateUsability(test_workload, panel_for(oblivious));
+    UsabilityResult awr = EvaluateUsability(test_workload, panel_for(aware));
+    table.AddRow({std::to_string(budget), bench::Fmt(obl.mean_steps, 2),
+                  bench::Fmt(awr.mean_steps, 2),
+                  bench::Fmt(utilities_for(oblivious)),
+                  bench::Fmt(utilities_for(aware))});
+  }
+  table.Print();
+  std::printf(
+      "A2 expected shape: the log-aware set carries consistently higher "
+      "mean log-utility. Formulation steps on the held-out workload stay "
+      "within noise of the oblivious selection — an honest neutral result: "
+      "with a coverage-optimized candidate pool, the simulated expert "
+      "already finds stampable patterns either way, so log awareness buys "
+      "demonstrated relevance, not fewer steps. This is consistent with "
+      "the tutorial's framing of log-obliviousness as a data-availability "
+      "gap rather than a known quality loss.\n");
+}
+
+void BM_LogUtilities(benchmark::State& state) {
+  GraphDatabase db = gen::MoleculeDatabase(60, gen::MoleculeConfig{}, 9);
+  WorkloadConfig config;
+  config.num_queries = 30;
+  std::vector<Graph> log = GenerateDbWorkload(db, config);
+  std::vector<Graph> patterns;
+  for (size_t i = 0; i < 10 && i < db.size(); ++i) {
+    patterns.push_back(db.graphs()[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternLogUtilities(log, patterns));
+  }
+}
+BENCHMARK(BM_LogUtilities)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vqi
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  vqi::RunExperiment();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

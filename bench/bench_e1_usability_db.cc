@@ -1,0 +1,162 @@
+// E1 — tutorial §2.3 usability claim for graph collections:
+//   "Data-driven VQIs are reported to be more efficient (lesser query
+//    formulation time and number of steps) compared to several
+//    industrial-strength manual VQIs."
+// Reproduction: a CATAPULT-built VQI vs the basic-patterns-only manual
+// baseline on a molecule-like repository, simulated-user formulation over a
+// query-size sweep. Expected shape: data-driven wins on steps and time, and
+// the gap widens with query size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "layout/aesthetics.h"
+#include "sim/usability.h"
+#include "sim/workload.h"
+#include "vqi/builder.h"
+
+namespace vqi {
+namespace {
+
+constexpr size_t kDbSize = 400;
+constexpr uint64_t kSeed = 2022;
+
+CatapultConfig BuildConfig() {
+  CatapultConfig config;
+  config.budget = 10;
+  config.min_pattern_edges = 4;
+  config.max_pattern_edges = 12;
+  config.num_clusters = 8;
+  config.tree_config.min_support = kDbSize / 20;
+  config.tree_config.max_edges = 2;
+  config.walks_per_csg = 32;
+  config.seed = kSeed;
+  return config;
+}
+
+void RunExperiment() {
+  GraphDatabase db = gen::MoleculeDatabase(kDbSize, gen::MoleculeConfig{}, kSeed);
+  auto built = BuildVqiForDatabase(db, BuildConfig());
+  if (!built.ok()) {
+    std::printf("E1 FAILED to build VQI: %s\n",
+                built.status().ToString().c_str());
+    return;
+  }
+  const PatternPanel& data_driven = built->vqi.pattern_panel();
+  VisualQueryInterface manual_vqi = BuildManualBaselineVqi(
+      db.ComputeLabelStats(), DataSourceKind::kGraphCollection);
+  const PatternPanel& manual = manual_vqi.pattern_panel();
+
+  std::printf("E1: db=%zu graphs, data-driven panel=%zu basic + %zu canned, "
+              "manual panel=%zu basic\n",
+              db.size(), data_driven.num_basic(), data_driven.num_canned(),
+              manual.num_basic());
+
+  bench::Table table(
+      "E1: query formulation, data-driven (CATAPULT) vs manual VQI",
+      {"query edges", "queries", "steps DD", "steps manual", "step red. %",
+       "time DD (s)", "time manual (s)", "time red. %"});
+
+  struct Bucket {
+    size_t lo, hi;
+  };
+  for (Bucket bucket : {Bucket{4, 6}, Bucket{7, 9}, Bucket{10, 12},
+                        Bucket{13, 16}}) {
+    WorkloadConfig wconfig;
+    wconfig.num_queries = 40;
+    wconfig.min_edges = bucket.lo;
+    wconfig.max_edges = bucket.hi;
+    wconfig.seed = kSeed + bucket.lo;
+    std::vector<Graph> workload = GenerateDbWorkload(db, wconfig);
+    if (workload.empty()) continue;
+    UsabilityComparison cmp = CompareUsability(workload, data_driven, manual);
+    table.AddRow({std::to_string(bucket.lo) + "-" + std::to_string(bucket.hi),
+                  std::to_string(workload.size()),
+                  bench::Fmt(cmp.data_driven.mean_steps, 1),
+                  bench::Fmt(cmp.manual.mean_steps, 1),
+                  bench::Fmt(cmp.step_reduction_percent(), 1),
+                  bench::Fmt(cmp.data_driven.mean_seconds, 1),
+                  bench::Fmt(cmp.manual.mean_seconds, 1),
+                  bench::Fmt(cmp.time_reduction_percent(), 1)});
+  }
+  table.Print();
+
+  // Secondary readout: how much of the work the patterns absorbed.
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 60;
+  wconfig.min_edges = 6;
+  wconfig.max_edges = 14;
+  wconfig.seed = kSeed;
+  std::vector<Graph> workload = GenerateDbWorkload(db, wconfig);
+  UsabilityResult dd = EvaluateUsability(workload, data_driven);
+  std::printf("E1: %.0f%% of target edges arrived via pattern stamps; "
+              "%.2f patterns used per query on average\n",
+              100.0 * dd.pattern_edge_fraction, dd.mean_patterns_used);
+
+  // Preference measures (the tutorial's second usability dimension): a
+  // modeled opinion score per interface on the same workload.
+  double mean_edges = 0.0;
+  for (const Graph& q : workload) {
+    mean_edges += static_cast<double>(q.NumEdges());
+  }
+  mean_edges /= static_cast<double>(workload.size());
+  UsabilityResult manual_result = EvaluateUsability(workload, manual);
+  double dd_complexity =
+      PanelVisualComplexity(data_driven.AllPatterns());
+  double manual_complexity = PanelVisualComplexity(manual.AllPatterns());
+  PreferenceResult dd_pref = ModelPreference(dd, mean_edges, dd_complexity);
+  PreferenceResult manual_pref =
+      ModelPreference(manual_result, mean_edges, manual_complexity);
+  bench::Table pref("E1b: preference measures (modeled opinion)",
+                    {"interface", "opinion", "effort sat.", "aesthetic sat.",
+                     "atomic-action frac."});
+  pref.AddRow({"data-driven", bench::Fmt(dd_pref.score),
+               bench::Fmt(dd_pref.effort_satisfaction),
+               bench::Fmt(dd_pref.aesthetic_satisfaction),
+               bench::Fmt(dd_pref.atomic_action_fraction)});
+  pref.AddRow({"manual", bench::Fmt(manual_pref.score),
+               bench::Fmt(manual_pref.effort_satisfaction),
+               bench::Fmt(manual_pref.aesthetic_satisfaction),
+               bench::Fmt(manual_pref.atomic_action_fraction)});
+  pref.Print();
+
+  // Error criterion (§2.1): fewer gestures, fewer expected slips.
+  ErrorProjection dd_err = ProjectErrors(dd);
+  ErrorProjection manual_err = ProjectErrors(manual_result);
+  bench::Table errors("E1c: error criterion (slips @3% per gesture)",
+                      {"interface", "expected errors/query",
+                       "steps incl. recovery", "time incl. recovery (s)"});
+  errors.AddRow({"data-driven", bench::Fmt(dd_err.expected_errors, 2),
+                 bench::Fmt(dd_err.steps_with_recovery, 1),
+                 bench::Fmt(dd_err.seconds_with_recovery, 1)});
+  errors.AddRow({"manual", bench::Fmt(manual_err.expected_errors, 2),
+                 bench::Fmt(manual_err.steps_with_recovery, 1),
+                 bench::Fmt(manual_err.seconds_with_recovery, 1)});
+  errors.Print();
+}
+
+void BM_FormulateWithPatterns(benchmark::State& state) {
+  GraphDatabase db = gen::MoleculeDatabase(100, gen::MoleculeConfig{}, 9);
+  auto built = BuildVqiForDatabase(db, BuildConfig());
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 10;
+  std::vector<Graph> workload = GenerateDbWorkload(db, wconfig);
+  std::vector<Graph> patterns = built->vqi.pattern_panel().AllPatterns();
+  for (auto _ : state) {
+    for (const Graph& q : workload) {
+      benchmark::DoNotOptimize(SimulateFormulation(q, patterns));
+    }
+  }
+}
+BENCHMARK(BM_FormulateWithPatterns)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vqi
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  vqi::RunExperiment();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

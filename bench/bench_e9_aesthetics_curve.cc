@@ -1,0 +1,96 @@
+// E9 — tutorial §2.5 (future direction: aesthetics-aware VQIs) and §2.1:
+//   "According to Berlyne's aesthetic theory, the relationship between
+//    [aesthetic preference and visual complexity] follows an inverted
+//    U-shaped curve where stimuli of a moderate degree of visual complexity
+//    is considered pleasant but both less and more complex stimuli are
+//    considered unpleasant."
+// Reproduction: pattern panels of growing size/content complexity, their
+// measured visual complexity (layout clutter + size + count), and the
+// modeled satisfaction. Expected shape: satisfaction rises, peaks at
+// moderate complexity, then falls — and CATAPULT's low-cognitive-load
+// selections sit nearer the sweet spot than unconstrained ones.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "catapult/catapult.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "layout/aesthetics.h"
+
+namespace vqi {
+namespace {
+
+constexpr uint64_t kSeed = 99;
+
+void RunExperiment() {
+  // Panels of growing size; each pattern drawn from a pool of shapes of
+  // growing density.
+  bench::Table table("E9: panel complexity vs modeled satisfaction (Berlyne)",
+                     {"panel patterns", "mean pattern edges",
+                      "visual complexity", "satisfaction"});
+  std::vector<Graph> pool = {
+      builder::SingleEdge(),   builder::Path(3),   builder::Path(5),
+      builder::Star(4),        builder::Cycle(6),  builder::Star(6),
+      builder::Cycle(8),       builder::Clique(4), builder::Clique(5),
+      builder::Clique(6),      builder::Clique(7), builder::Clique(8),
+  };
+  for (size_t count : {1u, 3u, 6u, 9u, 12u, 18u, 24u, 32u}) {
+    std::vector<Graph> panel;
+    size_t edge_sum = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const Graph& p = pool[std::min(pool.size() - 1, i * pool.size() / count)];
+      panel.push_back(p);
+      edge_sum += p.NumEdges();
+    }
+    double complexity = PanelVisualComplexity(panel);
+    table.AddRow({std::to_string(count),
+                  bench::Fmt(static_cast<double>(edge_sum) / count, 1),
+                  bench::Fmt(complexity),
+                  bench::Fmt(BerlyneSatisfaction(complexity))});
+  }
+  table.Print();
+
+  // Where do real selections land? CATAPULT with and without the
+  // cognitive-load term.
+  GraphDatabase db = gen::MoleculeDatabase(200, gen::MoleculeConfig{}, kSeed);
+  bench::Table landing("E9b: where selections land on the curve (budget 10)",
+                       {"selection", "visual complexity", "satisfaction"});
+  for (bool load_aware : {true, false}) {
+    CatapultConfig config;
+    config.budget = 10;
+    config.num_clusters = 8;
+    config.tree_config.min_support = 10;
+    config.walks_per_csg = 24;
+    config.seed = kSeed;
+    config.weights.cognitive_load = load_aware ? 0.6 : 0.0;
+    auto result = RunCatapult(db, config);
+    if (!result.ok()) continue;
+    double complexity = PanelVisualComplexity(result->patterns());
+    landing.AddRow({load_aware ? "load-aware (CATAPULT)" : "load-blind",
+                    bench::Fmt(complexity),
+                    bench::Fmt(BerlyneSatisfaction(complexity))});
+  }
+  landing.Print();
+}
+
+void BM_PanelComplexity(benchmark::State& state) {
+  std::vector<Graph> panel;
+  for (int i = 0; i < state.range(0); ++i) {
+    panel.push_back(builder::Cycle(6));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PanelVisualComplexity(panel));
+  }
+}
+BENCHMARK(BM_PanelComplexity)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vqi
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  vqi::RunExperiment();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Chemical-compound scenario (the tutorial's canonical "collection of
+// small/medium data graphs"): builds a data-driven VQI over a molecule
+// repository with named atom/bond labels, then measures — with the user
+// simulator — how much the canned patterns help real query formulation
+// compared with a manual (basic-patterns-only) interface.
+//
+//   $ ./chemical_db_vqi
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "sim/usability.h"
+#include "sim/workload.h"
+#include "vqi/builder.h"
+
+int main() {
+  using namespace vqi;
+
+  // Repository with a chemistry-flavored label dictionary.
+  GraphDatabase db = gen::MoleculeDatabase(500, gen::MoleculeConfig{}, 7);
+  LabelDictionary dict;
+  const char* atoms[] = {"C", "N", "O", "S", "P", "Cl"};
+  for (Label l = 0; l < 6; ++l) dict.SetName(l, atoms[l]);
+
+  CatapultConfig config;
+  config.budget = 10;
+  config.min_pattern_edges = 4;
+  config.max_pattern_edges = 12;
+  config.tree_config.min_support = 25;
+  config.seed = 7;
+  auto built = BuildVqiForDatabase(db, config, &dict);
+  if (!built.ok()) {
+    std::printf("build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  // What did the data do for us? Show the Attribute Panel head and the
+  // canned pattern shapes.
+  const AttributePanel& attrs = built->vqi.attribute_panel();
+  std::printf("Attribute Panel (top atoms):\n");
+  for (size_t i = 0; i < attrs.vertex_attributes().size() && i < 4; ++i) {
+    const AttributeEntry& e = attrs.vertex_attributes()[i];
+    std::printf("  %-3s x%zu\n", e.name.c_str(), e.count);
+  }
+  std::printf("Pattern Panel: %zu basic + %zu canned\n",
+              built->vqi.pattern_panel().num_basic(),
+              built->vqi.pattern_panel().num_canned());
+  for (const PatternEntry& e : built->vqi.pattern_panel().entries()) {
+    if (e.is_basic) continue;
+    std::printf("  canned: %zu vertices / %zu edges, coverage %.2f\n",
+                e.graph.NumVertices(), e.graph.NumEdges(), e.coverage);
+  }
+
+  // Usability study in silico: 60 queries a chemist might draw.
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 60;
+  wconfig.min_edges = 5;
+  wconfig.max_edges = 14;
+  wconfig.seed = 17;
+  std::vector<Graph> workload = GenerateDbWorkload(db, wconfig);
+
+  VisualQueryInterface manual = BuildManualBaselineVqi(
+      db.ComputeLabelStats(), DataSourceKind::kGraphCollection, &dict);
+  UsabilityComparison cmp = CompareUsability(
+      workload, built->vqi.pattern_panel(), manual.pattern_panel());
+
+  std::printf("\nSimulated formulation over %zu queries:\n", workload.size());
+  std::printf("  data-driven: %.1f steps, %.1f s per query\n",
+              cmp.data_driven.mean_steps, cmp.data_driven.mean_seconds);
+  std::printf("  manual:      %.1f steps, %.1f s per query\n",
+              cmp.manual.mean_steps, cmp.manual.mean_seconds);
+  std::printf("  reduction:   %.0f%% steps, %.0f%% time\n",
+              cmp.step_reduction_percent(), cmp.time_reduction_percent());
+  std::printf("  %.0f%% of edges arrived via pattern stamps\n",
+              100.0 * cmp.data_driven.pattern_edge_fraction);
+  return 0;
+}

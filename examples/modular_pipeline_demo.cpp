@@ -1,0 +1,89 @@
+// Plug-and-play scenario (Tzanikos et al.): the canned-pattern selection
+// problem decomposed into four swappable stages. This demo runs several
+// stage combinations — including a custom user-registered feature stage —
+// over the same repository and compares the resulting pattern sets.
+//
+//   $ ./modular_pipeline_demo
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "metrics/cognitive_load.h"
+#include "metrics/coverage.h"
+#include "metrics/diversity.h"
+#include "modular/pipeline.h"
+
+namespace {
+
+// A trivial user-defined stage: label-histogram features.
+class LabelHistogramFeatures : public vqi::FeatureStage {
+ public:
+  std::string name() const override { return "label-histogram"; }
+  std::vector<vqi::FeatureVector> Compute(const vqi::GraphDatabase& db,
+                                          vqi::Rng&) override {
+    std::vector<vqi::FeatureVector> features;
+    for (const vqi::Graph& g : db.graphs()) {
+      vqi::FeatureVector f(8, 0.0);
+      for (vqi::VertexId v = 0; v < g.NumVertices(); ++v) {
+        f[g.VertexLabel(v) % 8] += 1.0;
+      }
+      features.push_back(std::move(f));
+    }
+    return features;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace vqi;
+
+  GraphDatabase db = gen::MoleculeDatabase(200, gen::MoleculeConfig{}, 47);
+
+  // Register the custom stage alongside the built-ins.
+  StageRegistry& registry = StageRegistry::Global();
+  registry.RegisterFeature(
+      "label-histogram", [] { return std::make_unique<LabelHistogramFeatures>(); });
+
+  std::printf("available stages:\n  features:");
+  for (const auto& n : registry.FeatureNames()) std::printf(" %s", n.c_str());
+  std::printf("\n  cluster: ");
+  for (const auto& n : registry.ClusterNames()) std::printf(" %s", n.c_str());
+  std::printf("\n  merge:   ");
+  for (const auto& n : registry.MergeNames()) std::printf(" %s", n.c_str());
+  std::printf("\n  extract: ");
+  for (const auto& n : registry.ExtractNames()) std::printf(" %s", n.c_str());
+  std::printf("\n\n");
+
+  struct Combo {
+    const char* feature;
+    const char* cluster;
+    const char* extract;
+  };
+  for (Combo combo : {Combo{"frequent-trees", "kmedoids", "weighted-walk"},
+                      Combo{"graphlets", "agglomerative", "weighted-walk"},
+                      Combo{"label-histogram", "kmedoids", "weighted-walk"},
+                      Combo{"frequent-trees", "kmedoids", "frequent-subgraph"}}) {
+    ModularPipelineConfig config;
+    config.feature_stage = combo.feature;
+    config.cluster_stage = combo.cluster;
+    config.extract_stage = combo.extract;
+    config.budget = 8;
+    config.seed = 47;
+    auto result = RunModularPipeline(db, config);
+    if (!result.ok()) {
+      std::printf("%s + %s + %s: FAILED (%s)\n", combo.feature, combo.cluster,
+                  combo.extract, result.status().ToString().c_str());
+      continue;
+    }
+    std::printf(
+        "%-16s + %-13s + %-17s -> %zu patterns | coverage %.2f | "
+        "diversity %.2f | load %.2f | %.2fs\n",
+        combo.feature, combo.cluster, combo.extract, result->patterns.size(),
+        DbSetCoverage(db, result->patterns), SetDiversity(result->patterns),
+        SetCognitiveLoad(result->patterns),
+        result->stats.feature_seconds + result->stats.cluster_seconds +
+            result->stats.merge_seconds + result->stats.extract_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a data-driven VQI over a synthetic compound collection,
+// formulate a query with a canned pattern, run it, and ship the interface
+// to disk.
+//
+//   $ ./quickstart
+//
+// Walks the whole public surface in ~60 lines: generators -> VqiBuilder ->
+// QueryPanel -> ResultsPanel -> serialization.
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "vqi/builder.h"
+#include "vqi/serialize.h"
+
+int main() {
+  using namespace vqi;
+
+  // 1. A data source: 200 synthetic molecule-like graphs (stand-in for a
+  //    PubChem-style repository; see DESIGN.md on the substitution).
+  GraphDatabase db = gen::MoleculeDatabase(200, gen::MoleculeConfig{}, /*seed=*/1);
+  std::printf("repository: %zu graphs, %zu vertices, %zu edges\n", db.size(),
+              db.TotalVertices(), db.TotalEdges());
+
+  // 2. Build the VQI, data-driven: the Attribute Panel from a repository
+  //    scan, the Pattern Panel's canned patterns from CATAPULT.
+  CatapultConfig config;
+  config.budget = 8;                      // patterns the panel displays
+  config.min_pattern_edges = 4;           // canned > basic (z = 3)
+  config.max_pattern_edges = 10;
+  config.tree_config.min_support = 10;    // feature mining support
+  auto built = BuildVqiForDatabase(db, config);
+  if (!built.ok()) {
+    std::printf("build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  VisualQueryInterface vqi = std::move(built->vqi);
+  std::printf("%s\n", vqi.Summary().c_str());
+
+  // 3. Formulate a query: drag the top canned pattern onto the canvas and
+  //    extend it with one labeled edge (pattern-at-a-time + edge-at-a-time).
+  std::vector<Graph> canned = vqi.pattern_panel().CannedPatterns();
+  if (canned.empty()) {
+    std::printf("no canned patterns were selected\n");
+    return 1;
+  }
+  std::vector<size_t> handles = vqi.query_panel().AddPattern(canned[0]);
+  size_t extra = vqi.query_panel().AddVertex(
+      vqi.attribute_panel().DominantVertexLabel());
+  vqi.query_panel().AddEdge(handles[0], extra, /*label=*/0);
+  std::printf("query drawn in %zu steps\n", vqi.query_panel().StepCount());
+
+  // 4. Execute against the repository and inspect the Results Panel.
+  vqi.ExecuteQuery(db, /*limit=*/25);
+  std::printf("matches in %zu graphs (first graph id: %lld)\n",
+              vqi.results_panel().size(),
+              vqi.results_panel().size() > 0
+                  ? static_cast<long long>(vqi.results_panel().results()[0].graph_id)
+                  : -1LL);
+
+  // 5. Portability: the whole interface serializes to a small text artifact.
+  std::string path = "/tmp/quickstart.vqi";
+  if (Status s = SaveVqi(vqi, path); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = LoadVqi(path);
+  std::printf("saved + reloaded VQI from %s: %s\n", path.c_str(),
+              reloaded.ok() ? "ok" : reloaded.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+#ifndef VQLIB_CATAPULT_CATAPULT_H_
+#define VQLIB_CATAPULT_CATAPULT_H_
+
+#include <vector>
+
+#include "catapult/candidate_generator.h"
+#include "cluster/csg.h"
+#include "cluster/features.h"
+#include "cluster/kmedoids.h"
+#include "common/status.h"
+#include "graph/graph_database.h"
+#include "metrics/cognitive_load.h"
+#include "metrics/pattern_score.h"
+#include "mining/closed_trees.h"
+#include "mining/graphlets.h"
+#include "mining/tree_miner.h"
+
+namespace vqi {
+
+/// Configuration of the CATAPULT pipeline (Huang et al., SIGMOD'19):
+/// data-driven selection of canned patterns for a collection of small/medium
+/// data graphs.
+struct CatapultConfig {
+  /// Number of canned patterns to select (the VQI display budget).
+  size_t budget = 10;
+  /// Pattern size range (edges); canned patterns exceed the basic-pattern
+  /// bound z = 3.
+  size_t min_pattern_edges = 4;
+  size_t max_pattern_edges = 12;
+  /// Number of clusters; 0 = ceil(sqrt(|D|)) heuristic.
+  size_t num_clusters = 0;
+  /// Frequent-subtree feature mining parameters.
+  TreeMinerConfig tree_config;
+  /// Use frequent *closed* trees as features (the MIDAS variant).
+  bool use_closed_trees = false;
+  /// Distance metric for clustering the tree-feature vectors.
+  DistanceMetric metric = DistanceMetric::kCosine;
+  /// Walks per CSG during candidate generation.
+  size_t walks_per_csg = 48;
+  /// Pattern-set objective weights and the cognitive-load model.
+  ScoreWeights weights;
+  CognitiveLoadModel load_model;
+  /// Seed for all stochastic stages.
+  uint64_t seed = 42;
+};
+
+/// Everything MIDAS needs to maintain a CATAPULT-built pattern set without
+/// rebuilding from scratch.
+struct CatapultState {
+  CatapultConfig config;
+  /// Tree feature basis (frequent or frequent-closed trees).
+  std::vector<FrequentTree> feature_basis;
+  /// Cluster membership by stable graph id.
+  std::vector<std::vector<GraphId>> cluster_members;
+  /// Feature vector of each cluster medoid, for nearest-cluster assignment
+  /// of newly arriving graphs.
+  std::vector<FeatureVector> medoid_features;
+  /// One summary graph per cluster (same index as cluster_members).
+  std::vector<ClusterSummaryGraph> csgs;
+  /// The selected canned patterns.
+  std::vector<Graph> patterns;
+  /// Graphlet frequency distribution of the database at build time.
+  GraphletDistribution gfd;
+};
+
+/// Per-stage timing and size statistics of one CATAPULT run.
+struct CatapultStats {
+  double mine_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double csg_seconds = 0.0;
+  double candidate_seconds = 0.0;
+  double select_seconds = 0.0;
+  size_t num_features = 0;
+  size_t num_clusters = 0;
+  size_t num_candidates = 0;
+
+  double total_seconds() const {
+    return mine_seconds + cluster_seconds + csg_seconds + candidate_seconds +
+           select_seconds;
+  }
+};
+
+/// Result of a CATAPULT run: patterns plus the retained state and stats.
+struct CatapultResult {
+  CatapultState state;
+  CatapultStats stats;
+
+  const std::vector<Graph>& patterns() const { return state.patterns; }
+};
+
+/// Runs the full pipeline: mine tree features -> cluster the collection ->
+/// summarize each cluster into a CSG -> grow candidates with weighted random
+/// walks -> greedily select the budgeted pattern set by the combined
+/// coverage/diversity/cognitive-load score.
+/// Fails with InvalidArgument on an empty database or a bad size range.
+StatusOr<CatapultResult> RunCatapult(const GraphDatabase& db,
+                                     const CatapultConfig& config);
+
+/// Builds scored candidates (coverage bitsets over `db`, structure features,
+/// loads) for a candidate pattern pool. Shared by CATAPULT and MIDAS.
+std::vector<ScoredCandidate> ScoreCandidates(const GraphDatabase& db,
+                                             std::vector<Graph> candidates,
+                                             const CognitiveLoadModel& model);
+
+}  // namespace vqi
+
+#endif  // VQLIB_CATAPULT_CATAPULT_H_

@@ -1,0 +1,18 @@
+#ifndef VQLIB_CLUSTER_AGGLOMERATIVE_H_
+#define VQLIB_CLUSTER_AGGLOMERATIVE_H_
+
+#include "cluster/kmedoids.h"
+
+namespace vqi {
+
+/// Average-linkage agglomerative clustering down to `k` clusters.
+/// Quadratic memory (full distance matrix) and cubic-ish time; intended for
+/// collections up to a few thousand points. Offered as an alternative
+/// clustering strategy in the modular (Tzanikos-style) pipeline.
+ClusteringResult AgglomerativeAverageLinkage(
+    const std::vector<FeatureVector>& points, size_t k,
+    DistanceMetric metric);
+
+}  // namespace vqi
+
+#endif  // VQLIB_CLUSTER_AGGLOMERATIVE_H_

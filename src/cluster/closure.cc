@@ -1,0 +1,98 @@
+#include "cluster/closure.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/graph_algos.h"
+
+namespace vqi {
+
+namespace {
+constexpr VertexId kNew = 0xFFFFFFFFu;
+}  // namespace
+
+std::vector<VertexId> GreedyAlign(const Graph& a, const Graph& b) {
+  std::vector<VertexId> mapping(b.NumVertices(), kNew);
+  std::vector<bool> used(a.NumVertices(), false);
+
+  // Process b's vertices in BFS order from its highest-degree vertex so that
+  // neighbor overlap information accumulates along the traversal.
+  std::vector<VertexId> order;
+  if (b.NumVertices() > 0) {
+    VertexId start = 0;
+    for (VertexId v = 1; v < b.NumVertices(); ++v) {
+      if (b.Degree(v) > b.Degree(start)) start = v;
+    }
+    order = BfsOrder(b, start);
+    // Append vertices of other components.
+    std::vector<bool> seen(b.NumVertices(), false);
+    for (VertexId v : order) seen[v] = true;
+    for (VertexId v = 0; v < b.NumVertices(); ++v) {
+      if (!seen[v]) {
+        std::vector<VertexId> extra = BfsOrder(b, v);
+        for (VertexId u : extra) {
+          if (!seen[u]) {
+            seen[u] = true;
+            order.push_back(u);
+          }
+        }
+      }
+    }
+  }
+
+  for (VertexId bv : order) {
+    // Score every unused a-vertex: +2 for label equality, +1 per mapped
+    // b-neighbor whose image is adjacent in a.
+    int best_score = 0;  // require a strictly positive score to map
+    int best_vertex = -1;
+    for (VertexId av = 0; av < a.NumVertices(); ++av) {
+      if (used[av]) continue;
+      int score = 0;
+      if (a.VertexLabel(av) == b.VertexLabel(bv)) score += 2;
+      for (const Neighbor& nb : b.Neighbors(bv)) {
+        VertexId image = mapping[nb.vertex];
+        if (image != kNew && a.HasEdge(av, image)) score += 1;
+      }
+      if (score > best_score ||
+          (score == best_score && best_vertex >= 0 && score > 0 &&
+           a.Degree(av) > a.Degree(static_cast<VertexId>(best_vertex)))) {
+        best_score = score;
+        best_vertex = static_cast<int>(av);
+      }
+    }
+    if (best_vertex >= 0 && best_score > 0) {
+      mapping[bv] = static_cast<VertexId>(best_vertex);
+      used[static_cast<size_t>(best_vertex)] = true;
+    }
+  }
+  return mapping;
+}
+
+Graph GraphClosure(const Graph& a, const Graph& b) {
+  Graph closure = a;
+  std::vector<VertexId> mapping = GreedyAlign(a, b);
+  // Materialize fresh vertices for unmapped b-vertices.
+  for (VertexId bv = 0; bv < b.NumVertices(); ++bv) {
+    if (mapping[bv] == kNew) {
+      mapping[bv] = closure.AddVertex(b.VertexLabel(bv));
+    } else if (closure.VertexLabel(mapping[bv]) != b.VertexLabel(bv)) {
+      closure.SetVertexLabel(mapping[bv], kDummyLabel);
+    }
+  }
+  for (const Edge& e : b.Edges()) {
+    VertexId u = mapping[e.u];
+    VertexId v = mapping[e.v];
+    std::optional<Label> existing = closure.EdgeLabel(u, v);
+    if (!existing.has_value()) {
+      closure.AddEdge(u, v, e.label);
+    } else if (*existing != e.label) {
+      closure.RemoveEdge(u, v);
+      closure.AddEdge(u, v, kDummyLabel);
+    }
+  }
+  return closure;
+}
+
+}  // namespace vqi

@@ -1,0 +1,26 @@
+#ifndef VQLIB_CLUSTER_CLOSURE_H_
+#define VQLIB_CLUSTER_CLOSURE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Computes a greedy structural mapping from every vertex of `b` onto a
+/// vertex of `a` or onto a fresh slot (0xFFFFFFFF means "new vertex").
+/// Matching prefers equal labels and maximal overlap with already-mapped
+/// neighbors — a practical stand-in for the (NP-hard) optimal alignment used
+/// conceptually by closure-trees.
+std::vector<VertexId> GreedyAlign(const Graph& a, const Graph& b);
+
+/// Graph closure of `a` and `b` (He & Singh, ICDE'06 style): vertices and
+/// edges of both graphs are represented; where the aligned elements disagree
+/// on a label, the closure carries kDummyLabel (wildcard). The closure of a
+/// set integrates graphs of varying sizes into one graph such that every
+/// vertex and edge of every member is represented.
+Graph GraphClosure(const Graph& a, const Graph& b);
+
+}  // namespace vqi
+
+#endif  // VQLIB_CLUSTER_CLOSURE_H_

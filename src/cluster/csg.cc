@@ -1,0 +1,84 @@
+#include "cluster/csg.h"
+
+#include <algorithm>
+
+#include "cluster/closure.h"
+#include "common/logging.h"
+
+namespace vqi {
+
+namespace {
+constexpr VertexId kNew = 0xFFFFFFFFu;
+}  // namespace
+
+uint64_t ClusterSummaryGraph::EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+ClusterSummaryGraph ClusterSummaryGraph::Build(
+    const std::vector<const Graph*>& members) {
+  ClusterSummaryGraph csg;
+  for (const Graph* g : members) {
+    VQI_CHECK(g != nullptr);
+    csg.Fold(*g);
+  }
+  return csg;
+}
+
+void ClusterSummaryGraph::VoteVertexLabel(VertexId v, Label label) {
+  if (vertex_votes_.size() <= v) vertex_votes_.resize(v + 1);
+  std::map<Label, size_t>& votes = vertex_votes_[v];
+  ++votes[label];
+  // Majority label (ties: smaller label wins via map order).
+  Label best = votes.begin()->first;
+  size_t best_count = votes.begin()->second;
+  for (const auto& [l, c] : votes) {
+    if (c > best_count) {
+      best = l;
+      best_count = c;
+    }
+  }
+  graph_.SetVertexLabel(v, best);
+}
+
+void ClusterSummaryGraph::VoteEdgeLabel(VertexId u, VertexId v, Label label) {
+  std::map<Label, size_t>& votes = edge_votes_[EdgeKey(u, v)];
+  ++votes[label];
+  Label best = votes.begin()->first;
+  size_t best_count = votes.begin()->second;
+  for (const auto& [l, c] : votes) {
+    if (c > best_count) {
+      best = l;
+      best_count = c;
+    }
+  }
+  // Refresh the stored edge label.
+  graph_.RemoveEdge(u, v);
+  graph_.AddEdge(u, v, best);
+}
+
+void ClusterSummaryGraph::Fold(const Graph& member) {
+  std::vector<VertexId> mapping = GreedyAlign(graph_, member);
+  for (VertexId bv = 0; bv < member.NumVertices(); ++bv) {
+    if (mapping[bv] == kNew) {
+      mapping[bv] = graph_.AddVertex(member.VertexLabel(bv));
+    }
+    VoteVertexLabel(mapping[bv], member.VertexLabel(bv));
+  }
+  for (const Edge& e : member.Edges()) {
+    VertexId u = mapping[e.u];
+    VertexId v = mapping[e.v];
+    if (!graph_.HasEdge(u, v)) graph_.AddEdge(u, v, e.label);
+    VoteEdgeLabel(u, v, e.label);
+    edge_weights_[EdgeKey(u, v)] += 1.0;
+  }
+  ++num_members_;
+}
+
+double ClusterSummaryGraph::EdgeWeight(VertexId u, VertexId v) const {
+  auto it = edge_weights_.find(EdgeKey(u, v));
+  return it == edge_weights_.end() ? 0.0 : it->second;
+}
+
+}  // namespace vqi

@@ -1,0 +1,55 @@
+#ifndef VQLIB_CLUSTER_CSG_H_
+#define VQLIB_CLUSTER_CSG_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// A Cluster Summary Graph: the iterative fold of all member graphs of a
+/// cluster into one weighted graph (CATAPULT §"cluster summary graph").
+///
+/// Unlike the wildcard-bearing closure of closure-trees, the CSG keeps the
+/// *majority* label at each aligned vertex/edge (label votes are tracked),
+/// so subgraphs extracted from the CSG remain matchable patterns. Every edge
+/// carries a weight = number of member graphs folded through it, which is
+/// the bias for CATAPULT's weighted random walks: heavier edges are shared
+/// by more cluster members and thus yield higher-coverage patterns.
+class ClusterSummaryGraph {
+ public:
+  ClusterSummaryGraph() = default;
+
+  /// Folds the members in order. Alignment is the greedy closure alignment.
+  static ClusterSummaryGraph Build(const std::vector<const Graph*>& members);
+
+  /// Folds one more member graph into the summary.
+  void Fold(const Graph& member);
+
+  /// The summary graph with majority labels.
+  const Graph& graph() const { return graph_; }
+
+  /// Number of member graphs folded through edge {u,v} (0 if absent).
+  double EdgeWeight(VertexId u, VertexId v) const;
+
+  size_t num_members() const { return num_members_; }
+
+ private:
+  void VoteVertexLabel(VertexId v, Label label);
+  void VoteEdgeLabel(VertexId u, VertexId v, Label label);
+  static uint64_t EdgeKey(VertexId u, VertexId v);
+
+  Graph graph_;
+  size_t num_members_ = 0;
+  std::unordered_map<uint64_t, double> edge_weights_;
+  // Label votes; majority wins after each fold.
+  std::vector<std::map<Label, size_t>> vertex_votes_;
+  std::unordered_map<uint64_t, std::map<Label, size_t>> edge_votes_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_CLUSTER_CSG_H_

@@ -1,0 +1,29 @@
+#ifndef VQLIB_CLUSTER_FEATURES_H_
+#define VQLIB_CLUSTER_FEATURES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "mining/tree_miner.h"
+
+namespace vqi {
+
+/// Dense feature vector of a data graph; dimension i corresponds to the i-th
+/// frequent (closed) tree of the feature basis.
+using FeatureVector = std::vector<double>;
+
+/// Binary tree-occurrence features for every graph of `db`, in
+/// db.graphs() order, read directly off the miners' support sets (no extra
+/// isomorphism tests).
+std::vector<FeatureVector> TreeFeatures(const GraphDatabase& db,
+                                        const std::vector<FrequentTree>& basis);
+
+/// Feature vector of a graph not part of the mining run (e.g. a newly added
+/// graph in MIDAS); each basis tree is matched with subgraph isomorphism.
+FeatureVector TreeFeatureOf(const Graph& g,
+                            const std::vector<FrequentTree>& basis);
+
+}  // namespace vqi
+
+#endif  // VQLIB_CLUSTER_FEATURES_H_

@@ -1,0 +1,26 @@
+#ifndef VQLIB_CLUSTER_SIMILARITY_H_
+#define VQLIB_CLUSTER_SIMILARITY_H_
+
+#include "cluster/features.h"
+
+namespace vqi {
+
+/// Distance metrics over feature vectors. All are proper dissimilarities in
+/// [0, inf); cosine and Jaccard are bounded by 1.
+enum class DistanceMetric {
+  kEuclidean,
+  kCosine,   // 1 - cosine similarity; two zero vectors have distance 0
+  kJaccard,  // 1 - |min|/|max| (binary vectors: 1 - intersection/union)
+};
+
+/// Distance between two equal-dimension vectors under `metric`.
+double Distance(const FeatureVector& a, const FeatureVector& b,
+                DistanceMetric metric);
+
+/// Cosine similarity in [0,1] for non-negative vectors (0 when either is
+/// all-zero and the other is not; 1 when both are all-zero).
+double CosineSimilarity(const FeatureVector& a, const FeatureVector& b);
+
+}  // namespace vqi
+
+#endif  // VQLIB_CLUSTER_SIMILARITY_H_

@@ -1,0 +1,69 @@
+#ifndef VQLIB_COMMON_BITSET_H_
+#define VQLIB_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vqi {
+
+/// Fixed-size dynamic bitset used for coverage bookkeeping (pattern ->
+/// covered-graph sets). Header-only; tight loops rely on 64-bit popcounts.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  /// this |= other (sizes must match).
+  void UnionWith(const Bitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// popcount(this | other) without materializing the union.
+  size_t UnionCount(const Bitset& other) const {
+    size_t total = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      total += static_cast<size_t>(
+          __builtin_popcountll(words_[i] | other.words_[i]));
+    }
+    return total;
+  }
+
+  /// popcount(other & ~this): how many new bits `other` would contribute.
+  size_t NewBits(const Bitset& other) const {
+    size_t total = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      total += static_cast<size_t>(
+          __builtin_popcountll(other.words_[i] & ~words_[i]));
+    }
+    return total;
+  }
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_COMMON_BITSET_H_

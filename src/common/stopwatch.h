@@ -1,0 +1,32 @@
+#ifndef VQLIB_COMMON_STOPWATCH_H_
+#define VQLIB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vqi {
+
+/// Wall-clock stopwatch used by pipelines and the benchmark harness.
+class Stopwatch {
+ public:
+  /// Starts running immediately.
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_COMMON_STOPWATCH_H_

@@ -1,0 +1,75 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace vqi {
+
+std::vector<std::string> Split(std::string_view text, char sep,
+                               bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view piece = text.substr(start, end - start);
+    if (!piece.empty() || !skip_empty) out.emplace_back(piece);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  std::string buf(StripWhitespace(text));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  std::string buf(StripWhitespace(text));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace vqi

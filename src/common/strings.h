@@ -1,0 +1,31 @@
+#ifndef VQLIB_COMMON_STRINGS_H_
+#define VQLIB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vqi {
+
+/// Splits `text` on `sep`, dropping empty pieces when `skip_empty` is true.
+std::vector<std::string> Split(std::string_view text, char sep,
+                               bool skip_empty = true);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Returns true if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace vqi
+
+#endif  // VQLIB_COMMON_STRINGS_H_

@@ -1,0 +1,261 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vqi {
+namespace gen {
+
+namespace {
+
+// Zipf(s=1) sampler over [0, n) via precomputed weights.
+Label SampleZipf(size_t n, Rng& rng) {
+  VQI_CHECK_GT(n, 0u);
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) weights[i] = 1.0 / static_cast<double>(i + 1);
+  size_t idx = rng.WeightedIndex(weights);
+  return static_cast<Label>(idx);
+}
+
+Label SampleUniformLabel(size_t n, Rng& rng) {
+  if (n <= 1) return 0;
+  return static_cast<Label>(rng.UniformInt(n));
+}
+
+}  // namespace
+
+void AssignLabels(Graph& g, const LabelConfig& labels, Rng& rng) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    g.SetVertexLabel(v, SampleZipf(labels.num_vertex_labels, rng));
+  }
+  if (labels.num_edge_labels > 1) {
+    // Rebuild edges with fresh labels; Graph stores labels per adjacency
+    // entry, so re-adding is the simplest correct way.
+    std::vector<Edge> edges = g.Edges();
+    for (Edge& e : edges) {
+      g.RemoveEdge(e.u, e.v);
+      g.AddEdge(e.u, e.v, SampleUniformLabel(labels.num_edge_labels, rng));
+    }
+  }
+}
+
+Graph ErdosRenyi(size_t n, double p, const LabelConfig& labels, Rng& rng) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(0);
+  if (p > 0.0 && n >= 2) {
+    // Geometric skipping (Batagelj–Brandes) for sparse graphs.
+    double log_q = std::log(1.0 - std::min(p, 0.999999999));
+    int64_t v = 1;
+    int64_t w = -1;
+    while (static_cast<size_t>(v) < n) {
+      double r = rng.UniformDouble();
+      w += 1 + static_cast<int64_t>(std::floor(std::log(1.0 - r) / log_q));
+      while (w >= v && static_cast<size_t>(v) < n) {
+        w -= v;
+        ++v;
+      }
+      if (static_cast<size_t>(v) < n) {
+        g.AddEdge(static_cast<VertexId>(w), static_cast<VertexId>(v), 0);
+      }
+    }
+  }
+  AssignLabels(g, labels, rng);
+  return g;
+}
+
+Graph BarabasiAlbert(size_t n, size_t m, const LabelConfig& labels, Rng& rng) {
+  VQI_CHECK_GE(m, 1u);
+  VQI_CHECK_GT(n, m);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(0);
+  // Repeated-endpoint list: sampling from it is proportional to degree.
+  std::vector<VertexId> endpoints;
+  // Seed: star over the first m+1 vertices.
+  for (size_t i = 1; i <= m; ++i) {
+    g.AddEdge(0, static_cast<VertexId>(i), 0);
+    endpoints.push_back(0);
+    endpoints.push_back(static_cast<VertexId>(i));
+  }
+  for (size_t v = m + 1; v < n; ++v) {
+    size_t added = 0;
+    size_t attempts = 0;
+    while (added < m && attempts < 50 * m) {
+      VertexId target = endpoints[rng.UniformInt(endpoints.size())];
+      ++attempts;
+      if (g.AddEdge(static_cast<VertexId>(v), target, 0)) {
+        endpoints.push_back(static_cast<VertexId>(v));
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+  }
+  AssignLabels(g, labels, rng);
+  return g;
+}
+
+Graph WattsStrogatz(size_t n, size_t k, double beta, const LabelConfig& labels,
+                    Rng& rng) {
+  VQI_CHECK_GE(n, 2 * k + 1);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 1; j <= k; ++j) {
+      VertexId u = static_cast<VertexId>(i);
+      VertexId v = static_cast<VertexId>((i + j) % n);
+      if (rng.Bernoulli(beta)) {
+        // Rewire: keep u, pick a random non-neighbor target.
+        for (int tries = 0; tries < 16; ++tries) {
+          VertexId w = static_cast<VertexId>(rng.UniformInt(n));
+          if (w != u && !g.HasEdge(u, w)) {
+            g.AddEdge(u, w, 0);
+            break;
+          }
+        }
+      } else {
+        g.AddEdge(u, v, 0);
+      }
+    }
+  }
+  AssignLabels(g, labels, rng);
+  return g;
+}
+
+Graph ForestFire(size_t n, double p, const LabelConfig& labels, Rng& rng) {
+  VQI_CHECK_GE(n, 2u);
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddEdge(0, 1, 0);
+  for (size_t v = 2; v < n; ++v) {
+    VertexId nv = g.AddVertex(0);
+    VertexId ambassador = static_cast<VertexId>(rng.UniformInt(nv));
+    // Burn outward from the ambassador.
+    std::vector<bool> burned(g.NumVertices(), false);
+    std::deque<VertexId> frontier{ambassador};
+    burned[ambassador] = true;
+    size_t burned_count = 0;
+    const size_t kMaxBurn = 32;  // keeps densification bounded
+    while (!frontier.empty() && burned_count < kMaxBurn) {
+      VertexId x = frontier.front();
+      frontier.pop_front();
+      g.AddEdge(nv, x, 0);
+      ++burned_count;
+      for (const Neighbor& nb : g.Neighbors(x)) {
+        if (nb.vertex != nv && !burned[nb.vertex] && rng.Bernoulli(p)) {
+          burned[nb.vertex] = true;
+          frontier.push_back(nb.vertex);
+        }
+      }
+    }
+  }
+  AssignLabels(g, labels, rng);
+  return g;
+}
+
+namespace {
+
+// Skewed atom-label sampler: label 0 ("carbon") has weight ~10x the rest.
+Label SampleAtom(size_t num_labels, Rng& rng) {
+  VQI_CHECK_GT(num_labels, 0u);
+  std::vector<double> weights(num_labels, 1.0);
+  weights[0] = 10.0;
+  return static_cast<Label>(rng.WeightedIndex(weights));
+}
+
+// Bond labels: single (0) dominates.
+Label SampleBond(size_t num_labels, Rng& rng) {
+  if (num_labels <= 1) return 0;
+  std::vector<double> weights(num_labels, 1.0);
+  weights[0] = 8.0;
+  return static_cast<Label>(rng.WeightedIndex(weights));
+}
+
+}  // namespace
+
+Graph Molecule(const MoleculeConfig& config, Rng& rng) {
+  Graph g;
+  size_t rings = static_cast<size_t>(
+      rng.UniformRange(static_cast<int64_t>(config.min_rings),
+                       static_cast<int64_t>(config.max_rings)));
+  std::vector<VertexId> attachment_points;
+
+  auto add_chain_from = [&](VertexId from, size_t len) {
+    VertexId prev = from;
+    for (size_t i = 0; i < len; ++i) {
+      VertexId v = g.AddVertex(SampleAtom(config.num_atom_labels, rng));
+      g.AddEdge(prev, v, SampleBond(config.num_bond_labels, rng));
+      attachment_points.push_back(v);
+      prev = v;
+    }
+    return prev;
+  };
+
+  // Ring skeleton: rings joined by short bridges.
+  VertexId last_ring_anchor = 0;
+  for (size_t r = 0; r < rings; ++r) {
+    size_t ring_size = rng.Bernoulli(0.7) ? 6 : 5;
+    std::vector<VertexId> ring;
+    ring.reserve(ring_size);
+    for (size_t i = 0; i < ring_size; ++i) {
+      // Rings are mostly pure carbon (benzene/cyclopentane-like), which is
+      // what makes ring motifs shared across a compound collection.
+      Label atom = rng.Bernoulli(0.85)
+                       ? 0
+                       : SampleAtom(config.num_atom_labels, rng);
+      ring.push_back(g.AddVertex(atom));
+    }
+    // Aromatic-like ring bonds (label 2 when available).
+    Label ring_bond =
+        config.num_bond_labels >= 3 ? 2 : SampleBond(config.num_bond_labels, rng);
+    for (size_t i = 0; i < ring_size; ++i) {
+      g.AddEdge(ring[i], ring[(i + 1) % ring_size], ring_bond);
+    }
+    for (VertexId v : ring) attachment_points.push_back(v);
+    if (r > 0) {
+      size_t bridge = static_cast<size_t>(
+          rng.UniformRange(static_cast<int64_t>(config.min_chain),
+                           static_cast<int64_t>(config.max_chain)));
+      VertexId end = add_chain_from(last_ring_anchor, bridge);
+      g.AddEdge(end, ring[0], SampleBond(config.num_bond_labels, rng));
+    }
+    last_ring_anchor = ring[rng.UniformInt(ring.size())];
+  }
+
+  if (g.NumVertices() == 0) {
+    // Ring-free molecule: start from a single atom.
+    attachment_points.push_back(
+        g.AddVertex(SampleAtom(config.num_atom_labels, rng)));
+  }
+
+  // Pendant chains.
+  size_t pendants = static_cast<size_t>(
+      rng.UniformRange(static_cast<int64_t>(config.min_pendants),
+                       static_cast<int64_t>(config.max_pendants)));
+  for (size_t i = 0; i < pendants; ++i) {
+    VertexId anchor = attachment_points[rng.UniformInt(attachment_points.size())];
+    size_t len = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(config.min_chain),
+                         static_cast<int64_t>(config.max_chain)));
+    add_chain_from(anchor, len);
+  }
+  return g;
+}
+
+GraphDatabase MoleculeDatabase(size_t count, const MoleculeConfig& config,
+                               uint64_t seed) {
+  Rng rng(seed);
+  GraphDatabase db;
+  for (size_t i = 0; i < count; ++i) {
+    Graph g = Molecule(config, rng);
+    g.set_id(static_cast<GraphId>(i));
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+}  // namespace gen
+}  // namespace vqi

@@ -1,0 +1,79 @@
+#ifndef VQLIB_GRAPH_GENERATORS_H_
+#define VQLIB_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// Synthetic data sources standing in for the datasets used by the surveyed
+/// systems (PubChem/AIDS-like compound collections; DBLP/Twitter-like
+/// networks). See DESIGN.md §2 for the substitution rationale.
+namespace gen {
+
+/// Parameters for label assignment on random networks.
+struct LabelConfig {
+  /// Number of distinct vertex labels (Zipf-distributed, exponent ~1).
+  size_t num_vertex_labels = 8;
+  /// Number of distinct edge labels (uniform).
+  size_t num_edge_labels = 1;
+};
+
+/// G(n, p) Erdős–Rényi random graph.
+Graph ErdosRenyi(size_t n, double p, const LabelConfig& labels, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices. Produces heavy-tailed degree distributions
+/// (social-network-like).
+Graph BarabasiAlbert(size_t n, size_t m, const LabelConfig& labels, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`. High local clustering
+/// (collaboration-network-like).
+Graph WattsStrogatz(size_t n, size_t k, double beta, const LabelConfig& labels,
+                    Rng& rng);
+
+/// Forest-fire growth model (simplified, undirected): each new vertex picks
+/// an ambassador and "burns" through its neighborhood with probability `p`
+/// per hop, linking to every burned vertex. Produces communities + densifying
+/// triangles.
+Graph ForestFire(size_t n, double p, const LabelConfig& labels, Rng& rng);
+
+/// Parameters for the molecule-like data-graph generator.
+struct MoleculeConfig {
+  /// Number of ring systems per molecule, sampled uniformly in range.
+  size_t min_rings = 0;
+  size_t max_rings = 3;
+  /// Ring sizes are sampled from {5, 6} (furan/benzene-like).
+  /// Length of bridge/pendant chains.
+  size_t min_chain = 1;
+  size_t max_chain = 4;
+  /// Number of pendant chains attached after the ring skeleton.
+  size_t min_pendants = 1;
+  size_t max_pendants = 4;
+  /// Vertex label alphabet size; label 0 ("C") dominates like carbon does.
+  size_t num_atom_labels = 6;
+  /// Edge label alphabet: 0=single dominates, 1=double, 2=aromatic.
+  size_t num_bond_labels = 3;
+};
+
+/// Generates one connected molecule-like graph (rings joined and decorated by
+/// chains, with skewed atom/bond label distributions). The shared ring/chain
+/// motifs across a collection are exactly the "substructures unique to the
+/// data source" that canned-pattern selection is designed to surface.
+Graph Molecule(const MoleculeConfig& config, Rng& rng);
+
+/// Generates a database of `count` molecules.
+GraphDatabase MoleculeDatabase(size_t count, const MoleculeConfig& config,
+                               uint64_t seed);
+
+/// Assigns Zipf-distributed vertex labels and uniform edge labels in place.
+void AssignLabels(Graph& g, const LabelConfig& labels, Rng& rng);
+
+}  // namespace gen
+}  // namespace vqi
+
+#endif  // VQLIB_GRAPH_GENERATORS_H_

@@ -1,0 +1,116 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+namespace {
+
+// Lower-bound position of `v` in the sorted adjacency list.
+std::vector<Neighbor>::const_iterator FindNeighbor(
+    const std::vector<Neighbor>& adj, VertexId v) {
+  return std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Neighbor& n, VertexId target) { return n.vertex < target; });
+}
+
+}  // namespace
+
+VertexId Graph::AddVertex(Label label) {
+  vertex_labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(vertex_labels_.size() - 1);
+}
+
+bool Graph::AddEdge(VertexId u, VertexId v, Label label) {
+  VQI_CHECK_LT(u, NumVertices());
+  VQI_CHECK_LT(v, NumVertices());
+  if (u == v) return false;
+  auto& adj_u = adjacency_[u];
+  auto it = FindNeighbor(adj_u, v);
+  if (it != adj_u.end() && it->vertex == v) return false;
+  adj_u.insert(adj_u.begin() + (it - adj_u.begin()), Neighbor{v, label});
+  auto& adj_v = adjacency_[v];
+  auto it2 = FindNeighbor(adj_v, u);
+  adj_v.insert(adj_v.begin() + (it2 - adj_v.begin()), Neighbor{u, label});
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(VertexId u, VertexId v) {
+  VQI_CHECK_LT(u, NumVertices());
+  VQI_CHECK_LT(v, NumVertices());
+  auto& adj_u = adjacency_[u];
+  auto it = FindNeighbor(adj_u, v);
+  if (it == adj_u.end() || it->vertex != v) return false;
+  adj_u.erase(adj_u.begin() + (it - adj_u.begin()));
+  auto& adj_v = adjacency_[v];
+  auto it2 = FindNeighbor(adj_v, u);
+  VQI_CHECK(it2 != adj_v.end() && it2->vertex == u);
+  adj_v.erase(adj_v.begin() + (it2 - adj_v.begin()));
+  --num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return false;
+  const auto& adj = adjacency_[u];
+  auto it = FindNeighbor(adj, v);
+  return it != adj.end() && it->vertex == v;
+}
+
+std::optional<Label> Graph::EdgeLabel(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return std::nullopt;
+  const auto& adj = adjacency_[u];
+  auto it = FindNeighbor(adj, v);
+  if (it == adj.end() || it->vertex != v) return std::nullopt;
+  return it->edge_label;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Neighbor& n : adjacency_[u]) {
+      if (n.vertex > u) edges.push_back(Edge{u, n.vertex, n.edge_label});
+    }
+  }
+  return edges;
+}
+
+double Graph::AverageDegree() const {
+  if (NumVertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(NumVertices());
+}
+
+double Graph::Density() const {
+  size_t n = NumVertices();
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream out;
+  out << "Graph(id=" << id_ << ", n=" << NumVertices() << ", m=" << NumEdges()
+      << ")\n";
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    out << "  v" << v << " label=" << vertex_labels_[v] << " ->";
+    for (const Neighbor& n : adjacency_[v]) {
+      out << " " << n.vertex << "(" << n.edge_label << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool Graph::IdenticalTo(const Graph& other) const {
+  return vertex_labels_ == other.vertex_labels_ &&
+         adjacency_ == other.adjacency_;
+}
+
+}  // namespace vqi

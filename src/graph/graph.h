@@ -1,0 +1,115 @@
+#ifndef VQLIB_GRAPH_GRAPH_H_
+#define VQLIB_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vqi {
+
+/// Vertex index inside one graph (dense, 0-based).
+using VertexId = uint32_t;
+/// Vertex or edge label. Labels are small integers; the mapping to
+/// human-readable names (e.g. atom symbols) lives in LabelDictionary.
+using Label = uint32_t;
+/// Identifier of a graph inside a GraphDatabase.
+using GraphId = int64_t;
+
+/// Sentinel label used by closure graphs for positions where some member
+/// graph has no corresponding vertex/edge ("dummy" label in closure-tree
+/// terminology).
+inline constexpr Label kDummyLabel = 0xFFFFFFFFu;
+
+/// An undirected edge with endpoints `u < v` (normalized) and a label.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Label label = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One adjacency entry: the neighbor vertex and the connecting edge's label.
+struct Neighbor {
+  VertexId vertex = 0;
+  Label edge_label = 0;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// A labeled, undirected, simple graph (no self loops, no parallel edges).
+///
+/// This is the single graph type used across the library: data graphs in a
+/// collection, large networks, query graphs, canned patterns, cluster summary
+/// graphs (which additionally carry edge weights via Graph::edge_weights).
+/// Adjacency lists are kept sorted by neighbor id so membership tests are
+/// O(log deg).
+class Graph {
+ public:
+  /// Creates an empty graph with the given database id (default: unset).
+  explicit Graph(GraphId id = -1) : id_(id) {}
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  GraphId id() const { return id_; }
+  void set_id(GraphId id) { id_ = id; }
+
+  size_t NumVertices() const { return vertex_labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  bool Empty() const { return vertex_labels_.empty(); }
+
+  /// Adds a vertex with `label`; returns its id.
+  VertexId AddVertex(Label label);
+
+  /// Adds edge {u,v} with `label`. Returns false (and does nothing) when the
+  /// edge already exists or u == v. Both endpoints must exist.
+  bool AddEdge(VertexId u, VertexId v, Label label = 0);
+
+  /// Removes edge {u,v} when present; returns whether it was present.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  Label VertexLabel(VertexId v) const { return vertex_labels_[v]; }
+  void SetVertexLabel(VertexId v, Label label) { vertex_labels_[v] = label; }
+
+  size_t Degree(VertexId v) const { return adjacency_[v].size(); }
+
+  /// Sorted adjacency list of `v`.
+  const std::vector<Neighbor>& Neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Returns the label of edge {u,v} or nullopt when absent.
+  std::optional<Label> EdgeLabel(VertexId u, VertexId v) const;
+
+  /// Materializes all edges with u < v, ordered by (u, v).
+  std::vector<Edge> Edges() const;
+
+  /// Sum of degrees / n; 0 for empty graphs.
+  double AverageDegree() const;
+
+  /// 2|E| / (|V| (|V|-1)); 0 when |V| < 2.
+  double Density() const;
+
+  /// Multi-line textual rendering, for logs and test failures.
+  std::string DebugString() const;
+
+  /// Structural + label equality under the identity vertex mapping.
+  /// (Isomorphism tests live in match/.)
+  bool IdenticalTo(const Graph& other) const;
+
+ private:
+  GraphId id_;
+  std::vector<Label> vertex_labels_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_GRAPH_GRAPH_H_

@@ -1,0 +1,231 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+const char* TopologyClassName(TopologyClass t) {
+  switch (t) {
+    case TopologyClass::kSingleVertex:
+      return "single-vertex";
+    case TopologyClass::kChain:
+      return "chain";
+    case TopologyClass::kStar:
+      return "star";
+    case TopologyClass::kCycle:
+      return "cycle";
+    case TopologyClass::kTree:
+      return "tree";
+    case TopologyClass::kPetal:
+      return "petal";
+    case TopologyClass::kFlower:
+      return "flower";
+    case TopologyClass::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+std::vector<int> ConnectedComponents(const Graph& g, int* num_components) {
+  std::vector<int> component(g.NumVertices(), -1);
+  int count = 0;
+  std::deque<VertexId> queue;
+  for (VertexId start = 0; start < g.NumVertices(); ++start) {
+    if (component[start] != -1) continue;
+    component[start] = count;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      for (const Neighbor& n : g.Neighbors(v)) {
+        if (component[n.vertex] == -1) {
+          component[n.vertex] = count;
+          queue.push_back(n.vertex);
+        }
+      }
+    }
+    ++count;
+  }
+  if (num_components != nullptr) *num_components = count;
+  return component;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  int count = 0;
+  ConnectedComponents(g, &count);
+  return count == 1;
+}
+
+std::vector<VertexId> BfsOrder(const Graph& g, VertexId start) {
+  VQI_CHECK_LT(start, g.NumVertices());
+  std::vector<bool> seen(g.NumVertices(), false);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  seen[start] = true;
+  queue.push_back(start);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (const Neighbor& n : g.Neighbors(v)) {
+      if (!seen[n.vertex]) {
+        seen[n.vertex] = true;
+        queue.push_back(n.vertex);
+      }
+    }
+  }
+  return order;
+}
+
+int ShortestPathLength(const Graph& g, VertexId u, VertexId v) {
+  VQI_CHECK_LT(u, g.NumVertices());
+  VQI_CHECK_LT(v, g.NumVertices());
+  if (u == v) return 0;
+  std::vector<int> dist(g.NumVertices(), -1);
+  dist[u] = 0;
+  std::deque<VertexId> queue{u};
+  while (!queue.empty()) {
+    VertexId x = queue.front();
+    queue.pop_front();
+    for (const Neighbor& n : g.Neighbors(x)) {
+      if (dist[n.vertex] == -1) {
+        dist[n.vertex] = dist[x] + 1;
+        if (n.vertex == v) return dist[n.vertex];
+        queue.push_back(n.vertex);
+      }
+    }
+  }
+  return -1;
+}
+
+int Diameter(const Graph& g) {
+  int best = 0;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    std::vector<int> dist(g.NumVertices(), -1);
+    dist[s] = 0;
+    std::deque<VertexId> queue{s};
+    while (!queue.empty()) {
+      VertexId x = queue.front();
+      queue.pop_front();
+      for (const Neighbor& n : g.Neighbors(x)) {
+        if (dist[n.vertex] == -1) {
+          dist[n.vertex] = dist[x] + 1;
+          best = std::max(best, dist[n.vertex]);
+          queue.push_back(n.vertex);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool IsTree(const Graph& g) {
+  if (g.NumVertices() == 0) return false;
+  return IsConnected(g) && g.NumEdges() == g.NumVertices() - 1;
+}
+
+bool IsChain(const Graph& g) {
+  if (!IsTree(g)) return false;
+  if (g.NumVertices() == 1) return true;
+  size_t ones = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    size_t d = g.Degree(v);
+    if (d == 1) {
+      ++ones;
+    } else if (d != 2) {
+      return false;
+    }
+  }
+  return ones == 2;
+}
+
+bool IsStar(const Graph& g) {
+  if (!IsTree(g) || g.NumVertices() < 4) return false;
+  size_t hubs = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    size_t d = g.Degree(v);
+    if (d >= 3) {
+      ++hubs;
+    } else if (d != 1) {
+      return false;
+    }
+  }
+  return hubs == 1;
+}
+
+bool IsCycleGraph(const Graph& g) {
+  if (g.NumVertices() < 3 || g.NumEdges() != g.NumVertices()) return false;
+  if (!IsConnected(g)) return false;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) != 2) return false;
+  }
+  return true;
+}
+
+TopologyClass ClassifyTopology(const Graph& g) {
+  if (g.NumVertices() == 1) return TopologyClass::kSingleVertex;
+  if (g.NumVertices() == 0 || !IsConnected(g)) return TopologyClass::kOther;
+  if (IsChain(g)) return TopologyClass::kChain;
+  if (IsStar(g)) return TopologyClass::kStar;
+  if (IsTree(g)) return TopologyClass::kTree;
+  if (IsCycleGraph(g)) return TopologyClass::kCycle;
+  // Cyclic, not a pure cycle. Count branch vertices (degree > 2) and check
+  // whether every non-branch vertex has degree exactly 2 (lies on a path).
+  size_t high_degree = 0;
+  bool rest_degree_two = true;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > 2) {
+      ++high_degree;
+    } else if (g.Degree(v) != 2) {
+      rest_degree_two = false;
+    }
+  }
+  // Petal: generalized theta — exactly two branch vertices, every other
+  // vertex lies on one of the parallel paths between them.
+  if (high_degree == 2 && rest_degree_two) return TopologyClass::kPetal;
+  // Flower: a single hub carries all branching; all other vertices have
+  // degree 1 or 2 (cycles through the hub plus optional chains).
+  if (high_degree == 1) return TopologyClass::kFlower;
+  return TopologyClass::kOther;
+}
+
+size_t CountTriangles(const Graph& g) {
+  size_t count = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (const Neighbor& nu : g.Neighbors(u)) {
+      VertexId v = nu.vertex;
+      if (v <= u) continue;
+      // Intersect sorted neighbor lists of u and v, counting w > v so each
+      // triangle is counted exactly once.
+      const auto& a = g.Neighbors(u);
+      const auto& b = g.Neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i].vertex < b[j].vertex) {
+          ++i;
+        } else if (a[i].vertex > b[j].vertex) {
+          ++j;
+        } else {
+          if (a[i].vertex > v) ++count;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<size_t> DegreeSequence(const Graph& g) {
+  std::vector<size_t> degrees;
+  degrees.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) degrees.push_back(g.Degree(v));
+  std::sort(degrees.rbegin(), degrees.rend());
+  return degrees;
+}
+
+}  // namespace vqi

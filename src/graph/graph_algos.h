@@ -1,0 +1,66 @@
+#ifndef VQLIB_GRAPH_GRAPH_ALGOS_H_
+#define VQLIB_GRAPH_GRAPH_ALGOS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Coarse topology classes used by TATTOO-style candidate generation and by
+/// the workload generator; mirrors the query-shape taxonomy of real query
+/// logs (chain/star/cycle/petal/flower/tree/other).
+enum class TopologyClass {
+  kSingleVertex,
+  kChain,    // simple path
+  kStar,     // one hub, >= 3 leaves
+  kCycle,    // simple cycle
+  kTree,     // acyclic, neither chain nor star
+  kPetal,    // two vertices joined by >= 2 disjoint paths ("theta" shapes)
+  kFlower,   // hub with attached petals/cycles
+  kOther,
+};
+
+/// Human-readable name of a topology class.
+const char* TopologyClassName(TopologyClass t);
+
+/// Returns the connected component id (0-based) of every vertex.
+std::vector<int> ConnectedComponents(const Graph& g, int* num_components);
+
+/// True when the graph is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+/// BFS order from `start`; vertices unreachable from start are omitted.
+std::vector<VertexId> BfsOrder(const Graph& g, VertexId start);
+
+/// Number of edges on the shortest path between u and v; -1 if disconnected.
+int ShortestPathLength(const Graph& g, VertexId u, VertexId v);
+
+/// Graph diameter in hops over the largest component (BFS from every vertex;
+/// intended for small graphs such as patterns).
+int Diameter(const Graph& g);
+
+/// True when connected and |E| == |V| - 1.
+bool IsTree(const Graph& g);
+
+/// True when the graph is a simple path.
+bool IsChain(const Graph& g);
+
+/// True when the graph is a star with >= 3 leaves.
+bool IsStar(const Graph& g);
+
+/// True when the graph is a single simple cycle.
+bool IsCycleGraph(const Graph& g);
+
+/// Classifies a connected graph into one of the TopologyClass buckets.
+TopologyClass ClassifyTopology(const Graph& g);
+
+/// Number of triangles in `g` (exact, neighbor-intersection counting).
+size_t CountTriangles(const Graph& g);
+
+/// Sorted (descending) degree sequence.
+std::vector<size_t> DegreeSequence(const Graph& g);
+
+}  // namespace vqi
+
+#endif  // VQLIB_GRAPH_GRAPH_ALGOS_H_

@@ -1,0 +1,167 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace vqi {
+
+void LabelDictionary::SetName(Label label, std::string name) {
+  auto old = names_.find(label);
+  if (old != names_.end()) ids_.erase(old->second);
+  ids_[name] = label;
+  names_[label] = std::move(name);
+  if (label >= next_) next_ = label + 1;
+}
+
+std::string LabelDictionary::Name(Label label) const {
+  auto it = names_.find(label);
+  if (it != names_.end()) return it->second;
+  return "L" + std::to_string(label);
+}
+
+Label LabelDictionary::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  Label label = next_++;
+  ids_[name] = label;
+  names_[label] = name;
+  return label;
+}
+
+namespace io {
+namespace {
+
+// Shared line-by-line parser. Emits graphs through `emit`.
+template <typename Emit>
+Status ParseLines(std::istream& in, const Emit& emit) {
+  Graph current;
+  bool has_current = false;
+  std::string line;
+  int line_no = 0;
+  auto flush = [&]() {
+    if (has_current) emit(std::move(current));
+    current = Graph();
+    has_current = false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty() || text[0] == '#') continue;
+    std::vector<std::string> tokens = Split(text, ' ');
+    auto fail = [&](const std::string& why) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                why + ": '" + line + "'");
+    };
+    if (tokens[0] == "t") {
+      // "t # <id>" or "t <id>"
+      flush();
+      int64_t id = -1;
+      const std::string& id_token =
+          tokens.size() >= 3 ? tokens[2] : (tokens.size() == 2 ? tokens[1] : "");
+      if (!id_token.empty() && id_token != "#" && !ParseInt64(id_token, &id)) {
+        return fail("bad graph id");
+      }
+      current.set_id(id);
+      has_current = true;
+    } else if (tokens[0] == "v") {
+      if (!has_current) return fail("'v' before 't'");
+      if (tokens.size() != 3) return fail("expected 'v <id> <label>'");
+      int64_t vid = 0, label = 0;
+      if (!ParseInt64(tokens[1], &vid) || !ParseInt64(tokens[2], &label) ||
+          vid < 0 || label < 0) {
+        return fail("bad vertex line");
+      }
+      if (static_cast<size_t>(vid) != current.NumVertices()) {
+        return fail("vertices must be declared densely in order");
+      }
+      current.AddVertex(static_cast<Label>(label));
+    } else if (tokens[0] == "e") {
+      if (!has_current) return fail("'e' before 't'");
+      if (tokens.size() != 4) return fail("expected 'e <u> <v> <label>'");
+      int64_t u = 0, v = 0, label = 0;
+      if (!ParseInt64(tokens[1], &u) || !ParseInt64(tokens[2], &v) ||
+          !ParseInt64(tokens[3], &label) || u < 0 || v < 0 || label < 0) {
+        return fail("bad edge line");
+      }
+      if (static_cast<size_t>(u) >= current.NumVertices() ||
+          static_cast<size_t>(v) >= current.NumVertices()) {
+        return fail("edge references undeclared vertex");
+      }
+      if (!current.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                           static_cast<Label>(label))) {
+        return fail("duplicate edge or self loop");
+      }
+    } else {
+      return fail("unknown directive");
+    }
+  }
+  flush();
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Graph> ParseGraph(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<Graph> parsed;
+  Status s = ParseLines(in, [&](Graph g) { parsed.push_back(std::move(g)); });
+  if (!s.ok()) return s;
+  if (parsed.size() != 1) {
+    return Status::ParseError("expected exactly one graph, found " +
+                              std::to_string(parsed.size()));
+  }
+  return std::move(parsed[0]);
+}
+
+StatusOr<GraphDatabase> ParseDatabase(std::istream& in) {
+  GraphDatabase db;
+  Status parse_error = Status::OK();
+  Status s = ParseLines(in, [&](Graph g) {
+    if (g.id() >= 0 && db.Contains(g.id())) {
+      parse_error = Status::ParseError("duplicate graph id " +
+                                       std::to_string(g.id()));
+      return;
+    }
+    if (parse_error.ok()) db.Add(std::move(g));
+  });
+  if (!s.ok()) return s;
+  if (!parse_error.ok()) return parse_error;
+  return db;
+}
+
+StatusOr<GraphDatabase> LoadDatabase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return ParseDatabase(in);
+}
+
+std::string WriteGraph(const Graph& g) {
+  std::ostringstream out;
+  out << "t # " << g.id() << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "v " << v << " " << g.VertexLabel(v) << "\n";
+  }
+  for (const Edge& e : g.Edges()) {
+    out << "e " << e.u << " " << e.v << " " << e.label << "\n";
+  }
+  return out.str();
+}
+
+std::string WriteDatabase(const GraphDatabase& db) {
+  std::string out;
+  for (const Graph& g : db.graphs()) out += WriteGraph(g);
+  return out;
+}
+
+Status SaveDatabase(const GraphDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteDatabase(db);
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace vqi

@@ -1,0 +1,67 @@
+#ifndef VQLIB_GRAPH_GRAPH_IO_H_
+#define VQLIB_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// Maps integer labels to human-readable names (atom symbols, entity types).
+/// Purely cosmetic — all algorithms operate on integer labels.
+class LabelDictionary {
+ public:
+  /// Registers (or re-registers) a name for `label`.
+  void SetName(Label label, std::string name);
+
+  /// Returns the registered name, or "L<label>" when none was registered.
+  std::string Name(Label label) const;
+
+  /// Returns the label for `name`, registering a fresh one if unseen.
+  Label Intern(const std::string& name);
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<Label, std::string> names_;
+  std::unordered_map<std::string, Label> ids_;
+  Label next_ = 0;
+};
+
+/// Text graph format (".lg", the de-facto format of graph-mining datasets):
+///
+///   t # <graph-id>
+///   v <vertex-id> <label>
+///   e <u> <v> <edge-label>
+///
+/// Vertices must be declared 0..n-1 in order; edges reference declared
+/// vertices. Lines beginning with '#' and blank lines are ignored.
+namespace io {
+
+/// Parses a single graph from `text`; fails on the first malformed line.
+StatusOr<Graph> ParseGraph(const std::string& text);
+
+/// Parses a multi-graph database from a stream.
+StatusOr<GraphDatabase> ParseDatabase(std::istream& in);
+
+/// Loads a database from `path`.
+StatusOr<GraphDatabase> LoadDatabase(const std::string& path);
+
+/// Serializes `g` in .lg format.
+std::string WriteGraph(const Graph& g);
+
+/// Serializes the whole database in .lg format.
+std::string WriteDatabase(const GraphDatabase& db);
+
+/// Saves the database to `path`.
+Status SaveDatabase(const GraphDatabase& db, const std::string& path);
+
+}  // namespace io
+}  // namespace vqi
+
+#endif  // VQLIB_GRAPH_GRAPH_IO_H_

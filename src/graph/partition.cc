@@ -1,0 +1,43 @@
+#include "graph/partition.h"
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace vqi {
+
+GraphDatabase PartitionIntoChunks(const Graph& network,
+                                  size_t chunk_vertices) {
+  VQI_CHECK_GE(chunk_vertices, 2u);
+  GraphDatabase db;
+  std::vector<bool> taken(network.NumVertices(), false);
+  for (VertexId start = 0; start < network.NumVertices(); ++start) {
+    if (taken[start]) continue;
+    std::vector<VertexId> members;
+    std::deque<VertexId> queue{start};
+    taken[start] = true;
+    while (!queue.empty() && members.size() < chunk_vertices) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      members.push_back(v);
+      for (const Neighbor& nb : network.Neighbors(v)) {
+        if (!taken[nb.vertex]) {
+          taken[nb.vertex] = true;
+          queue.push_back(nb.vertex);
+        }
+      }
+    }
+    // Vertices that were enqueued but not consumed would be lost; release
+    // them for later chunks.
+    while (!queue.empty()) {
+      taken[queue.front()] = false;
+      queue.pop_front();
+    }
+    if (members.size() >= 2) db.Add(InducedSubgraph(network, members));
+  }
+  return db;
+}
+
+}  // namespace vqi

@@ -1,0 +1,24 @@
+#ifndef VQLIB_GRAPH_PARTITION_H_
+#define VQLIB_GRAPH_PARTITION_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// BFS-partitions one large network into a collection of induced chunk
+/// subgraphs of roughly `chunk_vertices` vertices each. Two roles:
+///  * the standard (and, per the tutorial, prohibitively expensive) way to
+///    adapt collection-oriented pipelines like CATAPULT to a network — the
+///    baseline of bench E4;
+///  * the natural first step toward the "massive networks need a
+///    distributed framework" future direction (each chunk is a unit of
+///    distribution).
+/// Chunks with fewer than 2 vertices are dropped.
+GraphDatabase PartitionIntoChunks(const Graph& network, size_t chunk_vertices);
+
+}  // namespace vqi
+
+#endif  // VQLIB_GRAPH_PARTITION_H_

@@ -1,0 +1,126 @@
+#include "layout/aesthetics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+namespace {
+
+// Orientation of the ordered triple (a, b, c).
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+// Proper segment intersection (shared endpoints excluded by the caller).
+bool SegmentsIntersect(const Point& p1, const Point& p2, const Point& q1,
+                       const Point& q2) {
+  double d1 = Cross(q1, q2, p1);
+  double d2 = Cross(q1, q2, p2);
+  double d3 = Cross(p1, p2, q1);
+  double d4 = Cross(p1, p2, q2);
+  return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+         ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0));
+}
+
+}  // namespace
+
+AestheticMetrics ComputeAesthetics(const Graph& g,
+                                   const std::vector<Point>& layout,
+                                   double occlusion_radius) {
+  VQI_CHECK_EQ(layout.size(), g.NumVertices());
+  AestheticMetrics metrics;
+  std::vector<Edge> edges = g.Edges();
+
+  // Crossings between edges that do not share an endpoint.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    for (size_t j = i + 1; j < edges.size(); ++j) {
+      const Edge& a = edges[i];
+      const Edge& b = edges[j];
+      if (a.u == b.u || a.u == b.v || a.v == b.u || a.v == b.v) continue;
+      if (SegmentsIntersect(layout[a.u], layout[a.v], layout[b.u],
+                            layout[b.v])) {
+        ++metrics.edge_crossings;
+      }
+    }
+  }
+
+  // Node occlusions.
+  for (size_t i = 0; i < layout.size(); ++i) {
+    for (size_t j = i + 1; j < layout.size(); ++j) {
+      double dx = layout[i].x - layout[j].x;
+      double dy = layout[i].y - layout[j].y;
+      if (std::sqrt(dx * dx + dy * dy) < occlusion_radius) {
+        ++metrics.node_occlusions;
+      }
+    }
+  }
+
+  // Angular resolution: min angle between incident edge pairs.
+  metrics.min_angular_resolution = std::numbers::pi;
+  bool any_pair = false;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto& neighbors = g.Neighbors(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        any_pair = true;
+        Point a{layout[neighbors[i].vertex].x - layout[v].x,
+                layout[neighbors[i].vertex].y - layout[v].y};
+        Point b{layout[neighbors[j].vertex].x - layout[v].x,
+                layout[neighbors[j].vertex].y - layout[v].y};
+        double na = std::max(1e-9, std::sqrt(a.x * a.x + a.y * a.y));
+        double nb = std::max(1e-9, std::sqrt(b.x * b.x + b.y * b.y));
+        double cos_angle = std::clamp((a.x * b.x + a.y * b.y) / (na * nb),
+                                      -1.0, 1.0);
+        metrics.min_angular_resolution =
+            std::min(metrics.min_angular_resolution, std::acos(cos_angle));
+      }
+    }
+  }
+  if (!any_pair) metrics.min_angular_resolution = std::numbers::pi;
+
+  // Clutter: crossing density (per edge pair) blended with occlusion
+  // density (per vertex pair).
+  size_t m = edges.size();
+  size_t n = layout.size();
+  double crossing_density =
+      m < 2 ? 0.0
+            : static_cast<double>(metrics.edge_crossings) /
+                  (static_cast<double>(m) * static_cast<double>(m - 1) / 2.0);
+  double occlusion_density =
+      n < 2 ? 0.0
+            : static_cast<double>(metrics.node_occlusions) /
+                  (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+  metrics.clutter =
+      std::clamp(0.7 * crossing_density + 0.3 * occlusion_density, 0.0, 1.0);
+  return metrics;
+}
+
+double PanelVisualComplexity(const std::vector<Graph>& patterns,
+                             const LayoutConfig& layout_config) {
+  if (patterns.empty()) return 0.0;
+  // Count term: panels beyond ~24 patterns are maximally crowded.
+  double count_term =
+      std::min(1.0, static_cast<double>(patterns.size()) / 24.0);
+  // Content term: mean normalized pattern size and clutter.
+  double size_sum = 0.0, clutter_sum = 0.0;
+  for (const Graph& p : patterns) {
+    size_sum += std::min(1.0, static_cast<double>(p.NumEdges()) / 16.0);
+    std::vector<Point> layout = ForceDirectedLayout(p, layout_config);
+    clutter_sum += ComputeAesthetics(p, layout).clutter;
+  }
+  double size_term = size_sum / static_cast<double>(patterns.size());
+  double clutter_term = clutter_sum / static_cast<double>(patterns.size());
+  return std::clamp(0.5 * count_term + 0.3 * size_term + 0.2 * clutter_term,
+                    0.0, 1.0);
+}
+
+double BerlyneSatisfaction(double complexity) {
+  double c = std::clamp(complexity, 0.0, 1.0);
+  return 4.0 * c * (1.0 - c);
+}
+
+}  // namespace vqi

@@ -1,0 +1,44 @@
+#ifndef VQLIB_LAYOUT_AESTHETICS_H_
+#define VQLIB_LAYOUT_AESTHETICS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "layout/force_layout.h"
+
+namespace vqi {
+
+/// Aesthetic metrics of one laid-out graph — the quantities the
+/// aesthetics-aware-VQI research direction (tutorial §2.5) proposes to
+/// optimize: crossings, occlusion, angular resolution, clutter.
+struct AestheticMetrics {
+  /// Number of pairs of non-adjacent edges whose segments intersect.
+  size_t edge_crossings = 0;
+  /// Pairs of vertices closer than the occlusion radius.
+  size_t node_occlusions = 0;
+  /// Smallest angle (radians) between edges sharing an endpoint; pi for
+  /// graphs without such pairs.
+  double min_angular_resolution = 0.0;
+  /// Normalized clutter in [0,1]: blend of crossing density and occlusion
+  /// density.
+  double clutter = 0.0;
+};
+
+/// Computes the metrics for a graph with vertex positions `layout`.
+AestheticMetrics ComputeAesthetics(const Graph& g,
+                                   const std::vector<Point>& layout,
+                                   double occlusion_radius = 0.04);
+
+/// Visual complexity in [0,1] of a *pattern panel*: grows with the number
+/// of displayed patterns, their sizes and their layout clutter. This is the
+/// stimulus variable of the Berlyne curve.
+double PanelVisualComplexity(const std::vector<Graph>& patterns,
+                             const LayoutConfig& layout_config = {});
+
+/// Berlyne's inverted-U aesthetic response: pleasure peaks at moderate
+/// complexity (4c(1-c), maximized at c = 0.5, zero at both extremes).
+double BerlyneSatisfaction(double complexity);
+
+}  // namespace vqi
+
+#endif  // VQLIB_LAYOUT_AESTHETICS_H_

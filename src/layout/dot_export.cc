@@ -1,0 +1,71 @@
+#include "layout/dot_export.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+namespace {
+
+void EmitBody(const Graph& g, const DotOptions& options,
+              const std::string& vertex_prefix, std::ostringstream& out) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "  " << vertex_prefix << v << " [label=\"";
+    if (options.dictionary != nullptr) {
+      out << options.dictionary->Name(g.VertexLabel(v));
+    } else {
+      out << g.VertexLabel(v);
+    }
+    out << "\"";
+    if (options.layout != nullptr) {
+      VQI_CHECK_EQ(options.layout->size(), g.NumVertices());
+      const Point& p = (*options.layout)[v];
+      out << " pos=\"" << p.x << "," << p.y << "!\"";
+    }
+    out << "];\n";
+  }
+  for (const Edge& e : g.Edges()) {
+    out << "  " << vertex_prefix << e.u << " -- " << vertex_prefix << e.v;
+    if (e.label != 0) {
+      out << " [label=\"";
+      if (options.dictionary != nullptr) {
+        out << options.dictionary->Name(e.label);
+      } else {
+        out << e.label;
+      }
+      out << "\"]";
+    }
+    out << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string ToDot(const Graph& g, const DotOptions& options) {
+  std::ostringstream out;
+  out << "graph " << options.name << " {\n";
+  out << "  node [shape=circle];\n";
+  EmitBody(g, options, "v", out);
+  out << "}\n";
+  return out.str();
+}
+
+std::string PatternsToDot(const std::vector<Graph>& patterns,
+                          const DotOptions& options) {
+  std::ostringstream out;
+  out << "graph " << options.name << " {\n";
+  out << "  node [shape=circle];\n";
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    out << "  subgraph cluster_" << i << " {\n";
+    out << "  label=\"pattern " << i << "\";\n";
+    DotOptions inner = options;
+    inner.layout = nullptr;  // per-pattern pins are not meaningful here
+    EmitBody(patterns[i], inner, "p" + std::to_string(i) + "_", out);
+    out << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace vqi

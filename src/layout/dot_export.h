@@ -1,0 +1,36 @@
+#ifndef VQLIB_LAYOUT_DOT_EXPORT_H_
+#define VQLIB_LAYOUT_DOT_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "layout/force_layout.h"
+
+namespace vqi {
+
+/// Options for Graphviz DOT export of patterns / result subgraphs — the
+/// "visualization-friendly" output path used when inspecting Pattern Panel
+/// content or graph summaries outside the library.
+struct DotOptions {
+  /// Optional display names for labels.
+  const LabelDictionary* dictionary = nullptr;
+  /// Optional fixed positions (same length as the graph's vertex count);
+  /// emitted as `pos="x,y!"` pins.
+  const std::vector<Point>* layout = nullptr;
+  /// Graph name in the DOT header.
+  std::string name = "pattern";
+};
+
+/// Renders `g` as an undirected Graphviz DOT document.
+std::string ToDot(const Graph& g, const DotOptions& options = {});
+
+/// Renders a whole pattern panel as one DOT document with clustered
+/// subgraphs (one cluster per pattern).
+std::string PatternsToDot(const std::vector<Graph>& patterns,
+                          const DotOptions& options = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_LAYOUT_DOT_EXPORT_H_

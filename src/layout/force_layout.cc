@@ -1,0 +1,70 @@
+#include "layout/force_layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vqi {
+
+std::vector<Point> ForceDirectedLayout(const Graph& g,
+                                       const LayoutConfig& config) {
+  size_t n = g.NumVertices();
+  std::vector<Point> pos(n);
+  if (n == 0) return pos;
+  Rng rng(config.seed);
+  for (Point& p : pos) {
+    p.x = rng.UniformDouble() * config.width;
+    p.y = rng.UniformDouble() * config.height;
+  }
+  if (n == 1) return pos;
+
+  double area = config.width * config.height;
+  double k = std::sqrt(area / static_cast<double>(n));  // ideal edge length
+  double temperature = config.width / 10.0;
+  double cooling = temperature / static_cast<double>(config.iterations + 1);
+
+  std::vector<Point> disp(n);
+  std::vector<Edge> edges = g.Edges();
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    for (Point& d : disp) d = Point{0.0, 0.0};
+    // Repulsive forces between all pairs.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double dx = pos[i].x - pos[j].x;
+        double dy = pos[i].y - pos[j].y;
+        double dist = std::max(1e-6, std::sqrt(dx * dx + dy * dy));
+        double force = k * k / dist;
+        disp[i].x += dx / dist * force;
+        disp[i].y += dy / dist * force;
+        disp[j].x -= dx / dist * force;
+        disp[j].y -= dy / dist * force;
+      }
+    }
+    // Attractive forces along edges.
+    for (const Edge& e : edges) {
+      double dx = pos[e.u].x - pos[e.v].x;
+      double dy = pos[e.u].y - pos[e.v].y;
+      double dist = std::max(1e-6, std::sqrt(dx * dx + dy * dy));
+      double force = dist * dist / k;
+      disp[e.u].x -= dx / dist * force;
+      disp[e.u].y -= dy / dist * force;
+      disp[e.v].x += dx / dist * force;
+      disp[e.v].y += dy / dist * force;
+    }
+    // Apply displacements capped by temperature; clamp to the canvas.
+    for (size_t i = 0; i < n; ++i) {
+      double len = std::max(
+          1e-6, std::sqrt(disp[i].x * disp[i].x + disp[i].y * disp[i].y));
+      double step = std::min(len, temperature);
+      pos[i].x += disp[i].x / len * step;
+      pos[i].y += disp[i].y / len * step;
+      pos[i].x = std::clamp(pos[i].x, 0.0, config.width);
+      pos[i].y = std::clamp(pos[i].y, 0.0, config.height);
+    }
+    temperature = std::max(1e-4, temperature - cooling);
+  }
+  return pos;
+}
+
+}  // namespace vqi

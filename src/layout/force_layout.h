@@ -1,0 +1,33 @@
+#ifndef VQLIB_LAYOUT_FORCE_LAYOUT_H_
+#define VQLIB_LAYOUT_FORCE_LAYOUT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// A 2-D position in the unit layout canvas.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Parameters of the Fruchterman–Reingold force-directed layout used to
+/// place patterns and result subgraphs before computing aesthetic metrics
+/// (tutorial §2.5, aesthetics-aware VQIs).
+struct LayoutConfig {
+  size_t iterations = 150;
+  double width = 1.0;
+  double height = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Computes vertex positions via Fruchterman–Reingold with linear cooling.
+/// Deterministic given the seed.
+std::vector<Point> ForceDirectedLayout(const Graph& g,
+                                       const LayoutConfig& config = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_LAYOUT_FORCE_LAYOUT_H_

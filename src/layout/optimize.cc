@@ -1,0 +1,62 @@
+#include "layout/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vqi {
+
+double LayoutObjective(const Graph& g, const std::vector<Point>& layout,
+                       const LayoutOptimizeConfig& config) {
+  AestheticMetrics metrics = ComputeAesthetics(g, layout);
+  double angle_term =
+      1.0 - metrics.min_angular_resolution / std::numbers::pi;  // 0 = best
+  return config.crossing_weight * static_cast<double>(metrics.edge_crossings) +
+         config.occlusion_weight *
+             static_cast<double>(metrics.node_occlusions) +
+         config.angle_weight * angle_term;
+}
+
+std::vector<Point> OptimizeLayout(const Graph& g, std::vector<Point> initial,
+                                  const LayoutOptimizeConfig& config) {
+  VQI_CHECK_EQ(initial.size(), g.NumVertices());
+  if (g.NumVertices() < 2) return initial;
+  Rng rng(config.seed);
+  std::vector<Point> best = initial;
+  double best_objective = LayoutObjective(g, best, config);
+  std::vector<Point> current = best;
+  double current_objective = best_objective;
+  double temperature = config.initial_temperature;
+  double cooling =
+      temperature / static_cast<double>(std::max<size_t>(1, config.iterations));
+
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    size_t v = static_cast<size_t>(rng.UniformInt(g.NumVertices()));
+    Point saved = current[v];
+    current[v].x = std::clamp(
+        current[v].x + (rng.UniformDouble() - 0.5) * 2 * config.max_move, 0.0,
+        1.0);
+    current[v].y = std::clamp(
+        current[v].y + (rng.UniformDouble() - 0.5) * 2 * config.max_move, 0.0,
+        1.0);
+    double objective = LayoutObjective(g, current, config);
+    double delta = objective - current_objective;
+    if (delta <= 0.0 ||
+        rng.UniformDouble() < std::exp(-delta / std::max(1e-9, temperature))) {
+      current_objective = objective;
+      if (objective < best_objective) {
+        best_objective = objective;
+        best = current;
+      }
+    } else {
+      current[v] = saved;  // reject move
+    }
+    temperature = std::max(1e-6, temperature - cooling);
+  }
+  return best;
+}
+
+}  // namespace vqi

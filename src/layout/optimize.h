@@ -1,0 +1,39 @@
+#ifndef VQLIB_LAYOUT_OPTIMIZE_H_
+#define VQLIB_LAYOUT_OPTIMIZE_H_
+
+#include <vector>
+
+#include "layout/aesthetics.h"
+#include "layout/force_layout.h"
+
+namespace vqi {
+
+/// The "data-driven visual layout design problem" of the tutorial's future
+/// directions (§2.5), cast exactly as it suggests: an optimization problem
+/// minimizing visual complexity / cognitive load measured with aesthetic
+/// metrics. Implemented as simulated annealing over vertex positions.
+struct LayoutOptimizeConfig {
+  size_t iterations = 3000;
+  double initial_temperature = 0.08;
+  /// Maximum per-move jitter as a fraction of the canvas.
+  double max_move = 0.15;
+  uint64_t seed = 42;
+  /// Objective weights.
+  double crossing_weight = 1.0;
+  double occlusion_weight = 0.5;
+  /// Reward (negative cost) for angular resolution, scaled to [0,1].
+  double angle_weight = 0.25;
+};
+
+/// The scalar objective the optimizer minimizes (lower = cleaner layout).
+double LayoutObjective(const Graph& g, const std::vector<Point>& layout,
+                       const LayoutOptimizeConfig& config = {});
+
+/// Anneals `initial` (e.g. a force-directed layout) toward fewer crossings
+/// and occlusions; returns a layout whose objective is <= the initial one.
+std::vector<Point> OptimizeLayout(const Graph& g, std::vector<Point> initial,
+                                  const LayoutOptimizeConfig& config = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_LAYOUT_OPTIMIZE_H_

@@ -1,0 +1,171 @@
+#include "match/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/graph_algos.h"
+
+namespace vqi {
+namespace {
+
+// Appends a uint32 as 4 big-endian bytes (big-endian keeps lexicographic
+// string order aligned with numeric order).
+void AppendU32(std::string& out, uint32_t value) {
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>(value & 0xFF));
+}
+
+// One node of the refinement search: a coloring of the vertices.
+// Colors are dense ints; equal color == same cell. Cell order == color order.
+using Coloring = std::vector<uint32_t>;
+
+// Refines `colors` to a stable coloring using neighbor-signature hashing.
+// The new color ids are assigned in sorted signature order, which makes the
+// refinement isomorphism-invariant.
+void Refine(const Graph& g, Coloring& colors) {
+  size_t n = g.NumVertices();
+  while (true) {
+    // signature(v) = (old color, sorted multiset of (nbr color, edge label))
+    std::vector<std::pair<std::vector<uint64_t>, VertexId>> sigs(n);
+    for (VertexId v = 0; v < n; ++v) {
+      std::vector<uint64_t>& sig = sigs[v].first;
+      sig.push_back(colors[v]);
+      std::vector<uint64_t> nbrs;
+      nbrs.reserve(g.Degree(v));
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        nbrs.push_back((static_cast<uint64_t>(colors[nb.vertex]) << 32) |
+                       nb.edge_label);
+      }
+      std::sort(nbrs.begin(), nbrs.end());
+      sig.insert(sig.end(), nbrs.begin(), nbrs.end());
+      sigs[v].second = v;
+    }
+    std::sort(sigs.begin(), sigs.end());
+    Coloring next(n);
+    uint32_t color = 0;
+    for (size_t i = 0; i < sigs.size(); ++i) {
+      if (i > 0 && sigs[i].first != sigs[i - 1].first) ++color;
+      next[sigs[i].second] = color;
+    }
+    if (next == colors) return;
+    colors = std::move(next);
+  }
+}
+
+// Encodes the adjacency matrix of g under the ordering implied by a discrete
+// coloring (color == position).
+std::string EncodeDiscrete(const Graph& g, const Coloring& colors) {
+  size_t n = g.NumVertices();
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[colors[v]] = v;
+  std::string code;
+  code.reserve(4 * (n + 1) + 4 * n * n / 2);
+  AppendU32(code, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) AppendU32(code, g.VertexLabel(order[i]));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      std::optional<Label> e = g.EdgeLabel(order[i], order[j]);
+      AppendU32(code, e.has_value() ? (*e + 1) : 0);
+    }
+  }
+  return code;
+}
+
+bool IsDiscrete(const Coloring& colors) {
+  std::vector<bool> seen(colors.size(), false);
+  for (uint32_t c : colors) {
+    if (c >= colors.size() || seen[c]) return false;
+    seen[c] = true;
+  }
+  return true;
+}
+
+// Individualization-refinement search; keeps the lexicographically smallest
+// code across all discrete partitions reached.
+void Search(const Graph& g, Coloring colors, std::string& best,
+            bool& has_best) {
+  Refine(g, colors);
+  if (IsDiscrete(colors)) {
+    std::string code = EncodeDiscrete(g, colors);
+    if (!has_best || code < best) {
+      best = std::move(code);
+      has_best = true;
+    }
+    return;
+  }
+  // Target: the smallest-color cell with more than one vertex.
+  size_t n = g.NumVertices();
+  uint32_t target_color = 0;
+  bool found = false;
+  std::vector<size_t> cell_size(n, 0);
+  for (uint32_t c : colors) ++cell_size[c];
+  for (uint32_t c = 0; c < n; ++c) {
+    if (cell_size[c] > 1) {
+      target_color = c;
+      found = true;
+      break;
+    }
+  }
+  VQI_CHECK(found);
+  for (VertexId v = 0; v < n; ++v) {
+    if (colors[v] != target_color) continue;
+    // Individualize v: give it its own color just below the rest of its
+    // cell by shifting all colors >= target up by one and keeping v.
+    Coloring child(colors);
+    for (VertexId u = 0; u < n; ++u) {
+      if (child[u] > target_color || (child[u] == target_color && u != v)) {
+        ++child[u];
+      }
+    }
+    Search(g, std::move(child), best, has_best);
+  }
+}
+
+}  // namespace
+
+std::string CanonicalCode(const Graph& g) {
+  size_t n = g.NumVertices();
+  VQI_CHECK_LE(n, 64u) << "CanonicalCode is for small pattern graphs";
+  if (n == 0) {
+    std::string code;
+    AppendU32(code, 0);
+    return code;
+  }
+  // Initial colors from sorted (vertex label, degree) pairs.
+  std::vector<std::pair<std::pair<Label, size_t>, VertexId>> init(n);
+  for (VertexId v = 0; v < n; ++v) {
+    init[v] = {{g.VertexLabel(v), g.Degree(v)}, v};
+  }
+  std::sort(init.begin(), init.end());
+  Coloring colors(n);
+  uint32_t color = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && init[i].first != init[i - 1].first) ++color;
+    colors[init[i].second] = color;
+  }
+  std::string best;
+  bool has_best = false;
+  Search(g, std::move(colors), best, has_best);
+  VQI_CHECK(has_best);
+  return best;
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  if (DegreeSequence(a) != DegreeSequence(b)) return false;
+  auto label_multiset = [](const Graph& g) {
+    std::map<Label, size_t> counts;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) ++counts[g.VertexLabel(v)];
+    return counts;
+  };
+  if (label_multiset(a) != label_multiset(b)) return false;
+  return CanonicalCode(a) == CanonicalCode(b);
+}
+
+}  // namespace vqi

@@ -1,0 +1,28 @@
+#ifndef VQLIB_MATCH_CANONICAL_H_
+#define VQLIB_MATCH_CANONICAL_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Computes a canonical form of `g`: two graphs get the same code iff they
+/// are isomorphic (respecting vertex and edge labels).
+///
+/// Implementation: color refinement (1-WL with labels) plus
+/// individualization–refinement backtracking, taking the lexicographically
+/// smallest adjacency encoding over all discrete partitions reached. Intended
+/// for *small* graphs (patterns, queries; n <= 64 enforced) where the search
+/// tree stays tiny; it is exact for all graphs, only slower on highly
+/// symmetric unlabeled ones.
+std::string CanonicalCode(const Graph& g);
+
+/// True when `a` and `b` are isomorphic (labels respected). Cheap invariants
+/// (sizes, degree sequences, label multisets) are checked before canonical
+/// codes are compared.
+bool AreIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MATCH_CANONICAL_H_

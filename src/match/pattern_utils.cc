@@ -1,0 +1,69 @@
+#include "match/pattern_utils.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+#include "match/canonical.h"
+
+namespace vqi {
+
+std::vector<Graph> DedupIsomorphic(std::vector<Graph> graphs) {
+  IsomorphismSet seen;
+  std::vector<Graph> out;
+  out.reserve(graphs.size());
+  for (Graph& g : graphs) {
+    if (seen.Insert(g)) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+bool IsomorphismSet::Insert(const Graph& g) {
+  return codes_.insert(CanonicalCode(g)).second;
+}
+
+bool IsomorphismSet::Contains(const Graph& g) const {
+  return codes_.count(CanonicalCode(g)) > 0;
+}
+
+std::optional<Graph> RandomConnectedSubgraph(const Graph& g, size_t num_edges,
+                                             Rng& rng) {
+  if (g.NumEdges() < num_edges || num_edges == 0) return std::nullopt;
+  std::vector<Edge> all_edges = g.Edges();
+  const Edge& seed = all_edges[rng.UniformInt(all_edges.size())];
+
+  // Grow an edge set; the frontier is every edge incident to a chosen vertex
+  // that is not yet selected.
+  std::vector<Edge> chosen{seed};
+  std::unordered_set<uint64_t> chosen_keys;
+  auto key = [](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+  chosen_keys.insert(key(seed.u, seed.v));
+  std::vector<VertexId> vertices{seed.u, seed.v};
+  std::unordered_set<VertexId> vertex_set{seed.u, seed.v};
+
+  while (chosen.size() < num_edges) {
+    // Collect frontier edges.
+    std::vector<Edge> frontier;
+    for (VertexId v : vertices) {
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        uint64_t k = key(v, nb.vertex);
+        if (chosen_keys.count(k)) continue;
+        frontier.push_back(Edge{std::min(v, nb.vertex),
+                                std::max(v, nb.vertex), nb.edge_label});
+      }
+    }
+    if (frontier.empty()) return std::nullopt;
+    const Edge& pick = frontier[rng.UniformInt(frontier.size())];
+    chosen.push_back(pick);
+    chosen_keys.insert(key(pick.u, pick.v));
+    for (VertexId v : {pick.u, pick.v}) {
+      if (vertex_set.insert(v).second) vertices.push_back(v);
+    }
+  }
+  return SubgraphFromEdges(g, chosen);
+}
+
+}  // namespace vqi

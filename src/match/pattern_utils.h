@@ -1,0 +1,43 @@
+#ifndef VQLIB_MATCH_PATTERN_UTILS_H_
+#define VQLIB_MATCH_PATTERN_UTILS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Removes isomorphic duplicates, keeping the first representative of every
+/// isomorphism class (order otherwise preserved).
+std::vector<Graph> DedupIsomorphic(std::vector<Graph> graphs);
+
+/// Incrementally deduplicates graphs by canonical code.
+class IsomorphismSet {
+ public:
+  /// Inserts `g`'s class; returns true when it was new.
+  bool Insert(const Graph& g);
+
+  /// True when an isomorph of `g` was inserted before.
+  bool Contains(const Graph& g) const;
+
+  size_t size() const { return codes_.size(); }
+
+ private:
+  std::unordered_set<std::string> codes_;
+};
+
+/// Samples a random connected subgraph of `g` with exactly `num_edges` edges
+/// via random edge expansion from a random seed edge. Returns nullopt when
+/// `g` has no connected subgraph of that size reachable from the sampled
+/// seed (e.g. component too small). Used by the query workload generator and
+/// by candidate growth.
+std::optional<Graph> RandomConnectedSubgraph(const Graph& g, size_t num_edges,
+                                             Rng& rng);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MATCH_PATTERN_UTILS_H_

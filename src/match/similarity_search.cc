@@ -1,0 +1,209 @@
+#include "match/similarity_search.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+namespace {
+
+// Multiset-difference lower bound: relabeling can fix at most
+// min(|A|,|B|) vertices, the rest must be inserted/deleted; same for edges
+// by label; plus the size gap.
+double LabelLowerBound(const Graph& a, const Graph& b) {
+  auto vertex_hist = [](const Graph& g) {
+    std::map<Label, int> h;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) ++h[g.VertexLabel(v)];
+    return h;
+  };
+  auto edge_hist = [](const Graph& g) {
+    std::map<Label, int> h;
+    for (const Edge& e : g.Edges()) ++h[e.label];
+    return h;
+  };
+  auto hist_distance = [](std::map<Label, int> ha, std::map<Label, int> hb) {
+    // Sum of positive differences = elements of A not matchable by label;
+    // max over both directions is a valid relabel+indel lower bound.
+    int surplus_a = 0, surplus_b = 0;
+    for (const auto& [label, count] : ha) {
+      auto it = hb.find(label);
+      int other = it == hb.end() ? 0 : it->second;
+      surplus_a += std::max(0, count - other);
+    }
+    for (const auto& [label, count] : hb) {
+      auto it = ha.find(label);
+      int other = it == ha.end() ? 0 : it->second;
+      surplus_b += std::max(0, count - other);
+    }
+    return static_cast<double>(std::max(surplus_a, surplus_b));
+  };
+  double vertex_bound = hist_distance(vertex_hist(a), vertex_hist(b));
+  double edge_bound = hist_distance(edge_hist(a), edge_hist(b));
+  // Relabeling costs 1 each but indels also change counts; the surpluses
+  // already include the size gap, so combine conservatively.
+  return std::max(vertex_bound, edge_bound);
+}
+
+// Greedy vertex assignment: repeatedly match the pair (av, bv) with the best
+// local score (label equality, degree proximity, mapped-neighbor overlap).
+// Returns mapping b-vertex -> a-vertex (or -1).
+std::vector<int> GreedyAssignment(const Graph& a, const Graph& b) {
+  std::vector<int> mapping(b.NumVertices(), -1);
+  std::vector<bool> used(a.NumVertices(), false);
+  for (size_t round = 0; round < b.NumVertices(); ++round) {
+    int best_bv = -1, best_av = -1, best_score = -1;
+    for (VertexId bv = 0; bv < b.NumVertices(); ++bv) {
+      if (mapping[bv] != -1) continue;
+      for (VertexId av = 0; av < a.NumVertices(); ++av) {
+        if (used[av]) continue;
+        int score = 0;
+        if (a.VertexLabel(av) == b.VertexLabel(bv)) score += 4;
+        score -= std::abs(static_cast<int>(a.Degree(av)) -
+                          static_cast<int>(b.Degree(bv)));
+        for (const Neighbor& nb : b.Neighbors(bv)) {
+          int image = mapping[nb.vertex];
+          if (image >= 0 && a.HasEdge(av, static_cast<VertexId>(image))) {
+            score += 2;
+          }
+        }
+        if (score > best_score) {
+          best_score = score;
+          best_bv = static_cast<int>(bv);
+          best_av = static_cast<int>(av);
+        }
+      }
+    }
+    if (best_bv < 0) break;  // a is exhausted
+    mapping[static_cast<size_t>(best_bv)] = best_av;
+    used[static_cast<size_t>(best_av)] = true;
+  }
+  return mapping;
+}
+
+// Cost of the edit script implied by a vertex assignment.
+double ScriptCost(const Graph& a, const Graph& b,
+                  const std::vector<int>& mapping) {
+  double cost = 0.0;
+  std::vector<bool> a_matched(a.NumVertices(), false);
+  for (VertexId bv = 0; bv < b.NumVertices(); ++bv) {
+    int av = mapping[bv];
+    if (av < 0) {
+      cost += 1.0;  // insert vertex of b
+    } else {
+      a_matched[static_cast<size_t>(av)] = true;
+      if (a.VertexLabel(static_cast<VertexId>(av)) != b.VertexLabel(bv)) {
+        cost += 1.0;  // relabel
+      }
+    }
+  }
+  for (VertexId av = 0; av < a.NumVertices(); ++av) {
+    if (!a_matched[av]) cost += 1.0;  // delete vertex of a
+  }
+  // Edges of b: mapped-and-present (maybe relabel), else insert.
+  size_t preserved = 0;
+  for (const Edge& e : b.Edges()) {
+    int u = mapping[e.u], v = mapping[e.v];
+    if (u >= 0 && v >= 0) {
+      std::optional<Label> label =
+          a.EdgeLabel(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      if (label.has_value()) {
+        ++preserved;
+        if (*label != e.label) cost += 1.0;  // relabel edge
+        continue;
+      }
+    }
+    cost += 1.0;  // insert edge
+  }
+  // Edges of a not preserved must be deleted.
+  cost += static_cast<double>(a.NumEdges() - preserved);
+  return cost;
+}
+
+}  // namespace
+
+namespace {
+
+// DFS over injective assignments of b's vertices into a's (or "insert"),
+// evaluating the full script cost at every leaf and pruning on the best so
+// far with a cheap partial bound.
+void ExactSearch(const Graph& a, const Graph& b, std::vector<int>& mapping,
+                 std::vector<bool>& used, VertexId bv, double& best) {
+  if (bv == b.NumVertices()) {
+    best = std::min(best, ScriptCost(a, b, mapping));
+    return;
+  }
+  // Cheap partial bound: each already-decided vertex contributes at least
+  // its own relabel/indel cost.
+  double partial = 0.0;
+  for (VertexId prev = 0; prev < bv; ++prev) {
+    int av = mapping[prev];
+    if (av < 0) {
+      partial += 1.0;
+    } else if (a.VertexLabel(static_cast<VertexId>(av)) !=
+               b.VertexLabel(prev)) {
+      partial += 1.0;
+    }
+  }
+  if (partial >= best) return;
+
+  for (VertexId av = 0; av < a.NumVertices(); ++av) {
+    if (used[av]) continue;
+    mapping[bv] = static_cast<int>(av);
+    used[av] = true;
+    ExactSearch(a, b, mapping, used, bv + 1, best);
+    used[av] = false;
+  }
+  mapping[bv] = -1;  // insert vertex bv
+  ExactSearch(a, b, mapping, used, bv + 1, best);
+  mapping[bv] = -1;
+}
+
+}  // namespace
+
+double ExactGraphEditDistance(const Graph& a, const Graph& b) {
+  VQI_CHECK_LE(a.NumVertices(), 8u) << "exact GED is exponential";
+  VQI_CHECK_LE(b.NumVertices(), 8u) << "exact GED is exponential";
+  std::vector<int> mapping(b.NumVertices(), -1);
+  std::vector<bool> used(a.NumVertices(), false);
+  double best = ScriptCost(a, b, mapping);  // all-insert script
+  ExactSearch(a, b, mapping, used, 0, best);
+  return best;
+}
+
+GedEstimate ApproxGraphEditDistance(const Graph& a, const Graph& b) {
+  GedEstimate estimate;
+  estimate.lower_bound = LabelLowerBound(a, b);
+  std::vector<int> mapping = GreedyAssignment(a, b);
+  estimate.upper_bound = ScriptCost(a, b, mapping);
+  // The greedy script is feasible, so it can never undercut the bound; if
+  // numerical/structural corner cases ever disagree, widen rather than lie.
+  estimate.upper_bound = std::max(estimate.upper_bound, estimate.lower_bound);
+  return estimate;
+}
+
+std::vector<SimilarityHit> SimilaritySearch(const GraphDatabase& db,
+                                            const Graph& query, size_t k) {
+  std::vector<SimilarityHit> hits;
+  hits.reserve(db.size());
+  // Prune with lower bounds once k candidates are in hand.
+  double kth_upper = -1.0;
+  for (const Graph& g : db.graphs()) {
+    if (kth_upper >= 0.0 && LabelLowerBound(query, g) > kth_upper) continue;
+    SimilarityHit hit;
+    hit.graph_id = g.id();
+    hit.distance = ApproxGraphEditDistance(query, g);
+    hits.push_back(hit);
+    std::sort(hits.begin(), hits.end(),
+              [](const SimilarityHit& x, const SimilarityHit& y) {
+                return x.distance.upper_bound < y.distance.upper_bound;
+              });
+    if (hits.size() > k) hits.resize(k);
+    if (hits.size() == k) kth_upper = hits.back().distance.upper_bound;
+  }
+  return hits;
+}
+
+}  // namespace vqi

@@ -1,0 +1,50 @@
+#ifndef VQLIB_MATCH_SIMILARITY_SEARCH_H_
+#define VQLIB_MATCH_SIMILARITY_SEARCH_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// Approximate graph edit distance (uniform cost 1 for vertex/edge
+/// insertion, deletion and relabeling): a greedy label+neighborhood vertex
+/// assignment gives an upper-bound-flavored estimate; a label-multiset /
+/// size argument gives a true lower bound. Exact GED is NP-hard; the
+/// surveyed VQIs use similarity queries with exactly this kind of bounded
+/// approximation.
+struct GedEstimate {
+  /// Never exceeds the true edit distance.
+  double lower_bound = 0.0;
+  /// Cost of the explicit greedy edit script (a feasible upper bound).
+  double upper_bound = 0.0;
+
+  double midpoint() const { return (lower_bound + upper_bound) / 2.0; }
+};
+
+/// Estimates the edit distance between two labeled graphs.
+GedEstimate ApproxGraphEditDistance(const Graph& a, const Graph& b);
+
+/// Exact graph edit distance by exhaustive assignment search with
+/// branch-and-bound. Exponential — both graphs must have at most 8 vertices
+/// (checked). Used as the oracle for the approximation's property tests.
+double ExactGraphEditDistance(const Graph& a, const Graph& b);
+
+/// One subgraph-similarity search hit.
+struct SimilarityHit {
+  GraphId graph_id = -1;
+  GedEstimate distance;
+};
+
+/// Top-`k` graphs of `db` most similar to `query` under the GED estimate
+/// (ranked by upper bound; lower bounds allow cheap pruning). This is the
+/// "subgraph similarity" query type the tutorial lists among the queries a
+/// VQI must let users formulate.
+std::vector<SimilarityHit> SimilaritySearch(const GraphDatabase& db,
+                                            const Graph& query, size_t k);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MATCH_SIMILARITY_SEARCH_H_

@@ -1,0 +1,211 @@
+#include "match/vf2.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+SubgraphMatcher::SubgraphMatcher(const Graph& pattern, const Graph& target,
+                                 MatchOptions options)
+    : pattern_(pattern), target_(target), options_(options) {
+  mapping_.assign(pattern_.NumVertices(), kUnmapped);
+  used_.assign(target_.NumVertices(), false);
+  ComputeOrder();
+}
+
+void SubgraphMatcher::ComputeOrder() {
+  size_t n = pattern_.NumVertices();
+  order_.clear();
+  anchor_.assign(n, -1);
+  if (n == 0) return;
+
+  std::vector<bool> placed(n, false);
+  // Start from the highest-degree vertex; a strong static heuristic at
+  // pattern scale.
+  VertexId start = 0;
+  for (VertexId v = 1; v < n; ++v) {
+    if (pattern_.Degree(v) > pattern_.Degree(start)) start = v;
+  }
+  order_.push_back(start);
+  placed[start] = true;
+
+  while (order_.size() < n) {
+    // Next: unplaced vertex with the most placed neighbors (connectivity
+    // first), degree as tiebreak. Falls back to any unplaced vertex for
+    // disconnected patterns.
+    int best = -1;
+    size_t best_connected = 0;
+    size_t best_degree = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      size_t connected = 0;
+      for (const Neighbor& nb : pattern_.Neighbors(v)) {
+        if (placed[nb.vertex]) ++connected;
+      }
+      size_t degree = pattern_.Degree(v);
+      if (best == -1 || connected > best_connected ||
+          (connected == best_connected && degree > best_degree)) {
+        best = static_cast<int>(v);
+        best_connected = connected;
+        best_degree = degree;
+      }
+    }
+    VertexId v = static_cast<VertexId>(best);
+    placed[v] = true;
+    // Remember one already-placed neighbor: its image anchors the candidate
+    // set for v.
+    int anchor = -1;
+    for (const Neighbor& nb : pattern_.Neighbors(v)) {
+      if (placed[nb.vertex] && nb.vertex != v) {
+        for (size_t i = 0; i < order_.size(); ++i) {
+          if (order_[i] == nb.vertex) {
+            anchor = static_cast<int>(i);
+            break;
+          }
+        }
+        if (anchor != -1) break;
+      }
+    }
+    anchor_[order_.size()] = anchor;
+    order_.push_back(v);
+  }
+}
+
+bool SubgraphMatcher::Feasible(VertexId pu, VertexId tv) const {
+  auto labels_compatible = [&](Label a, Label b) {
+    if (a == b) return true;
+    return options_.dummy_is_wildcard &&
+           (a == kDummyLabel || b == kDummyLabel);
+  };
+  if (options_.match_vertex_labels &&
+      !labels_compatible(pattern_.VertexLabel(pu), target_.VertexLabel(tv))) {
+    return false;
+  }
+  if (pattern_.Degree(pu) > target_.Degree(tv)) return false;
+  // Every pattern edge from pu to an already-mapped vertex must exist in the
+  // target (with a matching label); for induced matching, mapped non-edges
+  // must stay non-edges.
+  for (const Neighbor& nb : pattern_.Neighbors(pu)) {
+    VertexId mapped = mapping_[nb.vertex];
+    if (mapped == kUnmapped) continue;
+    std::optional<Label> elabel = target_.EdgeLabel(tv, mapped);
+    if (!elabel.has_value()) return false;
+    if (options_.match_edge_labels &&
+        !labels_compatible(*elabel, nb.edge_label)) {
+      return false;
+    }
+  }
+  if (options_.induced) {
+    for (VertexId pv = 0; pv < pattern_.NumVertices(); ++pv) {
+      if (mapping_[pv] == kUnmapped || pv == pu) continue;
+      if (!pattern_.HasEdge(pu, pv) && target_.HasEdge(tv, mapping_[pv])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SubgraphMatcher::Recurse(
+    size_t depth, const std::function<bool(const Embedding&)>& cb,
+    uint64_t* found) {
+  if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
+    hit_step_limit_ = true;
+    return false;
+  }
+  ++steps_;
+  if (depth == order_.size()) {
+    ++*found;
+    if (!cb(mapping_)) return false;
+    if (options_.max_embeddings != 0 && *found >= options_.max_embeddings) {
+      return false;
+    }
+    return true;
+  }
+  VertexId pu = order_[depth];
+  int anchor = anchor_[depth];
+  auto try_candidate = [&](VertexId tv) {
+    if (used_[tv] || !Feasible(pu, tv)) return true;
+    mapping_[pu] = tv;
+    used_[tv] = true;
+    bool keep_going = Recurse(depth + 1, cb, found);
+    mapping_[pu] = kUnmapped;
+    used_[tv] = false;
+    return keep_going;
+  };
+  if (anchor >= 0) {
+    // Candidates: target neighbors of the anchor's image.
+    VertexId t_anchor = mapping_[order_[static_cast<size_t>(anchor)]];
+    for (const Neighbor& nb : target_.Neighbors(t_anchor)) {
+      if (!try_candidate(nb.vertex)) return false;
+    }
+  } else {
+    for (VertexId tv = 0; tv < target_.NumVertices(); ++tv) {
+      if (!try_candidate(tv)) return false;
+    }
+  }
+  return true;
+}
+
+bool SubgraphMatcher::Exists() {
+  if (pattern_.NumVertices() == 0) return true;
+  if (pattern_.NumVertices() > target_.NumVertices() ||
+      pattern_.NumEdges() > target_.NumEdges()) {
+    return false;
+  }
+  uint64_t found = 0;
+  steps_ = 0;
+  Recurse(0, [](const Embedding&) { return false; }, &found);
+  return found > 0;
+}
+
+std::optional<Embedding> SubgraphMatcher::FindOne() {
+  std::optional<Embedding> result;
+  if (pattern_.NumVertices() == 0) return Embedding{};
+  if (pattern_.NumVertices() > target_.NumVertices() ||
+      pattern_.NumEdges() > target_.NumEdges()) {
+    return std::nullopt;
+  }
+  uint64_t found = 0;
+  steps_ = 0;
+  Recurse(
+      0,
+      [&](const Embedding& e) {
+        result = e;
+        return false;
+      },
+      &found);
+  return result;
+}
+
+uint64_t SubgraphMatcher::CountEmbeddings() {
+  return Enumerate([](const Embedding&) { return true; });
+}
+
+uint64_t SubgraphMatcher::Enumerate(
+    const std::function<bool(const Embedding&)>& callback) {
+  if (pattern_.NumVertices() == 0) return 0;
+  if (pattern_.NumVertices() > target_.NumVertices() ||
+      pattern_.NumEdges() > target_.NumEdges()) {
+    return 0;
+  }
+  uint64_t found = 0;
+  steps_ = 0;
+  Recurse(0, callback, &found);
+  return found;
+}
+
+bool ContainsSubgraph(const Graph& target, const Graph& pattern,
+                      const MatchOptions& options) {
+  return SubgraphMatcher(pattern, target, options).Exists();
+}
+
+uint64_t CountEmbeddings(const Graph& target, const Graph& pattern,
+                         uint64_t cap, const MatchOptions& options) {
+  MatchOptions opts = options;
+  opts.max_embeddings = cap;
+  return SubgraphMatcher(pattern, target, opts).CountEmbeddings();
+}
+
+}  // namespace vqi

@@ -1,0 +1,95 @@
+#ifndef VQLIB_MATCH_VF2_H_
+#define VQLIB_MATCH_VF2_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Options controlling subgraph matching semantics and budgets.
+struct MatchOptions {
+  /// When true, require induced embeddings (pattern non-edges must map to
+  /// target non-edges). Coverage in the surveyed papers uses plain subgraph
+  /// isomorphism (monomorphism), the default.
+  bool induced = false;
+  /// Respect vertex labels (a pattern vertex only maps to an equal label).
+  bool match_vertex_labels = true;
+  /// Respect edge labels.
+  bool match_edge_labels = true;
+  /// Treat kDummyLabel as a wildcard that matches any label (closure-graph
+  /// semantics: a dummy vertex/edge stands for "some member has this").
+  bool dummy_is_wildcard = false;
+  /// Stop after this many embeddings during Count/Enumerate. 0 = unlimited.
+  uint64_t max_embeddings = 0;
+  /// Abort search after this many recursive steps (guards worst cases on
+  /// large targets). 0 = unlimited.
+  uint64_t max_steps = 0;
+};
+
+/// An embedding maps pattern vertex i to Embedding[i] in the target.
+using Embedding = std::vector<VertexId>;
+
+/// VF2-style backtracking matcher for one (pattern, target) pair.
+///
+/// The pattern must be connected for meaningful candidate propagation; a
+/// disconnected pattern is matched component-by-component implicitly by
+/// falling back to full candidate scans, which is correct but slow.
+class SubgraphMatcher {
+ public:
+  /// Both graphs must outlive the matcher.
+  SubgraphMatcher(const Graph& pattern, const Graph& target,
+                  MatchOptions options = {});
+
+  /// True when at least one embedding exists.
+  bool Exists();
+
+  /// Returns some embedding or nullopt.
+  std::optional<Embedding> FindOne();
+
+  /// Counts embeddings up to options.max_embeddings (distinct mappings;
+  /// automorphic images count separately, as in the coverage definitions of
+  /// the surveyed papers).
+  uint64_t CountEmbeddings();
+
+  /// Invokes `callback` per embedding; return false from it to stop early.
+  /// Returns the number of embeddings delivered.
+  uint64_t Enumerate(const std::function<bool(const Embedding&)>& callback);
+
+  /// True when the search hit max_steps before completing (results may be
+  /// lower bounds).
+  bool hit_step_limit() const { return hit_step_limit_; }
+
+ private:
+  void ComputeOrder();
+  bool Feasible(VertexId pu, VertexId tv) const;
+  bool Recurse(size_t depth, const std::function<bool(const Embedding&)>& cb,
+               uint64_t* found);
+
+  const Graph& pattern_;
+  const Graph& target_;
+  MatchOptions options_;
+  std::vector<VertexId> order_;        // pattern vertices in match order
+  std::vector<int> anchor_;            // order index of an earlier neighbor
+  std::vector<VertexId> mapping_;      // pattern -> target (kUnmapped if none)
+  std::vector<bool> used_;             // target vertex already used
+  uint64_t steps_ = 0;
+  bool hit_step_limit_ = false;
+
+  static constexpr VertexId kUnmapped = 0xFFFFFFFFu;
+};
+
+/// Convenience: does `target` contain a subgraph isomorphic to `pattern`?
+bool ContainsSubgraph(const Graph& target, const Graph& pattern,
+                      const MatchOptions& options = {});
+
+/// Convenience: count embeddings of `pattern` in `target` with a cap.
+uint64_t CountEmbeddings(const Graph& target, const Graph& pattern,
+                         uint64_t cap, const MatchOptions& options = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_MATCH_VF2_H_

@@ -1,0 +1,24 @@
+#include "metrics/cognitive_load.h"
+
+#include <algorithm>
+
+namespace vqi {
+
+double CognitiveLoad(const Graph& pattern, const CognitiveLoadModel& model) {
+  double size_term = std::min(
+      1.0, static_cast<double>(pattern.NumEdges()) / model.saturating_edges);
+  double degree_term =
+      std::min(1.0, pattern.AverageDegree() / model.saturating_degree);
+  return model.size_weight * size_term +
+         (1.0 - model.size_weight) * degree_term;
+}
+
+double SetCognitiveLoad(const std::vector<Graph>& patterns,
+                        const CognitiveLoadModel& model) {
+  if (patterns.empty()) return 0.0;
+  double total = 0.0;
+  for (const Graph& p : patterns) total += CognitiveLoad(p, model);
+  return total / static_cast<double>(patterns.size());
+}
+
+}  // namespace vqi

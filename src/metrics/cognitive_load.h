@@ -1,0 +1,38 @@
+#ifndef VQLIB_METRICS_COGNITIVE_LOAD_H_
+#define VQLIB_METRICS_COGNITIVE_LOAD_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Parameters of the cognitive-load model. Following the surveyed
+/// literature (CATAPULT/TATTOO; Huang et al.'s graph-visualization cognition
+/// studies), load grows with pattern size and with edge density: both make
+/// edge-relationship identification harder for a human reading the pattern.
+struct CognitiveLoadModel {
+  /// Blend between size and density terms, in [0,1].
+  double size_weight = 0.5;
+  /// Edge count at which the size term saturates at 1 (a pattern this big
+  /// maximally loads working memory).
+  double saturating_edges = 20.0;
+  /// Average degree at which the connectedness term saturates at 1.
+  double saturating_degree = 6.0;
+};
+
+/// Cognitive load of one pattern, in [0,1]:
+///   load = w * min(1, |E|/E_sat) + (1-w) * min(1, avg_degree/d_sat).
+/// Average degree (rather than raw density) keeps the measure monotone when
+/// a pattern grows by adding edges — a long chain still loads more than a
+/// short one, and a clique more than a cycle of equal order.
+double CognitiveLoad(const Graph& pattern,
+                     const CognitiveLoadModel& model = {});
+
+/// Mean cognitive load of a pattern set (0 for an empty set).
+double SetCognitiveLoad(const std::vector<Graph>& patterns,
+                        const CognitiveLoadModel& model = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_METRICS_COGNITIVE_LOAD_H_

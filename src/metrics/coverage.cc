@@ -1,0 +1,82 @@
+#include "metrics/coverage.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+Bitset CoverageBits(const GraphDatabase& db, const Graph& pattern,
+                    const MatchOptions& options) {
+  Bitset bits(db.size());
+  const auto& graphs = db.graphs();
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    if (ContainsSubgraph(graphs[i], pattern, options)) bits.Set(i);
+  }
+  return bits;
+}
+
+double DbCoverage(const GraphDatabase& db, const Graph& pattern) {
+  if (db.empty()) return 0.0;
+  return static_cast<double>(CoverageBits(db, pattern).Count()) /
+         static_cast<double>(db.size());
+}
+
+double DbSetCoverage(const GraphDatabase& db,
+                     const std::vector<Graph>& patterns) {
+  if (db.empty()) return 0.0;
+  Bitset covered(db.size());
+  for (const Graph& p : patterns) covered.UnionWith(CoverageBits(db, p));
+  return static_cast<double>(covered.Count()) /
+         static_cast<double>(db.size());
+}
+
+Bitset NetworkCoverageBits(const Graph& network,
+                           const std::vector<Edge>& network_edges,
+                           const Graph& pattern,
+                           const NetworkCoverageOptions& options) {
+  Bitset bits(network_edges.size());
+  if (pattern.NumEdges() == 0) return bits;
+
+  // Edge key -> index in network_edges.
+  std::unordered_map<uint64_t, size_t> edge_index;
+  edge_index.reserve(network_edges.size() * 2);
+  auto key = [](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+  for (size_t i = 0; i < network_edges.size(); ++i) {
+    edge_index[key(network_edges[i].u, network_edges[i].v)] = i;
+  }
+
+  MatchOptions match;
+  match.match_vertex_labels = options.match_vertex_labels;
+  match.max_embeddings = options.max_embeddings;
+  match.max_steps = options.max_steps;
+  SubgraphMatcher matcher(pattern, network, match);
+  std::vector<Edge> pattern_edges = pattern.Edges();
+  matcher.Enumerate([&](const Embedding& embedding) {
+    for (const Edge& pe : pattern_edges) {
+      auto it = edge_index.find(key(embedding[pe.u], embedding[pe.v]));
+      if (it != edge_index.end()) bits.Set(it->second);
+    }
+    return true;
+  });
+  return bits;
+}
+
+double NetworkSetCoverage(const Graph& network,
+                          const std::vector<Graph>& patterns,
+                          const NetworkCoverageOptions& options) {
+  std::vector<Edge> edges = network.Edges();
+  if (edges.empty()) return 0.0;
+  Bitset covered(edges.size());
+  for (const Graph& p : patterns) {
+    covered.UnionWith(NetworkCoverageBits(network, edges, p, options));
+  }
+  return static_cast<double>(covered.Count()) /
+         static_cast<double>(edges.size());
+}
+
+}  // namespace vqi

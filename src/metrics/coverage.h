@@ -1,0 +1,56 @@
+#ifndef VQLIB_METRICS_COVERAGE_H_
+#define VQLIB_METRICS_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "match/vf2.h"
+
+namespace vqi {
+
+/// --- Database coverage (CATAPULT/MIDAS semantics) -------------------------
+/// A pattern p covers data graph G when G contains a subgraph isomorphic to
+/// p. Coverage of a pattern set = fraction of database graphs covered by at
+/// least one pattern.
+
+/// Bitset over db.graphs() order: bit i set iff pattern occurs in graph i.
+Bitset CoverageBits(const GraphDatabase& db, const Graph& pattern,
+                    const MatchOptions& options = {});
+
+/// Fraction of graphs covered by `pattern` alone.
+double DbCoverage(const GraphDatabase& db, const Graph& pattern);
+
+/// Fraction of graphs covered by at least one pattern in `patterns`.
+double DbSetCoverage(const GraphDatabase& db,
+                     const std::vector<Graph>& patterns);
+
+/// --- Network coverage (TATTOO semantics) ----------------------------------
+/// On a single large network, coverage of a pattern is the fraction of the
+/// network's *edges* touched by some embedding. Exact enumeration is
+/// intractable, so embeddings are enumerated up to `max_embeddings` and
+/// `max_steps`, matching TATTOO's budgeted estimation.
+
+struct NetworkCoverageOptions {
+  uint64_t max_embeddings = 256;
+  uint64_t max_steps = 200000;
+  bool match_vertex_labels = true;
+};
+
+/// Bitset over the network's edge list (g.Edges() order): bit set iff that
+/// edge is used by one of the enumerated embeddings of `pattern`.
+Bitset NetworkCoverageBits(const Graph& network,
+                           const std::vector<Edge>& network_edges,
+                           const Graph& pattern,
+                           const NetworkCoverageOptions& options = {});
+
+/// Fraction of network edges covered by a pattern set under the budget.
+double NetworkSetCoverage(const Graph& network,
+                          const std::vector<Graph>& patterns,
+                          const NetworkCoverageOptions& options = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_METRICS_COVERAGE_H_

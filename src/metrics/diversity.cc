@@ -1,0 +1,71 @@
+#include "metrics/diversity.h"
+
+#include <algorithm>
+#include <array>
+
+#include "cluster/similarity.h"
+#include "graph/graph_algos.h"
+#include "mining/graphlets.h"
+
+namespace vqi {
+
+FeatureVector PatternStructureFeature(const Graph& pattern) {
+  FeatureVector f;
+  f.reserve(kNumGraphletTypes + 4 + 8);
+  // Graphlet spectrum.
+  GraphletDistribution graphlets = GraphletsOf(pattern);
+  for (int i = 0; i < kNumGraphletTypes; ++i) f.push_back(graphlets.freq[i]);
+  // Degree profile: density, normalized max degree, fraction of leaves,
+  // normalized size.
+  size_t n = pattern.NumVertices();
+  f.push_back(pattern.Density());
+  size_t max_deg = 0, leaves = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    max_deg = std::max(max_deg, pattern.Degree(v));
+    if (pattern.Degree(v) == 1) ++leaves;
+  }
+  f.push_back(n == 0 ? 0.0
+                     : static_cast<double>(max_deg) / static_cast<double>(n));
+  f.push_back(n == 0 ? 0.0
+                     : static_cast<double>(leaves) / static_cast<double>(n));
+  f.push_back(static_cast<double>(pattern.NumEdges()) / 16.0);
+  // Label histogram signature: 8 hash buckets of vertex-label frequencies.
+  std::array<double, 8> label_buckets = {};
+  for (VertexId v = 0; v < n; ++v) {
+    label_buckets[pattern.VertexLabel(v) % 8] += 1.0;
+  }
+  for (double b : label_buckets) {
+    f.push_back(n == 0 ? 0.0 : b / static_cast<double>(n));
+  }
+  return f;
+}
+
+double PatternSimilarity(const Graph& a, const Graph& b) {
+  return CosineSimilarity(PatternStructureFeature(a),
+                          PatternStructureFeature(b));
+}
+
+double SetDiversityFromFeatures(const std::vector<FeatureVector>& features) {
+  size_t k = features.size();
+  if (k < 2) return 1.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      total += CosineSimilarity(features[i], features[j]);
+      ++pairs;
+    }
+  }
+  return 1.0 - total / static_cast<double>(pairs);
+}
+
+double SetDiversity(const std::vector<Graph>& patterns) {
+  std::vector<FeatureVector> features;
+  features.reserve(patterns.size());
+  for (const Graph& p : patterns) {
+    features.push_back(PatternStructureFeature(p));
+  }
+  return SetDiversityFromFeatures(features);
+}
+
+}  // namespace vqi

@@ -1,0 +1,32 @@
+#ifndef VQLIB_METRICS_DIVERSITY_H_
+#define VQLIB_METRICS_DIVERSITY_H_
+
+#include <vector>
+
+#include "cluster/features.h"
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Structural feature vector of a pattern used for diversity computations:
+/// normalized graphlet spectrum (8 dims) + degree-profile summary + label
+/// histogram signature. Cheap and order-invariant; two isomorphic patterns
+/// always get identical vectors.
+FeatureVector PatternStructureFeature(const Graph& pattern);
+
+/// Pairwise structural similarity in [0,1] (cosine over
+/// PatternStructureFeature vectors).
+double PatternSimilarity(const Graph& a, const Graph& b);
+
+/// Diversity of a pattern set = 1 - mean pairwise similarity; singleton and
+/// empty sets have diversity 1 (nothing redundant yet). This follows the
+/// surveyed papers' "structurally diverse patterns serve more queries"
+/// criterion.
+double SetDiversity(const std::vector<Graph>& patterns);
+
+/// Same, reusing precomputed features (patterns[i] <-> features[i]).
+double SetDiversityFromFeatures(const std::vector<FeatureVector>& features);
+
+}  // namespace vqi
+
+#endif  // VQLIB_METRICS_DIVERSITY_H_

@@ -1,0 +1,42 @@
+#ifndef VQLIB_METRICS_LOG_UTILITY_H_
+#define VQLIB_METRICS_LOG_UTILITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/pattern_score.h"
+
+namespace vqi {
+
+/// Query-log-aware pattern selection — the tutorial points out that the
+/// surveyed frameworks "are query log-oblivious primarily due to the lack
+/// of publicly-available log data"; when a log *is* available (or can be
+/// bootstrapped from the running VQI's own Query Panel history), selection
+/// should prefer patterns that actually help the queries users draw.
+
+/// For each pattern, the fraction of log queries it can contribute to —
+/// a pattern helps a query when it embeds into it (that is precisely when
+/// the formulation simulator can stamp it).
+std::vector<double> PatternLogUtilities(const std::vector<Graph>& query_log,
+                                        const std::vector<Graph>& patterns);
+
+/// Greedy selection with a log-extended coverage universe: each logged
+/// query contributes `log_replication` extra universe elements that a
+/// candidate covers iff it embeds into that query. The standard greedy then
+/// directly optimizes "cover the repository AND help the logged queries" —
+/// no gain rescaling heuristics. With an empty log this is exactly
+/// GreedySelect.
+struct LogAwareConfig {
+  /// How many universe bits each logged query is worth (relative to one
+  /// repository graph). Higher values push selection harder toward the log.
+  size_t log_replication = 2;
+};
+
+std::vector<size_t> LogAwareGreedySelect(
+    const std::vector<ScoredCandidate>& candidates,
+    const std::vector<Graph>& query_log, size_t budget, size_t universe_size,
+    const ScoreWeights& weights, const LogAwareConfig& config = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_METRICS_LOG_UTILITY_H_

@@ -1,0 +1,95 @@
+#ifndef VQLIB_METRICS_PATTERN_SCORE_H_
+#define VQLIB_METRICS_PATTERN_SCORE_H_
+
+#include <vector>
+
+#include "cluster/features.h"
+#include "common/bitset.h"
+#include "graph/graph.h"
+#include "metrics/cognitive_load.h"
+
+namespace vqi {
+
+/// Weights of the combined pattern-set objective used by the greedy
+/// selectors (CATAPULT, TATTOO, MIDAS swaps):
+///   S(P) = w_cov * coverage(P) + w_div * diversity(P) - w_cog * load(P).
+struct ScoreWeights {
+  double coverage = 1.0;
+  double diversity = 0.5;
+  double cognitive_load = 0.3;
+};
+
+/// A selection candidate: the pattern, its coverage bitset over the
+/// universe (database graphs or network edges), its structure feature, and
+/// its cognitive load.
+struct ScoredCandidate {
+  Graph pattern;
+  Bitset coverage;
+  FeatureVector feature;
+  double load = 0.0;
+};
+
+/// Incremental evaluator of the set objective for greedy selection.
+/// Coverage is submodular-monotone; the diversity and load terms make the
+/// total objective non-monotone, which is why the surveyed greedy selectors
+/// only carry constant-factor guarantees (empirically checked in bench E8).
+class PatternSetEvaluator {
+ public:
+  /// `universe_size` is the bit width of candidate coverage bitsets.
+  PatternSetEvaluator(size_t universe_size, ScoreWeights weights);
+
+  /// Score the current selection.
+  double CurrentScore() const;
+
+  /// Score the selection as if `candidate` were added (selection unchanged).
+  double ScoreWith(const ScoredCandidate& candidate) const;
+
+  /// Marginal gain of adding `candidate` (ScoreWith - CurrentScore).
+  double MarginalGain(const ScoredCandidate& candidate) const;
+
+  /// Upper bound on any candidate's marginal gain given its coverage count;
+  /// used by MIDAS's coverage-based pruning: a candidate whose entire
+  /// coverage were new cannot gain more than this.
+  double GainUpperBound(size_t candidate_coverage_count) const;
+
+  /// Commits `candidate` to the selection.
+  void Add(const ScoredCandidate& candidate);
+
+  size_t selection_size() const { return features_.size(); }
+  const Bitset& covered() const { return covered_; }
+  double coverage_fraction() const;
+
+ private:
+  double ScoreOf(size_t covered_count, double sim_sum, double load_sum,
+                 size_t k) const;
+
+  size_t universe_size_;
+  ScoreWeights weights_;
+  Bitset covered_;
+  std::vector<FeatureVector> features_;
+  double pairwise_sim_sum_ = 0.0;
+  double load_sum_ = 0.0;
+};
+
+/// Greedy pattern-set selection: repeatedly take the candidate with the
+/// largest marginal gain until `budget` patterns are chosen or the candidate
+/// pool is exhausted (budget-filling, like the surveyed selectors). Returns
+/// indices into `candidates`.
+std::vector<size_t> GreedySelect(const std::vector<ScoredCandidate>& candidates,
+                                 size_t budget, size_t universe_size,
+                                 const ScoreWeights& weights);
+
+/// Exhaustive optimum over all subsets of size <= budget (for approximation
+/// experiments on small instances only; exponential).
+std::vector<size_t> ExhaustiveSelect(
+    const std::vector<ScoredCandidate>& candidates, size_t budget,
+    size_t universe_size, const ScoreWeights& weights);
+
+/// Evaluates the objective of an arbitrary subset (by candidate index).
+double EvaluateSubset(const std::vector<ScoredCandidate>& candidates,
+                      const std::vector<size_t>& subset, size_t universe_size,
+                      const ScoreWeights& weights);
+
+}  // namespace vqi
+
+#endif  // VQLIB_METRICS_PATTERN_SCORE_H_

@@ -1,0 +1,19 @@
+#include "midas/drift.h"
+
+namespace vqi {
+
+const char* ModificationTypeName(ModificationType type) {
+  return type == ModificationType::kMajor ? "major" : "minor";
+}
+
+DriftResult ClassifyDrift(const GraphletDistribution& before,
+                          const GraphletDistribution& after,
+                          double threshold) {
+  DriftResult result;
+  result.distance = before.DistanceTo(after);
+  result.type = result.distance > threshold ? ModificationType::kMajor
+                                            : ModificationType::kMinor;
+  return result;
+}
+
+}  // namespace vqi

@@ -1,0 +1,28 @@
+#ifndef VQLIB_MIDAS_DRIFT_H_
+#define VQLIB_MIDAS_DRIFT_H_
+
+#include "mining/graphlets.h"
+
+namespace vqi {
+
+/// MIDAS's batch-update triage: a batch is a *major* modification when the
+/// database's graphlet frequency distribution moved far enough (Euclidean
+/// distance above threshold) that the canned patterns may have gone stale;
+/// otherwise it is *minor* and only clusters/CSGs are refreshed.
+enum class ModificationType { kMinor, kMajor };
+
+const char* ModificationTypeName(ModificationType type);
+
+struct DriftResult {
+  double distance = 0.0;
+  ModificationType type = ModificationType::kMinor;
+};
+
+/// Compares pre-/post-update distributions against `threshold`.
+DriftResult ClassifyDrift(const GraphletDistribution& before,
+                          const GraphletDistribution& after,
+                          double threshold);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MIDAS_DRIFT_H_

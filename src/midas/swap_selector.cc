@@ -1,0 +1,124 @@
+#include "midas/swap_selector.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+namespace {
+
+// Scores a pattern set given as ScoredCandidates.
+double ScoreSet(const std::vector<ScoredCandidate>& set, size_t universe,
+                const ScoreWeights& weights) {
+  PatternSetEvaluator evaluator(universe, weights);
+  for (const ScoredCandidate& c : set) evaluator.Add(c);
+  return evaluator.CurrentScore();
+}
+
+}  // namespace
+
+SwapReport MultiScanSwap(std::vector<ScoredCandidate>& current,
+                         const std::vector<ScoredCandidate>& candidates,
+                         size_t universe_size, const SwapConfig& config) {
+  SwapReport report;
+  report.score_before = ScoreSet(current, universe_size, config.weights);
+  report.score_after = report.score_before;
+  if (current.empty() || candidates.empty()) return report;
+
+  // Index 2: candidates in decreasing coverage-count order.
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return candidates[a].coverage.Count() > candidates[b].coverage.Count();
+  });
+
+  for (size_t scan = 0; scan < config.max_scans; ++scan) {
+    ++report.scans;
+    bool improved_this_scan = false;
+
+    // Index 1: union coverage and each pattern's exclusive contribution.
+    size_t k = current.size();
+    Bitset all(universe_size);
+    for (const ScoredCandidate& c : current) all.UnionWith(c.coverage);
+    size_t all_count = all.Count();
+    // cov_without[i] = union of every pattern except i (prefix/suffix trick).
+    std::vector<Bitset> prefix(k + 1, Bitset(universe_size));
+    std::vector<Bitset> suffix(k + 1, Bitset(universe_size));
+    for (size_t i = 0; i < k; ++i) {
+      prefix[i + 1] = prefix[i];
+      prefix[i + 1].UnionWith(current[i].coverage);
+    }
+    for (size_t i = k; i > 0; --i) {
+      suffix[i - 1] = suffix[i];
+      suffix[i - 1].UnionWith(current[i - 1].coverage);
+    }
+    size_t min_unique = std::numeric_limits<size_t>::max();
+    std::vector<Bitset> without(k, Bitset(universe_size));
+    for (size_t i = 0; i < k; ++i) {
+      without[i] = prefix[i];
+      without[i].UnionWith(suffix[i + 1]);
+      min_unique = std::min(min_unique, all_count - without[i].Count());
+    }
+
+    double current_score = report.score_after;
+    for (size_t cand_pos : order) {
+      const ScoredCandidate& cand = candidates[cand_pos];
+      // Coverage-based pruning: no new bits and too small to replace even
+      // the least-unique pattern -> every swap would shrink coverage.
+      size_t new_bits = all.NewBits(cand.coverage);
+      if (new_bits == 0 && cand.coverage.Count() < min_unique) {
+        ++report.candidates_pruned;
+        continue;
+      }
+      // Try the best position to swap into.
+      double best_score = current_score;
+      int best_i = -1;
+      for (size_t i = 0; i < k; ++i) {
+        // Progressive coverage: the swapped set must cover at least as much.
+        size_t cov_after = without[i].UnionCount(cand.coverage);
+        if (cov_after < all_count) continue;
+        ScoredCandidate saved = current[i];
+        current[i] = cand;
+        double score = ScoreSet(current, universe_size, config.weights);
+        current[i] = std::move(saved);
+        if (score > best_score + config.epsilon) {
+          best_score = score;
+          best_i = static_cast<int>(i);
+        }
+      }
+      if (best_i >= 0) {
+        current[static_cast<size_t>(best_i)] = cand;
+        current_score = best_score;
+        ++report.swaps_applied;
+        improved_this_scan = true;
+        // Refresh index 1 for subsequent candidates in this scan.
+        all = Bitset(universe_size);
+        for (const ScoredCandidate& c : current) all.UnionWith(c.coverage);
+        all_count = all.Count();
+        for (size_t i = 0; i < k; ++i) {
+          prefix[i + 1] = prefix[i];
+          prefix[i + 1].UnionWith(current[i].coverage);
+        }
+        for (size_t i = k; i > 0; --i) {
+          suffix[i - 1] = suffix[i];
+          suffix[i - 1].UnionWith(current[i - 1].coverage);
+        }
+        min_unique = std::numeric_limits<size_t>::max();
+        for (size_t i = 0; i < k; ++i) {
+          without[i] = prefix[i];
+          without[i].UnionWith(suffix[i + 1]);
+          min_unique = std::min(min_unique, all_count - without[i].Count());
+        }
+      }
+    }
+    report.score_after = current_score;
+    if (!improved_this_scan) break;
+  }
+  VQI_CHECK_GE(report.score_after, report.score_before - 1e-9);
+  return report;
+}
+
+}  // namespace vqi

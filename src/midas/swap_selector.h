@@ -1,0 +1,47 @@
+#ifndef VQLIB_MIDAS_SWAP_SELECTOR_H_
+#define VQLIB_MIDAS_SWAP_SELECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/pattern_score.h"
+
+namespace vqi {
+
+/// Configuration of MIDAS's multi-scan swapping strategy.
+struct SwapConfig {
+  /// Maximum number of full passes over the candidate list.
+  size_t max_scans = 3;
+  ScoreWeights weights;
+  /// Minimum score improvement to accept a swap.
+  double epsilon = 1e-9;
+};
+
+/// Outcome statistics of a swap run.
+struct SwapReport {
+  size_t swaps_applied = 0;
+  size_t candidates_pruned = 0;
+  size_t scans = 0;
+  double score_before = 0.0;
+  double score_after = 0.0;
+};
+
+/// Improves `current` in place by swapping members against `candidates`.
+///
+/// Invariants enforced per accepted swap (the paper's guarantee that the
+/// updated set is "at least the same or better"):
+///  * total coverage does not decrease (progressive gain of coverage), and
+///  * the combined score strictly improves.
+///
+/// Coverage-based pruning (with its two supporting indices): candidates are
+/// scanned in decreasing coverage order (index 2); a candidate that brings
+/// no new coverage AND covers fewer elements than the smallest unique
+/// contribution of any current pattern (index 1: per-pattern exclusive
+/// coverage) cannot preserve coverage in any swap and is skipped outright.
+SwapReport MultiScanSwap(std::vector<ScoredCandidate>& current,
+                         const std::vector<ScoredCandidate>& candidates,
+                         size_t universe_size, const SwapConfig& config);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MIDAS_SWAP_SELECTOR_H_

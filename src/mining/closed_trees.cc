@@ -1,0 +1,66 @@
+#include "mining/closed_trees.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "match/vf2.h"
+
+namespace vqi {
+
+std::vector<FrequentTree> ClosedTrees(const std::vector<FrequentTree>& trees) {
+  std::vector<FrequentTree> closed;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    const FrequentTree& t = trees[i];
+    bool is_closed = true;
+    for (size_t j = 0; j < trees.size(); ++j) {
+      if (i == j) continue;
+      const FrequentTree& super = trees[j];
+      if (super.tree.NumEdges() != t.tree.NumEdges() + 1) continue;
+      if (super.support != t.support) continue;
+      if (ContainsSubgraph(super.tree, t.tree)) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (is_closed) closed.push_back(t);
+  }
+  return closed;
+}
+
+std::vector<FrequentTree> MineClosedTrees(const GraphDatabase& db,
+                                          const TreeMinerConfig& config) {
+  return ClosedTrees(MineFrequentTrees(db, config));
+}
+
+std::vector<FrequentTree> MaintainClosedTrees(
+    std::vector<FrequentTree> trees, const GraphDatabase& db,
+    const BatchUpdate& update, const TreeMinerConfig& config) {
+  std::unordered_set<GraphId> deleted(update.deletions.begin(),
+                                      update.deletions.end());
+  std::vector<FrequentTree> maintained;
+  for (FrequentTree& t : trees) {
+    // 1. Drop deleted ids.
+    auto end = std::remove_if(
+        t.support.begin(), t.support.end(),
+        [&](GraphId id) { return deleted.count(id) > 0; });
+    t.support.erase(end, t.support.end());
+    // 2. Match against additions (only those actually in the db now).
+    for (const Graph& added : update.additions) {
+      if (!db.Contains(added.id())) continue;
+      if (ContainsSubgraph(db.Get(added.id()), t.tree)) {
+        t.support.push_back(added.id());
+      }
+    }
+    std::sort(t.support.begin(), t.support.end());
+    t.support.erase(std::unique(t.support.begin(), t.support.end()),
+                    t.support.end());
+    // 3. Frequency filter.
+    if (t.support.size() >= config.min_support) {
+      maintained.push_back(std::move(t));
+    }
+  }
+  // 4. Re-check closedness on the maintained set.
+  return ClosedTrees(maintained);
+}
+
+}  // namespace vqi

@@ -1,0 +1,43 @@
+#ifndef VQLIB_MINING_CLOSED_TREES_H_
+#define VQLIB_MINING_CLOSED_TREES_H_
+
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "mining/tree_miner.h"
+
+namespace vqi {
+
+/// Filters a frequent-tree collection down to the *closed* trees: a tree is
+/// closed when no frequent supertree (one more edge) has exactly the same
+/// support set. MIDAS swaps CATAPULT's frequent-subtree features for
+/// frequent closed trees (FCT) because the closure property makes them cheap
+/// to maintain under batch updates.
+std::vector<FrequentTree> ClosedTrees(const std::vector<FrequentTree>& trees);
+
+/// Mines frequent closed trees directly from a database.
+std::vector<FrequentTree> MineClosedTrees(const GraphDatabase& db,
+                                          const TreeMinerConfig& config);
+
+/// A batch update to a graph database: graphs to insert and ids to delete.
+struct BatchUpdate {
+  std::vector<Graph> additions;
+  std::vector<GraphId> deletions;
+
+  bool empty() const { return additions.empty() && deletions.empty(); }
+};
+
+/// Incrementally maintains an FCT collection after `update` was applied to
+/// the database (`db` is the post-update state):
+///  1. drops deleted graph ids from every support set,
+///  2. matches every tree against the added graphs to extend supports,
+///  3. drops trees that fell below min_support,
+///  4. re-mines on a drift trigger is the caller's job (see midas/).
+/// Returns the maintained collection (closedness re-checked).
+std::vector<FrequentTree> MaintainClosedTrees(
+    std::vector<FrequentTree> trees, const GraphDatabase& db,
+    const BatchUpdate& update, const TreeMinerConfig& config);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MINING_CLOSED_TREES_H_

@@ -1,0 +1,67 @@
+#include "mining/random_walk.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace vqi {
+
+std::optional<Graph> WeightedRandomSubgraph(const Graph& g,
+                                            const EdgeWeightFn& weight,
+                                            size_t num_edges, Rng& rng) {
+  if (num_edges == 0 || g.NumEdges() < num_edges) return std::nullopt;
+
+  std::vector<Edge> all_edges = g.Edges();
+  std::vector<double> weights(all_edges.size());
+  for (size_t i = 0; i < all_edges.size(); ++i) {
+    weights[i] = weight(all_edges[i].u, all_edges[i].v);
+  }
+  size_t seed_index = rng.WeightedIndex(weights);
+  if (seed_index >= all_edges.size()) return std::nullopt;  // all-zero weights
+  const Edge& seed = all_edges[seed_index];
+
+  auto key = [](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+  std::vector<Edge> chosen{seed};
+  std::unordered_set<uint64_t> chosen_keys{key(seed.u, seed.v)};
+  std::vector<VertexId> vertices{seed.u, seed.v};
+  std::unordered_set<VertexId> vertex_set{seed.u, seed.v};
+
+  while (chosen.size() < num_edges) {
+    std::vector<Edge> frontier;
+    std::vector<double> frontier_weights;
+    for (VertexId v : vertices) {
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        uint64_t k = key(v, nb.vertex);
+        if (chosen_keys.count(k)) continue;
+        double w = weight(v, nb.vertex);
+        if (w <= 0.0) continue;
+        frontier.push_back(Edge{std::min(v, nb.vertex),
+                                std::max(v, nb.vertex), nb.edge_label});
+        frontier_weights.push_back(w);
+      }
+    }
+    if (frontier.empty()) return std::nullopt;
+    size_t pick_index = rng.WeightedIndex(frontier_weights);
+    if (pick_index >= frontier.size()) return std::nullopt;
+    const Edge& pick = frontier[pick_index];
+    if (!chosen_keys.insert(key(pick.u, pick.v)).second) continue;
+    chosen.push_back(pick);
+    for (VertexId v : {pick.u, pick.v}) {
+      if (vertex_set.insert(v).second) vertices.push_back(v);
+    }
+  }
+  return SubgraphFromEdges(g, chosen);
+}
+
+std::optional<Graph> UniformRandomSubgraph(const Graph& g, size_t num_edges,
+                                           Rng& rng) {
+  return WeightedRandomSubgraph(
+      g, [](VertexId, VertexId) { return 1.0; }, num_edges, rng);
+}
+
+}  // namespace vqi

@@ -1,0 +1,32 @@
+#ifndef VQLIB_MINING_RANDOM_WALK_H_
+#define VQLIB_MINING_RANDOM_WALK_H_
+
+#include <functional>
+#include <optional>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Weight of edge {u, v}; must be >= 0. Cluster summary graphs weight edges
+/// by how many member graphs contain them, which biases CATAPULT's walks
+/// toward substructures shared across the cluster.
+using EdgeWeightFn = std::function<double(VertexId, VertexId)>;
+
+/// Samples a connected subgraph of `g` with exactly `num_edges` edges via a
+/// weighted random expansion: the seed edge is drawn with probability
+/// proportional to its weight, then frontier edges are repeatedly drawn the
+/// same way. Returns nullopt when the walk gets stuck (component exhausted)
+/// or the graph has too few edges.
+std::optional<Graph> WeightedRandomSubgraph(const Graph& g,
+                                            const EdgeWeightFn& weight,
+                                            size_t num_edges, Rng& rng);
+
+/// Unit-weight convenience overload.
+std::optional<Graph> UniformRandomSubgraph(const Graph& g, size_t num_edges,
+                                           Rng& rng);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MINING_RANDOM_WALK_H_

@@ -1,0 +1,43 @@
+#ifndef VQLIB_MINING_TREE_MINER_H_
+#define VQLIB_MINING_TREE_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// A frequent subtree together with the ids of the data graphs containing it
+/// (its support set). Support sets double as CATAPULT/MIDAS feature
+/// dimensions: feature_vector(g)[i] = 1 iff trees[i] occurs in g.
+struct FrequentTree {
+  Graph tree;
+  std::vector<GraphId> support;  // sorted ascending
+
+  size_t support_count() const { return support.size(); }
+};
+
+/// Configuration for the level-wise frequent subtree miner.
+struct TreeMinerConfig {
+  /// A tree is frequent when contained in at least this many graphs.
+  size_t min_support = 2;
+  /// Maximum number of edges per mined tree (CATAPULT uses small subtrees as
+  /// clustering features, so 2-3 edges is typical).
+  size_t max_edges = 3;
+  /// Safety cap on the number of frequent trees kept per level.
+  size_t max_trees_per_level = 512;
+};
+
+/// Mines frequent subtrees of the database by level-wise pattern growth:
+/// frequent single edges first, then every frequent tree extended by one
+/// pendant edge drawn from the frequent-edge alphabet, deduplicated by
+/// canonical code, support-counted by subgraph isomorphism against the
+/// graphs in the parent's support set (anti-monotonicity).
+std::vector<FrequentTree> MineFrequentTrees(const GraphDatabase& db,
+                                            const TreeMinerConfig& config);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MINING_TREE_MINER_H_

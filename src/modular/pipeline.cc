@@ -1,0 +1,133 @@
+#include "modular/pipeline.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "modular/strategies.h"
+
+namespace vqi {
+
+StageRegistry& StageRegistry::Global() {
+  static StageRegistry* registry = [] {
+    auto* r = new StageRegistry();
+    RegisterBuiltinStages(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void StageRegistry::RegisterFeature(const std::string& name,
+                                    FeatureFactory factory) {
+  features_[name] = std::move(factory);
+}
+void StageRegistry::RegisterCluster(const std::string& name,
+                                    ClusterFactory factory) {
+  clusters_[name] = std::move(factory);
+}
+void StageRegistry::RegisterMerge(const std::string& name,
+                                  MergeFactory factory) {
+  merges_[name] = std::move(factory);
+}
+void StageRegistry::RegisterExtract(const std::string& name,
+                                    ExtractFactory factory) {
+  extracts_[name] = std::move(factory);
+}
+
+namespace {
+template <typename Map, typename Ptr>
+StatusOr<Ptr> Create(const Map& map, const std::string& name,
+                     const char* kind) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    return Status::NotFound(std::string("no ") + kind + " stage named '" +
+                            name + "'");
+  }
+  return it->second();
+}
+
+template <typename Map>
+std::vector<std::string> Names(const Map& map) {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : map) names.push_back(name);
+  return names;
+}
+}  // namespace
+
+StatusOr<std::unique_ptr<FeatureStage>> StageRegistry::CreateFeature(
+    const std::string& name) const {
+  return Create<decltype(features_), std::unique_ptr<FeatureStage>>(
+      features_, name, "feature");
+}
+StatusOr<std::unique_ptr<ClusterStage>> StageRegistry::CreateCluster(
+    const std::string& name) const {
+  return Create<decltype(clusters_), std::unique_ptr<ClusterStage>>(
+      clusters_, name, "cluster");
+}
+StatusOr<std::unique_ptr<MergeStage>> StageRegistry::CreateMerge(
+    const std::string& name) const {
+  return Create<decltype(merges_), std::unique_ptr<MergeStage>>(merges_, name,
+                                                                "merge");
+}
+StatusOr<std::unique_ptr<ExtractStage>> StageRegistry::CreateExtract(
+    const std::string& name) const {
+  return Create<decltype(extracts_), std::unique_ptr<ExtractStage>>(
+      extracts_, name, "extract");
+}
+
+std::vector<std::string> StageRegistry::FeatureNames() const {
+  return Names(features_);
+}
+std::vector<std::string> StageRegistry::ClusterNames() const {
+  return Names(clusters_);
+}
+std::vector<std::string> StageRegistry::MergeNames() const {
+  return Names(merges_);
+}
+std::vector<std::string> StageRegistry::ExtractNames() const {
+  return Names(extracts_);
+}
+
+StatusOr<ModularRunResult> RunModularPipeline(
+    const GraphDatabase& db, const ModularPipelineConfig& config) {
+  if (db.empty()) {
+    return Status::InvalidArgument("modular pipeline needs a non-empty db");
+  }
+  StageRegistry& registry = StageRegistry::Global();
+  auto feature = registry.CreateFeature(config.feature_stage);
+  if (!feature.ok()) return feature.status();
+  auto cluster = registry.CreateCluster(config.cluster_stage);
+  if (!cluster.ok()) return cluster.status();
+  auto merge = registry.CreateMerge(config.merge_stage);
+  if (!merge.ok()) return merge.status();
+  auto extract = registry.CreateExtract(config.extract_stage);
+  if (!extract.ok()) return extract.status();
+
+  ModularRunResult result;
+  Rng rng(config.seed);
+  Stopwatch watch;
+
+  std::vector<FeatureVector> features = (*feature)->Compute(db, rng);
+  result.stats.feature_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+
+  size_t k = config.num_clusters;
+  if (k == 0) {
+    k = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(db.size()))));
+  }
+  ClusteringResult clustering = (*cluster)->Cluster(features, k, rng);
+  result.stats.cluster_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+
+  std::vector<std::vector<size_t>> members =
+      ClusterMembers(clustering.assignment, clustering.num_clusters());
+  std::vector<ClusterSummaryGraph> summaries = (*merge)->Merge(db, members, rng);
+  result.stats.merge_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+
+  result.patterns = (*extract)->Extract(summaries, db, config.budget, rng);
+  result.stats.extract_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vqi

@@ -1,0 +1,131 @@
+#ifndef VQLIB_MODULAR_PIPELINE_H_
+#define VQLIB_MODULAR_PIPELINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/csg.h"
+#include "cluster/features.h"
+#include "cluster/kmedoids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// The modular canned-pattern-selection architecture of Tzanikos et al.
+/// (DEXA'21): the problem is decomposed into four independent stages —
+/// similarity (feature) computation, clustering, merging into continuous
+/// graphs, and pattern extraction — each replaceable by any implementation
+/// of the stage interface. Strategies register by name so pipelines can be
+/// assembled from configuration.
+
+/// Stage 1: per-graph feature vectors for the similarity computation.
+class FeatureStage {
+ public:
+  virtual ~FeatureStage() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<FeatureVector> Compute(const GraphDatabase& db,
+                                             Rng& rng) = 0;
+};
+
+/// Stage 2: clustering of the feature vectors.
+class ClusterStage {
+ public:
+  virtual ~ClusterStage() = default;
+  virtual std::string name() const = 0;
+  virtual ClusteringResult Cluster(const std::vector<FeatureVector>& features,
+                                   size_t k, Rng& rng) = 0;
+};
+
+/// Stage 3: merging each cluster into one continuous graph.
+class MergeStage {
+ public:
+  virtual ~MergeStage() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<ClusterSummaryGraph> Merge(
+      const GraphDatabase& db, const std::vector<std::vector<size_t>>& members,
+      Rng& rng) = 0;
+};
+
+/// Stage 4: extracting the canned pattern set from the continuous graphs.
+class ExtractStage {
+ public:
+  virtual ~ExtractStage() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<Graph> Extract(
+      const std::vector<ClusterSummaryGraph>& summaries,
+      const GraphDatabase& db, size_t budget, Rng& rng) = 0;
+};
+
+/// Pipeline assembly + run statistics.
+struct ModularPipelineConfig {
+  std::string feature_stage = "frequent-trees";
+  std::string cluster_stage = "kmedoids";
+  std::string merge_stage = "csg";
+  std::string extract_stage = "weighted-walk";
+  size_t num_clusters = 0;  // 0 = sqrt(n)
+  size_t budget = 10;
+  uint64_t seed = 42;
+};
+
+struct ModularRunStats {
+  double feature_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double extract_seconds = 0.0;
+};
+
+struct ModularRunResult {
+  std::vector<Graph> patterns;
+  ModularRunStats stats;
+};
+
+/// Registry of named stage factories. Built-in strategies are registered on
+/// first access; libraries/tests can add their own.
+class StageRegistry {
+ public:
+  using FeatureFactory = std::function<std::unique_ptr<FeatureStage>()>;
+  using ClusterFactory = std::function<std::unique_ptr<ClusterStage>()>;
+  using MergeFactory = std::function<std::unique_ptr<MergeStage>()>;
+  using ExtractFactory = std::function<std::unique_ptr<ExtractStage>()>;
+
+  /// Process-wide registry instance with built-ins pre-registered.
+  static StageRegistry& Global();
+
+  void RegisterFeature(const std::string& name, FeatureFactory factory);
+  void RegisterCluster(const std::string& name, ClusterFactory factory);
+  void RegisterMerge(const std::string& name, MergeFactory factory);
+  void RegisterExtract(const std::string& name, ExtractFactory factory);
+
+  StatusOr<std::unique_ptr<FeatureStage>> CreateFeature(
+      const std::string& name) const;
+  StatusOr<std::unique_ptr<ClusterStage>> CreateCluster(
+      const std::string& name) const;
+  StatusOr<std::unique_ptr<MergeStage>> CreateMerge(
+      const std::string& name) const;
+  StatusOr<std::unique_ptr<ExtractStage>> CreateExtract(
+      const std::string& name) const;
+
+  std::vector<std::string> FeatureNames() const;
+  std::vector<std::string> ClusterNames() const;
+  std::vector<std::string> MergeNames() const;
+  std::vector<std::string> ExtractNames() const;
+
+ private:
+  std::map<std::string, FeatureFactory> features_;
+  std::map<std::string, ClusterFactory> clusters_;
+  std::map<std::string, MergeFactory> merges_;
+  std::map<std::string, ExtractFactory> extracts_;
+};
+
+/// Assembles the named stages from the global registry and runs them.
+StatusOr<ModularRunResult> RunModularPipeline(
+    const GraphDatabase& db, const ModularPipelineConfig& config);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MODULAR_PIPELINE_H_

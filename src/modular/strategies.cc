@@ -1,0 +1,158 @@
+#include "modular/strategies.h"
+
+#include <algorithm>
+
+#include "catapult/candidate_generator.h"
+#include "catapult/catapult.h"
+#include "cluster/agglomerative.h"
+#include "metrics/coverage.h"
+#include "mining/graphlets.h"
+#include "mining/tree_miner.h"
+
+namespace vqi {
+namespace {
+
+class FrequentTreeFeatures : public FeatureStage {
+ public:
+  std::string name() const override { return "frequent-trees"; }
+  std::vector<FeatureVector> Compute(const GraphDatabase& db,
+                                     Rng& /*rng*/) override {
+    TreeMinerConfig config;
+    config.min_support = std::max<size_t>(2, db.size() / 10);
+    config.max_edges = 2;
+    std::vector<FrequentTree> basis = MineFrequentTrees(db, config);
+    if (basis.empty()) {
+      // Fall back to graphlet features when the collection shares no trees.
+      std::vector<FeatureVector> features;
+      for (const Graph& g : db.graphs()) {
+        GraphletDistribution d = GraphletsOf(g);
+        features.emplace_back(d.freq.begin(), d.freq.end());
+      }
+      return features;
+    }
+    return TreeFeatures(db, basis);
+  }
+};
+
+class GraphletFeatures : public FeatureStage {
+ public:
+  std::string name() const override { return "graphlets"; }
+  std::vector<FeatureVector> Compute(const GraphDatabase& db,
+                                     Rng& /*rng*/) override {
+    std::vector<FeatureVector> features;
+    features.reserve(db.size());
+    for (const Graph& g : db.graphs()) {
+      GraphletDistribution d = GraphletsOf(g);
+      features.emplace_back(d.freq.begin(), d.freq.end());
+    }
+    return features;
+  }
+};
+
+class KMedoidsCluster : public ClusterStage {
+ public:
+  std::string name() const override { return "kmedoids"; }
+  ClusteringResult Cluster(const std::vector<FeatureVector>& features,
+                           size_t k, Rng& rng) override {
+    return KMedoids(features, k, DistanceMetric::kCosine, rng);
+  }
+};
+
+class AgglomerativeCluster : public ClusterStage {
+ public:
+  std::string name() const override { return "agglomerative"; }
+  ClusteringResult Cluster(const std::vector<FeatureVector>& features,
+                           size_t k, Rng& /*rng*/) override {
+    return AgglomerativeAverageLinkage(features, k, DistanceMetric::kCosine);
+  }
+};
+
+class CsgMerge : public MergeStage {
+ public:
+  std::string name() const override { return "csg"; }
+  std::vector<ClusterSummaryGraph> Merge(
+      const GraphDatabase& db, const std::vector<std::vector<size_t>>& members,
+      Rng& /*rng*/) override {
+    std::vector<ClusterSummaryGraph> summaries;
+    summaries.reserve(members.size());
+    for (const auto& cluster : members) {
+      std::vector<const Graph*> graphs;
+      for (size_t index : cluster) graphs.push_back(&db.graphs()[index]);
+      summaries.push_back(ClusterSummaryGraph::Build(graphs));
+    }
+    return summaries;
+  }
+};
+
+class WeightedWalkExtract : public ExtractStage {
+ public:
+  std::string name() const override { return "weighted-walk"; }
+  std::vector<Graph> Extract(const std::vector<ClusterSummaryGraph>& summaries,
+                             const GraphDatabase& db, size_t budget,
+                             Rng& rng) override {
+    CandidateGenConfig gen;
+    std::vector<Graph> candidates = GenerateCandidates(summaries, gen, rng);
+    CognitiveLoadModel load_model;
+    std::vector<ScoredCandidate> scored =
+        ScoreCandidates(db, std::move(candidates), load_model);
+    ScoreWeights weights;
+    std::vector<size_t> picked =
+        GreedySelect(scored, budget, db.size(), weights);
+    std::vector<Graph> patterns;
+    for (size_t i : picked) patterns.push_back(scored[i].pattern);
+    return patterns;
+  }
+};
+
+// Baseline extractor: most-covering frequent subtrees, coverage only —
+// no diversity/cognitive-load awareness. Used as an ablation.
+class FrequentSubgraphExtract : public ExtractStage {
+ public:
+  std::string name() const override { return "frequent-subgraph"; }
+  std::vector<Graph> Extract(const std::vector<ClusterSummaryGraph>& /*csgs*/,
+                             const GraphDatabase& db, size_t budget,
+                             Rng& /*rng*/) override {
+    TreeMinerConfig config;
+    config.min_support = std::max<size_t>(2, db.size() / 20);
+    config.max_edges = 4;
+    std::vector<FrequentTree> trees = MineFrequentTrees(db, config);
+    // Keep only canned-size trees, sorted by support.
+    std::vector<FrequentTree*> big;
+    for (FrequentTree& t : trees) {
+      if (t.tree.NumEdges() >= 4) big.push_back(&t);
+    }
+    std::sort(big.begin(), big.end(),
+              [](const FrequentTree* a, const FrequentTree* b) {
+                return a->support_count() > b->support_count();
+              });
+    std::vector<Graph> patterns;
+    for (size_t i = 0; i < big.size() && patterns.size() < budget; ++i) {
+      patterns.push_back(big[i]->tree);
+    }
+    return patterns;
+  }
+};
+
+}  // namespace
+
+void RegisterBuiltinStages(StageRegistry& registry) {
+  registry.RegisterFeature("frequent-trees", [] {
+    return std::make_unique<FrequentTreeFeatures>();
+  });
+  registry.RegisterFeature("graphlets",
+                           [] { return std::make_unique<GraphletFeatures>(); });
+  registry.RegisterCluster("kmedoids",
+                           [] { return std::make_unique<KMedoidsCluster>(); });
+  registry.RegisterCluster("agglomerative", [] {
+    return std::make_unique<AgglomerativeCluster>();
+  });
+  registry.RegisterMerge("csg", [] { return std::make_unique<CsgMerge>(); });
+  registry.RegisterExtract("weighted-walk", [] {
+    return std::make_unique<WeightedWalkExtract>();
+  });
+  registry.RegisterExtract("frequent-subgraph", [] {
+    return std::make_unique<FrequentSubgraphExtract>();
+  });
+}
+
+}  // namespace vqi

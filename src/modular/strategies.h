@@ -1,0 +1,19 @@
+#ifndef VQLIB_MODULAR_STRATEGIES_H_
+#define VQLIB_MODULAR_STRATEGIES_H_
+
+#include "modular/pipeline.h"
+
+namespace vqi {
+
+/// Registers the built-in strategies on `registry`:
+///  features: "frequent-trees" (CATAPULT-style), "graphlets" (cheap)
+///  cluster:  "kmedoids", "agglomerative"
+///  merge:    "csg" (greedy-alignment closure fold)
+///  extract:  "weighted-walk" (CATAPULT-style scored greedy),
+///            "frequent-subgraph" (coverage-only baseline)
+/// Called automatically by StageRegistry::Global().
+void RegisterBuiltinStages(StageRegistry& registry);
+
+}  // namespace vqi
+
+#endif  // VQLIB_MODULAR_STRATEGIES_H_

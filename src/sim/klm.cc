@@ -1,0 +1,26 @@
+#include "sim/klm.h"
+
+namespace vqi {
+
+double ActionSeconds(SimAction action, const KlmModel& model,
+                     size_t pattern_panel_size) {
+  switch (action) {
+    case SimAction::kAddVertex:
+      return model.mental_seconds + model.point_seconds + model.click_seconds;
+    case SimAction::kAddEdge:
+      return model.mental_seconds +
+             2 * (model.point_seconds + model.click_seconds);
+    case SimAction::kSetLabel:
+      return model.point_seconds + model.click_seconds;
+    case SimAction::kPlacePattern:
+      return model.mental_seconds +
+             model.browse_per_pattern_seconds *
+                 (static_cast<double>(pattern_panel_size) / 2.0) +
+             model.drag_seconds;
+    case SimAction::kMergeVertices:
+      return model.point_seconds + model.drag_seconds;
+  }
+  return 0.0;
+}
+
+}  // namespace vqi

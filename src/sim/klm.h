@@ -1,0 +1,43 @@
+#ifndef VQLIB_SIM_KLM_H_
+#define VQLIB_SIM_KLM_H_
+
+#include <cstddef>
+
+namespace vqi {
+
+/// Keystroke-Level Model operator times (Card, Moran & Newell), the standard
+/// HCI estimator for expert, error-free task times. The surveyed usability
+/// studies report human query-formulation times; this model replaces the
+/// human with a deterministic expert (see DESIGN.md §2).
+struct KlmModel {
+  /// P: point with mouse to a target.
+  double point_seconds = 1.1;
+  /// BB: press and release a mouse button.
+  double click_seconds = 0.2;
+  /// Drag a pattern/vertex from a panel onto the canvas.
+  double drag_seconds = 1.2;
+  /// M: mental preparation before a decision-laden action.
+  double mental_seconds = 1.35;
+  /// Scanning one pattern in the Pattern Panel while deciding what to use.
+  /// Browsing cost grows with panel size — this is exactly the cognitive
+  /// trade-off the tutorial highlights for large pattern sets.
+  double browse_per_pattern_seconds = 0.35;
+};
+
+/// Atomic user action kinds with distinct KLM costs.
+enum class SimAction {
+  kAddVertex,      // M + P + BB
+  kAddEdge,        // M + P + BB + P + BB (click two endpoints)
+  kSetLabel,       // P + BB (pick from Attribute Panel)
+  kPlacePattern,   // M + browse + drag
+  kMergeVertices,  // P + drag
+};
+
+/// Seconds one action takes; `pattern_panel_size` scales the browse term of
+/// kPlacePattern (the expert scans half the panel on average).
+double ActionSeconds(SimAction action, const KlmModel& model,
+                     size_t pattern_panel_size);
+
+}  // namespace vqi
+
+#endif  // VQLIB_SIM_KLM_H_

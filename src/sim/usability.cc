@@ -1,0 +1,103 @@
+#include "sim/usability.h"
+
+#include <algorithm>
+
+namespace vqi {
+
+namespace {
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+}  // namespace
+
+UsabilityResult EvaluateUsability(const std::vector<Graph>& workload,
+                                  const PatternPanel& panel,
+                                  const KlmModel& model) {
+  UsabilityResult result;
+  result.num_queries = workload.size();
+  if (workload.empty()) return result;
+
+  std::vector<Graph> patterns = panel.AllPatterns();
+  std::vector<double> steps, seconds;
+  size_t total_edges = 0, pattern_edges = 0, patterns_used = 0;
+  for (const Graph& query : workload) {
+    FormulationTrace trace = SimulateFormulation(query, patterns);
+    steps.push_back(static_cast<double>(trace.StepCount()));
+    seconds.push_back(TraceSeconds(trace, model, panel.size()));
+    total_edges += query.NumEdges();
+    pattern_edges += trace.edges_from_patterns;
+    patterns_used += trace.patterns_used;
+  }
+  double n = static_cast<double>(workload.size());
+  for (double s : steps) result.mean_steps += s;
+  result.mean_steps /= n;
+  for (double s : seconds) result.mean_seconds += s;
+  result.mean_seconds /= n;
+  result.median_steps = Median(steps);
+  result.median_seconds = Median(seconds);
+  result.pattern_edge_fraction =
+      total_edges == 0 ? 0.0
+                       : static_cast<double>(pattern_edges) /
+                             static_cast<double>(total_edges);
+  result.mean_patterns_used = static_cast<double>(patterns_used) / n;
+  return result;
+}
+
+UsabilityComparison CompareUsability(const std::vector<Graph>& workload,
+                                     const PatternPanel& data_driven,
+                                     const PatternPanel& manual,
+                                     const KlmModel& model) {
+  UsabilityComparison comparison;
+  comparison.data_driven = EvaluateUsability(workload, data_driven, model);
+  comparison.manual = EvaluateUsability(workload, manual, model);
+  return comparison;
+}
+
+ErrorProjection ProjectErrors(const UsabilityResult& usability,
+                              const ErrorModel& model) {
+  ErrorProjection projection;
+  // Every action — atomic or stamp — is one gesture and thus one slip
+  // opportunity; pattern-at-a-time formulation reduces expected errors
+  // precisely by needing fewer gestures per query.
+  projection.expected_errors = model.slip_probability * usability.mean_steps;
+  projection.steps_with_recovery =
+      usability.mean_steps + projection.expected_errors * model.recovery_steps;
+  projection.seconds_with_recovery =
+      usability.mean_seconds +
+      projection.expected_errors * model.recovery_seconds;
+  return projection;
+}
+
+PreferenceResult ModelPreference(const UsabilityResult& usability,
+                                 double mean_query_edges,
+                                 double panel_visual_complexity,
+                                 const PreferenceModel& model) {
+  PreferenceResult result;
+  // Effort: seconds per target edge mapped linearly onto [0,1].
+  double seconds_per_edge =
+      mean_query_edges <= 0.0 ? model.worst_seconds_per_edge
+                              : usability.mean_seconds / mean_query_edges;
+  result.effort_satisfaction = std::max(
+      0.0, 1.0 - seconds_per_edge / model.worst_seconds_per_edge);
+  // Aesthetics: Berlyne's inverted U on the supplied complexity
+  // (duplicated here to keep sim/ independent of layout/).
+  double c = std::min(1.0, std::max(0.0, panel_visual_complexity));
+  result.aesthetic_satisfaction = 4.0 * c * (1.0 - c);
+  // Frustration: share of the work delivered by atomic actions rather than
+  // pattern stamps.
+  result.atomic_action_fraction = 1.0 - usability.pattern_edge_fraction;
+  result.score = model.effort_weight * result.effort_satisfaction +
+                 model.aesthetics_weight * result.aesthetic_satisfaction +
+                 model.frustration_weight *
+                     (1.0 - result.atomic_action_fraction);
+  result.score = std::min(1.0, std::max(0.0, result.score));
+  return result;
+}
+
+}  // namespace vqi

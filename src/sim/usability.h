@@ -1,0 +1,118 @@
+#ifndef VQLIB_SIM_USABILITY_H_
+#define VQLIB_SIM_USABILITY_H_
+
+#include <vector>
+
+#include "sim/formulation.h"
+#include "vqi/panels.h"
+
+namespace vqi {
+
+/// Aggregated usability (performance) measures over a query workload —
+/// exactly the quantifiable measures the surveyed studies report: number of
+/// formulation steps and formulation time.
+struct UsabilityResult {
+  size_t num_queries = 0;
+  double mean_steps = 0.0;
+  double median_steps = 0.0;
+  double mean_seconds = 0.0;
+  double median_seconds = 0.0;
+  /// Fraction of target edges delivered via pattern stamps.
+  double pattern_edge_fraction = 0.0;
+  /// Mean number of patterns stamped per query.
+  double mean_patterns_used = 0.0;
+};
+
+/// Simulates every workload query against `panel` and aggregates.
+UsabilityResult EvaluateUsability(const std::vector<Graph>& workload,
+                                  const PatternPanel& panel,
+                                  const KlmModel& model = {});
+
+/// Side-by-side comparison of two interfaces on the same workload (the
+/// data-driven-vs-manual experiment of the tutorial's usability sections).
+struct UsabilityComparison {
+  UsabilityResult data_driven;
+  UsabilityResult manual;
+
+  double step_reduction_percent() const {
+    if (manual.mean_steps == 0) return 0.0;
+    return 100.0 * (manual.mean_steps - data_driven.mean_steps) /
+           manual.mean_steps;
+  }
+  double time_reduction_percent() const {
+    if (manual.mean_seconds == 0) return 0.0;
+    return 100.0 * (manual.mean_seconds - data_driven.mean_seconds) /
+           manual.mean_seconds;
+  }
+};
+
+UsabilityComparison CompareUsability(const std::vector<Graph>& workload,
+                                     const PatternPanel& data_driven,
+                                     const PatternPanel& manual,
+                                     const KlmModel& model = {});
+
+/// The "Errors" usability criterion (§2.1: "the number of errors made by
+/// users, their severity, and whether they can recover from them easily"),
+/// modeled per HCI practice: every *atomic* action (vertex/edge/label) has
+/// an independent slip probability, while a pattern stamp — one gesture —
+/// has a single slip opportunity regardless of pattern size; each slip
+/// costs a recovery (undo + redo) detour. Patterns reduce errors exactly
+/// because they collapse many slip opportunities into one.
+struct ErrorModel {
+  /// Probability of a slip per atomic action (HCI novice estimates ~1-5%).
+  double slip_probability = 0.03;
+  /// Steps added per slip (notice + undo + redo the action).
+  double recovery_steps = 2.0;
+  /// Seconds added per slip.
+  double recovery_seconds = 4.0;
+};
+
+/// Error expectations for a measured usability result.
+struct ErrorProjection {
+  /// Expected slips per query.
+  double expected_errors = 0.0;
+  /// Steps/seconds including expected recovery detours.
+  double steps_with_recovery = 0.0;
+  double seconds_with_recovery = 0.0;
+};
+
+/// Projects the error criterion onto a measured result. `usability` must
+/// come from EvaluateUsability on the same workload.
+ErrorProjection ProjectErrors(const UsabilityResult& usability,
+                              const ErrorModel& model = {});
+
+/// The tutorial's *preference measures* (§2.3: "an indication of a user's
+/// opinion about the interface which is not directly observable") modeled
+/// deterministically: a composite opinion score in [0, 1] blending
+///  * effort satisfaction — less time per query edge feels better,
+///  * aesthetic satisfaction — Berlyne response to the panel's visual
+///    complexity (passed in, computed by layout/PanelVisualComplexity),
+///  * frustration — HCI's "many small atomic actions for one high-level
+///    task" effect (§2.1): the fraction of steps that are atomic
+///    (non-pattern) actions lowers the score.
+struct PreferenceModel {
+  double effort_weight = 0.5;
+  double aesthetics_weight = 0.3;
+  double frustration_weight = 0.2;
+  /// Seconds-per-edge at or above which effort satisfaction reaches 0.
+  double worst_seconds_per_edge = 8.0;
+};
+
+struct PreferenceResult {
+  double score = 0.0;  // composite opinion in [0,1]
+  double effort_satisfaction = 0.0;
+  double aesthetic_satisfaction = 0.0;
+  double atomic_action_fraction = 0.0;
+};
+
+/// Computes the modeled opinion for an interface whose measured performance
+/// is `usability`, given the mean query size of the workload and the
+/// panel's visual complexity.
+PreferenceResult ModelPreference(const UsabilityResult& usability,
+                                 double mean_query_edges,
+                                 double panel_visual_complexity,
+                                 const PreferenceModel& model = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_SIM_USABILITY_H_

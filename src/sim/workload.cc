@@ -1,0 +1,85 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "match/pattern_utils.h"
+#include "tattoo/topology_candidates.h"
+
+namespace vqi {
+
+std::vector<Graph> GenerateDbWorkload(const GraphDatabase& db,
+                                      const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Graph> workload;
+  size_t attempts = 0;
+  const size_t max_attempts = config.num_queries * 50;
+  while (workload.size() < config.num_queries && attempts < max_attempts) {
+    ++attempts;
+    const Graph& source = db.graphs()[rng.UniformInt(db.size())];
+    size_t target = config.min_edges;
+    if (config.max_edges > config.min_edges) {
+      target += static_cast<size_t>(
+          rng.UniformInt(config.max_edges - config.min_edges + 1));
+    }
+    if (source.NumEdges() < target) continue;
+    auto query = RandomConnectedSubgraph(source, target, rng);
+    if (query.has_value()) workload.push_back(std::move(*query));
+  }
+  return workload;
+}
+
+std::vector<Graph> GenerateNetworkWorkload(const Graph& network,
+                                           const WorkloadConfig& config,
+                                           const QueryTopologyMix& mix) {
+  Rng rng(config.seed);
+  std::vector<Graph> workload;
+  TopologyCandidateConfig extract;
+  extract.min_edges = config.min_edges;
+  extract.max_edges = config.max_edges;
+  extract.samples_per_class = 4;  // small batches per draw, shapes on demand
+
+  std::vector<double> weights = {mix.chain, mix.star,  mix.tree,
+                                 mix.cycle, mix.petal, mix.flower};
+  size_t attempts = 0;
+  const size_t max_attempts = config.num_queries * 50;
+  while (workload.size() < config.num_queries && attempts < max_attempts) {
+    ++attempts;
+    size_t shape = rng.WeightedIndex(weights);
+    std::vector<Graph> batch;
+    switch (shape) {
+      case 0:
+        batch = ExtractChains(network, extract, rng);
+        break;
+      case 1:
+        batch = ExtractStars(network, extract, rng);
+        break;
+      case 2: {
+        // Tree: a chain with one extra random branch edge.
+        batch = ExtractChains(network, extract, rng);
+        break;
+      }
+      case 3:
+        batch = ExtractCycles(network, extract, rng);
+        break;
+      case 4:
+        batch = ExtractPetals(network, extract, rng);
+        break;
+      default:
+        batch = ExtractFlowers(network, extract, rng);
+        break;
+    }
+    if (!batch.empty()) {
+      workload.push_back(batch[rng.UniformInt(batch.size())]);
+    }
+  }
+  return workload;
+}
+
+std::map<TopologyClass, size_t> WorkloadTopologyHistogram(
+    const std::vector<Graph>& workload) {
+  std::map<TopologyClass, size_t> histogram;
+  for (const Graph& q : workload) ++histogram[ClassifyTopology(q)];
+  return histogram;
+}
+
+}  // namespace vqi

@@ -1,0 +1,54 @@
+#ifndef VQLIB_SIM_WORKLOAD_H_
+#define VQLIB_SIM_WORKLOAD_H_
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// Workload generation parameters.
+struct WorkloadConfig {
+  size_t num_queries = 50;
+  size_t min_edges = 3;
+  size_t max_edges = 14;
+  uint64_t seed = 42;
+};
+
+/// The topology mix of real-world graph query logs (shares adapted from the
+/// analytical study of large SPARQL logs by Bonifati et al., PVLDB'17, as
+/// used by TATTOO to classify canned-pattern shapes): overwhelmingly chains
+/// and stars, with a tail of cyclic shapes.
+struct QueryTopologyMix {
+  double chain = 0.45;
+  double star = 0.30;
+  double tree = 0.10;
+  double cycle = 0.07;
+  double petal = 0.05;
+  double flower = 0.03;
+};
+
+/// Queries against a graph collection: connected subgraphs sampled from
+/// randomly chosen data graphs (every query is guaranteed non-empty on the
+/// database — the user is looking for something that exists).
+std::vector<Graph> GenerateDbWorkload(const GraphDatabase& db,
+                                      const WorkloadConfig& config);
+
+/// Queries against one network, with shapes drawn from `mix` and instances
+/// sampled from the network itself so labels stay realistic.
+std::vector<Graph> GenerateNetworkWorkload(const Graph& network,
+                                           const WorkloadConfig& config,
+                                           const QueryTopologyMix& mix = {});
+
+/// Histogram of topology classes in a workload (for checking that the mix
+/// came out as requested).
+std::map<TopologyClass, size_t> WorkloadTopologyHistogram(
+    const std::vector<Graph>& workload);
+
+}  // namespace vqi
+
+#endif  // VQLIB_SIM_WORKLOAD_H_

@@ -1,0 +1,44 @@
+#ifndef VQLIB_SUMMARY_SUMMARIZER_H_
+#define VQLIB_SUMMARY_SUMMARIZER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/coverage.h"
+
+namespace vqi {
+
+/// Pattern-based graph summarization ("Beyond VQIs", tutorial §2.5):
+/// because canned patterns have high coverage, high diversity and low
+/// cognitive load, a small set of them plus usage counts makes a
+/// visualization-friendly summary of a graph.
+struct SummaryConfig {
+  /// Use at most this many distinct patterns in the summary.
+  size_t max_patterns = 10;
+  /// Embedding-enumeration budget per pattern.
+  NetworkCoverageOptions coverage;
+};
+
+/// The summary: chosen patterns, how much of the graph each one explains,
+/// and the residual.
+struct GraphSummary {
+  std::vector<Graph> patterns;
+  /// patterns[i] newly explained edge count at pick time (greedy marginal).
+  std::vector<size_t> explained_edges;
+  /// Fraction of graph edges covered by the union of the chosen patterns.
+  double edge_coverage = 0.0;
+  size_t uncovered_edges = 0;
+  /// Mean cognitive load of the summary vocabulary (lower = more readable).
+  double mean_cognitive_load = 0.0;
+};
+
+/// Greedy set-cover of the graph's edges using the given pattern
+/// vocabulary: repeatedly pick the pattern whose embeddings cover the most
+/// still-uncovered edges.
+GraphSummary SummarizeWithPatterns(const Graph& g,
+                                   const std::vector<Graph>& vocabulary,
+                                   const SummaryConfig& config = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_SUMMARY_SUMMARIZER_H_

@@ -1,0 +1,58 @@
+#ifndef VQLIB_TATTOO_DISTRIBUTED_H_
+#define VQLIB_TATTOO_DISTRIBUTED_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tattoo/tattoo.h"
+
+namespace vqi {
+
+/// The tutorial's "data-driven VQIs for massive networks" future direction
+/// (§2.5): massive graphs "demand a distributed framework and novel
+/// construction ... algorithms built on top of it". This module implements
+/// the natural scatter/gather design on a single machine (workers are
+/// simulated sequentially; the algorithm is what matters):
+///   scatter: BFS-partition the network into worker-sized chunks,
+///   map:     each worker extracts topology-class candidates from its chunk
+///            (locally truss-split, exactly like single-node TATTOO),
+///   gather:  the coordinator pools + dedups candidates and runs ONE global
+///            scored selection against the full network.
+/// Coverage scoring stays global, so the selected set optimizes the same
+/// objective as single-node TATTOO; only candidate discovery is sharded.
+struct DistributedTattooConfig {
+  TattooConfig base;
+  /// Target vertices per worker chunk.
+  size_t chunk_vertices = 2000;
+  /// Cap on the number of worker chunks (0 = unlimited).
+  size_t max_workers = 0;
+  /// Coordinator fan-in bound: at most this many pooled candidates reach
+  /// the global selection, merged round-robin across workers so every
+  /// shard keeps representation (0 = unlimited). Without a bound the
+  /// gather stage grows linearly with worker count and dominates.
+  size_t max_pooled_candidates = 256;
+};
+
+struct DistributedTattooStats {
+  size_t num_workers = 0;
+  size_t pooled_candidates = 0;
+  double partition_seconds = 0.0;
+  /// Sum over workers (what a cluster would parallelize).
+  double worker_seconds_total = 0.0;
+  /// Max over workers (the wall-clock a perfect cluster would see).
+  double worker_seconds_max = 0.0;
+  double select_seconds = 0.0;
+};
+
+struct DistributedTattooResult {
+  std::vector<Graph> patterns;
+  DistributedTattooStats stats;
+};
+
+/// Runs the scatter/gather pipeline described above.
+StatusOr<DistributedTattooResult> RunDistributedTattoo(
+    const Graph& network, const DistributedTattooConfig& config);
+
+}  // namespace vqi
+
+#endif  // VQLIB_TATTOO_DISTRIBUTED_H_

@@ -1,0 +1,90 @@
+#ifndef VQLIB_TATTOO_NETWORK_MAINTENANCE_H_
+#define VQLIB_TATTOO_NETWORK_MAINTENANCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "midas/drift.h"
+#include "midas/swap_selector.h"
+#include "mining/graphlets.h"
+#include "tattoo/tattoo.h"
+
+namespace vqi {
+
+/// The tutorial's FIRST open problem (§2.5, "Data-driven VQI maintenance
+/// for large networks"): unlike collections, "large networks often evolve
+/// continuously", so maintenance must ingest edge-level batches instead of
+/// graph-level ones. This module implements a MIDAS-style answer on top of
+/// TATTOO:
+///  * drift detection via *sampled* graphlet distributions (exact counting
+///    is off the table at network scale; ego-net sampling around seed
+///    vertices gives a cheap, unbiased-enough signal),
+///  * locality: on major drift, candidates are re-extracted only from the
+///    neighborhoods the batch touched,
+///  * the same multi-scan swap with its monotone quality guarantee, over
+///    the network-edge coverage universe.
+
+/// One batch of edge-level network updates. Vertices referenced by
+/// insertions must already exist (AddVertices first).
+struct NetworkBatch {
+  /// New vertices to append (their labels); ids are assigned densely after
+  /// the current maximum.
+  std::vector<Label> new_vertices;
+  std::vector<Edge> edge_insertions;
+  /// Endpoint pairs of edges to remove.
+  std::vector<std::pair<VertexId, VertexId>> edge_deletions;
+
+  bool empty() const {
+    return new_vertices.empty() && edge_insertions.empty() &&
+           edge_deletions.empty();
+  }
+};
+
+struct NetworkMaintenanceConfig {
+  TattooConfig base;
+  /// Sampled-GFD drift threshold (L2 on graphlet frequency vectors).
+  double drift_threshold = 0.03;
+  /// Ego-net sample size for the drift signal.
+  size_t gfd_samples = 128;
+  /// Neighborhood radius around changed edges for local re-extraction.
+  size_t locality_hops = 2;
+  /// Multi-scan swap passes.
+  size_t max_scans = 3;
+  uint64_t seed = 42;
+};
+
+/// Persistent maintenance state; the maintained network lives with it.
+struct NetworkMaintainState {
+  Graph network;
+  std::vector<Graph> patterns;
+  GraphletDistribution sampled_gfd;
+};
+
+/// Estimates the network's graphlet distribution from `samples` random
+/// ego-nets (radius 1, capped size). Deterministic given the seed.
+GraphletDistribution SampledGraphlets(const Graph& network, size_t samples,
+                                      uint64_t seed);
+
+/// Builds the initial state: runs TATTOO and records the drift baseline.
+StatusOr<NetworkMaintainState> InitializeNetworkMaintenance(
+    Graph network, const NetworkMaintenanceConfig& config);
+
+struct NetworkMaintenanceReport {
+  DriftResult drift;
+  bool patterns_updated = false;
+  SwapReport swap;
+  size_t candidates_generated = 0;
+  size_t region_vertices = 0;  // size of the locality region scanned
+  double seconds = 0.0;
+};
+
+/// Applies `batch` to the state's network and maintains the pattern set:
+/// minor drift refreshes the baseline only; major drift re-extracts
+/// candidates from the touched region and runs the monotone swap.
+StatusOr<NetworkMaintenanceReport> ApplyNetworkBatch(
+    NetworkMaintainState& state, const NetworkBatch& batch,
+    const NetworkMaintenanceConfig& config);
+
+}  // namespace vqi
+
+#endif  // VQLIB_TATTOO_NETWORK_MAINTENANCE_H_

@@ -1,0 +1,73 @@
+#ifndef VQLIB_TATTOO_TATTOO_H_
+#define VQLIB_TATTOO_TATTOO_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/graph_algos.h"
+#include "metrics/cognitive_load.h"
+#include "metrics/coverage.h"
+#include "metrics/pattern_score.h"
+#include "tattoo/topology_candidates.h"
+#include "truss/truss.h"
+
+namespace vqi {
+
+/// Configuration of the TATTOO pipeline (Yuan et al., PVLDB'21):
+/// data-driven canned-pattern selection for one large network, guided by the
+/// topology mix of real query logs instead of (unavailable) per-database
+/// logs.
+struct TattooConfig {
+  /// Number of canned patterns to select and their size range (the budget b
+  /// of the paper).
+  size_t budget = 10;
+  size_t min_pattern_edges = 4;
+  size_t max_pattern_edges = 12;
+  /// Trussness at or above which an edge belongs to the truss-infested
+  /// region G_T.
+  int truss_threshold = 3;
+  /// Extraction attempts per topology class.
+  size_t samples_per_class = 32;
+  /// Budgeted embedding enumeration for edge-coverage estimation.
+  NetworkCoverageOptions coverage;
+  /// Combined objective weights and cognitive-load model.
+  ScoreWeights weights;
+  CognitiveLoadModel load_model;
+  uint64_t seed = 42;
+};
+
+/// Timings and composition statistics of one TATTOO run.
+struct TattooStats {
+  double decompose_seconds = 0.0;
+  double candidate_seconds = 0.0;
+  double select_seconds = 0.0;
+  size_t num_candidates = 0;
+  size_t infested_edges = 0;
+  size_t oblivious_edges = 0;
+  /// Topology-class histograms of the candidate pool and the selection.
+  std::map<TopologyClass, size_t> candidate_classes;
+  std::map<TopologyClass, size_t> selected_classes;
+
+  double total_seconds() const {
+    return decompose_seconds + candidate_seconds + select_seconds;
+  }
+};
+
+/// Result of a TATTOO run.
+struct TattooResult {
+  std::vector<Graph> patterns;
+  TattooStats stats;
+};
+
+/// Runs the pipeline: k-truss decomposition -> G_T/G_O split ->
+/// topology-class candidate extraction -> greedy selection by the
+/// edge-coverage/diversity/cognitive-load objective (the greedy enjoys a
+/// constant-factor approximation; bench E8 measures the empirical ratio).
+StatusOr<TattooResult> RunTattoo(const Graph& network,
+                                 const TattooConfig& config);
+
+}  // namespace vqi
+
+#endif  // VQLIB_TATTOO_TATTOO_H_

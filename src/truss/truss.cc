@@ -1,0 +1,118 @@
+#include "truss/truss.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace vqi {
+
+uint64_t TrussDecomposition::EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+int TrussDecomposition::EdgeTrussness(VertexId u, VertexId v) const {
+  auto it = trussness.find(EdgeKey(u, v));
+  return it == trussness.end() ? 0 : it->second;
+}
+
+TrussDecomposition DecomposeTruss(const Graph& g) {
+  TrussDecomposition result;
+  std::vector<Edge> edges = g.Edges();
+  size_t m = edges.size();
+  if (m == 0) return result;
+
+  std::unordered_map<uint64_t, size_t> edge_index;
+  edge_index.reserve(m * 2);
+  for (size_t i = 0; i < m; ++i) {
+    edge_index[TrussDecomposition::EdgeKey(edges[i].u, edges[i].v)] = i;
+  }
+
+  // Initial support: common-neighbor counts via sorted-list intersection.
+  std::vector<int> support(m, 0);
+  std::vector<bool> removed(m, false);
+  for (size_t i = 0; i < m; ++i) {
+    VertexId u = edges[i].u, v = edges[i].v;
+    const auto& a = g.Neighbors(u);
+    const auto& b = g.Neighbors(v);
+    size_t x = 0, y = 0;
+    int count = 0;
+    while (x < a.size() && y < b.size()) {
+      if (a[x].vertex < b[y].vertex) {
+        ++x;
+      } else if (a[x].vertex > b[y].vertex) {
+        ++y;
+      } else {
+        ++count;
+        ++x;
+        ++y;
+      }
+    }
+    support[i] = count;
+  }
+
+  // Peeling: at level k, repeatedly strip edges with support <= k-2.
+  size_t remaining = m;
+  int k = 2;
+  std::deque<size_t> queue;
+  while (remaining > 0) {
+    for (size_t i = 0; i < m; ++i) {
+      if (!removed[i] && support[i] <= k - 2) queue.push_back(i);
+    }
+    while (!queue.empty()) {
+      size_t i = queue.front();
+      queue.pop_front();
+      if (removed[i] || support[i] > k - 2) continue;
+      removed[i] = true;
+      --remaining;
+      result.trussness[TrussDecomposition::EdgeKey(edges[i].u, edges[i].v)] = k;
+      // Decrement support of the two wing edges of every triangle through i.
+      VertexId u = edges[i].u, v = edges[i].v;
+      const auto& a = g.Neighbors(u);
+      const auto& b = g.Neighbors(v);
+      size_t x = 0, y = 0;
+      while (x < a.size() && y < b.size()) {
+        if (a[x].vertex < b[y].vertex) {
+          ++x;
+        } else if (a[x].vertex > b[y].vertex) {
+          ++y;
+        } else {
+          VertexId w = a[x].vertex;
+          auto it1 = edge_index.find(TrussDecomposition::EdgeKey(u, w));
+          auto it2 = edge_index.find(TrussDecomposition::EdgeKey(v, w));
+          if (it1 != edge_index.end() && it2 != edge_index.end() &&
+              !removed[it1->second] && !removed[it2->second]) {
+            for (size_t j : {it1->second, it2->second}) {
+              if (--support[j] <= k - 2) queue.push_back(j);
+            }
+          }
+          ++x;
+          ++y;
+        }
+      }
+    }
+    result.max_trussness = k;
+    ++k;
+  }
+  return result;
+}
+
+TrussSplit SplitByTruss(const Graph& g, int k_threshold) {
+  TrussDecomposition decomposition = DecomposeTruss(g);
+  std::vector<Edge> infested, oblivious;
+  for (const Edge& e : g.Edges()) {
+    if (decomposition.EdgeTrussness(e.u, e.v) >= k_threshold) {
+      infested.push_back(e);
+    } else {
+      oblivious.push_back(e);
+    }
+  }
+  TrussSplit split;
+  split.truss_infested = SubgraphFromEdges(g, infested);
+  split.truss_oblivious = SubgraphFromEdges(g, oblivious);
+  return split;
+}
+
+}  // namespace vqi

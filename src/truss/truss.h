@@ -1,0 +1,43 @@
+#ifndef VQLIB_TRUSS_TRUSS_H_
+#define VQLIB_TRUSS_TRUSS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vqi {
+
+/// Result of truss decomposition: for every edge, the maximum k such that
+/// the edge belongs to the k-truss (the subgraph where every edge is in at
+/// least k-2 triangles). Edges outside any triangle have trussness 2.
+struct TrussDecomposition {
+  /// Edge key ((min<<32)|max) -> trussness.
+  std::unordered_map<uint64_t, int> trussness;
+  int max_trussness = 2;
+
+  /// Trussness of {u,v}; 0 when the edge does not exist.
+  int EdgeTrussness(VertexId u, VertexId v) const;
+
+  static uint64_t EdgeKey(VertexId u, VertexId v);
+};
+
+/// Peeling-based truss decomposition (Wang & Cheng, PVLDB'12 style):
+/// O(m^1.5)-ish via triangle-support maintenance.
+TrussDecomposition DecomposeTruss(const Graph& g);
+
+/// TATTOO's region split: the truss-infested region G_T contains every edge
+/// with trussness >= `k_threshold` (default 3: edges that survive in some
+/// triangle-rich truss); the truss-oblivious region G_O contains the rest.
+/// Vertex ids are remapped densely in each region; labels preserved.
+struct TrussSplit {
+  Graph truss_infested;   // G_T
+  Graph truss_oblivious;  // G_O
+};
+
+TrussSplit SplitByTruss(const Graph& g, int k_threshold = 3);
+
+}  // namespace vqi
+
+#endif  // VQLIB_TRUSS_TRUSS_H_

@@ -1,0 +1,95 @@
+#include "tsquery/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+Series ZNormalize(const Series& s) {
+  Series out(s.size(), 0.0);
+  if (s.empty()) return out;
+  double mean = 0.0;
+  for (double x : s) mean += x;
+  mean /= static_cast<double>(s.size());
+  double var = 0.0;
+  for (double x : s) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(s.size());
+  double sd = std::sqrt(var);
+  if (sd < 1e-12) return out;  // constant series
+  for (size_t i = 0; i < s.size(); ++i) out[i] = (s[i] - mean) / sd;
+  return out;
+}
+
+double SeriesDistance(const Series& a, const Series& b) {
+  VQI_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<Series> SlidingWindows(const Series& s, size_t length,
+                                   size_t stride) {
+  VQI_CHECK_GT(length, 0u);
+  VQI_CHECK_GT(stride, 0u);
+  std::vector<Series> windows;
+  if (s.size() < length) return windows;
+  for (size_t start = 0; start + length <= s.size(); start += stride) {
+    windows.emplace_back(s.begin() + start, s.begin() + start + length);
+  }
+  return windows;
+}
+
+Series RenderMotif(MotifShape shape, size_t length) {
+  Series out(length, 0.0);
+  for (size_t i = 0; i < length; ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(length - 1);
+    switch (shape) {
+      case MotifShape::kSineBump:
+        out[i] = std::sin(t * std::numbers::pi);
+        break;
+      case MotifShape::kSpike:
+        out[i] = std::exp(-50.0 * (t - 0.5) * (t - 0.5));
+        break;
+      case MotifShape::kStep:
+        out[i] = t < 0.5 ? 0.0 : 1.0;
+        break;
+      case MotifShape::kRamp:
+        out[i] = t;
+        break;
+    }
+  }
+  return out;
+}
+
+Series GenerateSyntheticSeries(size_t n, size_t num_motifs,
+                               const std::vector<MotifShape>& shapes,
+                               size_t motif_length, Rng& rng) {
+  VQI_CHECK_GE(n, motif_length);
+  VQI_CHECK(!shapes.empty());
+  Series s(n, 0.0);
+  // Random-walk background.
+  double level = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    level += (rng.UniformDouble() - 0.5) * 0.1;
+    s[i] = level;
+  }
+  // Inject motifs.
+  for (size_t m = 0; m < num_motifs; ++m) {
+    MotifShape shape = shapes[rng.UniformInt(shapes.size())];
+    Series motif = RenderMotif(shape, motif_length);
+    size_t start = static_cast<size_t>(rng.UniformInt(n - motif_length + 1));
+    double amplitude = 1.0 + rng.UniformDouble();
+    for (size_t i = 0; i < motif_length; ++i) {
+      s[start + i] += amplitude * motif[i];
+    }
+  }
+  return s;
+}
+
+}  // namespace vqi

@@ -1,0 +1,40 @@
+#ifndef VQLIB_TSQUERY_SERIES_H_
+#define VQLIB_TSQUERY_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vqi {
+
+/// One univariate time series ("Beyond Graphs", tutorial §2.5: data-driven
+/// sketch-based query interfaces for data series).
+using Series = std::vector<double>;
+
+/// Z-normalizes (mean 0, stddev 1); constant series map to all-zero.
+Series ZNormalize(const Series& s);
+
+/// Euclidean distance between two equal-length series.
+double SeriesDistance(const Series& a, const Series& b);
+
+/// All windows of `length` with the given stride.
+std::vector<Series> SlidingWindows(const Series& s, size_t length,
+                                   size_t stride);
+
+/// Shape templates injected into synthetic series — the recurring motifs a
+/// data-driven sketch panel should surface.
+enum class MotifShape { kSineBump, kSpike, kStep, kRamp };
+
+/// A motif shape rendered to `length` points with unit amplitude.
+Series RenderMotif(MotifShape shape, size_t length);
+
+/// Synthetic series: random-walk noise with `num_motifs` scaled instances
+/// of shapes drawn from `shapes` injected at random positions.
+Series GenerateSyntheticSeries(size_t n, size_t num_motifs,
+                               const std::vector<MotifShape>& shapes,
+                               size_t motif_length, Rng& rng);
+
+}  // namespace vqi
+
+#endif  // VQLIB_TSQUERY_SERIES_H_

@@ -1,0 +1,74 @@
+#include "tsquery/sketch_formulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+size_t PerceptualSegments(const Series& s) {
+  if (s.size() < 3) return s.empty() ? 0 : 1;
+  size_t segments = 1;
+  double prev_delta = s[1] - s[0];
+  for (size_t i = 2; i < s.size(); ++i) {
+    double delta = s[i] - s[i - 1];
+    // A sign flip of the slope starts a new perceptual segment; tiny
+    // wiggles below 5% of a sigma don't count.
+    if ((delta > 0.05 && prev_delta < -0.05) ||
+        (delta < -0.05 && prev_delta > 0.05)) {
+      ++segments;
+    }
+    if (std::abs(delta) > 0.05) prev_delta = delta;
+  }
+  return segments;
+}
+
+SketchFormulationTrace SimulateSketchFormulation(
+    const Series& target, const std::vector<Series>& sketches,
+    const SketchFormulationConfig& config) {
+  SketchFormulationTrace trace;
+  Series normalized = ZNormalize(target);
+
+  // Nearest equal-length canned sketch.
+  double best_distance = std::numeric_limits<double>::infinity();
+  int best = -1;
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    if (sketches[i].size() != normalized.size()) continue;
+    double d = SeriesDistance(normalized, sketches[i]);
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<int>(i);
+    }
+  }
+
+  size_t freehand_cost =
+      config.freehand_base_strokes + PerceptualSegments(normalized);
+  if (best >= 0 && best_distance <= config.adoption_tau) {
+    size_t adapt_cost =
+        1 + static_cast<size_t>(
+                std::ceil(best_distance / config.residual_per_stroke));
+    if (adapt_cost < freehand_cost) {
+      trace.strokes = adapt_cost;
+      trace.sketch_used = best;
+      return trace;
+    }
+  }
+  trace.strokes = freehand_cost;
+  return trace;
+}
+
+double MeanSketchStrokes(const std::vector<Series>& targets,
+                         const std::vector<Series>& sketches,
+                         const SketchFormulationConfig& config) {
+  if (targets.empty()) return 0.0;
+  double total = 0.0;
+  for (const Series& target : targets) {
+    total += static_cast<double>(
+        SimulateSketchFormulation(target, sketches, config).strokes);
+  }
+  return total / static_cast<double>(targets.size());
+}
+
+}  // namespace vqi

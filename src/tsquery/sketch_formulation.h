@@ -1,0 +1,53 @@
+#ifndef VQLIB_TSQUERY_SKETCH_FORMULATION_H_
+#define VQLIB_TSQUERY_SKETCH_FORMULATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tsquery/series.h"
+
+namespace vqi {
+
+/// The sketch-interface analogue of the graph formulation simulator: how
+/// much drawing does a user need to express a target shape, with and
+/// without a data-driven canned-sketch panel? (Tutorial §2.5: sketch-based
+/// querying of data series is "time-consuming" without representative
+/// patterns; cf. the surveyed Correl/Gleicher and Mannino/Abouzied lines.)
+struct SketchFormulationConfig {
+  /// A canned sketch is adoptable when its z-normalized distance to the
+  /// target is below this.
+  double adoption_tau = 4.0;
+  /// Freehand drawing costs one stroke per perceptual segment (direction
+  /// change) plus this base cost.
+  size_t freehand_base_strokes = 2;
+  /// Adapting an adopted sketch costs one stroke per this much residual
+  /// distance.
+  double residual_per_stroke = 1.0;
+};
+
+struct SketchFormulationTrace {
+  /// Total strokes (the step-count analogue).
+  size_t strokes = 0;
+  /// Index of the adopted canned sketch, or -1 for freehand.
+  int sketch_used = -1;
+};
+
+/// Number of perceptual segments of a z-normalized series: direction
+/// changes of the first difference (monotone runs).
+size_t PerceptualSegments(const Series& s);
+
+/// Simulates formulating `target` (z-normalized internally) against a panel
+/// of canned sketches: the user adopts the nearest sketch when close
+/// enough (1 selection stroke + residual adjustments), else draws freehand.
+SketchFormulationTrace SimulateSketchFormulation(
+    const Series& target, const std::vector<Series>& sketches,
+    const SketchFormulationConfig& config = {});
+
+/// Mean strokes over a workload of targets.
+double MeanSketchStrokes(const std::vector<Series>& targets,
+                         const std::vector<Series>& sketches,
+                         const SketchFormulationConfig& config = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_TSQUERY_SKETCH_FORMULATION_H_

@@ -1,0 +1,106 @@
+#include "tsquery/sketch_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+double Roughness(const Series& s) {
+  if (s.size() < 2) return 0.0;
+  double variation = 0.0;
+  for (size_t i = 1; i < s.size(); ++i) {
+    variation += std::abs(s[i] - s[i - 1]);
+  }
+  // A z-normalized monotone series has total variation <= ~4 (range of
+  // +-2 sigma); use that to normalize into [0,1].
+  return std::min(1.0, variation / (4.0 * std::sqrt(static_cast<double>(s.size()))));
+}
+
+SketchSelectionResult SelectSketches(const std::vector<Series>& collection,
+                                     const SketchSelectConfig& config) {
+  SketchSelectionResult result;
+  // Harvest z-normalized windows.
+  std::vector<Series> windows;
+  for (const Series& s : collection) {
+    for (Series& w :
+         SlidingWindows(s, config.window_length, config.window_stride)) {
+      windows.push_back(ZNormalize(w));
+    }
+  }
+  if (windows.empty()) return result;
+
+  // Greedy: repeatedly pick the window that maximizes
+  //   w_cov * marginal coverage + w_div * distance-to-selected
+  //   - w_simp * roughness.
+  std::vector<bool> covered(windows.size(), false);
+  std::vector<bool> taken(windows.size(), false);
+  while (result.sketches.size() < config.budget) {
+    double best_score = -1e18;
+    size_t best = windows.size();
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (taken[i]) continue;
+      size_t marginal = 0;
+      for (size_t j = 0; j < windows.size(); ++j) {
+        if (!covered[j] &&
+            SeriesDistance(windows[i], windows[j]) <= config.tau) {
+          ++marginal;
+        }
+      }
+      double coverage_term = static_cast<double>(marginal) /
+                             static_cast<double>(windows.size());
+      double diversity_term = 1.0;
+      for (const Series& s : result.sketches) {
+        diversity_term = std::min(
+            diversity_term,
+            SeriesDistance(windows[i], s) /
+                (2.0 * std::sqrt(static_cast<double>(windows[i].size()))));
+      }
+      double score = config.coverage_weight * coverage_term +
+                     config.diversity_weight * diversity_term -
+                     config.simplicity_weight * Roughness(windows[i]);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == windows.size()) break;
+    taken[best] = true;
+    for (size_t j = 0; j < windows.size(); ++j) {
+      if (SeriesDistance(windows[best], windows[j]) <= config.tau) {
+        covered[j] = true;
+      }
+    }
+    result.sketches.push_back(windows[best]);
+  }
+
+  // Quality readouts.
+  size_t covered_count = 0;
+  for (bool c : covered) covered_count += c ? 1 : 0;
+  result.coverage = static_cast<double>(covered_count) /
+                    static_cast<double>(windows.size());
+  if (result.sketches.size() >= 2) {
+    double sum = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < result.sketches.size(); ++i) {
+      for (size_t j = i + 1; j < result.sketches.size(); ++j) {
+        sum += SeriesDistance(result.sketches[i], result.sketches[j]) /
+               (2.0 * std::sqrt(static_cast<double>(config.window_length)));
+        ++pairs;
+      }
+    }
+    result.diversity = sum / static_cast<double>(pairs);
+  } else {
+    result.diversity = 1.0;
+  }
+  double roughness_sum = 0.0;
+  for (const Series& s : result.sketches) roughness_sum += Roughness(s);
+  result.mean_roughness =
+      result.sketches.empty()
+          ? 0.0
+          : roughness_sum / static_cast<double>(result.sketches.size());
+  return result;
+}
+
+}  // namespace vqi

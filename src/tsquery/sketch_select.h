@@ -1,0 +1,47 @@
+#ifndef VQLIB_TSQUERY_SKETCH_SELECT_H_
+#define VQLIB_TSQUERY_SKETCH_SELECT_H_
+
+#include <vector>
+
+#include "tsquery/series.h"
+
+namespace vqi {
+
+/// Data-driven "canned sketch" selection for time series — the direct
+/// analogue of canned-pattern selection: from the windows of a series
+/// collection, pick a small set of representative shapes that a sketch-based
+/// query interface exposes, optimizing coverage (windows within distance tau
+/// of a sketch), diversity (pairwise sketch distance), and simplicity (low
+/// roughness = low cognitive load).
+struct SketchSelectConfig {
+  size_t budget = 6;
+  size_t window_length = 32;
+  size_t window_stride = 8;
+  /// A window is covered by a sketch when the z-normalized distance is
+  /// below this threshold.
+  double tau = 3.0;
+  /// Objective weights (mirroring the canned-pattern score).
+  double coverage_weight = 1.0;
+  double diversity_weight = 0.5;
+  double simplicity_weight = 0.3;
+};
+
+/// Selection outcome with the quality split out.
+struct SketchSelectionResult {
+  std::vector<Series> sketches;  // z-normalized
+  double coverage = 0.0;         // fraction of windows covered
+  double diversity = 0.0;        // mean pairwise distance, normalized
+  double mean_roughness = 0.0;   // mean normalized total variation
+};
+
+/// Normalized total variation of a z-normalized series in [0,1] — the
+/// complexity a user must visually parse in a sketch.
+double Roughness(const Series& s);
+
+/// Greedy sketch selection over the windows of the given series collection.
+SketchSelectionResult SelectSketches(const std::vector<Series>& collection,
+                                     const SketchSelectConfig& config = {});
+
+}  // namespace vqi
+
+#endif  // VQLIB_TSQUERY_SKETCH_SELECT_H_

@@ -1,0 +1,44 @@
+#ifndef VQLIB_VQI_BUILDER_H_
+#define VQLIB_VQI_BUILDER_H_
+
+#include "catapult/catapult.h"
+#include "common/status.h"
+#include "tattoo/tattoo.h"
+#include "vqi/interface.h"
+
+namespace vqi {
+
+/// Result of a data-driven VQI construction run.
+struct VqiBuildResult {
+  VisualQueryInterface vqi;
+  /// Retained CATAPULT state (collection builds only) for maintenance.
+  CatapultState catapult_state;
+  /// Selection statistics of the underlying pipeline.
+  CatapultStats catapult_stats;  // collection builds
+  TattooStats tattoo_stats;      // network builds
+};
+
+/// Builds a complete data-driven VQI for a collection of data graphs: the
+/// Attribute Panel from a repository scan, basic patterns over the dominant
+/// label, canned patterns from CATAPULT. This is the "plug-and-play"
+/// construction path the tutorial advocates — no hand coding per data
+/// source.
+StatusOr<VqiBuildResult> BuildVqiForDatabase(const GraphDatabase& db,
+                                             const CatapultConfig& config,
+                                             const LabelDictionary* dict = nullptr);
+
+/// Same for one large network, with TATTOO selecting the canned patterns.
+StatusOr<VqiBuildResult> BuildVqiForNetwork(const Graph& network,
+                                            const TattooConfig& config,
+                                            const LabelDictionary* dict = nullptr);
+
+/// A manually-constructed baseline VQI: identical Attribute Panel but only
+/// the basic patterns (this is how the surveyed usability studies model the
+/// manual competitor — no data-driven canned patterns).
+VisualQueryInterface BuildManualBaselineVqi(const LabelStats& stats,
+                                            DataSourceKind kind,
+                                            const LabelDictionary* dict = nullptr);
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_BUILDER_H_

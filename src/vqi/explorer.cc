@@ -1,0 +1,77 @@
+#include "vqi/explorer.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace vqi {
+
+std::vector<ExplorationRegion> ExploreFromPattern(
+    const Graph& network, const Graph& pattern,
+    const ExploreOptions& options) {
+  std::vector<ExplorationRegion> regions;
+  if (pattern.NumVertices() == 0 || network.NumVertices() == 0) {
+    return regions;
+  }
+
+  MatchOptions match;
+  match.max_steps = options.max_steps;
+  SubgraphMatcher matcher(pattern, network, match);
+  std::set<std::vector<VertexId>> seen_vertex_sets;
+  matcher.Enumerate([&](const Embedding& embedding) {
+    std::vector<VertexId> key(embedding.begin(), embedding.end());
+    std::sort(key.begin(), key.end());
+    if (!seen_vertex_sets.insert(key).second) {
+      return true;  // an automorphic image of a known occurrence
+    }
+    // BFS out to `hops` from the embedding.
+    std::unordered_map<VertexId, size_t> distance;
+    std::deque<VertexId> queue;
+    for (VertexId v : embedding) {
+      distance[v] = 0;
+      queue.push_back(v);
+    }
+    std::vector<VertexId> members;
+    while (!queue.empty() && members.size() < options.max_region_vertices) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      members.push_back(v);
+      if (distance[v] >= options.hops) continue;
+      for (const Neighbor& nb : network.Neighbors(v)) {
+        if (!distance.count(nb.vertex)) {
+          distance[nb.vertex] = distance[v] + 1;
+          queue.push_back(nb.vertex);
+        }
+      }
+    }
+    ExplorationRegion region;
+    region.seed_embedding = embedding;
+    region.region = InducedSubgraph(network, members);
+    std::unordered_set<VertexId> embedded(embedding.begin(), embedding.end());
+    region.in_embedding.reserve(members.size());
+    for (VertexId v : members) {
+      region.in_embedding.push_back(embedded.count(v) > 0);
+    }
+    regions.push_back(std::move(region));
+    return regions.size() < options.num_regions;
+  });
+  return regions;
+}
+
+std::vector<GraphId> GraphsContainingPattern(const GraphDatabase& db,
+                                             const Graph& pattern,
+                                             size_t limit) {
+  std::vector<GraphId> ids;
+  for (const Graph& g : db.graphs()) {
+    if (ids.size() >= limit) break;
+    if (ContainsSubgraph(g, pattern)) ids.push_back(g.id());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace vqi

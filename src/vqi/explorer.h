@@ -1,0 +1,59 @@
+#ifndef VQLIB_VQI_EXPLORER_H_
+#define VQLIB_VQI_EXPLORER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "match/vf2.h"
+
+namespace vqi {
+
+/// Bottom-up search support (tutorial §2.1: "she may get acquainted to the
+/// key substructures that exist in the dataset through representative
+/// objects to galvanize query formulation"; PLAYPEN exposes exactly this on
+/// large networks): starting from a canned pattern the user spotted in the
+/// Pattern Panel, surface concrete places where it lives in the data,
+/// together with enough surrounding context to keep exploring.
+
+/// One exploration hit: a pattern occurrence and its neighborhood.
+struct ExplorationRegion {
+  /// The embedding that seeded this region (pattern vertex -> network
+  /// vertex, ids in the original network).
+  Embedding seed_embedding;
+  /// Induced subgraph of all vertices within `hops` of the embedding
+  /// (vertex ids remapped densely; labels preserved).
+  Graph region;
+  /// For every region vertex, whether it is part of the seed embedding —
+  /// a GUI would highlight these.
+  std::vector<bool> in_embedding;
+};
+
+struct ExploreOptions {
+  /// Number of distinct regions to return (distinct seed embeddings).
+  size_t num_regions = 3;
+  /// Neighborhood radius around the embedding.
+  size_t hops = 1;
+  /// Cap on region size (BFS stops adding vertices beyond this).
+  size_t max_region_vertices = 64;
+  /// Search budget.
+  uint64_t max_steps = 500000;
+};
+
+/// Finds occurrences of `pattern` in `network` and cuts out their
+/// neighborhoods. Embeddings sharing their full vertex set are reported
+/// once.
+std::vector<ExplorationRegion> ExploreFromPattern(
+    const Graph& network, const Graph& pattern,
+    const ExploreOptions& options = {});
+
+/// Collection counterpart: ids of the data graphs containing `pattern`
+/// (capped at `limit`), i.e. the corpus slice a user drills into after
+/// clicking a canned pattern.
+std::vector<GraphId> GraphsContainingPattern(const GraphDatabase& db,
+                                             const Graph& pattern,
+                                             size_t limit = 50);
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_EXPLORER_H_

@@ -1,0 +1,40 @@
+#include "vqi/interface.h"
+
+#include <sstream>
+
+namespace vqi {
+
+const char* DataSourceKindName(DataSourceKind kind) {
+  switch (kind) {
+    case DataSourceKind::kGraphCollection:
+      return "graph-collection";
+    case DataSourceKind::kSingleNetwork:
+      return "single-network";
+  }
+  return "unknown";
+}
+
+void VisualQueryInterface::ExecuteQuery(const GraphDatabase& db,
+                                        size_t limit) {
+  results_panel_.PopulateFromDatabase(db, query_panel_.ToGraph(), limit);
+}
+
+void VisualQueryInterface::ExecuteQuery(const Graph& network, size_t limit) {
+  results_panel_.PopulateFromNetwork(network, query_panel_.ToGraph(), limit);
+}
+
+std::string VisualQueryInterface::Summary() const {
+  std::ostringstream out;
+  Graph query = query_panel_.ToGraph();
+  out << "VQI(" << DataSourceKindName(kind_) << "): "
+      << attribute_panel_.vertex_attributes().size() << " vertex attrs, "
+      << attribute_panel_.edge_attributes().size() << " edge attrs, "
+      << pattern_panel_.num_basic() << " basic + "
+      << pattern_panel_.num_canned() << " canned patterns, query "
+      << query.NumVertices() << "v/" << query.NumEdges() << "e in "
+      << query_panel_.StepCount() << " steps, " << results_panel_.size()
+      << " results";
+  return out.str();
+}
+
+}  // namespace vqi

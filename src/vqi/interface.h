@@ -1,0 +1,65 @@
+#ifndef VQLIB_VQI_INTERFACE_H_
+#define VQLIB_VQI_INTERFACE_H_
+
+#include <string>
+
+#include "vqi/panels.h"
+
+namespace vqi {
+
+/// What kind of repository the VQI fronts (drives which construction
+/// pipeline populated the Pattern Panel and how queries execute).
+enum class DataSourceKind {
+  kGraphCollection,  // many small/medium data graphs (CATAPULT territory)
+  kSingleNetwork,    // one large network (TATTOO territory)
+};
+
+const char* DataSourceKindName(DataSourceKind kind);
+
+/// A headless visual query interface: the four panels of the classic VQI
+/// layout (tutorial §2.1) with the Attribute and Pattern panels populated
+/// data-driven. The GUI rendering is out of scope (see DESIGN.md §2 on the
+/// simulation substitution); everything a GUI would bind to is here.
+class VisualQueryInterface {
+ public:
+  VisualQueryInterface() = default;
+  VisualQueryInterface(DataSourceKind kind, AttributePanel attributes,
+                       PatternPanel patterns)
+      : kind_(kind),
+        attribute_panel_(std::move(attributes)),
+        pattern_panel_(std::move(patterns)) {}
+
+  DataSourceKind kind() const { return kind_; }
+  void set_kind(DataSourceKind kind) { kind_ = kind; }
+
+  const AttributePanel& attribute_panel() const { return attribute_panel_; }
+  AttributePanel& attribute_panel() { return attribute_panel_; }
+
+  const PatternPanel& pattern_panel() const { return pattern_panel_; }
+  PatternPanel& pattern_panel() { return pattern_panel_; }
+
+  const QueryPanel& query_panel() const { return query_panel_; }
+  QueryPanel& query_panel() { return query_panel_; }
+
+  const ResultsPanel& results_panel() const { return results_panel_; }
+
+  /// Executes the current query against a graph collection.
+  void ExecuteQuery(const GraphDatabase& db, size_t limit = 100);
+
+  /// Executes the current query against a single network.
+  void ExecuteQuery(const Graph& network, size_t limit = 100);
+
+  /// Human-readable snapshot of the interface (panel sizes, query state).
+  std::string Summary() const;
+
+ private:
+  DataSourceKind kind_ = DataSourceKind::kGraphCollection;
+  AttributePanel attribute_panel_;
+  PatternPanel pattern_panel_;
+  QueryPanel query_panel_;
+  ResultsPanel results_panel_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_INTERFACE_H_

@@ -1,0 +1,33 @@
+#include "vqi/maintainer.h"
+
+#include "metrics/coverage.h"
+
+namespace vqi {
+
+VqiMaintainer::VqiMaintainer(CatapultState state, MidasConfig config)
+    : config_(std::move(config)) {
+  state_.catapult = std::move(state);
+  // MIDAS maintenance relies on the closed-tree feature basis.
+  state_.catapult.config.use_closed_trees = true;
+}
+
+StatusOr<MaintenanceReport> VqiMaintainer::ApplyBatch(
+    VisualQueryInterface& vqi, GraphDatabase& db, BatchUpdate update,
+    const LabelDictionary* dict) {
+  StatusOr<MaintenanceReport> report =
+      ApplyBatchAndMaintain(state_, db, std::move(update), config_);
+  if (!report.ok()) return report;
+
+  // Refresh the Attribute Panel (labels may have appeared/vanished).
+  vqi.attribute_panel() = AttributePanel::FromStats(db.ComputeLabelStats(), dict);
+
+  // Refresh the canned patterns (keep basic ones).
+  const std::vector<Graph>& patterns = state_.patterns();
+  std::vector<double> coverages;
+  coverages.reserve(patterns.size());
+  for (const Graph& p : patterns) coverages.push_back(DbCoverage(db, p));
+  vqi.pattern_panel().ReplaceCanned(patterns, coverages);
+  return report;
+}
+
+}  // namespace vqi

@@ -1,0 +1,36 @@
+#ifndef VQLIB_VQI_MAINTAINER_H_
+#define VQLIB_VQI_MAINTAINER_H_
+
+#include "common/status.h"
+#include "midas/midas.h"
+#include "vqi/interface.h"
+
+namespace vqi {
+
+/// Keeps a collection-backed VQI fresh as the repository evolves, by
+/// wrapping MIDAS: batch updates are applied to the database, the canned
+/// patterns are maintained, and the VQI's Attribute and Pattern panels are
+/// refreshed in place.
+class VqiMaintainer {
+ public:
+  /// `state` is the CATAPULT state returned by BuildVqiForDatabase (moved
+  /// in). The maintainer owns it from here on.
+  VqiMaintainer(CatapultState state, MidasConfig config);
+
+  /// Applies `update` to `db`, maintains the pattern set, refreshes the
+  /// panels of `vqi`. Returns the MIDAS maintenance report.
+  StatusOr<MaintenanceReport> ApplyBatch(VisualQueryInterface& vqi,
+                                         GraphDatabase& db,
+                                         BatchUpdate update,
+                                         const LabelDictionary* dict = nullptr);
+
+  const MidasState& state() const { return state_; }
+
+ private:
+  MidasState state_;
+  MidasConfig config_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_MAINTAINER_H_

@@ -1,0 +1,263 @@
+#include "vqi/panels.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace vqi {
+
+AttributePanel AttributePanel::FromStats(const LabelStats& stats,
+                                         const LabelDictionary* dict) {
+  AttributePanel panel;
+  for (const auto& [label, count] : stats.vertex_label_counts) {
+    AttributeEntry entry;
+    entry.label = label;
+    entry.count = count;
+    entry.name = dict ? dict->Name(label) : "L" + std::to_string(label);
+    panel.vertex_attributes_.push_back(std::move(entry));
+  }
+  for (const auto& [label, count] : stats.edge_label_counts) {
+    AttributeEntry entry;
+    entry.label = label;
+    entry.count = count;
+    entry.name = dict ? dict->Name(label) : "L" + std::to_string(label);
+    panel.edge_attributes_.push_back(std::move(entry));
+  }
+  auto by_count = [](const AttributeEntry& a, const AttributeEntry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.label < b.label;
+  };
+  std::sort(panel.vertex_attributes_.begin(), panel.vertex_attributes_.end(),
+            by_count);
+  std::sort(panel.edge_attributes_.begin(), panel.edge_attributes_.end(),
+            by_count);
+  return panel;
+}
+
+Label AttributePanel::DominantVertexLabel() const {
+  return vertex_attributes_.empty() ? 0 : vertex_attributes_.front().label;
+}
+
+void PatternPanel::AddBasic(Graph pattern) {
+  PatternEntry entry;
+  entry.graph = std::move(pattern);
+  entry.is_basic = true;
+  // Basic patterns precede canned ones.
+  auto first_canned = std::find_if(
+      entries_.begin(), entries_.end(),
+      [](const PatternEntry& e) { return !e.is_basic; });
+  entries_.insert(first_canned, std::move(entry));
+}
+
+void PatternPanel::AddCanned(Graph pattern, double coverage) {
+  PatternEntry entry;
+  entry.graph = std::move(pattern);
+  entry.is_basic = false;
+  entry.coverage = coverage;
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<Graph> PatternPanel::AllPatterns() const {
+  std::vector<Graph> out;
+  out.reserve(entries_.size());
+  for (const PatternEntry& e : entries_) out.push_back(e.graph);
+  return out;
+}
+
+std::vector<Graph> PatternPanel::CannedPatterns() const {
+  std::vector<Graph> out;
+  for (const PatternEntry& e : entries_) {
+    if (!e.is_basic) out.push_back(e.graph);
+  }
+  return out;
+}
+
+size_t PatternPanel::num_basic() const {
+  size_t count = 0;
+  for (const PatternEntry& e : entries_) count += e.is_basic ? 1 : 0;
+  return count;
+}
+
+size_t PatternPanel::num_canned() const { return size() - num_basic(); }
+
+void PatternPanel::ReplaceCanned(const std::vector<Graph>& patterns,
+                                 const std::vector<double>& coverages) {
+  VQI_CHECK_EQ(patterns.size(), coverages.size());
+  entries_.erase(std::remove_if(
+                     entries_.begin(), entries_.end(),
+                     [](const PatternEntry& e) { return !e.is_basic; }),
+                 entries_.end());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    AddCanned(patterns[i], coverages[i]);
+  }
+}
+
+std::vector<Graph> PatternPanel::DefaultBasicPatterns(Label vertex_label,
+                                                      Label edge_label) {
+  return {
+      builder::SingleEdge(vertex_label, vertex_label, edge_label),
+      builder::Path(3, vertex_label, edge_label),
+      builder::Triangle(vertex_label, edge_label),
+  };
+}
+
+uint64_t QueryPanel::EdgeKey(size_t a, size_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+size_t QueryPanel::AddVertex(Label label) {
+  vertices_.push_back(VertexSlot{label, true});
+  history_.push_back(EditOp{EditOp::kAddVertex});
+  return vertices_.size() - 1;
+}
+
+bool QueryPanel::AddEdge(size_t a, size_t b, Label label) {
+  if (!Alive(a) || !Alive(b) || a == b) return false;
+  uint64_t key = EdgeKey(a, b);
+  for (const auto& [k, l] : edges_) {
+    if (k == key) return false;
+  }
+  edges_.emplace_back(key, label);
+  history_.push_back(EditOp{EditOp::kAddEdge});
+  return true;
+}
+
+bool QueryPanel::SetVertexLabel(size_t v, Label label) {
+  if (!Alive(v)) return false;
+  vertices_[v].label = label;
+  history_.push_back(EditOp{EditOp::kSetVertexLabel});
+  return true;
+}
+
+bool QueryPanel::SetEdgeLabel(size_t a, size_t b, Label label) {
+  uint64_t key = EdgeKey(a, b);
+  for (auto& [k, l] : edges_) {
+    if (k == key) {
+      l = label;
+      history_.push_back(EditOp{EditOp::kSetEdgeLabel});
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> QueryPanel::AddPattern(const Graph& pattern) {
+  std::vector<size_t> handles;
+  handles.reserve(pattern.NumVertices());
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    vertices_.push_back(VertexSlot{pattern.VertexLabel(v), true});
+    handles.push_back(vertices_.size() - 1);
+  }
+  for (const Edge& e : pattern.Edges()) {
+    edges_.emplace_back(EdgeKey(handles[e.u], handles[e.v]), e.label);
+  }
+  // Stamping a pattern is ONE user action regardless of pattern size — the
+  // whole point of pattern-at-a-time formulation.
+  history_.push_back(EditOp{EditOp::kAddPattern});
+  return handles;
+}
+
+bool QueryPanel::MergeVertices(size_t a, size_t b) {
+  if (!Alive(a) || !Alive(b) || a == b) return false;
+  // Re-attach b's edges to a.
+  std::vector<std::pair<uint64_t, Label>> rebuilt;
+  rebuilt.reserve(edges_.size());
+  auto endpoints = [](uint64_t key) {
+    return std::pair<size_t, size_t>(key >> 32, key & 0xFFFFFFFFu);
+  };
+  for (const auto& [key, label] : edges_) {
+    auto [x, y] = endpoints(key);
+    if (x == b) x = a;
+    if (y == b) y = a;
+    if (x == y) continue;  // collapsed into a self loop: drop
+    uint64_t nk = EdgeKey(x, y);
+    bool dup = false;
+    for (const auto& [k2, l2] : rebuilt) {
+      if (k2 == nk) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) rebuilt.emplace_back(nk, label);
+  }
+  edges_ = std::move(rebuilt);
+  vertices_[b].alive = false;
+  history_.push_back(EditOp{EditOp::kMergeVertices});
+  return true;
+}
+
+bool QueryPanel::DeleteVertex(size_t v) {
+  if (!Alive(v)) return false;
+  vertices_[v].alive = false;
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [&](const std::pair<uint64_t, Label>& e) {
+                                return (e.first >> 32) == v ||
+                                       (e.first & 0xFFFFFFFFu) == v;
+                              }),
+               edges_.end());
+  history_.push_back(EditOp{EditOp::kDeleteVertex});
+  return true;
+}
+
+bool QueryPanel::DeleteEdge(size_t a, size_t b) {
+  uint64_t key = EdgeKey(a, b);
+  auto it = std::find_if(
+      edges_.begin(), edges_.end(),
+      [&](const std::pair<uint64_t, Label>& e) { return e.first == key; });
+  if (it == edges_.end()) return false;
+  edges_.erase(it);
+  history_.push_back(EditOp{EditOp::kDeleteEdge});
+  return true;
+}
+
+Graph QueryPanel::ToGraph() const {
+  Graph g;
+  std::unordered_map<size_t, VertexId> remap;
+  for (size_t v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].alive) remap[v] = g.AddVertex(vertices_[v].label);
+  }
+  for (const auto& [key, label] : edges_) {
+    size_t a = key >> 32, b = key & 0xFFFFFFFFu;
+    auto ia = remap.find(a), ib = remap.find(b);
+    VQI_CHECK(ia != remap.end() && ib != remap.end());
+    g.AddEdge(ia->second, ib->second, label);
+  }
+  return g;
+}
+
+void QueryPanel::Clear() {
+  vertices_.clear();
+  edges_.clear();
+  history_.clear();
+}
+
+void ResultsPanel::PopulateFromDatabase(const GraphDatabase& db,
+                                        const Graph& query, size_t limit) {
+  results_.clear();
+  for (const Graph& g : db.graphs()) {
+    if (results_.size() >= limit) break;
+    SubgraphMatcher matcher(query, g);
+    auto embedding = matcher.FindOne();
+    if (embedding.has_value()) {
+      results_.push_back(ResultEntry{g.id(), std::move(*embedding)});
+    }
+  }
+}
+
+void ResultsPanel::PopulateFromNetwork(const Graph& network,
+                                       const Graph& query, size_t limit) {
+  results_.clear();
+  MatchOptions options;
+  options.max_embeddings = limit;
+  options.max_steps = 2000000;
+  SubgraphMatcher matcher(query, network, options);
+  matcher.Enumerate([&](const Embedding& e) {
+    results_.push_back(ResultEntry{-1, e});
+    return results_.size() < limit;
+  });
+}
+
+}  // namespace vqi

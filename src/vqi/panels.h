@@ -1,0 +1,194 @@
+#ifndef VQLIB_VQI_PANELS_H_
+#define VQLIB_VQI_PANELS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "graph/graph_io.h"
+#include "match/vf2.h"
+
+namespace vqi {
+
+/// One row of the Attribute Panel: a node/edge label with its display name
+/// and its frequency in the underlying repository.
+struct AttributeEntry {
+  Label label = 0;
+  std::string name;
+  size_t count = 0;
+};
+
+/// The Attribute Panel of a VQI: the label vocabulary of the data source,
+/// ordered by descending frequency. Data-driven: populated by a single
+/// traversal of the repository (tutorial §2.3).
+class AttributePanel {
+ public:
+  AttributePanel() = default;
+
+  /// Builds the panel from repository label statistics; `dict` (optional)
+  /// supplies display names.
+  static AttributePanel FromStats(const LabelStats& stats,
+                                  const LabelDictionary* dict = nullptr);
+
+  const std::vector<AttributeEntry>& vertex_attributes() const {
+    return vertex_attributes_;
+  }
+  const std::vector<AttributeEntry>& edge_attributes() const {
+    return edge_attributes_;
+  }
+
+  /// Most frequent vertex label (0 if the panel is empty).
+  Label DominantVertexLabel() const;
+
+  size_t size() const {
+    return vertex_attributes_.size() + edge_attributes_.size();
+  }
+
+ private:
+  std::vector<AttributeEntry> vertex_attributes_;
+  std::vector<AttributeEntry> edge_attributes_;
+};
+
+/// One pattern exposed in the Pattern Panel.
+struct PatternEntry {
+  Graph graph;
+  /// Basic patterns (size <= z, typically edge/2-path/triangle) vs canned
+  /// patterns (larger, data-driven).
+  bool is_basic = false;
+  /// Coverage fraction at selection time, used for display ordering.
+  double coverage = 0.0;
+};
+
+/// The Pattern Panel: basic patterns plus the data-driven canned patterns.
+class PatternPanel {
+ public:
+  PatternPanel() = default;
+
+  void AddBasic(Graph pattern);
+  void AddCanned(Graph pattern, double coverage);
+
+  const std::vector<PatternEntry>& entries() const { return entries_; }
+
+  /// All pattern graphs, basic first then canned (the order a user browses).
+  std::vector<Graph> AllPatterns() const;
+
+  /// Only the canned patterns.
+  std::vector<Graph> CannedPatterns() const;
+
+  size_t num_basic() const;
+  size_t num_canned() const;
+  size_t size() const { return entries_.size(); }
+
+  /// Replaces the canned patterns (basic ones are kept) — the maintenance
+  /// entry point used by MIDAS.
+  void ReplaceCanned(const std::vector<Graph>& patterns,
+                     const std::vector<double>& coverages);
+
+  /// The standard basic patterns over the dominant vertex label: single
+  /// edge, 2-path, triangle (size z <= 3; tutorial §2.3).
+  static std::vector<Graph> DefaultBasicPatterns(Label vertex_label,
+                                                 Label edge_label = 0);
+
+ private:
+  std::vector<PatternEntry> entries_;
+};
+
+/// One recorded edit operation in the Query Panel (the atomic actions whose
+/// count is the "number of steps" usability measure).
+struct EditOp {
+  enum Kind {
+    kAddVertex,
+    kAddEdge,
+    kSetVertexLabel,
+    kSetEdgeLabel,
+    kAddPattern,
+    kMergeVertices,
+    kDeleteVertex,
+    kDeleteEdge,
+  };
+  Kind kind = kAddVertex;
+};
+
+/// The Query Panel: an editable query graph supporting both edge-at-a-time
+/// construction and pattern-at-a-time stamping with merges. Vertices carry
+/// stable handles that survive deletions.
+class QueryPanel {
+ public:
+  QueryPanel() = default;
+
+  /// Adds a vertex; returns its stable handle.
+  size_t AddVertex(Label label);
+
+  /// Adds an edge between two live vertices; false on dup/self/dead.
+  bool AddEdge(size_t a, size_t b, Label label = 0);
+
+  bool SetVertexLabel(size_t v, Label label);
+  bool SetEdgeLabel(size_t a, size_t b, Label label);
+
+  /// Stamps `pattern` into the panel as a new component; returns the handle
+  /// of each pattern vertex.
+  std::vector<size_t> AddPattern(const Graph& pattern);
+
+  /// Merges vertex `b` into `a` (the drag-connect gesture): b's edges are
+  /// re-attached to a, b disappears. False when either is dead or a == b.
+  bool MergeVertices(size_t a, size_t b);
+
+  bool DeleteVertex(size_t v);
+  bool DeleteEdge(size_t a, size_t b);
+
+  /// Compacts the live vertices/edges into a Graph (query execution input).
+  Graph ToGraph() const;
+
+  const std::vector<EditOp>& history() const { return history_; }
+  size_t StepCount() const { return history_.size(); }
+
+  void Clear();
+
+ private:
+  struct VertexSlot {
+    Label label = 0;
+    bool alive = false;
+  };
+  bool Alive(size_t v) const { return v < vertices_.size() && vertices_[v].alive; }
+  static uint64_t EdgeKey(size_t a, size_t b);
+
+  std::vector<VertexSlot> vertices_;
+  // Edge key ((min<<32)|max) -> label.
+  std::vector<std::pair<uint64_t, Label>> edges_;
+  std::vector<EditOp> history_;
+};
+
+/// One match in the Results Panel.
+struct ResultEntry {
+  /// Id of the data graph containing the match (-1 for single-network VQIs).
+  GraphId graph_id = -1;
+  /// Query vertex i maps to embedding[i] in that graph.
+  Embedding embedding;
+};
+
+/// The Results Panel: matches of the current query against the repository.
+class ResultsPanel {
+ public:
+  ResultsPanel() = default;
+
+  /// Runs the query against a graph collection; keeps up to `limit` matches
+  /// (one embedding per matching graph).
+  void PopulateFromDatabase(const GraphDatabase& db, const Graph& query,
+                            size_t limit = 100);
+
+  /// Runs the query against one network; keeps up to `limit` embeddings.
+  void PopulateFromNetwork(const Graph& network, const Graph& query,
+                           size_t limit = 100);
+
+  const std::vector<ResultEntry>& results() const { return results_; }
+  size_t size() const { return results_.size(); }
+  void Clear() { results_.clear(); }
+
+ private:
+  std::vector<ResultEntry> results_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_PANELS_H_

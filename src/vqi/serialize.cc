@@ -1,0 +1,137 @@
+#include "vqi/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "graph/graph_io.h"
+
+namespace vqi {
+
+std::string SerializeVqi(const VisualQueryInterface& vqi) {
+  std::ostringstream out;
+  out << "VQI1\n";
+  out << "kind " << DataSourceKindName(vqi.kind()) << "\n";
+  for (const AttributeEntry& e : vqi.attribute_panel().vertex_attributes()) {
+    out << "vattr " << e.label << " " << e.count << " " << e.name << "\n";
+  }
+  for (const AttributeEntry& e : vqi.attribute_panel().edge_attributes()) {
+    out << "eattr " << e.label << " " << e.count << " " << e.name << "\n";
+  }
+  for (const PatternEntry& p : vqi.pattern_panel().entries()) {
+    out << "pattern " << (p.is_basic ? "basic" : "canned") << " "
+        << p.coverage << "\n";
+    out << io::WriteGraph(p.graph);
+    out << "end\n";
+  }
+  return out.str();
+}
+
+StatusOr<VisualQueryInterface> ParseVqi(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+  };
+
+  if (!std::getline(in, line) || StripWhitespace(line) != "VQI1") {
+    return Status::ParseError("missing VQI1 header");
+  }
+  line_no = 1;
+
+  DataSourceKind kind = DataSourceKind::kGraphCollection;
+  AttributePanel attributes;
+  PatternPanel patterns;
+  // AttributePanel has no incremental API; accumulate stats + names and
+  // build at the end.
+  LabelStats stats;
+  LabelDictionary dict;
+
+  std::string pattern_block;
+  bool in_pattern = false;
+  bool pattern_is_basic = false;
+  double pattern_coverage = 0.0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (in_pattern) {
+      if (stripped == "end") {
+        StatusOr<Graph> g = io::ParseGraph(pattern_block);
+        if (!g.ok()) return g.status();
+        if (pattern_is_basic) {
+          patterns.AddBasic(std::move(*g));
+        } else {
+          patterns.AddCanned(std::move(*g), pattern_coverage);
+        }
+        in_pattern = false;
+        pattern_block.clear();
+      } else {
+        pattern_block += std::string(stripped) + "\n";
+      }
+      continue;
+    }
+    std::vector<std::string> tokens = Split(stripped, ' ');
+    if (tokens[0] == "kind") {
+      if (tokens.size() != 2) return fail("kind needs one argument");
+      if (tokens[1] == "graph-collection") {
+        kind = DataSourceKind::kGraphCollection;
+      } else if (tokens[1] == "single-network") {
+        kind = DataSourceKind::kSingleNetwork;
+      } else {
+        return fail("unknown kind '" + tokens[1] + "'");
+      }
+    } else if (tokens[0] == "vattr" || tokens[0] == "eattr") {
+      if (tokens.size() < 4) return fail("attr needs label, count, name");
+      int64_t label = 0, count = 0;
+      if (!ParseInt64(tokens[1], &label) || !ParseInt64(tokens[2], &count) ||
+          label < 0 || count < 0) {
+        return fail("bad attr numbers");
+      }
+      // Name = remainder (may contain spaces).
+      std::vector<std::string> name_parts(tokens.begin() + 3, tokens.end());
+      dict.SetName(static_cast<Label>(label), Join(name_parts, " "));
+      auto& counts = tokens[0] == "vattr" ? stats.vertex_label_counts
+                                          : stats.edge_label_counts;
+      counts[static_cast<Label>(label)] = static_cast<size_t>(count);
+    } else if (tokens[0] == "pattern") {
+      if (tokens.size() != 3) return fail("pattern needs kind and coverage");
+      pattern_is_basic = tokens[1] == "basic";
+      if (!pattern_is_basic && tokens[1] != "canned") {
+        return fail("pattern kind must be basic|canned");
+      }
+      if (!ParseDouble(tokens[2], &pattern_coverage)) {
+        return fail("bad coverage");
+      }
+      in_pattern = true;
+      pattern_block.clear();
+    } else {
+      return fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (in_pattern) return Status::ParseError("unterminated pattern block");
+
+  attributes = AttributePanel::FromStats(stats, &dict);
+  return VisualQueryInterface(kind, std::move(attributes),
+                              std::move(patterns));
+}
+
+Status SaveVqi(const VisualQueryInterface& vqi, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << SerializeVqi(vqi);
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<VisualQueryInterface> LoadVqi(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseVqi(buffer.str());
+}
+
+}  // namespace vqi

@@ -1,0 +1,35 @@
+#ifndef VQLIB_VQI_SERIALIZE_H_
+#define VQLIB_VQI_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "vqi/interface.h"
+
+namespace vqi {
+
+/// Serializes a VQI (source kind, Attribute Panel, Pattern Panel) to a
+/// line-oriented text format. The Query/Results panels are session state and
+/// are not persisted. This is the portability story of data-driven VQIs:
+/// an interface built on one machine ships as a small text artifact.
+///
+/// Format (one directive per line):
+///   VQI1
+///   kind <graph-collection|single-network>
+///   vattr <label> <count> <name>
+///   eattr <label> <count> <name>
+///   pattern <basic|canned> <coverage>
+///   <.lg graph lines: t / v / e>
+///   end
+std::string SerializeVqi(const VisualQueryInterface& vqi);
+
+/// Parses the format written by SerializeVqi.
+StatusOr<VisualQueryInterface> ParseVqi(const std::string& text);
+
+/// Saves/loads a VQI to/from a file.
+Status SaveVqi(const VisualQueryInterface& vqi, const std::string& path);
+StatusOr<VisualQueryInterface> LoadVqi(const std::string& path);
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_SERIALIZE_H_

@@ -1,0 +1,101 @@
+#include "vqi/session.h"
+
+#include "common/logging.h"
+
+namespace vqi {
+
+QuerySession::QuerySession(QueryPanel* panel, size_t max_history)
+    : panel_(panel), max_history_(max_history) {
+  VQI_CHECK(panel != nullptr);
+  VQI_CHECK_GE(max_history, 1u);
+}
+
+void QuerySession::PushUndo() {
+  undo_stack_.push_back(*panel_);
+  if (undo_stack_.size() > max_history_) {
+    undo_stack_.erase(undo_stack_.begin());
+  }
+  redo_stack_.clear();  // a new edit invalidates the redo branch
+}
+
+size_t QuerySession::AddVertex(Label label) {
+  PushUndo();
+  return panel_->AddVertex(label);
+}
+
+bool QuerySession::AddEdge(size_t a, size_t b, Label label) {
+  QueryPanel snapshot = *panel_;
+  if (!panel_->AddEdge(a, b, label)) return false;
+  undo_stack_.push_back(std::move(snapshot));
+  if (undo_stack_.size() > max_history_) undo_stack_.erase(undo_stack_.begin());
+  redo_stack_.clear();
+  return true;
+}
+
+bool QuerySession::SetVertexLabel(size_t v, Label label) {
+  QueryPanel snapshot = *panel_;
+  if (!panel_->SetVertexLabel(v, label)) return false;
+  undo_stack_.push_back(std::move(snapshot));
+  if (undo_stack_.size() > max_history_) undo_stack_.erase(undo_stack_.begin());
+  redo_stack_.clear();
+  return true;
+}
+
+bool QuerySession::SetEdgeLabel(size_t a, size_t b, Label label) {
+  QueryPanel snapshot = *panel_;
+  if (!panel_->SetEdgeLabel(a, b, label)) return false;
+  undo_stack_.push_back(std::move(snapshot));
+  if (undo_stack_.size() > max_history_) undo_stack_.erase(undo_stack_.begin());
+  redo_stack_.clear();
+  return true;
+}
+
+std::vector<size_t> QuerySession::AddPattern(const Graph& pattern) {
+  PushUndo();
+  return panel_->AddPattern(pattern);
+}
+
+bool QuerySession::MergeVertices(size_t a, size_t b) {
+  QueryPanel snapshot = *panel_;
+  if (!panel_->MergeVertices(a, b)) return false;
+  undo_stack_.push_back(std::move(snapshot));
+  if (undo_stack_.size() > max_history_) undo_stack_.erase(undo_stack_.begin());
+  redo_stack_.clear();
+  return true;
+}
+
+bool QuerySession::DeleteVertex(size_t v) {
+  QueryPanel snapshot = *panel_;
+  if (!panel_->DeleteVertex(v)) return false;
+  undo_stack_.push_back(std::move(snapshot));
+  if (undo_stack_.size() > max_history_) undo_stack_.erase(undo_stack_.begin());
+  redo_stack_.clear();
+  return true;
+}
+
+bool QuerySession::DeleteEdge(size_t a, size_t b) {
+  QueryPanel snapshot = *panel_;
+  if (!panel_->DeleteEdge(a, b)) return false;
+  undo_stack_.push_back(std::move(snapshot));
+  if (undo_stack_.size() > max_history_) undo_stack_.erase(undo_stack_.begin());
+  redo_stack_.clear();
+  return true;
+}
+
+bool QuerySession::Undo() {
+  if (undo_stack_.empty()) return false;
+  redo_stack_.push_back(*panel_);
+  *panel_ = std::move(undo_stack_.back());
+  undo_stack_.pop_back();
+  return true;
+}
+
+bool QuerySession::Redo() {
+  if (redo_stack_.empty()) return false;
+  undo_stack_.push_back(*panel_);
+  *panel_ = std::move(redo_stack_.back());
+  redo_stack_.pop_back();
+  return true;
+}
+
+}  // namespace vqi

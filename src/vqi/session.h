@@ -1,0 +1,50 @@
+#ifndef VQLIB_VQI_SESSION_H_
+#define VQLIB_VQI_SESSION_H_
+
+#include <vector>
+
+#include "vqi/panels.h"
+
+namespace vqi {
+
+/// An editing session over a QueryPanel with undo/redo — the "robustness"
+/// and "errors" usability criteria of §2.1 (users must recover from
+/// mistakes easily). Mutations go through the session; each successful
+/// mutation pushes an undo snapshot. Failed mutations leave history
+/// untouched.
+class QuerySession {
+ public:
+  /// `panel` must outlive the session.
+  explicit QuerySession(QueryPanel* panel, size_t max_history = 64);
+
+  // Forwarded mutations (same contracts as QueryPanel).
+  size_t AddVertex(Label label);
+  bool AddEdge(size_t a, size_t b, Label label = 0);
+  bool SetVertexLabel(size_t v, Label label);
+  bool SetEdgeLabel(size_t a, size_t b, Label label);
+  std::vector<size_t> AddPattern(const Graph& pattern);
+  bool MergeVertices(size_t a, size_t b);
+  bool DeleteVertex(size_t v);
+  bool DeleteEdge(size_t a, size_t b);
+
+  /// Reverts the last successful mutation; false when nothing to undo.
+  bool Undo();
+
+  /// Re-applies the last undone mutation; false when nothing to redo.
+  bool Redo();
+
+  size_t undo_depth() const { return undo_stack_.size(); }
+  size_t redo_depth() const { return redo_stack_.size(); }
+
+ private:
+  void PushUndo();
+
+  QueryPanel* panel_;
+  size_t max_history_;
+  std::vector<QueryPanel> undo_stack_;
+  std::vector<QueryPanel> redo_stack_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_SESSION_H_

@@ -1,0 +1,82 @@
+#include "vqi/suggestion.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "match/vf2.h"
+
+namespace vqi {
+
+namespace {
+
+void IndexGraph(const Graph& g,
+                std::map<std::tuple<Label, Label, Label>, size_t>& counts) {
+  for (const Edge& e : g.Edges()) {
+    Label lu = g.VertexLabel(e.u);
+    Label lv = g.VertexLabel(e.v);
+    ++counts[{lu, e.label, lv}];
+    if (lu != lv) ++counts[{lv, e.label, lu}];
+  }
+}
+
+}  // namespace
+
+SuggestionIndex SuggestionIndex::Build(const GraphDatabase& db) {
+  SuggestionIndex index;
+  for (const Graph& g : db.graphs()) IndexGraph(g, index.counts_);
+  return index;
+}
+
+SuggestionIndex SuggestionIndex::BuildFromNetwork(const Graph& network) {
+  SuggestionIndex index;
+  IndexGraph(network, index.counts_);
+  return index;
+}
+
+std::vector<EdgeSuggestion> SuggestionIndex::SuggestFrom(Label from,
+                                                         size_t k) const {
+  std::vector<EdgeSuggestion> suggestions;
+  for (const auto& [key, count] : counts_) {
+    if (std::get<0>(key) != from) continue;
+    EdgeSuggestion s;
+    s.from_label = from;
+    s.edge_label = std::get<1>(key);
+    s.to_label = std::get<2>(key);
+    s.support = count;
+    suggestions.push_back(s);
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const EdgeSuggestion& a, const EdgeSuggestion& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return std::tie(a.edge_label, a.to_label) <
+                     std::tie(b.edge_label, b.to_label);
+            });
+  if (suggestions.size() > k) suggestions.resize(k);
+  return suggestions;
+}
+
+std::vector<EdgeSuggestion> SuggestionIndex::SuggestNextEdges(
+    const Graph& query, VertexId focus, size_t k) const {
+  VQI_CHECK_LT(focus, query.NumVertices());
+  return SuggestFrom(query.VertexLabel(focus), k);
+}
+
+std::vector<size_t> PatternsContainingQuery(const Graph& query,
+                                            const std::vector<Graph>& patterns,
+                                            size_t k) {
+  std::vector<size_t> hits;
+  // Smallest pattern first: the tightest superstructures are the most
+  // actionable suggestions.
+  std::vector<size_t> order(patterns.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return patterns[a].NumEdges() < patterns[b].NumEdges();
+  });
+  for (size_t i : order) {
+    if (hits.size() >= k) break;
+    if (ContainsSubgraph(patterns[i], query)) hits.push_back(i);
+  }
+  return hits;
+}
+
+}  // namespace vqi

@@ -1,0 +1,67 @@
+#ifndef VQLIB_VQI_SUGGESTION_H_
+#define VQLIB_VQI_SUGGESTION_H_
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+
+/// One ranked auto-suggestion: "from a vertex labeled `from_label`, users of
+/// this repository most often continue with an `edge_label` edge to a
+/// `to_label` vertex" (seen `support` times in the data).
+struct EdgeSuggestion {
+  Label from_label = 0;
+  Label edge_label = 0;
+  Label to_label = 0;
+  size_t support = 0;
+};
+
+/// Data-driven query auto-suggestion, in the spirit of the surveyed VIIQ
+/// (auto-suggestion-enabled visual interfaces) and PICASSO (exploratory
+/// search of connected substructures): a small index over the repository
+/// that, given the vertex a user is extending, ranks the most plausible
+/// next edges, and, given a partial query, finds the canned patterns that
+/// contain it (so the panel can highlight ways to grow the query).
+class SuggestionIndex {
+ public:
+  SuggestionIndex() = default;
+
+  /// Scans every edge of every graph (both directions) and tabulates
+  /// (from label, edge label, to label) frequencies.
+  static SuggestionIndex Build(const GraphDatabase& db);
+
+  /// Same, over one large network.
+  static SuggestionIndex BuildFromNetwork(const Graph& network);
+
+  /// Top-`k` continuations from a vertex labeled `from`, by support.
+  std::vector<EdgeSuggestion> SuggestFrom(Label from, size_t k) const;
+
+  /// Top-`k` continuations for `focus` inside `query` (uses the focus
+  /// vertex's label; present for API symmetry with a GUI callback).
+  std::vector<EdgeSuggestion> SuggestNextEdges(const Graph& query,
+                                               VertexId focus,
+                                               size_t k) const;
+
+  /// Total number of distinct (from, edge, to) triples indexed.
+  size_t size() const { return counts_.size(); }
+
+ private:
+  // (from, edge label, to) -> occurrences. Both orientations are indexed.
+  std::map<std::tuple<Label, Label, Label>, size_t> counts_;
+};
+
+/// Exploratory search: indices (into `patterns`) of the canned patterns
+/// that contain the current partial `query` as a subgraph, smallest pattern
+/// first — i.e. the panel entries that can absorb the user's query so far.
+/// `query` must be non-empty; an empty query matches every pattern.
+std::vector<size_t> PatternsContainingQuery(const Graph& query,
+                                            const std::vector<Graph>& patterns,
+                                            size_t k);
+
+}  // namespace vqi
+
+#endif  // VQLIB_VQI_SUGGESTION_H_

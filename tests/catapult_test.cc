@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "catapult/catapult.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "match/pattern_utils.h"
+#include "match/vf2.h"
+#include "metrics/coverage.h"
+#include "metrics/diversity.h"
+
+namespace vqi {
+namespace {
+
+CatapultConfig SmallConfig() {
+  CatapultConfig config;
+  config.budget = 6;
+  config.min_pattern_edges = 4;
+  config.max_pattern_edges = 10;
+  config.num_clusters = 4;
+  config.tree_config.min_support = 5;
+  config.tree_config.max_edges = 2;
+  config.walks_per_csg = 24;
+  config.seed = 7;
+  return config;
+}
+
+class CatapultTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new GraphDatabase(
+        gen::MoleculeDatabase(120, gen::MoleculeConfig{}, 101));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static GraphDatabase* db_;
+};
+
+GraphDatabase* CatapultTest::db_ = nullptr;
+
+TEST_F(CatapultTest, ProducesPatternsWithinBudgetAndSizeRange) {
+  auto result = RunCatapult(*db_, SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& patterns = result->patterns();
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_LE(patterns.size(), 6u);
+  for (const Graph& p : patterns) {
+    EXPECT_GE(p.NumEdges(), 4u);
+    EXPECT_LE(p.NumEdges(), 10u);
+    EXPECT_TRUE(IsConnected(p));
+  }
+}
+
+TEST_F(CatapultTest, PatternsOccurInDatabase) {
+  auto result = RunCatapult(*db_, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  for (const Graph& p : result->patterns()) {
+    EXPECT_GT(DbCoverage(*db_, p), 0.0) << p.DebugString();
+  }
+}
+
+TEST_F(CatapultTest, Deterministic) {
+  auto a = RunCatapult(*db_, SmallConfig());
+  auto b = RunCatapult(*db_, SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->patterns().size(), b->patterns().size());
+  for (size_t i = 0; i < a->patterns().size(); ++i) {
+    EXPECT_TRUE(a->patterns()[i].IdenticalTo(b->patterns()[i]));
+  }
+}
+
+TEST_F(CatapultTest, BeatsRandomSelectionOnCombinedObjective) {
+  CatapultConfig config = SmallConfig();
+  auto result = RunCatapult(*db_, config);
+  ASSERT_TRUE(result.ok());
+  double catapult_cov = DbSetCoverage(*db_, result->patterns());
+
+  // Random baseline: patterns sampled uniformly from random graphs.
+  Rng rng(3);
+  std::vector<Graph> random_patterns;
+  while (random_patterns.size() < result->patterns().size()) {
+    const Graph& g = db_->graphs()[rng.UniformInt(db_->size())];
+    auto sub = RandomConnectedSubgraph(g, 4 + rng.UniformInt(7), rng);
+    if (sub.has_value()) random_patterns.push_back(std::move(*sub));
+  }
+  double random_cov = DbSetCoverage(*db_, random_patterns);
+  // CATAPULT should not lose to random on coverage (usually wins well).
+  EXPECT_GE(catapult_cov + 0.05, random_cov);
+}
+
+TEST_F(CatapultTest, StateRetainedForMaintenance) {
+  auto result = RunCatapult(*db_, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  const CatapultState& state = result->state;
+  EXPECT_FALSE(state.cluster_members.empty());
+  EXPECT_EQ(state.cluster_members.size(), state.csgs.size());
+  EXPECT_EQ(state.cluster_members.size(), state.medoid_features.size());
+  // Every database graph appears in exactly one cluster.
+  size_t total = 0;
+  for (const auto& members : state.cluster_members) total += members.size();
+  EXPECT_EQ(total, db_->size());
+  // GFD is recorded for drift checks.
+  double sum = 0;
+  for (double f : state.gfd.freq) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(CatapultTest, StatsPopulated) {
+  auto result = RunCatapult(*db_, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.num_candidates, 0u);
+  EXPECT_GT(result->stats.num_clusters, 0u);
+  EXPECT_GT(result->stats.total_seconds(), 0.0);
+}
+
+TEST(CatapultValidationTest, RejectsBadInput) {
+  GraphDatabase empty;
+  CatapultConfig config;
+  EXPECT_FALSE(RunCatapult(empty, config).ok());
+
+  GraphDatabase db = gen::MoleculeDatabase(5, gen::MoleculeConfig{}, 1);
+  config.budget = 0;
+  EXPECT_FALSE(RunCatapult(db, config).ok());
+  config.budget = 5;
+  config.min_pattern_edges = 10;
+  config.max_pattern_edges = 4;
+  EXPECT_FALSE(RunCatapult(db, config).ok());
+}
+
+TEST(CatapultValidationTest, ClosedTreeVariantRuns) {
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, 5);
+  CatapultConfig config;
+  config.budget = 4;
+  config.num_clusters = 3;
+  config.use_closed_trees = true;
+  config.tree_config.min_support = 4;
+  config.walks_per_csg = 16;
+  auto result = RunCatapult(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->patterns().empty());
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/agglomerative.h"
+#include "cluster/closure.h"
+#include "cluster/csg.h"
+#include "cluster/features.h"
+#include "cluster/kmedoids.h"
+#include "cluster/similarity.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "match/vf2.h"
+#include "mining/tree_miner.h"
+
+namespace vqi {
+namespace {
+
+TEST(SimilarityTest, CosineBasics) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {1, 0}), 0.7071, 1e-3);
+}
+
+TEST(SimilarityTest, Distances) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}, DistanceMetric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 0}, {1, 0}, DistanceMetric::kCosine), 0.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 0}, DistanceMetric::kJaccard), 0.5);
+  EXPECT_DOUBLE_EQ(Distance({}, {}, DistanceMetric::kJaccard), 0.0);
+}
+
+TEST(FeaturesTest, TreeFeaturesMatchSupports) {
+  GraphDatabase db;
+  db.Add(builder::FromLists({0, 1}, {{0, 1, 0}}));
+  db.Add(builder::FromLists({0, 1, 1}, {{0, 1, 0}, {1, 2, 0}}));
+  db.Add(builder::FromLists({2, 2}, {{0, 1, 0}}));
+  TreeMinerConfig config;
+  config.min_support = 1;
+  config.max_edges = 1;
+  auto basis = MineFrequentTrees(db, config);
+  auto features = TreeFeatures(db, basis);
+  ASSERT_EQ(features.size(), 3u);
+  for (size_t i = 0; i < db.size(); ++i) {
+    FeatureVector direct = TreeFeatureOf(db.graphs()[i], basis);
+    EXPECT_EQ(features[i], direct) << "graph " << i;
+  }
+}
+
+std::vector<FeatureVector> TwoBlobs() {
+  // Two well-separated blobs in 2D.
+  return {
+      {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1}, {0.1, 0.1},
+      {5.0, 5.0}, {5.1, 5.0}, {5.0, 5.1}, {5.1, 5.1},
+  };
+}
+
+TEST(KMedoidsTest, SeparatesBlobs) {
+  Rng rng(1);
+  auto points = TwoBlobs();
+  ClusteringResult result =
+      KMedoids(points, 2, DistanceMetric::kEuclidean, rng);
+  ASSERT_EQ(result.num_clusters(), 2u);
+  // First four together, last four together.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(result.assignment[i], result.assignment[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(result.assignment[i], result.assignment[4]);
+  EXPECT_NE(result.assignment[0], result.assignment[4]);
+  EXPECT_GT(MeanSilhouette(points, result, DistanceMetric::kEuclidean), 0.8);
+}
+
+TEST(KMedoidsTest, KClampedToN) {
+  Rng rng(2);
+  std::vector<FeatureVector> points = {{0.0}, {1.0}};
+  ClusteringResult result =
+      KMedoids(points, 10, DistanceMetric::kEuclidean, rng);
+  EXPECT_EQ(result.num_clusters(), 2u);
+  EXPECT_NEAR(result.cost, 0.0, 1e-12);
+}
+
+TEST(KMedoidsTest, EmptyInput) {
+  Rng rng(3);
+  ClusteringResult result = KMedoids({}, 3, DistanceMetric::kEuclidean, rng);
+  EXPECT_EQ(result.num_clusters(), 0u);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(KMedoidsTest, MedoidsAreMembers) {
+  Rng rng(4);
+  auto points = TwoBlobs();
+  ClusteringResult result =
+      KMedoids(points, 3, DistanceMetric::kEuclidean, rng);
+  for (size_t c = 0; c < result.num_clusters(); ++c) {
+    size_t medoid = result.medoids[c];
+    ASSERT_LT(medoid, points.size());
+  }
+}
+
+TEST(AgglomerativeTest, SeparatesBlobs) {
+  auto points = TwoBlobs();
+  ClusteringResult result =
+      AgglomerativeAverageLinkage(points, 2, DistanceMetric::kEuclidean);
+  ASSERT_EQ(result.num_clusters(), 2u);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(result.assignment[i], result.assignment[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(result.assignment[i], result.assignment[4]);
+  EXPECT_NE(result.assignment[0], result.assignment[4]);
+}
+
+TEST(AgglomerativeTest, KOneMergesAll) {
+  auto points = TwoBlobs();
+  ClusteringResult result =
+      AgglomerativeAverageLinkage(points, 1, DistanceMetric::kEuclidean);
+  EXPECT_EQ(result.num_clusters(), 1u);
+  std::set<int> labels(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(labels.size(), 1u);
+}
+
+TEST(ClusterMembersTest, Partition) {
+  auto members = ClusterMembers({0, 1, 0, 1, 2}, 3);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].size(), 2u);
+  EXPECT_EQ(members[2].size(), 1u);
+}
+
+TEST(ClosureTest, IdenticalGraphsAlignPerfectly) {
+  Graph a = builder::FromLists({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  Graph closure = GraphClosure(a, a);
+  EXPECT_EQ(closure.NumVertices(), a.NumVertices());
+  EXPECT_EQ(closure.NumEdges(), a.NumEdges());
+  for (VertexId v = 0; v < closure.NumVertices(); ++v) {
+    EXPECT_NE(closure.VertexLabel(v), kDummyLabel);
+  }
+}
+
+TEST(ClosureTest, DisjointLabelsCreateNewVertices) {
+  Graph a = builder::SingleEdge(0, 1);
+  Graph b = builder::SingleEdge(7, 8);
+  Graph closure = GraphClosure(a, b);
+  // Nothing aligns; closure holds both edges.
+  EXPECT_EQ(closure.NumVertices(), 4u);
+  EXPECT_EQ(closure.NumEdges(), 2u);
+}
+
+TEST(ClosureTest, EveryMemberRepresented) {
+  // The closure must contain at least as many vertices/edges as each input.
+  Rng rng(8);
+  gen::MoleculeConfig config;
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph a = gen::Molecule(config, rng);
+    Graph b = gen::Molecule(config, rng);
+    Graph closure = GraphClosure(a, b);
+    EXPECT_GE(closure.NumVertices(), std::max(a.NumVertices(), b.NumVertices()));
+    EXPECT_GE(closure.NumEdges(), std::max(a.NumEdges(), b.NumEdges()));
+    EXPECT_LE(closure.NumVertices(), a.NumVertices() + b.NumVertices());
+    EXPECT_LE(closure.NumEdges(), a.NumEdges() + b.NumEdges());
+  }
+}
+
+TEST(CsgTest, SingleMemberIsItself) {
+  Graph a = builder::FromLists({0, 1, 2}, {{0, 1, 5}, {1, 2, 6}});
+  ClusterSummaryGraph csg = ClusterSummaryGraph::Build({&a});
+  EXPECT_EQ(csg.num_members(), 1u);
+  EXPECT_EQ(csg.graph().NumVertices(), 3u);
+  EXPECT_EQ(csg.graph().NumEdges(), 2u);
+  auto edges = csg.graph().Edges();
+  for (const Edge& e : edges) {
+    EXPECT_DOUBLE_EQ(csg.EdgeWeight(e.u, e.v), 1.0);
+  }
+}
+
+TEST(CsgTest, SharedEdgesGetHigherWeight) {
+  // Three graphs all containing labeled edge (0)-(1); only one has (1)-(2).
+  Graph a = builder::FromLists({0, 1}, {{0, 1, 0}});
+  Graph b = builder::FromLists({0, 1}, {{0, 1, 0}});
+  Graph c = builder::FromLists({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  ClusterSummaryGraph csg = ClusterSummaryGraph::Build({&a, &b, &c});
+  EXPECT_EQ(csg.num_members(), 3u);
+  // Find the (0)-(1) edge and the (1)-(2) edge by endpoint labels.
+  const Graph& g = csg.graph();
+  double shared_weight = 0.0, rare_weight = 0.0;
+  for (const Edge& e : g.Edges()) {
+    Label lu = g.VertexLabel(e.u), lv = g.VertexLabel(e.v);
+    if ((lu == 0 && lv == 1) || (lu == 1 && lv == 0)) {
+      shared_weight = csg.EdgeWeight(e.u, e.v);
+    }
+    if ((lu == 1 && lv == 2) || (lu == 2 && lv == 1)) {
+      rare_weight = csg.EdgeWeight(e.u, e.v);
+    }
+  }
+  EXPECT_DOUBLE_EQ(shared_weight, 3.0);
+  EXPECT_DOUBLE_EQ(rare_weight, 1.0);
+}
+
+TEST(CsgTest, MajorityLabelsKeepPatternsMatchable) {
+  // Unlike a wildcard closure, the CSG must never emit kDummyLabel.
+  Rng rng(9);
+  gen::MoleculeConfig config;
+  std::vector<Graph> members;
+  for (int i = 0; i < 6; ++i) members.push_back(gen::Molecule(config, rng));
+  std::vector<const Graph*> ptrs;
+  for (const Graph& m : members) ptrs.push_back(&m);
+  ClusterSummaryGraph csg = ClusterSummaryGraph::Build(ptrs);
+  for (VertexId v = 0; v < csg.graph().NumVertices(); ++v) {
+    EXPECT_NE(csg.graph().VertexLabel(v), kDummyLabel);
+  }
+  for (const Edge& e : csg.graph().Edges()) {
+    EXPECT_NE(e.label, kDummyLabel);
+  }
+}
+
+TEST(CsgTest, CsgSmallerThanMemberSum) {
+  // Folding similar molecules should merge shared skeletons.
+  GraphDatabase db = gen::MoleculeDatabase(8, gen::MoleculeConfig{}, 31);
+  std::vector<const Graph*> ptrs;
+  size_t total_vertices = 0;
+  for (const Graph& g : db.graphs()) {
+    ptrs.push_back(&g);
+    total_vertices += g.NumVertices();
+  }
+  ClusterSummaryGraph csg = ClusterSummaryGraph::Build(ptrs);
+  EXPECT_LT(csg.graph().NumVertices(), total_vertices);
+}
+
+}  // namespace
+}  // namespace vqi

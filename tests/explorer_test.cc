@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "vqi/explorer.h"
+
+namespace vqi {
+namespace {
+
+TEST(ExplorerTest, FindsDistinctRegions) {
+  // Network: three disjoint triangles joined by a long path. The triangle
+  // pattern has exactly three distinct occurrences.
+  Graph g;
+  std::vector<VertexId> anchors;
+  for (int t = 0; t < 3; ++t) {
+    VertexId a = g.AddVertex(0), b = g.AddVertex(0), c = g.AddVertex(0);
+    g.AddEdge(a, b);
+    g.AddEdge(b, c);
+    g.AddEdge(a, c);
+    anchors.push_back(a);
+  }
+  g.AddEdge(anchors[0], anchors[1]);
+  g.AddEdge(anchors[1], anchors[2]);
+
+  ExploreOptions options;
+  options.num_regions = 10;
+  options.hops = 0;
+  auto regions = ExploreFromPattern(g, builder::Triangle(0), options);
+  ASSERT_EQ(regions.size(), 3u);
+  for (const ExplorationRegion& r : regions) {
+    EXPECT_EQ(r.seed_embedding.size(), 3u);
+    // hops = 0: region is exactly the embedding.
+    EXPECT_EQ(r.region.NumVertices(), 3u);
+    EXPECT_EQ(CountTriangles(r.region), 1u);
+    for (bool in : r.in_embedding) EXPECT_TRUE(in);
+  }
+}
+
+TEST(ExplorerTest, HopsGrowRegion) {
+  // Triangle with pendant path: 1 hop pulls in the first path vertex.
+  Graph g = builder::Triangle(0);
+  VertexId p1 = g.AddVertex(7);
+  VertexId p2 = g.AddVertex(8);
+  g.AddEdge(0, p1);
+  g.AddEdge(p1, p2);
+
+  ExploreOptions options;
+  options.num_regions = 1;
+  options.hops = 1;
+  auto regions = ExploreFromPattern(g, builder::Triangle(0), options);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].region.NumVertices(), 4u);  // triangle + p1
+  // Exactly one region vertex is outside the embedding.
+  size_t outside = 0;
+  for (bool in : regions[0].in_embedding) outside += in ? 0 : 1;
+  EXPECT_EQ(outside, 1u);
+
+  options.hops = 2;
+  regions = ExploreFromPattern(g, builder::Triangle(0), options);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].region.NumVertices(), 5u);  // + p2
+}
+
+TEST(ExplorerTest, AutomorphicImagesDeduplicated) {
+  // One triangle has 6 automorphic embeddings but must yield one region.
+  Graph g = builder::Triangle(0);
+  ExploreOptions options;
+  options.num_regions = 10;
+  auto regions = ExploreFromPattern(g, builder::Triangle(0), options);
+  EXPECT_EQ(regions.size(), 1u);
+}
+
+TEST(ExplorerTest, RegionSizeCapped) {
+  Rng rng(3);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 1;
+  Graph g = gen::BarabasiAlbert(300, 3, labels, rng);
+  ExploreOptions options;
+  options.num_regions = 2;
+  options.hops = 3;
+  options.max_region_vertices = 20;
+  auto regions = ExploreFromPattern(g, builder::Path(3, 0), options);
+  ASSERT_FALSE(regions.empty());
+  for (const ExplorationRegion& r : regions) {
+    EXPECT_LE(r.region.NumVertices(), 20u);
+  }
+}
+
+TEST(ExplorerTest, NoOccurrencesNoRegions) {
+  Graph g = builder::Path(6, 0);
+  auto regions = ExploreFromPattern(g, builder::Triangle(0), ExploreOptions{});
+  EXPECT_TRUE(regions.empty());
+}
+
+TEST(ExplorerTest, GraphsContainingPattern) {
+  GraphDatabase db;
+  GraphId with1 = db.Add(builder::Triangle(0));
+  db.Add(builder::Path(4, 0));
+  GraphId with2 = db.Add(builder::Clique(4, 0));
+  auto ids = GraphsContainingPattern(db, builder::Triangle(0));
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], with1);
+  EXPECT_EQ(ids[1], with2);
+  // Limit respected.
+  EXPECT_EQ(GraphsContainingPattern(db, builder::Triangle(0), 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace vqi

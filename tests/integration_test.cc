@@ -1,0 +1,201 @@
+// End-to-end integration tests across module boundaries: the full
+// lifecycle a downstream user runs, asserting cross-module invariants
+// rather than per-module behavior.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "metrics/coverage.h"
+#include "sim/usability.h"
+#include "sim/workload.h"
+#include "vqi/builder.h"
+#include "vqi/explorer.h"
+#include "vqi/maintainer.h"
+#include "vqi/serialize.h"
+#include "vqi/session.h"
+#include "vqi/suggestion.h"
+
+namespace vqi {
+namespace {
+
+class LifecycleTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new GraphDatabase(
+        gen::MoleculeDatabase(150, gen::MoleculeConfig{}, 1234));
+    CatapultConfig config;
+    config.budget = 6;
+    config.num_clusters = 5;
+    config.tree_config.min_support = 8;
+    config.walks_per_csg = 20;
+    config.use_closed_trees = true;
+    config.seed = 1234;
+    auto built = BuildVqiForDatabase(*db_, config);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    built_ = new VqiBuildResult(std::move(*built));
+  }
+  static void TearDownTestSuite() {
+    delete built_;
+    delete db_;
+    built_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static GraphDatabase* db_;
+  static VqiBuildResult* built_;
+};
+
+GraphDatabase* LifecycleTest::db_ = nullptr;
+VqiBuildResult* LifecycleTest::built_ = nullptr;
+
+TEST_F(LifecycleTest, BuildSerializeReloadPreservesBehavior) {
+  // Serialize + reload, then verify the reloaded VQI produces identical
+  // formulation traces (the portability claim, behaviorally).
+  std::string text = SerializeVqi(built_->vqi);
+  auto reloaded = ParseVqi(text);
+  ASSERT_TRUE(reloaded.ok());
+
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 15;
+  wconfig.seed = 99;
+  std::vector<Graph> workload = GenerateDbWorkload(*db_, wconfig);
+  UsabilityResult original =
+      EvaluateUsability(workload, built_->vqi.pattern_panel());
+  UsabilityResult restored =
+      EvaluateUsability(workload, reloaded->pattern_panel());
+  EXPECT_DOUBLE_EQ(original.mean_steps, restored.mean_steps);
+  EXPECT_DOUBLE_EQ(original.mean_seconds, restored.mean_seconds);
+}
+
+TEST_F(LifecycleTest, FormulationTraceReplaysIntoQueryPanel) {
+  // The simulator's step count must be reproducible by driving a real
+  // QueryPanel through a session: stamp a canned pattern, execute, explore.
+  VisualQueryInterface vqi = built_->vqi;  // copy: session mutates it
+  std::vector<Graph> canned = vqi.pattern_panel().CannedPatterns();
+  ASSERT_FALSE(canned.empty());
+
+  QuerySession session(&vqi.query_panel());
+  session.AddPattern(canned[0]);
+  Graph query = vqi.query_panel().ToGraph();
+  EXPECT_TRUE(query.IdenticalTo(canned[0]));
+
+  vqi.ExecuteQuery(*db_);
+  size_t hits = vqi.results_panel().size();
+  EXPECT_GT(hits, 0u);  // canned patterns cover by construction
+
+  // Undo empties the canvas; re-running finds everything (empty query).
+  ASSERT_TRUE(session.Undo());
+  EXPECT_EQ(vqi.query_panel().ToGraph().NumVertices(), 0u);
+}
+
+TEST_F(LifecycleTest, ResultsPanelConsistentWithCoverage) {
+  // For every canned pattern: the Results Panel hit count equals the
+  // coverage bitset count (same semantics through two different paths).
+  for (const Graph& pattern : built_->vqi.pattern_panel().CannedPatterns()) {
+    ResultsPanel results;
+    results.PopulateFromDatabase(*db_, pattern, /*limit=*/10000);
+    EXPECT_EQ(results.size(), CoverageBits(*db_, pattern).Count());
+  }
+}
+
+TEST_F(LifecycleTest, ExplorerAgreesWithCoverage) {
+  std::vector<Graph> canned = built_->vqi.pattern_panel().CannedPatterns();
+  ASSERT_FALSE(canned.empty());
+  std::vector<GraphId> ids = GraphsContainingPattern(*db_, canned[0], 10000);
+  EXPECT_EQ(ids.size(), CoverageBits(*db_, canned[0]).Count());
+}
+
+TEST_F(LifecycleTest, SuggestionsComeFromTheData) {
+  SuggestionIndex index = SuggestionIndex::Build(*db_);
+  Label dominant = built_->vqi.attribute_panel().DominantVertexLabel();
+  auto suggestions = index.SuggestFrom(dominant, 3);
+  ASSERT_FALSE(suggestions.empty());
+  // Every suggested (from, edge, to) triple must exist somewhere.
+  for (const EdgeSuggestion& s : suggestions) {
+    Graph probe;
+    VertexId u = probe.AddVertex(s.from_label);
+    VertexId v = probe.AddVertex(s.to_label);
+    probe.AddEdge(u, v, s.edge_label);
+    EXPECT_GT(DbCoverage(*db_, probe), 0.0);
+  }
+}
+
+TEST_F(LifecycleTest, MaintenanceKeepsPanelsExecutable) {
+  GraphDatabase db = *db_;  // private copy to mutate
+  VisualQueryInterface vqi = built_->vqi;
+  MidasConfig midas;
+  midas.base = built_->catapult_state.config;
+  midas.drift_threshold = 0.0;  // force swaps
+  CatapultState state = built_->catapult_state;  // copy
+  VqiMaintainer maintainer(std::move(state), midas);
+
+  Rng rng(77);
+  for (int round = 0; round < 3; ++round) {
+    BatchUpdate update;
+    for (int i = 0; i < 6; ++i) {
+      update.additions.push_back(gen::Molecule(gen::MoleculeConfig{}, rng));
+    }
+    std::vector<GraphId> ids = db.Ids();
+    rng.Shuffle(ids);
+    for (int i = 0; i < 3; ++i) update.deletions.push_back(ids[i]);
+    auto report = maintainer.ApplyBatch(vqi, db, std::move(update));
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    // MIDAS guarantees *set* quality, not per-pattern liveness (a pattern
+    // whose few supporters were deleted may linger until a better candidate
+    // appears). Assert the set-level invariants instead.
+    EXPECT_GE(report->score_after, report->score_before - 1e-9)
+        << "round " << round;
+    std::vector<Graph> canned = vqi.pattern_panel().CannedPatterns();
+    EXPECT_FALSE(canned.empty());
+    EXPECT_GT(DbSetCoverage(db, canned), 0.5) << "round " << round;
+  }
+}
+
+TEST(NetworkLifecycleTest, BuildExploreExecute) {
+  Rng rng(2024);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 4;
+  Graph network = gen::WattsStrogatz(800, 3, 0.1, labels, rng);
+  TattooConfig config;
+  config.budget = 6;
+  config.samples_per_class = 24;
+  config.seed = 2024;
+  auto built = BuildVqiForNetwork(network, config);
+  ASSERT_TRUE(built.ok());
+
+  for (const Graph& pattern : built->vqi.pattern_panel().CannedPatterns()) {
+    // Every selected pattern must be explorable in the network it came from.
+    ExploreOptions options;
+    options.num_regions = 1;
+    auto regions = ExploreFromPattern(network, pattern, options);
+    ASSERT_EQ(regions.size(), 1u) << pattern.DebugString();
+    // And the region must contain the pattern.
+    EXPECT_TRUE(ContainsSubgraph(regions[0].region, pattern));
+  }
+}
+
+TEST(FileLifecycleTest, DatasetAndVqiFilesInterop) {
+  // gen -> save .lg -> load -> build -> save .vqi -> load -> use.
+  std::string lg_path = testing::TempDir() + "/integration.lg";
+  std::string vqi_path = testing::TempDir() + "/integration.vqi";
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, 55);
+  ASSERT_TRUE(io::SaveDatabase(db, lg_path).ok());
+  auto loaded = io::LoadDatabase(lg_path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), db.size());
+
+  CatapultConfig config;
+  config.budget = 4;
+  config.tree_config.min_support = 4;
+  config.walks_per_csg = 12;
+  auto built = BuildVqiForDatabase(*loaded, config);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(SaveVqi(built->vqi, vqi_path).ok());
+  auto vqi = LoadVqi(vqi_path);
+  ASSERT_TRUE(vqi.ok());
+  EXPECT_EQ(vqi->pattern_panel().size(), built->vqi.pattern_panel().size());
+}
+
+}  // namespace
+}  // namespace vqi

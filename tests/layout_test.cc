@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_builder.h"
+#include "layout/aesthetics.h"
+#include "layout/dot_export.h"
+#include "layout/force_layout.h"
+#include "layout/optimize.h"
+
+namespace vqi {
+namespace {
+
+TEST(ForceLayoutTest, PositionsInsideCanvas) {
+  Graph g = builder::Cycle(8);
+  LayoutConfig config;
+  auto layout = ForceDirectedLayout(g, config);
+  ASSERT_EQ(layout.size(), 8u);
+  for (const Point& p : layout) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, config.width);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, config.height);
+  }
+}
+
+TEST(ForceLayoutTest, Deterministic) {
+  Graph g = builder::Star(6);
+  auto a = ForceDirectedLayout(g);
+  auto b = ForceDirectedLayout(g);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(ForceLayoutTest, VerticesSpreadApart) {
+  Graph g = builder::Clique(5);
+  auto layout = ForceDirectedLayout(g);
+  // No two vertices should end up on top of each other.
+  for (size_t i = 0; i < layout.size(); ++i) {
+    for (size_t j = i + 1; j < layout.size(); ++j) {
+      double dx = layout[i].x - layout[j].x;
+      double dy = layout[i].y - layout[j].y;
+      EXPECT_GT(std::sqrt(dx * dx + dy * dy), 0.01);
+    }
+  }
+}
+
+TEST(ForceLayoutTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ForceDirectedLayout(Graph()).empty());
+  Graph one;
+  one.AddVertex(0);
+  EXPECT_EQ(ForceDirectedLayout(one).size(), 1u);
+}
+
+TEST(AestheticsTest, KnownCrossing) {
+  // Two crossing segments: edges (0,1) and (2,3) placed as an X.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddVertex(0);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  std::vector<Point> cross = {{0, 0}, {1, 1}, {0, 1}, {1, 0}};
+  EXPECT_EQ(ComputeAesthetics(g, cross).edge_crossings, 1u);
+  std::vector<Point> parallel = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  EXPECT_EQ(ComputeAesthetics(g, parallel).edge_crossings, 0u);
+}
+
+TEST(AestheticsTest, SharedEndpointNotACrossing) {
+  Graph g = builder::Path(3);
+  std::vector<Point> layout = {{0, 0}, {0.5, 0.5}, {1, 0}};
+  EXPECT_EQ(ComputeAesthetics(g, layout).edge_crossings, 0u);
+}
+
+TEST(AestheticsTest, OcclusionDetected) {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  std::vector<Point> close = {{0.5, 0.5}, {0.505, 0.5}};
+  EXPECT_EQ(ComputeAesthetics(g, close).node_occlusions, 1u);
+  std::vector<Point> far = {{0.1, 0.1}, {0.9, 0.9}};
+  EXPECT_EQ(ComputeAesthetics(g, far).node_occlusions, 0u);
+}
+
+TEST(AestheticsTest, AngularResolution) {
+  // A 2-path bent at 90 degrees.
+  Graph g = builder::Path(3);
+  std::vector<Point> layout = {{0, 0}, {0, 1}, {1, 1}};
+  AestheticMetrics m = ComputeAesthetics(g, layout);
+  EXPECT_NEAR(m.min_angular_resolution, M_PI / 2, 1e-9);
+}
+
+TEST(AestheticsTest, ClutterBounded) {
+  Graph g = builder::Clique(7);
+  auto layout = ForceDirectedLayout(g);
+  AestheticMetrics m = ComputeAesthetics(g, layout);
+  EXPECT_GE(m.clutter, 0.0);
+  EXPECT_LE(m.clutter, 1.0);
+}
+
+TEST(AestheticsTest, PanelComplexityGrowsWithContent) {
+  std::vector<Graph> small = {builder::SingleEdge()};
+  std::vector<Graph> large;
+  for (int i = 0; i < 20; ++i) large.push_back(builder::Clique(6));
+  EXPECT_LT(PanelVisualComplexity(small), PanelVisualComplexity(large));
+  EXPECT_EQ(PanelVisualComplexity({}), 0.0);
+}
+
+TEST(DotExportTest, BasicStructure) {
+  Graph g = builder::SingleEdge(1, 2, 5);
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("graph pattern {"), std::string::npos);
+  EXPECT_NE(dot.find("v0 [label=\"1\"]"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1 [label=\"5\"]"), std::string::npos);
+}
+
+TEST(DotExportTest, DictionaryNamesUsed) {
+  Graph g = builder::SingleEdge(0, 1, 0);
+  LabelDictionary dict;
+  dict.SetName(0, "C");
+  dict.SetName(1, "N");
+  DotOptions options;
+  options.dictionary = &dict;
+  std::string dot = ToDot(g, options);
+  EXPECT_NE(dot.find("label=\"C\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"N\""), std::string::npos);
+}
+
+TEST(DotExportTest, LayoutPinsEmitted) {
+  Graph g = builder::SingleEdge(0, 0);
+  std::vector<Point> layout = {{0.25, 0.5}, {0.75, 0.5}};
+  DotOptions options;
+  options.layout = &layout;
+  std::string dot = ToDot(g, options);
+  EXPECT_NE(dot.find("pos=\"0.25,0.5!\""), std::string::npos);
+}
+
+TEST(DotExportTest, PanelClusters) {
+  std::vector<Graph> patterns = {builder::Triangle(), builder::Path(3)};
+  std::string dot = PatternsToDot(patterns);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("p0_0 -- p0_1"), std::string::npos);
+}
+
+TEST(OptimizeTest, NeverWorseThanInitial) {
+  Graph g = builder::Clique(6);
+  LayoutConfig lc;
+  std::vector<Point> initial = ForceDirectedLayout(g, lc);
+  LayoutOptimizeConfig config;
+  config.iterations = 500;
+  double before = LayoutObjective(g, initial, config);
+  std::vector<Point> optimized = OptimizeLayout(g, initial, config);
+  double after = LayoutObjective(g, optimized, config);
+  EXPECT_LE(after, before + 1e-12);
+}
+
+TEST(OptimizeTest, RemovesAvoidableCrossing) {
+  // A 4-cycle drawn with one crossing; the optimizer must untangle it.
+  Graph c4 = builder::Cycle(4);
+  std::vector<Point> crossed = {{0, 0}, {1, 1}, {1, 0}, {0, 1}};
+  AestheticMetrics before = ComputeAesthetics(c4, crossed);
+  ASSERT_GE(before.edge_crossings, 1u);
+  LayoutOptimizeConfig config;
+  config.iterations = 2000;
+  config.seed = 11;
+  std::vector<Point> optimized = OptimizeLayout(c4, crossed, config);
+  AestheticMetrics after = ComputeAesthetics(c4, optimized);
+  EXPECT_EQ(after.edge_crossings, 0u);
+}
+
+TEST(OptimizeTest, Deterministic) {
+  Graph g = builder::Star(5);
+  std::vector<Point> initial = ForceDirectedLayout(g);
+  LayoutOptimizeConfig config;
+  config.iterations = 200;
+  auto a = OptimizeLayout(g, initial, config);
+  auto b = OptimizeLayout(g, initial, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(OptimizeTest, TrivialGraphsUntouched) {
+  Graph one;
+  one.AddVertex(0);
+  std::vector<Point> layout = {{0.5, 0.5}};
+  auto out = OptimizeLayout(one, layout, LayoutOptimizeConfig{});
+  EXPECT_DOUBLE_EQ(out[0].x, 0.5);
+}
+
+TEST(AestheticsTest, BerlyneInvertedU) {
+  EXPECT_DOUBLE_EQ(BerlyneSatisfaction(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BerlyneSatisfaction(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BerlyneSatisfaction(0.5), 1.0);
+  EXPECT_GT(BerlyneSatisfaction(0.5), BerlyneSatisfaction(0.2));
+  EXPECT_GT(BerlyneSatisfaction(0.5), BerlyneSatisfaction(0.8));
+  // Clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(BerlyneSatisfaction(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BerlyneSatisfaction(2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "match/canonical.h"
+#include "match/pattern_utils.h"
+#include "match/vf2.h"
+
+namespace vqi {
+namespace {
+
+TEST(Vf2Test, SingleEdgeInTriangle) {
+  Graph triangle = builder::Triangle();
+  Graph edge = builder::SingleEdge();
+  EXPECT_TRUE(ContainsSubgraph(triangle, edge));
+  // 3 edges x 2 orientations.
+  EXPECT_EQ(CountEmbeddings(triangle, edge, 0), 6u);
+}
+
+TEST(Vf2Test, TriangleNotInPath) {
+  Graph path = builder::Path(5);
+  Graph triangle = builder::Triangle();
+  EXPECT_FALSE(ContainsSubgraph(path, triangle));
+}
+
+TEST(Vf2Test, PathInCycle) {
+  Graph cycle = builder::Cycle(6);
+  Graph path = builder::Path(4);
+  EXPECT_TRUE(ContainsSubgraph(cycle, path));
+  // A 3-edge path embeds at 6 start points x 2 directions.
+  EXPECT_EQ(CountEmbeddings(cycle, path, 0), 12u);
+}
+
+TEST(Vf2Test, VertexLabelsRespected) {
+  Graph target = builder::SingleEdge(/*a=*/1, /*b=*/2);
+  Graph same = builder::SingleEdge(1, 2);
+  Graph different = builder::SingleEdge(1, 3);
+  EXPECT_TRUE(ContainsSubgraph(target, same));
+  EXPECT_FALSE(ContainsSubgraph(target, different));
+
+  MatchOptions ignore_labels;
+  ignore_labels.match_vertex_labels = false;
+  EXPECT_TRUE(ContainsSubgraph(target, different, ignore_labels));
+}
+
+TEST(Vf2Test, EdgeLabelsRespected) {
+  Graph target = builder::SingleEdge(0, 0, /*elabel=*/5);
+  Graph wrong = builder::SingleEdge(0, 0, /*elabel=*/6);
+  EXPECT_FALSE(ContainsSubgraph(target, wrong));
+  MatchOptions ignore;
+  ignore.match_edge_labels = false;
+  EXPECT_TRUE(ContainsSubgraph(target, wrong, ignore));
+}
+
+TEST(Vf2Test, InducedVsNonInduced) {
+  // A 2-path (3 vertices) occurs in a triangle non-induced but not induced.
+  Graph triangle = builder::Triangle();
+  Graph path3 = builder::Path(3);
+  EXPECT_TRUE(ContainsSubgraph(triangle, path3));
+  MatchOptions induced;
+  induced.induced = true;
+  EXPECT_FALSE(ContainsSubgraph(triangle, path3, induced));
+}
+
+TEST(Vf2Test, CountCapRespected) {
+  Graph clique = builder::Clique(6);
+  Graph edge = builder::SingleEdge();
+  // 15 edges x 2 = 30 embeddings, capped at 7.
+  EXPECT_EQ(CountEmbeddings(clique, edge, 7), 7u);
+}
+
+TEST(Vf2Test, StarInStar) {
+  Graph big = builder::Star(5);
+  Graph small = builder::Star(3);
+  EXPECT_TRUE(ContainsSubgraph(big, small));
+  // Hub fixed, choose+order 3 of 5 leaves: 5*4*3 = 60.
+  EXPECT_EQ(CountEmbeddings(big, small, 0), 60u);
+}
+
+TEST(Vf2Test, FindOneReturnsValidEmbedding) {
+  Graph cycle = builder::Cycle(8);
+  Graph path = builder::Path(3);
+  SubgraphMatcher matcher(path, cycle);
+  auto embedding = matcher.FindOne();
+  ASSERT_TRUE(embedding.has_value());
+  ASSERT_EQ(embedding->size(), 3u);
+  // Consecutive path vertices must map to adjacent cycle vertices.
+  EXPECT_TRUE(cycle.HasEdge((*embedding)[0], (*embedding)[1]));
+  EXPECT_TRUE(cycle.HasEdge((*embedding)[1], (*embedding)[2]));
+  // Injective.
+  EXPECT_NE((*embedding)[0], (*embedding)[2]);
+}
+
+TEST(Vf2Test, EnumerateEarlyStop) {
+  Graph clique = builder::Clique(5);
+  Graph edge = builder::SingleEdge();
+  SubgraphMatcher matcher(edge, clique);
+  uint64_t seen = 0;
+  matcher.Enumerate([&](const Embedding&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(Vf2Test, StepLimitReported) {
+  Graph big = builder::Clique(9);
+  Graph pattern = builder::Clique(5);
+  MatchOptions opts;
+  opts.max_steps = 10;
+  SubgraphMatcher matcher(pattern, big, opts);
+  matcher.CountEmbeddings();
+  EXPECT_TRUE(matcher.hit_step_limit());
+}
+
+TEST(Vf2Test, PatternLargerThanTargetFailsFast) {
+  Graph small = builder::Triangle();
+  Graph big = builder::Clique(4);
+  EXPECT_FALSE(ContainsSubgraph(small, big));
+}
+
+// Brute force triangle counter used as an oracle below.
+size_t CountTrianglesBrute(const Graph& g) {
+  size_t count = 0;
+  for (VertexId a = 0; a < g.NumVertices(); ++a)
+    for (VertexId b = a + 1; b < g.NumVertices(); ++b)
+      for (VertexId c = b + 1; c < g.NumVertices(); ++c)
+        if (g.HasEdge(a, b) && g.HasEdge(b, c) && g.HasEdge(a, c)) ++count;
+  return count;
+}
+
+TEST(Vf2Test, EmbeddingCountsOnRandomGraphsMatchBruteForce) {
+  // Cross-check VF2 triangle counts against the combinatorial counter.
+  Rng rng(42);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 1;
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::ErdosRenyi(12, 0.3, labels, rng);
+    Graph triangle = builder::Triangle();
+    // Each triangle has 6 automorphic embeddings.
+    uint64_t expected = 6 * CountTrianglesBrute(g);
+    EXPECT_EQ(CountEmbeddings(g, triangle, 0), expected);
+  }
+}
+
+TEST(CanonicalTest, IsomorphicRelabeledGraphsShareCode) {
+  // Same triangle-with-tail, two vertex numberings.
+  Graph a = builder::FromLists({0, 0, 0, 1}, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}, {2, 3, 0}});
+  Graph b = builder::FromLists({1, 0, 0, 0}, {{1, 2, 0}, {2, 3, 0}, {1, 3, 0}, {3, 0, 0}});
+  EXPECT_EQ(CanonicalCode(a), CanonicalCode(b));
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, DifferentStructuresDiffer) {
+  EXPECT_NE(CanonicalCode(builder::Path(4)), CanonicalCode(builder::Star(3)));
+  EXPECT_NE(CanonicalCode(builder::Cycle(4)), CanonicalCode(builder::Path(4)));
+  EXPECT_FALSE(AreIsomorphic(builder::Cycle(6), builder::Path(6)));
+}
+
+TEST(CanonicalTest, LabelsDistinguish) {
+  Graph a = builder::SingleEdge(0, 1);
+  Graph b = builder::SingleEdge(0, 2);
+  EXPECT_NE(CanonicalCode(a), CanonicalCode(b));
+  Graph c = builder::SingleEdge(0, 1, /*elabel=*/0);
+  Graph d = builder::SingleEdge(0, 1, /*elabel=*/1);
+  EXPECT_NE(CanonicalCode(c), CanonicalCode(d));
+}
+
+TEST(CanonicalTest, SymmetricUnlabeledGraphs) {
+  // Highly symmetric cases exercise the individualization search.
+  EXPECT_EQ(CanonicalCode(builder::Cycle(8)), CanonicalCode(builder::Cycle(8)));
+  EXPECT_NE(CanonicalCode(builder::Cycle(8)), CanonicalCode(builder::Cycle(9)));
+  EXPECT_EQ(CanonicalCode(builder::Clique(5)), CanonicalCode(builder::Clique(5)));
+}
+
+TEST(CanonicalTest, RandomPermutationInvariance) {
+  Rng rng(7);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::ErdosRenyi(9, 0.35, labels, rng);
+    // Random relabeling of vertex ids.
+    std::vector<VertexId> perm(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) perm[v] = v;
+    rng.Shuffle(perm);
+    Graph h;
+    std::vector<VertexId> where(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      where[perm[v]] = v;  // h vertex perm[v] corresponds to g vertex v
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      h.AddVertex(g.VertexLabel(where[v]));
+    }
+    for (const Edge& e : g.Edges()) {
+      h.AddEdge(perm[e.u], perm[e.v], e.label);
+    }
+    EXPECT_EQ(CanonicalCode(g), CanonicalCode(h)) << g.DebugString();
+  }
+}
+
+TEST(PatternUtilsTest, DedupIsomorphic) {
+  std::vector<Graph> graphs;
+  graphs.push_back(builder::Path(3));
+  graphs.push_back(builder::Path(3));
+  graphs.push_back(builder::Triangle());
+  graphs.push_back(builder::FromLists({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}}));  // = path3
+  std::vector<Graph> unique = DedupIsomorphic(std::move(graphs));
+  EXPECT_EQ(unique.size(), 2u);
+}
+
+TEST(PatternUtilsTest, IsomorphismSet) {
+  IsomorphismSet set;
+  EXPECT_TRUE(set.Insert(builder::Path(3)));
+  EXPECT_FALSE(set.Insert(builder::Path(3)));
+  EXPECT_TRUE(set.Insert(builder::Star(3)));
+  EXPECT_TRUE(set.Contains(builder::Path(3)));
+  EXPECT_FALSE(set.Contains(builder::Cycle(5)));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PatternUtilsTest, RandomConnectedSubgraphProperties) {
+  Rng rng(123);
+  gen::LabelConfig labels;
+  Graph g = gen::BarabasiAlbert(60, 3, labels, rng);
+  for (size_t edges = 1; edges <= 8; ++edges) {
+    auto sub = RandomConnectedSubgraph(g, edges, rng);
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->NumEdges(), edges);
+    EXPECT_TRUE(ContainsSubgraph(g, *sub));
+  }
+}
+
+TEST(PatternUtilsTest, RandomConnectedSubgraphTooLarge) {
+  Rng rng(5);
+  Graph tiny = builder::Path(3);  // 2 edges
+  EXPECT_FALSE(RandomConnectedSubgraph(tiny, 10, rng).has_value());
+}
+
+}  // namespace
+}  // namespace vqi

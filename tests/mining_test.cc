@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "match/vf2.h"
+#include "mining/closed_trees.h"
+#include "mining/graphlets.h"
+#include "mining/random_walk.h"
+#include "mining/tree_miner.h"
+
+namespace vqi {
+namespace {
+
+TEST(GraphletsTest, TriangleOnly) {
+  GraphletCounts c = CountGraphlets(builder::Triangle());
+  EXPECT_EQ(c.counts[kG3Triangle], 1u);
+  EXPECT_EQ(c.counts[kG3Path], 0u);
+  EXPECT_EQ(c.total(), 1u);
+}
+
+TEST(GraphletsTest, Path4Graphlets) {
+  // P4: two induced P3s (v0v1v2, v1v2v3) and one P4.
+  GraphletCounts c = CountGraphlets(builder::Path(4));
+  EXPECT_EQ(c.counts[kG3Path], 2u);
+  EXPECT_EQ(c.counts[kG4Path], 1u);
+  EXPECT_EQ(c.counts[kG3Triangle], 0u);
+  EXPECT_EQ(c.total(), 3u);
+}
+
+TEST(GraphletsTest, StarGraphlets) {
+  // K1,3: three induced P3s and one claw.
+  GraphletCounts c = CountGraphlets(builder::Star(3));
+  EXPECT_EQ(c.counts[kG3Path], 3u);
+  EXPECT_EQ(c.counts[kG4Star], 1u);
+  EXPECT_EQ(c.counts[kG4Path], 0u);
+}
+
+TEST(GraphletsTest, CycleGraphlets) {
+  // C4: four induced P3s, one C4, no triangles.
+  GraphletCounts c = CountGraphlets(builder::Cycle(4));
+  EXPECT_EQ(c.counts[kG3Path], 4u);
+  EXPECT_EQ(c.counts[kG4Cycle], 1u);
+  EXPECT_EQ(c.counts[kG3Triangle], 0u);
+}
+
+TEST(GraphletsTest, CliqueGraphlets) {
+  // K4: 4 triangles, 1 K4; no sparse graphlets (induced!).
+  GraphletCounts c = CountGraphlets(builder::Clique(4));
+  EXPECT_EQ(c.counts[kG3Triangle], 4u);
+  EXPECT_EQ(c.counts[kG4Clique], 1u);
+  EXPECT_EQ(c.counts[kG3Path], 0u);
+  EXPECT_EQ(c.counts[kG4Diamond], 0u);
+}
+
+TEST(GraphletsTest, DiamondGraphlets) {
+  // K4 minus one edge.
+  Graph diamond = builder::Clique(4);
+  diamond.RemoveEdge(0, 1);
+  GraphletCounts c = CountGraphlets(diamond);
+  EXPECT_EQ(c.counts[kG4Diamond], 1u);
+  EXPECT_EQ(c.counts[kG3Triangle], 2u);
+  EXPECT_EQ(c.counts[kG3Path], 2u);  // 0-2-1 and 0-3-1
+}
+
+TEST(GraphletsTest, TailedTriangle) {
+  Graph g = builder::Triangle();
+  VertexId tail = g.AddVertex(0);
+  g.AddEdge(0, tail);
+  GraphletCounts c = CountGraphlets(g);
+  EXPECT_EQ(c.counts[kG4TailedTriangle], 1u);
+  EXPECT_EQ(c.counts[kG3Triangle], 1u);
+}
+
+TEST(GraphletsTest, DistributionNormalized) {
+  Rng rng(3);
+  gen::LabelConfig labels;
+  Graph g = gen::ErdosRenyi(30, 0.2, labels, rng);
+  GraphletDistribution d = GraphletsOf(g);
+  double sum = 0;
+  for (double f : d.freq) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GraphletsTest, EmptyGraphAllZero) {
+  GraphletDistribution d = GraphletsOf(builder::SingleEdge());
+  for (double f : d.freq) EXPECT_EQ(f, 0.0);
+}
+
+TEST(GraphletsTest, DistributionDistance) {
+  GraphletDistribution a = GraphletsOf(builder::Clique(5));
+  GraphletDistribution b = GraphletsOf(builder::Path(6));
+  GraphletDistribution a2 = GraphletsOf(builder::Clique(5));
+  EXPECT_NEAR(a.DistanceTo(a2), 0.0, 1e-12);
+  EXPECT_GT(a.DistanceTo(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), b.DistanceTo(a));
+}
+
+TEST(GraphletsTest, DatabaseAggregation) {
+  GraphDatabase db;
+  db.Add(builder::Triangle());
+  db.Add(builder::Path(3));
+  GraphletDistribution d = GraphletsOfDatabase(db);
+  EXPECT_NEAR(d.freq[kG3Triangle], 0.5, 1e-9);
+  EXPECT_NEAR(d.freq[kG3Path], 0.5, 1e-9);
+}
+
+GraphDatabase SmallTreeDb() {
+  // Three graphs sharing a labeled edge (0)-(1); two share a 2-path 0-1-2.
+  GraphDatabase db;
+  db.Add(builder::FromLists({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}}));
+  db.Add(builder::FromLists({0, 1, 2, 3}, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}}));
+  db.Add(builder::FromLists({0, 1}, {{0, 1, 0}}));
+  return db;
+}
+
+TEST(TreeMinerTest, SingleEdgesCounted) {
+  TreeMinerConfig config;
+  config.min_support = 2;
+  config.max_edges = 1;
+  auto trees = MineFrequentTrees(SmallTreeDb(), config);
+  // Frequent single edges with support >= 2: (0,1) in all three, (1,2) in two.
+  ASSERT_EQ(trees.size(), 2u);
+  for (const auto& t : trees) {
+    EXPECT_EQ(t.tree.NumEdges(), 1u);
+    EXPECT_GE(t.support_count(), 2u);
+  }
+}
+
+TEST(TreeMinerTest, TwoEdgeTreesGrow) {
+  TreeMinerConfig config;
+  config.min_support = 2;
+  config.max_edges = 2;
+  auto trees = MineFrequentTrees(SmallTreeDb(), config);
+  bool found_path = false;
+  for (const auto& t : trees) {
+    if (t.tree.NumEdges() == 2) {
+      found_path = true;
+      EXPECT_EQ(t.support_count(), 2u);  // graphs 0 and 1
+    }
+  }
+  EXPECT_TRUE(found_path);
+}
+
+TEST(TreeMinerTest, SupportsAreSound) {
+  // Every reported support id must actually contain the tree.
+  gen::MoleculeConfig mconfig;
+  GraphDatabase db = gen::MoleculeDatabase(30, mconfig, 5);
+  TreeMinerConfig config;
+  config.min_support = 5;
+  config.max_edges = 2;
+  auto trees = MineFrequentTrees(db, config);
+  EXPECT_FALSE(trees.empty());
+  for (const auto& t : trees) {
+    for (GraphId id : t.support) {
+      EXPECT_TRUE(ContainsSubgraph(db.Get(id), t.tree));
+    }
+  }
+}
+
+TEST(TreeMinerTest, AntiMonotonicity) {
+  // A child tree's support is a subset of some parent's support: implied by
+  // construction; check support sizes are non-increasing level to level max.
+  gen::MoleculeConfig mconfig;
+  GraphDatabase db = gen::MoleculeDatabase(25, mconfig, 9);
+  TreeMinerConfig config;
+  config.min_support = 4;
+  config.max_edges = 3;
+  auto trees = MineFrequentTrees(db, config);
+  size_t max_support_l3 = 0, max_support_l1 = 0;
+  for (const auto& t : trees) {
+    if (t.tree.NumEdges() == 1) {
+      max_support_l1 = std::max(max_support_l1, t.support_count());
+    }
+    if (t.tree.NumEdges() == 3) {
+      max_support_l3 = std::max(max_support_l3, t.support_count());
+    }
+  }
+  if (max_support_l3 > 0) {
+    EXPECT_GE(max_support_l1, max_support_l3);
+  }
+}
+
+TEST(ClosedTreesTest, NonClosedTreeRemoved) {
+  // DB where edge (0)-(1) always extends to path (0)-(1)-(2): the single
+  // edge (1,2 labels) is not closed because the 2-path has equal support.
+  GraphDatabase db;
+  db.Add(builder::FromLists({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}}));
+  db.Add(builder::FromLists({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}}));
+  TreeMinerConfig config;
+  config.min_support = 2;
+  config.max_edges = 2;
+  auto all = MineFrequentTrees(db, config);
+  auto closed = ClosedTrees(all);
+  EXPECT_LT(closed.size(), all.size());
+  // The maximal 2-edge path must survive.
+  bool has_two_edge = false;
+  for (const auto& t : closed) {
+    if (t.tree.NumEdges() == 2) has_two_edge = true;
+  }
+  EXPECT_TRUE(has_two_edge);
+}
+
+TEST(ClosedTreesTest, MaintainAfterBatch) {
+  gen::MoleculeConfig mconfig;
+  GraphDatabase db = gen::MoleculeDatabase(20, mconfig, 11);
+  TreeMinerConfig config;
+  config.min_support = 4;
+  config.max_edges = 2;
+  auto fct = MineClosedTrees(db, config);
+  ASSERT_FALSE(fct.empty());
+
+  // Apply a batch: delete 3 graphs, add 3 new ones.
+  BatchUpdate update;
+  Rng rng(77);
+  for (GraphId id : {GraphId{0}, GraphId{1}, GraphId{2}}) {
+    update.deletions.push_back(id);
+    db.Remove(id);
+  }
+  for (int i = 0; i < 3; ++i) {
+    Graph g = gen::Molecule(mconfig, rng);
+    GraphId id = db.Add(std::move(g));
+    update.additions.push_back(db.Get(id));
+  }
+  auto maintained = MaintainClosedTrees(fct, db, update, config);
+  // Ground truth from support recomputation: every maintained support id
+  // exists and contains the tree.
+  for (const auto& t : maintained) {
+    EXPECT_GE(t.support_count(), config.min_support);
+    for (GraphId id : t.support) {
+      ASSERT_TRUE(db.Contains(id));
+      EXPECT_TRUE(ContainsSubgraph(db.Get(id), t.tree));
+    }
+  }
+}
+
+TEST(RandomWalkTest, UniformSubgraphSizes) {
+  Rng rng(21);
+  gen::LabelConfig labels;
+  Graph g = gen::WattsStrogatz(100, 3, 0.1, labels, rng);
+  for (size_t edges = 2; edges <= 10; edges += 2) {
+    auto sub = UniformRandomSubgraph(g, edges, rng);
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->NumEdges(), edges);
+    EXPECT_TRUE(ContainsSubgraph(g, *sub));
+  }
+}
+
+TEST(RandomWalkTest, WeightsBiasSelection) {
+  // A graph with two components joined at nothing: weights zero out one
+  // side, so the walk must stay on the weighted side.
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddVertex(0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  auto weight = [](VertexId u, VertexId) { return u >= 3 ? 1.0 : 0.0; };
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto sub = WeightedRandomSubgraph(g, weight, 2, rng);
+    ASSERT_TRUE(sub.has_value());
+    // Only the {3,4,5} side has weight; its path has vertex labels 0 but we
+    // can check edge count and that the subgraph is the 2-path.
+    EXPECT_EQ(sub->NumEdges(), 2u);
+  }
+}
+
+TEST(RandomWalkTest, ZeroWeightEverywhereFails) {
+  Graph g = builder::Path(4);
+  Rng rng(6);
+  auto sub = WeightedRandomSubgraph(
+      g, [](VertexId, VertexId) { return 0.0; }, 2, rng);
+  EXPECT_FALSE(sub.has_value());
+}
+
+TEST(RandomWalkTest, TooManyEdgesRequested) {
+  Rng rng(7);
+  Graph g = builder::Triangle();
+  EXPECT_FALSE(UniformRandomSubgraph(g, 4, rng).has_value());
+}
+
+}  // namespace
+}  // namespace vqi

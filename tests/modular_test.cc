@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "metrics/coverage.h"
+#include "modular/pipeline.h"
+#include "modular/strategies.h"
+
+namespace vqi {
+namespace {
+
+TEST(StageRegistryTest, BuiltinsRegistered) {
+  StageRegistry& registry = StageRegistry::Global();
+  EXPECT_GE(registry.FeatureNames().size(), 2u);
+  EXPECT_GE(registry.ClusterNames().size(), 2u);
+  EXPECT_GE(registry.MergeNames().size(), 1u);
+  EXPECT_GE(registry.ExtractNames().size(), 2u);
+  EXPECT_TRUE(registry.CreateFeature("frequent-trees").ok());
+  EXPECT_TRUE(registry.CreateCluster("agglomerative").ok());
+  EXPECT_TRUE(registry.CreateMerge("csg").ok());
+  EXPECT_TRUE(registry.CreateExtract("weighted-walk").ok());
+}
+
+TEST(StageRegistryTest, UnknownStageFails) {
+  StageRegistry& registry = StageRegistry::Global();
+  auto missing = registry.CreateFeature("no-such-stage");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StageRegistryTest, CustomStagePluggable) {
+  class ConstantFeatures : public FeatureStage {
+   public:
+    std::string name() const override { return "constant"; }
+    std::vector<FeatureVector> Compute(const GraphDatabase& db,
+                                       Rng&) override {
+      return std::vector<FeatureVector>(db.size(), FeatureVector{1.0});
+    }
+  };
+  StageRegistry& registry = StageRegistry::Global();
+  registry.RegisterFeature("constant",
+                           [] { return std::make_unique<ConstantFeatures>(); });
+  ASSERT_TRUE(registry.CreateFeature("constant").ok());
+
+  GraphDatabase db = gen::MoleculeDatabase(20, gen::MoleculeConfig{}, 31);
+  ModularPipelineConfig config;
+  config.feature_stage = "constant";
+  config.budget = 3;
+  auto result = RunModularPipeline(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ModularPipelineTest, DefaultPipelineProducesPatterns) {
+  GraphDatabase db = gen::MoleculeDatabase(50, gen::MoleculeConfig{}, 32);
+  ModularPipelineConfig config;
+  config.budget = 6;
+  config.seed = 33;
+  auto result = RunModularPipeline(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->patterns.empty());
+  EXPECT_LE(result->patterns.size(), 6u);
+  for (const Graph& p : result->patterns) {
+    EXPECT_TRUE(IsConnected(p));
+    EXPECT_GT(DbCoverage(db, p), 0.0);
+  }
+}
+
+TEST(ModularPipelineTest, StagesAreSwappable) {
+  GraphDatabase db = gen::MoleculeDatabase(30, gen::MoleculeConfig{}, 34);
+  for (const char* feature : {"frequent-trees", "graphlets"}) {
+    for (const char* cluster : {"kmedoids", "agglomerative"}) {
+      ModularPipelineConfig config;
+      config.feature_stage = feature;
+      config.cluster_stage = cluster;
+      config.budget = 4;
+      auto result = RunModularPipeline(db, config);
+      EXPECT_TRUE(result.ok())
+          << feature << "+" << cluster << ": " << result.status().ToString();
+    }
+  }
+}
+
+TEST(ModularPipelineTest, BaselineExtractorLessDiversityAware) {
+  GraphDatabase db = gen::MoleculeDatabase(60, gen::MoleculeConfig{}, 35);
+  ModularPipelineConfig scored;
+  scored.budget = 5;
+  ModularPipelineConfig baseline = scored;
+  baseline.extract_stage = "frequent-subgraph";
+  auto a = RunModularPipeline(db, scored);
+  auto b = RunModularPipeline(db, baseline);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->patterns.empty());
+  EXPECT_FALSE(b->patterns.empty());
+}
+
+TEST(ModularPipelineTest, EmptyDbRejected) {
+  GraphDatabase empty;
+  ModularPipelineConfig config;
+  EXPECT_FALSE(RunModularPipeline(empty, config).ok());
+}
+
+TEST(ModularPipelineTest, StatsAccumulate) {
+  GraphDatabase db = gen::MoleculeDatabase(25, gen::MoleculeConfig{}, 36);
+  ModularPipelineConfig config;
+  config.budget = 3;
+  auto result = RunModularPipeline(db, config);
+  ASSERT_TRUE(result.ok());
+  double total = result->stats.feature_seconds + result->stats.cluster_seconds +
+                 result->stats.merge_seconds + result->stats.extract_seconds;
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "metrics/coverage.h"
+#include "tattoo/network_maintenance.h"
+
+namespace vqi {
+namespace {
+
+Graph TestNetwork(uint64_t seed, size_t n = 600) {
+  Rng rng(seed);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 4;
+  return gen::WattsStrogatz(n, 3, 0.15, labels, rng);
+}
+
+NetworkMaintenanceConfig Config() {
+  NetworkMaintenanceConfig config;
+  config.base.budget = 6;
+  config.base.samples_per_class = 16;
+  config.base.seed = 11;
+  config.gfd_samples = 64;
+  config.seed = 11;
+  return config;
+}
+
+TEST(SampledGraphletsTest, DeterministicAndNormalized) {
+  Graph g = TestNetwork(1);
+  GraphletDistribution a = SampledGraphlets(g, 64, 5);
+  GraphletDistribution b = SampledGraphlets(g, 64, 5);
+  EXPECT_NEAR(a.DistanceTo(b), 0.0, 1e-12);
+  double sum = 0;
+  for (double f : a.freq) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SampledGraphletsTest, DiscriminatesStructure) {
+  // A clique-rich network vs a tree must produce distant sampled GFDs.
+  Rng rng(2);
+  gen::LabelConfig labels;
+  Graph dense = gen::WattsStrogatz(300, 4, 0.05, labels, rng);
+  Graph sparse = gen::BarabasiAlbert(300, 1, labels, rng);  // tree-like
+  GraphletDistribution d1 = SampledGraphlets(dense, 96, 7);
+  GraphletDistribution d2 = SampledGraphlets(sparse, 96, 7);
+  EXPECT_GT(d1.DistanceTo(d2), 0.1);
+}
+
+TEST(NetworkMaintenanceTest, InitializeProducesPatterns) {
+  auto state = InitializeNetworkMaintenance(TestNetwork(3), Config());
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_FALSE(state->patterns.empty());
+}
+
+TEST(NetworkMaintenanceTest, SmallBatchIsMinor) {
+  auto state = InitializeNetworkMaintenance(TestNetwork(4), Config());
+  ASSERT_TRUE(state.ok());
+  std::vector<Graph> before = state->patterns;
+
+  NetworkBatch batch;
+  batch.edge_insertions.push_back(Edge{0, 50, 0});
+  batch.edge_insertions.push_back(Edge{1, 60, 0});
+  auto report = ApplyNetworkBatch(*state, batch, Config());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->drift.type, ModificationType::kMinor);
+  EXPECT_FALSE(report->patterns_updated);
+  ASSERT_EQ(state->patterns.size(), before.size());
+  // Network actually mutated.
+  EXPECT_TRUE(state->network.HasEdge(0, 50));
+}
+
+TEST(NetworkMaintenanceTest, MajorDriftTriggersLocalSwap) {
+  NetworkMaintenanceConfig config = Config();
+  config.drift_threshold = 0.0;  // force the major path
+  auto state = InitializeNetworkMaintenance(TestNetwork(5), config);
+  ASSERT_TRUE(state.ok());
+
+  // Densify one neighborhood: attach a clique to vertex 0.
+  NetworkBatch batch;
+  size_t base = state->network.NumVertices();
+  for (int i = 0; i < 8; ++i) batch.new_vertices.push_back(1);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = i + 1; j < 8; ++j) {
+      batch.edge_insertions.push_back(Edge{static_cast<VertexId>(base + i),
+                                           static_cast<VertexId>(base + j), 0});
+    }
+    batch.edge_insertions.push_back(
+        Edge{0, static_cast<VertexId>(base + i), 0});
+  }
+  auto report = ApplyNetworkBatch(*state, batch, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->drift.type, ModificationType::kMajor);
+  EXPECT_GT(report->region_vertices, 8u);
+  EXPECT_GT(report->candidates_generated, 0u);
+  // The monotone swap guarantee.
+  EXPECT_GE(report->swap.score_after, report->swap.score_before - 1e-9);
+}
+
+TEST(NetworkMaintenanceTest, DeletionsHandled) {
+  auto state = InitializeNetworkMaintenance(TestNetwork(6, 300), Config());
+  ASSERT_TRUE(state.ok());
+  size_t edges_before = state->network.NumEdges();
+  NetworkBatch batch;
+  // Delete the first five edges.
+  std::vector<Edge> edges = state->network.Edges();
+  for (int i = 0; i < 5; ++i) {
+    batch.edge_deletions.emplace_back(edges[i].u, edges[i].v);
+  }
+  auto report = ApplyNetworkBatch(*state, batch, Config());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(state->network.NumEdges(), edges_before - 5);
+}
+
+TEST(NetworkMaintenanceTest, BadInsertionRejected) {
+  auto state = InitializeNetworkMaintenance(TestNetwork(7, 100), Config());
+  ASSERT_TRUE(state.ok());
+  NetworkBatch batch;
+  batch.edge_insertions.push_back(Edge{0, 100000, 0});
+  auto report = ApplyNetworkBatch(*state, batch, Config());
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkMaintenanceTest, UninitializedRejected) {
+  NetworkMaintainState state;
+  auto report = ApplyNetworkBatch(state, NetworkBatch{}, Config());
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetworkMaintenanceTest, ContinuousEvolutionStaysHealthy) {
+  // The headline scenario: a stream of batches; patterns must remain
+  // realizable in the evolving network throughout.
+  NetworkMaintenanceConfig config = Config();
+  config.drift_threshold = 0.01;
+  auto state = InitializeNetworkMaintenance(TestNetwork(8, 400), config);
+  ASSERT_TRUE(state.ok());
+  Rng rng(9);
+  for (int round = 0; round < 4; ++round) {
+    NetworkBatch batch;
+    for (int i = 0; i < 10; ++i) {
+      VertexId u =
+          static_cast<VertexId>(rng.UniformInt(state->network.NumVertices()));
+      VertexId v =
+          static_cast<VertexId>(rng.UniformInt(state->network.NumVertices()));
+      if (u != v) batch.edge_insertions.push_back(Edge{u, v, 0});
+    }
+    auto report = ApplyNetworkBatch(*state, batch, config);
+    ASSERT_TRUE(report.ok()) << "round " << round;
+  }
+  // Set coverage of the maintained patterns stays positive on the final
+  // network.
+  NetworkCoverageOptions cov;
+  EXPECT_GT(NetworkSetCoverage(state->network, state->patterns, cov), 0.0);
+}
+
+}  // namespace
+}  // namespace vqi

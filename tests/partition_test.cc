@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "graph/partition.h"
+
+namespace vqi {
+namespace {
+
+TEST(PartitionTest, ChunkSizesRespected) {
+  Rng rng(3);
+  gen::LabelConfig labels;
+  Graph network = gen::WattsStrogatz(300, 3, 0.1, labels, rng);
+  GraphDatabase db = PartitionIntoChunks(network, 25);
+  EXPECT_FALSE(db.empty());
+  for (const Graph& chunk : db.graphs()) {
+    EXPECT_GE(chunk.NumVertices(), 2u);
+    EXPECT_LE(chunk.NumVertices(), 25u);
+  }
+}
+
+TEST(PartitionTest, VerticesCoveredAtMostOnce) {
+  Rng rng(4);
+  gen::LabelConfig labels;
+  Graph network = gen::BarabasiAlbert(500, 2, labels, rng);
+  GraphDatabase db = PartitionIntoChunks(network, 30);
+  size_t total = db.TotalVertices();
+  // Each vertex lands in at most one chunk (singletons are dropped).
+  EXPECT_LE(total, network.NumVertices());
+  // A connected network loses only a modest share of vertices to
+  // singleton-dropping (leaf leftovers around exhausted hubs).
+  EXPECT_GE(total, network.NumVertices() * 4 / 5);
+}
+
+TEST(PartitionTest, ChunksAreInducedSubgraphs) {
+  Rng rng(5);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 4;
+  Graph network = gen::WattsStrogatz(120, 3, 0.2, labels, rng);
+  GraphDatabase db = PartitionIntoChunks(network, 20);
+  for (const Graph& chunk : db.graphs()) {
+    // Induced chunks preserve labels and basic structural sanity.
+    EXPECT_GT(chunk.NumEdges(), 0u);
+    for (VertexId v = 0; v < chunk.NumVertices(); ++v) {
+      EXPECT_LT(chunk.VertexLabel(v), labels.num_vertex_labels);
+    }
+  }
+}
+
+TEST(PartitionTest, DisconnectedNetworkHandled) {
+  Graph g;
+  // Two disjoint triangles and one isolated vertex.
+  for (int t = 0; t < 2; ++t) {
+    VertexId a = g.AddVertex(0), b = g.AddVertex(0), c = g.AddVertex(0);
+    g.AddEdge(a, b);
+    g.AddEdge(b, c);
+    g.AddEdge(a, c);
+  }
+  g.AddVertex(0);  // isolated; must be dropped
+  GraphDatabase db = PartitionIntoChunks(g, 10);
+  EXPECT_EQ(db.size(), 2u);
+  for (const Graph& chunk : db.graphs()) {
+    EXPECT_EQ(chunk.NumVertices(), 3u);
+  }
+}
+
+TEST(PartitionTest, SmallChunksManyPieces) {
+  Graph path = builder::Path(20);
+  GraphDatabase db = PartitionIntoChunks(path, 4);
+  EXPECT_GE(db.size(), 4u);
+  for (const Graph& chunk : db.graphs()) {
+    EXPECT_TRUE(IsConnected(chunk));
+  }
+}
+
+}  // namespace
+}  // namespace vqi

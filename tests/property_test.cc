@@ -1,0 +1,394 @@
+// Parameterized property tests: randomized sweeps cross-checking the core
+// algorithms against brute-force oracles and algebraic invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <tuple>
+
+#include "cluster/closure.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "match/canonical.h"
+#include "match/pattern_utils.h"
+#include "match/similarity_search.h"
+#include "match/vf2.h"
+#include "mining/graphlets.h"
+#include "sim/formulation.h"
+#include "truss/truss.h"
+
+namespace vqi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VF2 vs brute force
+
+struct MatchCase {
+  size_t target_n;
+  double target_p;
+  size_t pattern_n;
+  double pattern_p;
+  size_t num_labels;
+};
+
+class Vf2PropertyTest : public testing::TestWithParam<MatchCase> {};
+
+// Brute force: count injective label-preserving mappings by permutation of
+// target vertex subsets (small sizes only).
+uint64_t BruteForceEmbeddings(const Graph& pattern, const Graph& target) {
+  size_t pn = pattern.NumVertices();
+  std::vector<VertexId> chosen;
+  std::vector<bool> used(target.NumVertices(), false);
+  uint64_t count = 0;
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == pn) {
+      ++count;
+      return;
+    }
+    for (VertexId tv = 0; tv < target.NumVertices(); ++tv) {
+      if (used[tv]) continue;
+      if (pattern.VertexLabel(static_cast<VertexId>(depth)) !=
+          target.VertexLabel(tv)) {
+        continue;
+      }
+      bool ok = true;
+      for (VertexId prev = 0; prev < depth; ++prev) {
+        std::optional<Label> pe =
+            pattern.EdgeLabel(static_cast<VertexId>(depth), prev);
+        if (pe.has_value()) {
+          std::optional<Label> te = target.EdgeLabel(tv, chosen[prev]);
+          if (!te.has_value() || *te != *pe) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      used[tv] = true;
+      chosen.push_back(tv);
+      recurse(depth + 1);
+      chosen.pop_back();
+      used[tv] = false;
+    }
+  };
+  recurse(0);
+  return count;
+}
+
+TEST_P(Vf2PropertyTest, CountsMatchBruteForce) {
+  const MatchCase& c = GetParam();
+  Rng rng(static_cast<uint64_t>(c.target_n * 1000 + c.pattern_n));
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = c.num_labels;
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph target = gen::ErdosRenyi(c.target_n, c.target_p, labels, rng);
+    Graph pattern = gen::ErdosRenyi(c.pattern_n, c.pattern_p, labels, rng);
+    EXPECT_EQ(CountEmbeddings(target, pattern, 0),
+              BruteForceEmbeddings(pattern, target))
+        << "pattern:\n"
+        << pattern.DebugString() << "target:\n"
+        << target.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Vf2PropertyTest,
+    testing::Values(MatchCase{6, 0.4, 3, 0.6, 1}, MatchCase{6, 0.4, 3, 0.6, 2},
+                    MatchCase{7, 0.3, 4, 0.5, 1}, MatchCase{7, 0.3, 4, 0.5, 3},
+                    MatchCase{8, 0.25, 4, 0.6, 2},
+                    MatchCase{8, 0.5, 5, 0.4, 1}));
+
+// ---------------------------------------------------------------------------
+// Canonical codes: permutation invariance sweep
+
+struct CanonicalCase {
+  size_t n;
+  double p;
+  size_t num_labels;
+};
+
+class CanonicalPropertyTest : public testing::TestWithParam<CanonicalCase> {};
+
+TEST_P(CanonicalPropertyTest, InvariantUnderPermutation) {
+  const CanonicalCase& c = GetParam();
+  Rng rng(static_cast<uint64_t>(c.n * 31 + c.num_labels));
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = c.num_labels;
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = gen::ErdosRenyi(c.n, c.p, labels, rng);
+    std::vector<VertexId> perm(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) perm[v] = v;
+    rng.Shuffle(perm);
+    Graph h;
+    std::vector<VertexId> where(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) where[perm[v]] = v;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      h.AddVertex(g.VertexLabel(where[v]));
+    }
+    for (const Edge& e : g.Edges()) h.AddEdge(perm[e.u], perm[e.v], e.label);
+    EXPECT_EQ(CanonicalCode(g), CanonicalCode(h));
+    EXPECT_TRUE(AreIsomorphic(g, h));
+  }
+}
+
+TEST_P(CanonicalPropertyTest, DistinguishesEdgePerturbation) {
+  const CanonicalCase& c = GetParam();
+  Rng rng(static_cast<uint64_t>(c.n * 77 + c.num_labels));
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = c.num_labels;
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = gen::ErdosRenyi(c.n, c.p, labels, rng);
+    if (g.NumEdges() == 0) continue;
+    // Remove one edge: codes must differ (edge counts differ).
+    Graph h = g;
+    Edge e = h.Edges()[rng.UniformInt(h.NumEdges())];
+    h.RemoveEdge(e.u, e.v);
+    EXPECT_NE(CanonicalCode(g), CanonicalCode(h));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CanonicalPropertyTest,
+                         testing::Values(CanonicalCase{6, 0.3, 1},
+                                         CanonicalCase{8, 0.3, 1},
+                                         CanonicalCase{8, 0.5, 2},
+                                         CanonicalCase{10, 0.25, 3},
+                                         CanonicalCase{12, 0.2, 1}));
+
+// ---------------------------------------------------------------------------
+// Graphlets: ESU vs brute-force 3/4-subset enumeration
+
+class GraphletPropertyTest : public testing::TestWithParam<int> {};
+
+GraphletCounts BruteForceGraphlets(const Graph& g) {
+  GraphletCounts counts;
+  size_t n = g.NumVertices();
+  auto connected = [&](const std::vector<VertexId>& vs) {
+    Graph sub = InducedSubgraph(g, vs);
+    return IsConnected(sub);
+  };
+  auto classify3 = [&](VertexId a, VertexId b, VertexId c) {
+    int edges = g.HasEdge(a, b) + g.HasEdge(b, c) + g.HasEdge(a, c);
+    if (edges == 3) return kG3Triangle;
+    return kG3Path;
+  };
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b)
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (!connected({a, b, c})) continue;
+        ++counts.counts[classify3(a, b, c)];
+      }
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b)
+      for (VertexId c = b + 1; c < n; ++c)
+        for (VertexId d = c + 1; d < n; ++d) {
+          std::vector<VertexId> vs = {a, b, c, d};
+          Graph sub = InducedSubgraph(g, vs);
+          if (!IsConnected(sub)) continue;
+          size_t edges = sub.NumEdges();
+          auto seq = DegreeSequence(sub);
+          if (edges == 3) {
+            ++counts.counts[seq[0] == 3 ? kG4Star : kG4Path];
+          } else if (edges == 4) {
+            ++counts.counts[seq[0] == 3 ? kG4TailedTriangle : kG4Cycle];
+          } else if (edges == 5) {
+            ++counts.counts[kG4Diamond];
+          } else {
+            ++counts.counts[kG4Clique];
+          }
+        }
+  return counts;
+}
+
+TEST_P(GraphletPropertyTest, EsuMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  gen::LabelConfig labels;
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = gen::ErdosRenyi(10, 0.3, labels, rng);
+    GraphletCounts esu = CountGraphlets(g);
+    GraphletCounts brute = BruteForceGraphlets(g);
+    for (int i = 0; i < kNumGraphletTypes; ++i) {
+      EXPECT_EQ(esu.counts[i], brute.counts[i])
+          << GraphletTypeName(static_cast<GraphletType>(i)) << "\n"
+          << g.DebugString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphletPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Truss: decomposition satisfies the k-truss definition on random graphs
+
+class TrussPropertyTest : public testing::TestWithParam<double> {};
+
+TEST_P(TrussPropertyTest, EveryTrussLevelValid) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 100));
+  gen::LabelConfig labels;
+  Graph g = gen::ErdosRenyi(30, GetParam(), labels, rng);
+  TrussDecomposition d = DecomposeTruss(g);
+  for (int k = 3; k <= d.max_trussness; ++k) {
+    std::vector<Edge> kept;
+    for (const Edge& e : g.Edges()) {
+      if (d.EdgeTrussness(e.u, e.v) >= k) kept.push_back(e);
+    }
+    Graph truss = SubgraphFromEdges(g, kept);
+    for (const Edge& e : truss.Edges()) {
+      int common = 0;
+      for (const Neighbor& nb : truss.Neighbors(e.u)) {
+        if (truss.HasEdge(nb.vertex, e.v)) ++common;
+      }
+      EXPECT_GE(common, k - 2);
+    }
+  }
+  // Maximality: an edge with trussness k must NOT survive in the (k+1)
+  // peeling, i.e. the decomposition assigns the maximum valid k. Check via
+  // a spot edge: its level-(k+1) subgraph violates support for it.
+  for (const Edge& e : g.Edges()) {
+    int k = d.EdgeTrussness(e.u, e.v);
+    std::vector<Edge> kept;
+    for (const Edge& e2 : g.Edges()) {
+      if (d.EdgeTrussness(e2.u, e2.v) >= k + 1) kept.push_back(e2);
+    }
+    // e itself is not in the k+1 truss by construction.
+    Graph higher = SubgraphFromEdges(g, kept);
+    EXPECT_LE(higher.NumEdges(), g.NumEdges());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, TrussPropertyTest,
+                         testing::Values(0.1, 0.2, 0.3, 0.45));
+
+// ---------------------------------------------------------------------------
+// GED: lower <= exact <= upper on random small graphs
+
+class GedPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(GedPropertyTest, BoundsBracketExact) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 13));
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 2;
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph a = gen::ErdosRenyi(5, 0.4, labels, rng);
+    Graph b = gen::ErdosRenyi(5 + (trial % 2), 0.4, labels, rng);
+    double exact = ExactGraphEditDistance(a, b);
+    GedEstimate est = ApproxGraphEditDistance(a, b);
+    EXPECT_LE(est.lower_bound, exact + 1e-9)
+        << a.DebugString() << b.DebugString();
+    EXPECT_GE(est.upper_bound, exact - 1e-9)
+        << a.DebugString() << b.DebugString();
+  }
+}
+
+TEST_P(GedPropertyTest, ExactZeroIffIdenticalStructure) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 29));
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 2;
+  Graph a = gen::ErdosRenyi(6, 0.4, labels, rng);
+  EXPECT_DOUBLE_EQ(ExactGraphEditDistance(a, a), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GedPropertyTest, testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Closure + wildcard matching: the closure contains both inputs
+
+class ClosurePropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(ClosurePropertyTest, ClosureContainsBothUnderWildcard) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 7));
+  gen::MoleculeConfig config;
+  config.max_rings = 2;
+  config.max_pendants = 2;
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph a = gen::Molecule(config, rng);
+    Graph b = gen::Molecule(config, rng);
+    if (a.NumVertices() > 18 || b.NumVertices() > 18) continue;  // keep fast
+    Graph closure = GraphClosure(a, b);
+    MatchOptions wildcard;
+    wildcard.dummy_is_wildcard = true;
+    wildcard.max_steps = 2000000;
+    // `a` seeds the closure, so its containment is structural ground truth;
+    // `b` is folded via the greedy alignment, which by construction inserts
+    // every unmatched vertex/edge, so b must embed too (labels may have
+    // become wildcards).
+    EXPECT_TRUE(ContainsSubgraph(closure, a, wildcard)) << trial;
+    EXPECT_TRUE(ContainsSubgraph(closure, b, wildcard)) << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosurePropertyTest, testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Formulation / usability invariants over randomized workloads
+
+class UsabilityPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(UsabilityPropertyTest, PatternsNeverHurt) {
+  // Adding canned patterns to a panel can only reduce (or keep) the
+  // simulated step count — the simulator only stamps when it saves steps.
+  uint64_t seed = GetParam();
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, seed);
+  Rng rng(seed);
+  std::vector<Graph> canned;
+  for (int i = 0; i < 4; ++i) {
+    const Graph& source = db.graphs()[rng.UniformInt(db.size())];
+    if (source.NumEdges() < 6) continue;
+    auto sub = RandomConnectedSubgraph(source, 4 + rng.UniformInt(4), rng);
+    if (sub.has_value()) canned.push_back(std::move(*sub));
+  }
+  for (size_t gi = 0; gi < db.size(); gi += 7) {
+    const Graph& target = db.graphs()[gi];
+    size_t with = SimulateFormulation(target, canned).StepCount();
+    size_t without = SimulateFormulation(target, {}).StepCount();
+    EXPECT_LE(with, without) << target.DebugString();
+  }
+}
+
+TEST_P(UsabilityPropertyTest, ManualStepsMatchClosedForm) {
+  // Edge-at-a-time steps are exactly:
+  //   2*|V involved| + |E| + |{labeled edges}|  for connected targets.
+  uint64_t seed = GetParam();
+  GraphDatabase db = gen::MoleculeDatabase(15, gen::MoleculeConfig{}, seed);
+  for (const Graph& target : db.graphs()) {
+    size_t labeled_edges = 0;
+    for (const Edge& e : target.Edges()) {
+      if (e.label != 0) ++labeled_edges;
+    }
+    size_t expected =
+        2 * target.NumVertices() + target.NumEdges() + labeled_edges;
+    EXPECT_EQ(SimulateFormulation(target, {}).StepCount(), expected)
+        << target.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UsabilityPropertyTest,
+                         testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------------
+// Wildcard semantics unit coverage
+
+TEST(WildcardMatchTest, DummyMatchesAnything) {
+  Graph pattern = builder::SingleEdge(kDummyLabel, 3, kDummyLabel);
+  Graph target = builder::SingleEdge(7, 3, 9);
+  MatchOptions wildcard;
+  wildcard.dummy_is_wildcard = true;
+  EXPECT_TRUE(ContainsSubgraph(target, pattern, wildcard));
+  // Without the flag, dummy is an ordinary (unmatchable) label.
+  EXPECT_FALSE(ContainsSubgraph(target, pattern));
+}
+
+TEST(WildcardMatchTest, WildcardEdgeLabels) {
+  Graph pattern = builder::SingleEdge(0, 0, kDummyLabel);
+  Graph target = builder::SingleEdge(0, 0, 5);
+  MatchOptions wildcard;
+  wildcard.dummy_is_wildcard = true;
+  EXPECT_TRUE(ContainsSubgraph(target, pattern, wildcard));
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,217 @@
+// Failure-injection and degenerate-input tests: every public pipeline must
+// fail loudly (Status) or degrade gracefully — never crash or fabricate.
+
+#include <gtest/gtest.h>
+
+#include "catapult/catapult.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "midas/midas.h"
+#include "modular/pipeline.h"
+#include "sim/usability.h"
+#include "sim/workload.h"
+#include "tattoo/tattoo.h"
+#include "vqi/builder.h"
+#include "vqi/serialize.h"
+
+namespace vqi {
+namespace {
+
+// --- Degenerate repositories ------------------------------------------------
+
+GraphDatabase IdenticalGraphsDb(size_t count) {
+  GraphDatabase db;
+  for (size_t i = 0; i < count; ++i) db.Add(builder::Cycle(6, 1));
+  return db;
+}
+
+TEST(RobustnessTest, CatapultOnIdenticalGraphs) {
+  // One isomorphism class: clustering degenerates to one effective cluster.
+  GraphDatabase db = IdenticalGraphsDb(30);
+  CatapultConfig config;
+  config.budget = 5;
+  config.tree_config.min_support = 5;
+  config.walks_per_csg = 16;
+  auto result = RunCatapult(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->patterns().empty());
+  // Every pattern must still be realizable.
+  for (const Graph& p : result->patterns()) {
+    EXPECT_TRUE(ContainsSubgraph(db.graphs()[0], p));
+  }
+}
+
+TEST(RobustnessTest, CatapultOnTinyGraphs) {
+  // All graphs below the minimum canned size: selection legitimately comes
+  // back empty (no subgraph of 4+ edges exists anywhere).
+  GraphDatabase db;
+  for (int i = 0; i < 10; ++i) db.Add(builder::SingleEdge(0, 1));
+  CatapultConfig config;
+  config.budget = 5;
+  config.min_pattern_edges = 4;
+  config.tree_config.min_support = 3;
+  auto result = RunCatapult(db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->patterns().empty());
+}
+
+TEST(RobustnessTest, CatapultSingleGraphDb) {
+  GraphDatabase db;
+  db.Add(gen::MoleculeDatabase(1, gen::MoleculeConfig{}, 3).graphs()[0]);
+  CatapultConfig config;
+  config.budget = 3;
+  config.tree_config.min_support = 1;
+  config.walks_per_csg = 8;
+  auto result = RunCatapult(db, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(RobustnessTest, TattooOnTriangleFreeNetwork) {
+  // Truss-infested region is empty; candidates must come from G_O only.
+  Graph network = builder::Path(200, 0);
+  TattooConfig config;
+  config.budget = 4;
+  config.seed = 5;
+  auto result = RunTattoo(network, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.infested_edges, 0u);
+  for (const Graph& p : result->patterns) {
+    EXPECT_TRUE(IsChain(p));  // nothing but chains exists in a path
+  }
+}
+
+TEST(RobustnessTest, TattooOnCliqueNetwork) {
+  // Truss-oblivious region is empty; all candidates from G_T.
+  Graph network = builder::Clique(14, 0);
+  TattooConfig config;
+  config.budget = 4;
+  config.seed = 6;
+  auto result = RunTattoo(network, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.oblivious_edges, 0u);
+  EXPECT_FALSE(result->patterns.empty());
+}
+
+TEST(RobustnessTest, MidasEmptyBatchIsMinorNoop) {
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, 7);
+  MidasConfig config;
+  config.base.budget = 4;
+  config.base.tree_config.min_support = 4;
+  config.base.walks_per_csg = 12;
+  auto state = InitializeMidas(db, config);
+  ASSERT_TRUE(state.ok());
+  std::vector<Graph> before = state->patterns();
+  auto report = ApplyBatchAndMaintain(*state, db, BatchUpdate{}, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->drift.type, ModificationType::kMinor);
+  EXPECT_NEAR(report->drift.distance, 0.0, 1e-12);
+  ASSERT_EQ(state->patterns().size(), before.size());
+}
+
+TEST(RobustnessTest, MidasDeleteEverythingThenRefill) {
+  GraphDatabase db = gen::MoleculeDatabase(20, gen::MoleculeConfig{}, 8);
+  MidasConfig config;
+  config.base.budget = 3;
+  config.base.tree_config.min_support = 3;
+  config.base.walks_per_csg = 8;
+  auto state = InitializeMidas(db, config);
+  ASSERT_TRUE(state.ok());
+  BatchUpdate update;
+  update.deletions = db.Ids();
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    update.additions.push_back(gen::Molecule(gen::MoleculeConfig{}, rng));
+  }
+  auto report = ApplyBatchAndMaintain(*state, db, std::move(update), config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(db.size(), 10u);
+  // Cluster bookkeeping consistent after total churn.
+  size_t total = 0;
+  for (const auto& members : state->catapult.cluster_members) {
+    total += members.size();
+  }
+  EXPECT_EQ(total, db.size());
+}
+
+// --- Corrupt/hostile inputs --------------------------------------------------
+
+TEST(RobustnessTest, CorruptVqiFilesRejected) {
+  // Each corruption targets a different parse layer.
+  const char* corrupt[] = {
+      "",                                          // empty
+      "VQI2\n",                                    // wrong magic
+      "VQI1\nkind graph-collection\npattern canned abc\n",  // bad number
+      "VQI1\npattern canned 0.5\nt # 0\nv 0 0\nv 0 0\nend\n",  // dense ids
+      "VQI1\nvattr -3 1 X\n",                      // negative label
+      "VQI1\npattern basic 0\nt # 0\nv 0 0\n",     // unterminated
+  };
+  for (const char* text : corrupt) {
+    EXPECT_FALSE(ParseVqi(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(RobustnessTest, CorruptLgFilesRejected) {
+  const char* corrupt[] = {
+      "t # 0\nv 0 0\ne 0 1 0\n",   // edge to undeclared vertex
+      "t # zero\n",                // bad id
+      "t # 0\nv 0 0\nv 1 0\ne 0 1\n",  // short edge line
+      "t # 0\nq 1 2\n",            // unknown directive
+  };
+  for (const char* text : corrupt) {
+    EXPECT_FALSE(io::ParseGraph(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(RobustnessTest, SerializeRoundTripSurvivesDummyLabels) {
+  // Closure artifacts (dummy labels) must survive serialization.
+  LabelStats stats;
+  stats.vertex_label_counts = {{0, 1}};
+  VisualQueryInterface vqi = BuildManualBaselineVqi(
+      stats, DataSourceKind::kGraphCollection);
+  Graph weird = builder::SingleEdge(kDummyLabel, 0, kDummyLabel);
+  vqi.pattern_panel().AddCanned(weird, 0.1);
+  auto parsed = ParseVqi(SerializeVqi(vqi));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->pattern_panel().num_canned(), 1u);
+  EXPECT_TRUE(parsed->pattern_panel().CannedPatterns()[0].IdenticalTo(weird));
+}
+
+// --- Simulation edge cases ---------------------------------------------------
+
+TEST(RobustnessTest, UsabilityWithEmptyPanel) {
+  GraphDatabase db = gen::MoleculeDatabase(10, gen::MoleculeConfig{}, 10);
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 5;
+  auto workload = GenerateDbWorkload(db, wconfig);
+  PatternPanel empty;
+  UsabilityResult result = EvaluateUsability(workload, empty);
+  EXPECT_EQ(result.num_queries, workload.size());
+  EXPECT_GT(result.mean_steps, 0.0);
+  EXPECT_EQ(result.pattern_edge_fraction, 0.0);
+}
+
+TEST(RobustnessTest, WorkloadFromTinyDb) {
+  GraphDatabase db;
+  db.Add(builder::SingleEdge(0, 0));
+  WorkloadConfig config;
+  config.num_queries = 5;
+  config.min_edges = 4;  // impossible: the only graph has 1 edge
+  config.max_edges = 8;
+  auto workload = GenerateDbWorkload(db, config);
+  EXPECT_TRUE(workload.empty());
+}
+
+TEST(RobustnessTest, ModularPipelineUnknownStageSurfacesError) {
+  GraphDatabase db = gen::MoleculeDatabase(10, gen::MoleculeConfig{}, 11);
+  ModularPipelineConfig config;
+  config.merge_stage = "does-not-exist";
+  auto result = RunModularPipeline(db, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("does-not-exist"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "vqi/session.h"
+
+namespace vqi {
+namespace {
+
+TEST(SessionTest, UndoRestoresPreviousState) {
+  QueryPanel panel;
+  QuerySession session(&panel);
+  size_t a = session.AddVertex(1);
+  size_t b = session.AddVertex(2);
+  session.AddEdge(a, b, 0);
+  EXPECT_EQ(panel.ToGraph().NumEdges(), 1u);
+  EXPECT_TRUE(session.Undo());
+  EXPECT_EQ(panel.ToGraph().NumEdges(), 0u);
+  EXPECT_EQ(panel.ToGraph().NumVertices(), 2u);
+  EXPECT_TRUE(session.Undo());
+  EXPECT_EQ(panel.ToGraph().NumVertices(), 1u);
+}
+
+TEST(SessionTest, RedoReappliesUndoneEdit) {
+  QueryPanel panel;
+  QuerySession session(&panel);
+  session.AddPattern(builder::Triangle(1));
+  EXPECT_TRUE(session.Undo());
+  EXPECT_EQ(panel.ToGraph().NumVertices(), 0u);
+  EXPECT_TRUE(session.Redo());
+  EXPECT_EQ(panel.ToGraph().NumVertices(), 3u);
+  EXPECT_EQ(panel.ToGraph().NumEdges(), 3u);
+}
+
+TEST(SessionTest, NewEditClearsRedo) {
+  QueryPanel panel;
+  QuerySession session(&panel);
+  session.AddVertex(0);
+  session.AddVertex(0);
+  session.Undo();
+  EXPECT_EQ(session.redo_depth(), 1u);
+  session.AddVertex(5);  // divergent edit
+  EXPECT_EQ(session.redo_depth(), 0u);
+  EXPECT_FALSE(session.Redo());
+}
+
+TEST(SessionTest, FailedMutationsDontPollute) {
+  QueryPanel panel;
+  QuerySession session(&panel);
+  size_t a = session.AddVertex(0);
+  size_t b = session.AddVertex(0);
+  session.AddEdge(a, b);
+  size_t depth = session.undo_depth();
+  EXPECT_FALSE(session.AddEdge(a, b));       // duplicate
+  EXPECT_FALSE(session.AddEdge(a, a));       // self loop
+  EXPECT_FALSE(session.DeleteEdge(a, 99));   // nonexistent
+  EXPECT_FALSE(session.SetVertexLabel(99, 1));
+  EXPECT_EQ(session.undo_depth(), depth);
+}
+
+TEST(SessionTest, UndoEmptyIsNoop) {
+  QueryPanel panel;
+  QuerySession session(&panel);
+  EXPECT_FALSE(session.Undo());
+  EXPECT_FALSE(session.Redo());
+}
+
+TEST(SessionTest, HistoryCapped) {
+  QueryPanel panel;
+  QuerySession session(&panel, /*max_history=*/4);
+  for (int i = 0; i < 10; ++i) session.AddVertex(0);
+  EXPECT_EQ(session.undo_depth(), 4u);
+  int undone = 0;
+  while (session.Undo()) ++undone;
+  EXPECT_EQ(undone, 4);
+  EXPECT_EQ(panel.ToGraph().NumVertices(), 6u);  // 10 - 4
+}
+
+TEST(SessionTest, FullEditingRoundTrip) {
+  QueryPanel panel;
+  QuerySession session(&panel);
+  auto tri = session.AddPattern(builder::Triangle(1));
+  auto path = session.AddPattern(builder::Path(3, 1));
+  session.MergeVertices(tri[0], path[0]);
+  session.SetVertexLabel(tri[1], 9);
+  session.DeleteEdge(tri[1], tri[2]);
+  Graph final_state = panel.ToGraph();
+  // Undo all five edits, then redo all five: state must be identical.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(session.Undo());
+  EXPECT_EQ(panel.ToGraph().NumVertices(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(session.Redo());
+  EXPECT_TRUE(panel.ToGraph().IdenticalTo(final_state));
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "match/vf2.h"
+#include "sim/formulation.h"
+#include "sim/klm.h"
+#include "sim/usability.h"
+#include "sim/workload.h"
+
+namespace vqi {
+namespace {
+
+TEST(KlmTest, ActionTimesPositiveAndOrdered) {
+  KlmModel model;
+  for (SimAction action :
+       {SimAction::kAddVertex, SimAction::kAddEdge, SimAction::kSetLabel,
+        SimAction::kPlacePattern, SimAction::kMergeVertices}) {
+    EXPECT_GT(ActionSeconds(action, model, 10), 0.0);
+  }
+  // Adding an edge (two pointing acts) costs more than adding a vertex.
+  EXPECT_GT(ActionSeconds(SimAction::kAddEdge, model, 10),
+            ActionSeconds(SimAction::kAddVertex, model, 10));
+}
+
+TEST(KlmTest, BrowseCostGrowsWithPanel) {
+  KlmModel model;
+  EXPECT_LT(ActionSeconds(SimAction::kPlacePattern, model, 5),
+            ActionSeconds(SimAction::kPlacePattern, model, 50));
+}
+
+TEST(WorkloadTest, DbWorkloadQueriesExistInDb) {
+  GraphDatabase db = gen::MoleculeDatabase(30, gen::MoleculeConfig{}, 51);
+  WorkloadConfig config;
+  config.num_queries = 20;
+  config.min_edges = 3;
+  config.max_edges = 8;
+  auto workload = GenerateDbWorkload(db, config);
+  ASSERT_EQ(workload.size(), 20u);
+  for (const Graph& q : workload) {
+    EXPECT_GE(q.NumEdges(), 3u);
+    EXPECT_LE(q.NumEdges(), 8u);
+    bool found = false;
+    for (const Graph& g : db.graphs()) {
+      if (ContainsSubgraph(g, q)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << q.DebugString();
+  }
+}
+
+TEST(WorkloadTest, NetworkWorkloadFollowsMixRoughly) {
+  Rng rng(52);
+  gen::LabelConfig labels;
+  Graph network = gen::WattsStrogatz(400, 3, 0.15, labels, rng);
+  WorkloadConfig config;
+  config.num_queries = 60;
+  config.seed = 53;
+  auto workload = GenerateNetworkWorkload(network, config);
+  ASSERT_GE(workload.size(), 40u);
+  auto histogram = WorkloadTopologyHistogram(workload);
+  // Chains and stars dominate real query logs; check they dominate here.
+  size_t chains = histogram[TopologyClass::kChain];
+  size_t stars = histogram[TopologyClass::kStar];
+  EXPECT_GT(chains + stars, workload.size() / 2);
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  GraphDatabase db = gen::MoleculeDatabase(20, gen::MoleculeConfig{}, 54);
+  WorkloadConfig config;
+  config.num_queries = 10;
+  auto a = GenerateDbWorkload(db, config);
+  auto b = GenerateDbWorkload(db, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].IdenticalTo(b[i]));
+  }
+}
+
+TEST(FormulationTest, EdgeAtATimeStepCount) {
+  // Path of 4 edges, labels 0: no patterns available.
+  // Steps: v1(add+label) + v2(add+label) + e1; then per extra edge:
+  // add+label+edge = 3. Total = 5 + 3*3 = 14.
+  Graph target = builder::Path(5, /*vlabel=*/1);
+  FormulationTrace trace = SimulateFormulation(target, {});
+  EXPECT_EQ(trace.patterns_used, 0u);
+  EXPECT_EQ(trace.edges_from_patterns, 0u);
+  EXPECT_EQ(trace.StepCount(), 14u);
+}
+
+TEST(FormulationTest, ExactPatternIsOneStep) {
+  Graph target = builder::Cycle(6, 1);
+  FormulationTrace trace = SimulateFormulation(target, {builder::Cycle(6, 1)});
+  EXPECT_EQ(trace.StepCount(), 1u);
+  EXPECT_EQ(trace.patterns_used, 1u);
+  EXPECT_EQ(trace.edges_from_patterns, 6u);
+}
+
+TEST(FormulationTest, PatternPlusEdgeCompletion) {
+  // Target: triangle with a pendant edge; pattern: triangle.
+  Graph target = builder::Triangle(1);
+  VertexId tail = target.AddVertex(1);
+  target.AddEdge(0, tail, 0);
+  FormulationTrace trace = SimulateFormulation(target, {builder::Triangle(1)});
+  EXPECT_EQ(trace.patterns_used, 1u);
+  // 1 stamp + pendant: add vertex + label + edge = 4 steps total.
+  EXPECT_EQ(trace.StepCount(), 4u);
+}
+
+TEST(FormulationTest, MergesCountedAtContacts) {
+  // Target: bowtie — two triangles sharing one vertex. Pattern: triangle.
+  Graph target;
+  for (int i = 0; i < 5; ++i) target.AddVertex(1);
+  target.AddEdge(0, 1);
+  target.AddEdge(1, 2);
+  target.AddEdge(0, 2);
+  target.AddEdge(0, 3);
+  target.AddEdge(3, 4);
+  target.AddEdge(0, 4);
+  FormulationTrace trace = SimulateFormulation(target, {builder::Triangle(1)});
+  EXPECT_EQ(trace.patterns_used, 2u);
+  // Second stamp touches the shared hub -> exactly 1 merge.
+  size_t merges = 0;
+  for (SimAction a : trace.actions) {
+    if (a == SimAction::kMergeVertices) ++merges;
+  }
+  EXPECT_EQ(merges, 1u);
+  EXPECT_EQ(trace.StepCount(), 3u);  // 2 stamps + 1 merge
+}
+
+TEST(FormulationTest, DiamondFallsBackAfterFirstStamp) {
+  // Diamond (K4 minus an edge): after one triangle stamp only 2 edges
+  // remain, so the second triangle cannot fit and completion is manual.
+  Graph target = builder::Clique(4, 1);
+  target.RemoveEdge(0, 1);
+  FormulationTrace trace = SimulateFormulation(target, {builder::Triangle(1)});
+  EXPECT_EQ(trace.patterns_used, 1u);
+  // stamp(1) + new vertex (add+label) + 2 edge steps = 5.
+  EXPECT_EQ(trace.StepCount(), 5u);
+}
+
+TEST(FormulationTest, PatternsNeverOverlapDrawnEdges) {
+  // If a pattern only embeds overlapping already-drawn edges, it must not be
+  // stamped again; completion is edge-at-a-time.
+  Graph target = builder::Triangle(1);
+  VertexId t = target.AddVertex(1);
+  target.AddEdge(1, t, 0);
+  std::vector<Graph> patterns = {builder::Triangle(1)};
+  FormulationTrace trace = SimulateFormulation(target, patterns);
+  EXPECT_EQ(trace.patterns_used, 1u);
+  EXPECT_EQ(trace.edges_from_patterns, 3u);
+}
+
+TEST(FormulationTest, StructuralStampWithRelabeling) {
+  // Target: 6-cycle with one nitrogen (label 1); pattern: all-carbon 6-cycle.
+  Graph target = builder::Cycle(6, /*vlabel=*/0);
+  target.SetVertexLabel(2, 1);
+  FormulationTrace trace = SimulateFormulation(target, {builder::Cycle(6, 0)});
+  // Stamp (1) + relabel the one mismatched atom (1) = 2 steps, far cheaper
+  // than 6 edges + 2*6 vertex steps manually.
+  EXPECT_EQ(trace.patterns_used, 1u);
+  EXPECT_EQ(trace.StepCount(), 2u);
+}
+
+TEST(FormulationTest, StampRejectedWhenEditsOutweigh) {
+  // Target: a 2-path whose labels all differ from the pattern's; stamping a
+  // 2-path then fixing everything is not cheaper than drawing it.
+  Graph target = builder::Path(3, /*vlabel=*/5);
+  // Manual: 2 vertices * 2 + ... = add(1)+label(1)+add(1)+label(1)+edge(1)
+  //         +add(1)+label(1)+edge(1) = 8 steps total for 2 edges.
+  // Stamp of Path(3,0): 1 + 3 relabels = 4 -> still cheaper, so use a
+  // pattern whose every vertex AND edge needs fixing to tip the balance on
+  // a single edge target.
+  Graph single = builder::SingleEdge(5, 5, 0);
+  FormulationTrace trace =
+      SimulateFormulation(single, {builder::SingleEdge(0, 0, 3)});
+  // Stamp cost: 1 + 2 vertex fixes + 1 edge fix = 4; manual: 2*2 + 1 = 5.
+  // Stamp still wins; verify the accounting rather than rejection here.
+  EXPECT_EQ(trace.StepCount(), 4u);
+  EXPECT_EQ(trace.patterns_used, 1u);
+  (void)target;
+}
+
+TEST(FormulationTest, EmptyTargetNoSteps) {
+  FormulationTrace trace = SimulateFormulation(Graph(), {builder::Triangle()});
+  EXPECT_EQ(trace.StepCount(), 0u);
+}
+
+TEST(FormulationTest, LabeledEdgesCostExtraStep) {
+  Graph unlabeled = builder::SingleEdge(1, 1, 0);
+  Graph labeled = builder::SingleEdge(1, 1, 7);
+  EXPECT_EQ(SimulateFormulation(labeled, {}).StepCount(),
+            SimulateFormulation(unlabeled, {}).StepCount() + 1);
+}
+
+TEST(FormulationTest, TraceSecondsConsistent) {
+  KlmModel model;
+  Graph target = builder::Path(4, 1);
+  FormulationTrace trace = SimulateFormulation(target, {});
+  double t1 = TraceSeconds(trace, model, 3);
+  double manual_sum = 0.0;
+  for (SimAction a : trace.actions) manual_sum += ActionSeconds(a, model, 3);
+  EXPECT_DOUBLE_EQ(t1, manual_sum);
+}
+
+TEST(UsabilityTest, CannedPatternsReduceSteps) {
+  GraphDatabase db = gen::MoleculeDatabase(60, gen::MoleculeConfig{}, 55);
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 25;
+  wconfig.min_edges = 5;
+  wconfig.max_edges = 12;
+  auto workload = GenerateDbWorkload(db, wconfig);
+  ASSERT_FALSE(workload.empty());
+
+  // Data-driven panel: basics + the workload's own shapes would be cheating;
+  // use frequent molecule motifs (a 6-ring and a chain) as canned patterns.
+  PatternPanel data_driven;
+  for (Graph& b : PatternPanel::DefaultBasicPatterns(0)) {
+    data_driven.AddBasic(std::move(b));
+  }
+  data_driven.AddCanned(builder::Cycle(6, 0, 2), 0.5);
+  data_driven.AddCanned(builder::Path(4, 0, 0), 0.6);
+
+  PatternPanel manual;
+  for (Graph& b : PatternPanel::DefaultBasicPatterns(0)) {
+    manual.AddBasic(std::move(b));
+  }
+
+  UsabilityComparison comparison =
+      CompareUsability(workload, data_driven, manual);
+  EXPECT_EQ(comparison.data_driven.num_queries, workload.size());
+  // The tutorial's headline claim: fewer steps with canned patterns.
+  EXPECT_LE(comparison.data_driven.mean_steps, comparison.manual.mean_steps);
+  EXPECT_GE(comparison.step_reduction_percent(), 0.0);
+}
+
+TEST(UsabilityTest, EmptyWorkloadSafe) {
+  PatternPanel panel;
+  UsabilityResult result = EvaluateUsability({}, panel);
+  EXPECT_EQ(result.num_queries, 0u);
+  EXPECT_EQ(result.mean_steps, 0.0);
+}
+
+TEST(ErrorModelTest, FewerStepsFewerErrors) {
+  UsabilityResult few, many;
+  few.mean_steps = 5.0;
+  few.mean_seconds = 12.0;
+  many.mean_steps = 20.0;
+  many.mean_seconds = 40.0;
+  ErrorProjection pf = ProjectErrors(few);
+  ErrorProjection pm = ProjectErrors(many);
+  EXPECT_LT(pf.expected_errors, pm.expected_errors);
+  EXPECT_LT(pf.steps_with_recovery, pm.steps_with_recovery);
+  // Recovery strictly inflates both measures.
+  EXPECT_GT(pf.steps_with_recovery, few.mean_steps);
+  EXPECT_GT(pf.seconds_with_recovery, few.mean_seconds);
+}
+
+TEST(ErrorModelTest, ScalesWithSlipProbability) {
+  UsabilityResult r;
+  r.mean_steps = 10.0;
+  ErrorModel careless;
+  careless.slip_probability = 0.10;
+  ErrorModel careful;
+  careful.slip_probability = 0.01;
+  EXPECT_NEAR(ProjectErrors(r, careless).expected_errors, 1.0, 1e-9);
+  EXPECT_NEAR(ProjectErrors(r, careful).expected_errors, 0.1, 1e-9);
+}
+
+TEST(PreferenceTest, FasterInterfaceScoresHigher) {
+  UsabilityResult fast, slow;
+  fast.mean_seconds = 10.0;
+  fast.pattern_edge_fraction = 0.8;
+  slow.mean_seconds = 60.0;
+  slow.pattern_edge_fraction = 0.0;
+  double complexity = 0.4;
+  PreferenceResult pf = ModelPreference(fast, 10.0, complexity);
+  PreferenceResult ps = ModelPreference(slow, 10.0, complexity);
+  EXPECT_GT(pf.score, ps.score);
+  EXPECT_GT(pf.effort_satisfaction, ps.effort_satisfaction);
+  EXPECT_LT(pf.atomic_action_fraction, ps.atomic_action_fraction);
+}
+
+TEST(PreferenceTest, AestheticsFollowInvertedU) {
+  UsabilityResult usability;
+  usability.mean_seconds = 20.0;
+  PreferenceResult low = ModelPreference(usability, 10.0, 0.05);
+  PreferenceResult mid = ModelPreference(usability, 10.0, 0.5);
+  PreferenceResult high = ModelPreference(usability, 10.0, 0.95);
+  EXPECT_GT(mid.aesthetic_satisfaction, low.aesthetic_satisfaction);
+  EXPECT_GT(mid.aesthetic_satisfaction, high.aesthetic_satisfaction);
+}
+
+TEST(PreferenceTest, ScoreBounded) {
+  UsabilityResult terrible;
+  terrible.mean_seconds = 1e6;
+  terrible.pattern_edge_fraction = 0.0;
+  PreferenceResult p = ModelPreference(terrible, 5.0, 1.0);
+  EXPECT_GE(p.score, 0.0);
+  EXPECT_LE(p.score, 1.0);
+  UsabilityResult perfect;
+  perfect.mean_seconds = 0.0;
+  perfect.pattern_edge_fraction = 1.0;
+  PreferenceResult q = ModelPreference(perfect, 5.0, 0.5);
+  EXPECT_LE(q.score, 1.0);
+  EXPECT_GT(q.score, 0.9);
+}
+
+TEST(UsabilityTest, MedianAndMeanConsistent) {
+  GraphDatabase db = gen::MoleculeDatabase(20, gen::MoleculeConfig{}, 56);
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 9;
+  auto workload = GenerateDbWorkload(db, wconfig);
+  PatternPanel panel;
+  UsabilityResult result = EvaluateUsability(workload, panel);
+  EXPECT_GT(result.mean_steps, 0.0);
+  EXPECT_GT(result.median_steps, 0.0);
+  EXPECT_GT(result.mean_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace vqi

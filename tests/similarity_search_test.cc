@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "match/similarity_search.h"
+
+namespace vqi {
+namespace {
+
+TEST(GedTest, IdenticalGraphsDistanceZero) {
+  Graph g = builder::Cycle(6, 1);
+  GedEstimate d = ApproxGraphEditDistance(g, g);
+  EXPECT_DOUBLE_EQ(d.lower_bound, 0.0);
+  EXPECT_DOUBLE_EQ(d.upper_bound, 0.0);
+}
+
+TEST(GedTest, SingleRelabelCostsOne) {
+  Graph a = builder::Path(3, 0);
+  Graph b = builder::Path(3, 0);
+  b.SetVertexLabel(2, 7);
+  GedEstimate d = ApproxGraphEditDistance(a, b);
+  EXPECT_GE(d.upper_bound, 1.0);
+  EXPECT_LE(d.upper_bound, 2.0);  // greedy may misalign once, not more
+  EXPECT_GE(d.lower_bound, 1.0);
+}
+
+TEST(GedTest, BoundsOrdered) {
+  Rng rng(5);
+  gen::MoleculeConfig config;
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph a = gen::Molecule(config, rng);
+    Graph b = gen::Molecule(config, rng);
+    GedEstimate d = ApproxGraphEditDistance(a, b);
+    EXPECT_LE(d.lower_bound, d.upper_bound);
+    EXPECT_GE(d.lower_bound, 0.0);
+  }
+}
+
+TEST(GedTest, SizeGapLowerBounds) {
+  Graph small = builder::SingleEdge(0, 0);
+  Graph big = builder::Clique(5, 0);
+  GedEstimate d = ApproxGraphEditDistance(small, big);
+  // At least the vertex surplus (3) must be paid.
+  EXPECT_GE(d.lower_bound, 3.0);
+  // Upper bound: 3 vertex inserts + 9 edge inserts = 12.
+  EXPECT_LE(d.upper_bound, 13.0);
+}
+
+TEST(GedTest, SymmetricEnough) {
+  // The estimate is heuristic but should be loosely symmetric.
+  Graph a = builder::Star(4, 1);
+  Graph b = builder::Cycle(5, 1);
+  GedEstimate ab = ApproxGraphEditDistance(a, b);
+  GedEstimate ba = ApproxGraphEditDistance(b, a);
+  EXPECT_NEAR(ab.upper_bound, ba.upper_bound, 3.0);
+}
+
+TEST(SimilaritySearchTest, ExactMatchRanksFirst) {
+  GraphDatabase db;
+  GraphId target_id = db.Add(builder::Cycle(6, 2));
+  db.Add(builder::Path(7, 2));
+  db.Add(builder::Star(5, 2));
+  db.Add(builder::Clique(4, 2));
+  auto hits = SimilaritySearch(db, builder::Cycle(6, 2), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].graph_id, target_id);
+  EXPECT_DOUBLE_EQ(hits[0].distance.upper_bound, 0.0);
+}
+
+TEST(SimilaritySearchTest, RankingMonotone) {
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, 9);
+  Graph query = db.graphs()[5];
+  auto hits = SimilaritySearch(db, query, 10);
+  ASSERT_EQ(hits.size(), 10u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].distance.upper_bound, hits[i].distance.upper_bound);
+  }
+  // The query itself is in the db -> best hit is distance 0.
+  EXPECT_DOUBLE_EQ(hits[0].distance.upper_bound, 0.0);
+  EXPECT_EQ(hits[0].graph_id, query.id());
+}
+
+TEST(SimilaritySearchTest, KLargerThanDb) {
+  GraphDatabase db;
+  db.Add(builder::Triangle());
+  db.Add(builder::Path(3));
+  auto hits = SimilaritySearch(db, builder::Triangle(), 10);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vqi

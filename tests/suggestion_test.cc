@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "vqi/suggestion.h"
+
+namespace vqi {
+namespace {
+
+GraphDatabase SuggestionDb() {
+  // (0)-(1) edges with label 0 appear 3x; (0)-(2) with label 1 appears 1x.
+  GraphDatabase db;
+  db.Add(builder::FromLists({0, 1}, {{0, 1, 0}}));
+  db.Add(builder::FromLists({0, 1, 1}, {{0, 1, 0}, {0, 2, 0}}));
+  db.Add(builder::FromLists({0, 2}, {{0, 1, 1}}));
+  return db;
+}
+
+TEST(SuggestionTest, RankedBySupport) {
+  SuggestionIndex index = SuggestionIndex::Build(SuggestionDb());
+  auto suggestions = index.SuggestFrom(/*from=*/0, /*k=*/5);
+  ASSERT_GE(suggestions.size(), 2u);
+  // Most frequent continuation from a 0-labeled vertex: edge label 0 to a
+  // 1-labeled vertex (3 occurrences).
+  EXPECT_EQ(suggestions[0].to_label, 1u);
+  EXPECT_EQ(suggestions[0].edge_label, 0u);
+  EXPECT_EQ(suggestions[0].support, 3u);
+  EXPECT_GT(suggestions[0].support, suggestions[1].support);
+}
+
+TEST(SuggestionTest, TopKRespected) {
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, 3);
+  SuggestionIndex index = SuggestionIndex::Build(db);
+  EXPECT_GT(index.size(), 0u);
+  auto suggestions = index.SuggestFrom(0, 2);
+  EXPECT_LE(suggestions.size(), 2u);
+}
+
+TEST(SuggestionTest, UnknownLabelEmpty) {
+  SuggestionIndex index = SuggestionIndex::Build(SuggestionDb());
+  EXPECT_TRUE(index.SuggestFrom(999, 5).empty());
+}
+
+TEST(SuggestionTest, SuggestNextEdgesUsesFocusLabel) {
+  SuggestionIndex index = SuggestionIndex::Build(SuggestionDb());
+  Graph query = builder::FromLists({1, 0}, {{0, 1, 0}});
+  auto via_focus = index.SuggestNextEdges(query, /*focus=*/1, 5);
+  auto via_label = index.SuggestFrom(0, 5);
+  ASSERT_EQ(via_focus.size(), via_label.size());
+  for (size_t i = 0; i < via_focus.size(); ++i) {
+    EXPECT_EQ(via_focus[i].to_label, via_label[i].to_label);
+  }
+}
+
+TEST(SuggestionTest, NetworkIndexWorks) {
+  Graph network = builder::Cycle(6, 3);
+  SuggestionIndex index = SuggestionIndex::BuildFromNetwork(network);
+  auto suggestions = index.SuggestFrom(3, 5);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].support, 6u);  // 6 edges, same-label endpoints
+}
+
+TEST(PatternsContainingQueryTest, FindsSuperPatterns) {
+  std::vector<Graph> patterns = {builder::Cycle(6, 0), builder::Path(4, 0),
+                                 builder::Star(4, 0), builder::Clique(4, 0)};
+  // A 2-path occurs in all four; smallest (path) must come first.
+  Graph query = builder::Path(3, 0);
+  auto hits = PatternsContainingQuery(query, patterns, 10);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0], 1u);  // Path(4) has the fewest edges
+
+  // A triangle only occurs in the clique.
+  auto tri_hits = PatternsContainingQuery(builder::Triangle(0), patterns, 10);
+  ASSERT_EQ(tri_hits.size(), 1u);
+  EXPECT_EQ(tri_hits[0], 3u);
+}
+
+TEST(PatternsContainingQueryTest, KLimit) {
+  std::vector<Graph> patterns;
+  for (size_t i = 3; i < 10; ++i) patterns.push_back(builder::Path(i, 0));
+  auto hits = PatternsContainingQuery(builder::SingleEdge(0, 0), patterns, 3);
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "summary/summarizer.h"
+
+namespace vqi {
+namespace {
+
+TEST(SummarizerTest, PerfectVocabularyFullCoverage) {
+  // Network of disjoint triangles; vocabulary = triangle.
+  Graph g;
+  for (int t = 0; t < 4; ++t) {
+    VertexId a = g.AddVertex(0), b = g.AddVertex(0), c = g.AddVertex(0);
+    g.AddEdge(a, b);
+    g.AddEdge(b, c);
+    g.AddEdge(a, c);
+  }
+  GraphSummary summary = SummarizeWithPatterns(g, {builder::Triangle(0)});
+  EXPECT_DOUBLE_EQ(summary.edge_coverage, 1.0);
+  EXPECT_EQ(summary.uncovered_edges, 0u);
+  ASSERT_EQ(summary.patterns.size(), 1u);
+  EXPECT_EQ(summary.explained_edges[0], 12u);
+}
+
+TEST(SummarizerTest, GreedyPicksHighestGainFirst) {
+  // Star-heavy graph: star pattern explains more than triangle.
+  Rng rng(61);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 1;
+  Graph g = gen::BarabasiAlbert(200, 2, labels, rng);
+  std::vector<Graph> vocabulary = {builder::Triangle(0), builder::Star(4, 0)};
+  GraphSummary summary = SummarizeWithPatterns(g, vocabulary);
+  ASSERT_FALSE(summary.patterns.empty());
+  // Marginals must be non-increasing (greedy invariant).
+  for (size_t i = 1; i < summary.explained_edges.size(); ++i) {
+    EXPECT_LE(summary.explained_edges[i], summary.explained_edges[i - 1]);
+  }
+}
+
+TEST(SummarizerTest, RespectsPatternBudget) {
+  Rng rng(62);
+  gen::LabelConfig labels;
+  Graph g = gen::WattsStrogatz(150, 3, 0.2, labels, rng);
+  std::vector<Graph> vocabulary;
+  for (size_t i = 3; i <= 8; ++i) vocabulary.push_back(builder::Path(i, 0));
+  SummaryConfig config;
+  config.max_patterns = 2;
+  config.coverage.match_vertex_labels = false;
+  GraphSummary summary = SummarizeWithPatterns(g, vocabulary, config);
+  EXPECT_LE(summary.patterns.size(), 2u);
+}
+
+TEST(SummarizerTest, EmptyInputsSafe) {
+  GraphSummary s1 = SummarizeWithPatterns(Graph(), {builder::Triangle()});
+  EXPECT_EQ(s1.patterns.size(), 0u);
+  GraphSummary s2 = SummarizeWithPatterns(builder::Clique(4), {});
+  EXPECT_EQ(s2.patterns.size(), 0u);
+  EXPECT_EQ(s2.uncovered_edges, 6u);
+}
+
+TEST(SummarizerTest, UselessVocabularySkipped) {
+  Graph g = builder::Path(5, /*vlabel=*/1);
+  // Vocabulary patterns with wrong labels never match.
+  GraphSummary summary = SummarizeWithPatterns(g, {builder::Triangle(9)});
+  EXPECT_TRUE(summary.patterns.empty());
+  EXPECT_DOUBLE_EQ(summary.edge_coverage, 0.0);
+}
+
+TEST(SummarizerTest, CoverageAccountingConsistent) {
+  Rng rng(63);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 1;
+  Graph g = gen::ErdosRenyi(60, 0.08, labels, rng);
+  std::vector<Graph> vocabulary = {builder::Path(3, 0), builder::Path(4, 0),
+                                   builder::Triangle(0)};
+  SummaryConfig config;
+  config.coverage.max_embeddings = 4096;
+  GraphSummary summary = SummarizeWithPatterns(g, vocabulary, config);
+  EXPECT_NEAR(summary.edge_coverage,
+              1.0 - static_cast<double>(summary.uncovered_edges) /
+                        static_cast<double>(g.NumEdges()),
+              1e-9);
+  // Sum of greedy marginals equals total covered edges.
+  size_t sum = 0;
+  for (size_t e : summary.explained_edges) sum += e;
+  EXPECT_EQ(sum, g.NumEdges() - summary.uncovered_edges);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "match/vf2.h"
+#include "tattoo/distributed.h"
+#include "tattoo/tattoo.h"
+#include "tattoo/topology_candidates.h"
+#include "truss/truss.h"
+
+namespace vqi {
+namespace {
+
+Graph TestNetwork(uint64_t seed, size_t n = 400) {
+  Rng rng(seed);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 5;
+  // Watts-Strogatz gives triangles (G_T) plus rewired sparse parts (G_O).
+  return gen::WattsStrogatz(n, 3, 0.15, labels, rng);
+}
+
+TEST(TopologyCandidatesTest, ChainsAreChains) {
+  Graph g = TestNetwork(1);
+  TopologyCandidateConfig config;
+  Rng rng(2);
+  for (const Graph& chain : ExtractChains(g, config, rng)) {
+    EXPECT_TRUE(IsChain(chain)) << chain.DebugString();
+    EXPECT_GE(chain.NumEdges(), config.min_edges);
+    EXPECT_LE(chain.NumEdges(), config.max_edges);
+    EXPECT_TRUE(ContainsSubgraph(g, chain));
+  }
+}
+
+TEST(TopologyCandidatesTest, StarsAreStars) {
+  Rng rng(3);
+  gen::LabelConfig labels;
+  Graph g = gen::BarabasiAlbert(300, 2, labels, rng);
+  TopologyCandidateConfig config;
+  auto stars = ExtractStars(g, config, rng);
+  EXPECT_FALSE(stars.empty());
+  for (const Graph& star : stars) {
+    EXPECT_TRUE(IsStar(star)) << star.DebugString();
+    EXPECT_TRUE(ContainsSubgraph(g, star));
+  }
+}
+
+TEST(TopologyCandidatesTest, CyclesAreCycles) {
+  Graph g = TestNetwork(4);
+  TopologyCandidateConfig config;
+  Rng rng(5);
+  auto cycles = ExtractCycles(g, config, rng);
+  for (const Graph& cycle : cycles) {
+    EXPECT_TRUE(IsCycleGraph(cycle)) << cycle.DebugString();
+    EXPECT_GE(cycle.NumEdges(), config.min_edges);
+    EXPECT_LE(cycle.NumEdges(), config.max_edges);
+    EXPECT_TRUE(ContainsSubgraph(g, cycle));
+  }
+}
+
+TEST(TopologyCandidatesTest, PetalsArePetals) {
+  // Dense graph so seed edges have many common neighbors.
+  Rng rng(6);
+  gen::LabelConfig labels;
+  Graph g = gen::ErdosRenyi(60, 0.25, labels, rng);
+  TopologyCandidateConfig config;
+  auto petals = ExtractPetals(g, config, rng);
+  EXPECT_FALSE(petals.empty());
+  for (const Graph& petal : petals) {
+    EXPECT_EQ(ClassifyTopology(petal), TopologyClass::kPetal)
+        << petal.DebugString();
+    MatchOptions ignore_labels;
+    ignore_labels.match_vertex_labels = false;
+    EXPECT_TRUE(ContainsSubgraph(g, petal, ignore_labels));
+  }
+}
+
+TEST(TopologyCandidatesTest, FlowersContainHubTriangles) {
+  Rng rng(7);
+  gen::LabelConfig labels;
+  Graph g = gen::ErdosRenyi(60, 0.25, labels, rng);
+  TopologyCandidateConfig config;
+  auto flowers = ExtractFlowers(g, config, rng);
+  EXPECT_FALSE(flowers.empty());
+  for (const Graph& flower : flowers) {
+    EXPECT_EQ(ClassifyTopology(flower), TopologyClass::kFlower)
+        << flower.DebugString();
+    EXPECT_GT(CountTriangles(flower), 1u);
+  }
+}
+
+TEST(TopologyCandidatesTest, PooledCandidatesDeduplicated) {
+  Graph g = TestNetwork(8);
+  TrussSplit split = SplitByTruss(g);
+  TopologyCandidateConfig config;
+  Rng rng(9);
+  auto candidates = ExtractTopologyCandidates(split.truss_infested,
+                                              split.truss_oblivious, config, rng);
+  EXPECT_FALSE(candidates.empty());
+  // Dedup check: no two isomorphic.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      EXPECT_FALSE(candidates[i].IdenticalTo(candidates[j]));
+    }
+  }
+}
+
+TEST(TattooTest, EndToEndProducesValidPatterns) {
+  Graph g = TestNetwork(10);
+  TattooConfig config;
+  config.budget = 8;
+  config.samples_per_class = 24;
+  config.seed = 11;
+  auto result = RunTattoo(g, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->patterns.empty());
+  EXPECT_LE(result->patterns.size(), 8u);
+  for (const Graph& p : result->patterns) {
+    EXPECT_GE(p.NumEdges(), config.min_pattern_edges);
+    EXPECT_LE(p.NumEdges(), config.max_pattern_edges);
+    EXPECT_TRUE(IsConnected(p));
+    EXPECT_TRUE(ContainsSubgraph(g, p)) << p.DebugString();
+  }
+}
+
+TEST(TattooTest, StatsConsistent) {
+  Graph g = TestNetwork(12);
+  TattooConfig config;
+  config.budget = 5;
+  config.seed = 13;
+  auto result = RunTattoo(g, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.infested_edges + result->stats.oblivious_edges,
+            g.NumEdges());
+  size_t selected = 0;
+  for (const auto& [cls, count] : result->stats.selected_classes) {
+    selected += count;
+  }
+  EXPECT_EQ(selected, result->patterns.size());
+  EXPECT_GE(result->stats.num_candidates, result->patterns.size());
+}
+
+TEST(TattooTest, Deterministic) {
+  Graph g = TestNetwork(14);
+  TattooConfig config;
+  config.budget = 6;
+  config.seed = 15;
+  auto a = RunTattoo(g, config);
+  auto b = RunTattoo(g, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->patterns.size(), b->patterns.size());
+  for (size_t i = 0; i < a->patterns.size(); ++i) {
+    EXPECT_TRUE(a->patterns[i].IdenticalTo(b->patterns[i]));
+  }
+}
+
+TEST(TattooTest, SelectionSpansMultipleTopologyClasses) {
+  // Diversity pressure should yield at least two distinct shapes on a
+  // network that offers chains, stars, cycles and petals.
+  Graph g = TestNetwork(16, 600);
+  TattooConfig config;
+  config.budget = 8;
+  config.samples_per_class = 32;
+  config.seed = 17;
+  auto result = RunTattoo(g, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->stats.selected_classes.size(), 2u);
+}
+
+TEST(DistributedTattooTest, ProducesValidPatterns) {
+  Graph g = TestNetwork(30, 800);
+  DistributedTattooConfig config;
+  config.base.budget = 6;
+  config.base.samples_per_class = 16;
+  config.base.seed = 31;
+  config.chunk_vertices = 200;
+  auto result = RunDistributedTattoo(g, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.num_workers, 1u);
+  EXPECT_FALSE(result->patterns.empty());
+  for (const Graph& p : result->patterns) {
+    EXPECT_TRUE(IsConnected(p));
+    // Candidates come from chunk subgraphs, so they exist in the network.
+    EXPECT_TRUE(ContainsSubgraph(g, p)) << p.DebugString();
+  }
+  // Perfect-parallel wall clock <= total worker time.
+  EXPECT_LE(result->stats.worker_seconds_max,
+            result->stats.worker_seconds_total + 1e-12);
+}
+
+TEST(DistributedTattooTest, QualityComparableToSingleNode) {
+  Graph g = TestNetwork(32, 800);
+  TattooConfig single;
+  single.budget = 6;
+  single.samples_per_class = 16;
+  single.seed = 33;
+  auto single_result = RunTattoo(g, single);
+  ASSERT_TRUE(single_result.ok());
+
+  DistributedTattooConfig dist;
+  dist.base = single;
+  dist.chunk_vertices = 200;
+  auto dist_result = RunDistributedTattoo(g, dist);
+  ASSERT_TRUE(dist_result.ok());
+
+  NetworkCoverageOptions cov;
+  double single_cov = NetworkSetCoverage(g, single_result->patterns, cov);
+  double dist_cov = NetworkSetCoverage(g, dist_result->patterns, cov);
+  // Sharded discovery must stay in the same quality ballpark.
+  EXPECT_GE(dist_cov, 0.5 * single_cov);
+}
+
+TEST(DistributedTattooTest, WorkerCapRespected) {
+  Graph g = TestNetwork(34, 600);
+  DistributedTattooConfig config;
+  config.base.budget = 4;
+  config.base.seed = 35;
+  config.chunk_vertices = 100;
+  config.max_workers = 2;
+  auto result = RunDistributedTattoo(g, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.num_workers, 2u);
+}
+
+TEST(DistributedTattooTest, RejectsBadInput) {
+  DistributedTattooConfig config;
+  EXPECT_FALSE(RunDistributedTattoo(Graph(), config).ok());
+  Graph g = TestNetwork(36, 100);
+  config.base.budget = 0;
+  EXPECT_FALSE(RunDistributedTattoo(g, config).ok());
+}
+
+TEST(TattooTest, RejectsBadInput) {
+  TattooConfig config;
+  EXPECT_FALSE(RunTattoo(Graph(), config).ok());
+  Graph g = TestNetwork(18, 100);
+  config.budget = 0;
+  EXPECT_FALSE(RunTattoo(g, config).ok());
+  config.budget = 5;
+  config.min_pattern_edges = 9;
+  config.max_pattern_edges = 3;
+  EXPECT_FALSE(RunTattoo(g, config).ok());
+}
+
+}  // namespace
+}  // namespace vqi

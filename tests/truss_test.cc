@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+#include "truss/truss.h"
+
+namespace vqi {
+namespace {
+
+TEST(TrussTest, TreeHasTrussnessTwo) {
+  Graph tree = builder::Star(5);
+  TrussDecomposition d = DecomposeTruss(tree);
+  for (const Edge& e : tree.Edges()) {
+    EXPECT_EQ(d.EdgeTrussness(e.u, e.v), 2);
+  }
+  EXPECT_EQ(d.max_trussness, 2);
+}
+
+TEST(TrussTest, TriangleIsThreeTruss) {
+  Graph t = builder::Triangle();
+  TrussDecomposition d = DecomposeTruss(t);
+  for (const Edge& e : t.Edges()) {
+    EXPECT_EQ(d.EdgeTrussness(e.u, e.v), 3);
+  }
+}
+
+TEST(TrussTest, CliqueTrussness) {
+  // Every edge of K_n has trussness n.
+  for (size_t n : {4u, 5u, 6u}) {
+    Graph k = builder::Clique(n);
+    TrussDecomposition d = DecomposeTruss(k);
+    for (const Edge& e : k.Edges()) {
+      EXPECT_EQ(d.EdgeTrussness(e.u, e.v), static_cast<int>(n)) << "K" << n;
+    }
+    EXPECT_EQ(d.max_trussness, static_cast<int>(n));
+  }
+}
+
+TEST(TrussTest, MixedGraph) {
+  // Triangle with a pendant edge: triangle edges trussness 3, pendant 2.
+  Graph g = builder::Triangle();
+  VertexId tail = g.AddVertex(0);
+  g.AddEdge(0, tail);
+  TrussDecomposition d = DecomposeTruss(g);
+  EXPECT_EQ(d.EdgeTrussness(0, 1), 3);
+  EXPECT_EQ(d.EdgeTrussness(1, 2), 3);
+  EXPECT_EQ(d.EdgeTrussness(0, tail), 2);
+}
+
+TEST(TrussTest, MissingEdgeZero) {
+  Graph g = builder::Path(3);
+  TrussDecomposition d = DecomposeTruss(g);
+  EXPECT_EQ(d.EdgeTrussness(0, 2), 0);
+}
+
+TEST(TrussTest, EmptyGraph) {
+  TrussDecomposition d = DecomposeTruss(Graph());
+  EXPECT_EQ(d.max_trussness, 2);
+  EXPECT_TRUE(d.trussness.empty());
+}
+
+TEST(TrussSplitTest, SeparatesDenseAndSparse) {
+  // A K5 joined to a long path: K5 edges land in G_T, path edges in G_O.
+  Graph g = builder::Clique(5);
+  VertexId prev = 0;
+  for (int i = 0; i < 6; ++i) {
+    VertexId v = g.AddVertex(0);
+    g.AddEdge(prev, v);
+    prev = v;
+  }
+  TrussSplit split = SplitByTruss(g);
+  EXPECT_EQ(split.truss_infested.NumEdges(), 10u);  // K5
+  EXPECT_EQ(split.truss_oblivious.NumEdges(), 6u);  // path
+  EXPECT_EQ(ClassifyTopology(split.truss_infested), TopologyClass::kOther);
+}
+
+TEST(TrussSplitTest, EdgePartitionComplete) {
+  Rng rng(17);
+  gen::LabelConfig labels;
+  Graph g = gen::WattsStrogatz(120, 3, 0.2, labels, rng);
+  TrussSplit split = SplitByTruss(g);
+  EXPECT_EQ(split.truss_infested.NumEdges() + split.truss_oblivious.NumEdges(),
+            g.NumEdges());
+}
+
+TEST(TrussSplitTest, ThresholdMonotone) {
+  Rng rng(18);
+  gen::LabelConfig labels;
+  Graph g = gen::ErdosRenyi(80, 0.15, labels, rng);
+  size_t prev_infested = g.NumEdges() + 1;
+  for (int k = 2; k <= 5; ++k) {
+    TrussSplit split = SplitByTruss(g, k);
+    EXPECT_LE(split.truss_infested.NumEdges(), prev_infested);
+    prev_infested = split.truss_infested.NumEdges();
+  }
+}
+
+TEST(TrussTest, PeelingMatchesDefinitionOnRandomGraph) {
+  // Verify the k-truss property: within the subgraph of edges with
+  // trussness >= k, every edge participates in >= k-2 triangles.
+  Rng rng(19);
+  gen::LabelConfig labels;
+  Graph g = gen::ErdosRenyi(40, 0.25, labels, rng);
+  TrussDecomposition d = DecomposeTruss(g);
+  for (int k = 3; k <= d.max_trussness; ++k) {
+    std::vector<Edge> kept;
+    for (const Edge& e : g.Edges()) {
+      if (d.EdgeTrussness(e.u, e.v) >= k) kept.push_back(e);
+    }
+    Graph truss = SubgraphFromEdges(g, kept);
+    for (const Edge& e : truss.Edges()) {
+      // Count common neighbors within the truss.
+      int common = 0;
+      for (const Neighbor& nu : truss.Neighbors(e.u)) {
+        if (truss.HasEdge(nu.vertex, e.v)) ++common;
+      }
+      EXPECT_GE(common, k - 2) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vqi

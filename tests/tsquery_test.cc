@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tsquery/series.h"
+#include "tsquery/sketch_formulation.h"
+#include "tsquery/sketch_select.h"
+
+namespace vqi {
+namespace {
+
+TEST(SeriesTest, ZNormalizeProperties) {
+  Series s = {1, 2, 3, 4, 5};
+  Series z = ZNormalize(s);
+  double mean = 0, var = 0;
+  for (double x : z) mean += x;
+  mean /= z.size();
+  for (double x : z) var += (x - mean) * (x - mean);
+  var /= z.size();
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-9);
+}
+
+TEST(SeriesTest, ConstantSeriesMapsToZero) {
+  Series z = ZNormalize({3, 3, 3});
+  for (double x : z) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(SeriesTest, Distance) {
+  EXPECT_DOUBLE_EQ(SeriesDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SeriesDistance({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(SeriesTest, SlidingWindows) {
+  Series s = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto windows = SlidingWindows(s, 4, 2);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], (Series{0, 1, 2, 3}));
+  EXPECT_EQ(windows[2], (Series{4, 5, 6, 7}));
+  EXPECT_TRUE(SlidingWindows({1, 2}, 5, 1).empty());
+}
+
+TEST(SeriesTest, MotifShapesDistinct) {
+  size_t len = 32;
+  Series bump = RenderMotif(MotifShape::kSineBump, len);
+  Series spike = RenderMotif(MotifShape::kSpike, len);
+  Series step = RenderMotif(MotifShape::kStep, len);
+  Series ramp = RenderMotif(MotifShape::kRamp, len);
+  EXPECT_GT(SeriesDistance(ZNormalize(bump), ZNormalize(step)), 1.0);
+  EXPECT_GT(SeriesDistance(ZNormalize(spike), ZNormalize(ramp)), 1.0);
+  // Bump peaks mid-series.
+  EXPECT_NEAR(bump[len / 2], 1.0, 0.05);
+}
+
+TEST(SeriesTest, SyntheticSeriesDeterministic) {
+  Rng a(7), b(7);
+  Series s1 = GenerateSyntheticSeries(500, 5, {MotifShape::kSineBump}, 32, a);
+  Series s2 = GenerateSyntheticSeries(500, 5, {MotifShape::kSineBump}, 32, b);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 500u);
+}
+
+TEST(RoughnessTest, SmoothVsJagged) {
+  Series smooth(64), jagged(64);
+  for (size_t i = 0; i < 64; ++i) {
+    smooth[i] = static_cast<double>(i) / 63.0;
+    jagged[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  EXPECT_LT(Roughness(ZNormalize(smooth)), Roughness(ZNormalize(jagged)));
+  EXPECT_DOUBLE_EQ(Roughness({}), 0.0);
+  EXPECT_DOUBLE_EQ(Roughness({1.0}), 0.0);
+}
+
+TEST(SketchSelectTest, FindsInjectedMotifs) {
+  Rng rng(8);
+  std::vector<Series> collection;
+  for (int i = 0; i < 6; ++i) {
+    collection.push_back(GenerateSyntheticSeries(
+        600, 8, {MotifShape::kSineBump, MotifShape::kStep}, 32, rng));
+  }
+  SketchSelectConfig config;
+  config.budget = 4;
+  config.window_length = 32;
+  config.tau = 3.5;
+  SketchSelectionResult result = SelectSketches(collection, config);
+  ASSERT_FALSE(result.sketches.empty());
+  EXPECT_LE(result.sketches.size(), 4u);
+  EXPECT_GT(result.coverage, 0.3);
+  for (const Series& sketch : result.sketches) {
+    EXPECT_EQ(sketch.size(), 32u);
+  }
+}
+
+TEST(SketchSelectTest, BudgetOne) {
+  Rng rng(9);
+  std::vector<Series> collection = {
+      GenerateSyntheticSeries(300, 4, {MotifShape::kSpike}, 32, rng)};
+  SketchSelectConfig config;
+  config.budget = 1;
+  SketchSelectionResult result = SelectSketches(collection, config);
+  EXPECT_EQ(result.sketches.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.diversity, 1.0);
+}
+
+TEST(SketchSelectTest, EmptyCollectionSafe) {
+  SketchSelectionResult result = SelectSketches({});
+  EXPECT_TRUE(result.sketches.empty());
+  EXPECT_DOUBLE_EQ(result.coverage, 0.0);
+}
+
+TEST(PerceptualSegmentsTest, CountsMonotoneRuns) {
+  // Monotone ramp: one segment. Triangle wave: one per leg.
+  Series ramp(32), wave(32);
+  for (size_t i = 0; i < 32; ++i) {
+    ramp[i] = static_cast<double>(i);
+    wave[i] = static_cast<double>((i / 8) % 2 == 0 ? i % 8 : 8 - i % 8);
+  }
+  EXPECT_EQ(PerceptualSegments(ZNormalize(ramp)), 1u);
+  EXPECT_GE(PerceptualSegments(ZNormalize(wave)), 3u);
+  EXPECT_EQ(PerceptualSegments({}), 0u);
+}
+
+TEST(SketchFormulationTest, ExactSketchIsOneSelection) {
+  Series target = RenderMotif(MotifShape::kSineBump, 32);
+  std::vector<Series> sketches = {ZNormalize(target)};
+  SketchFormulationTrace trace = SimulateSketchFormulation(target, sketches);
+  EXPECT_EQ(trace.sketch_used, 0);
+  EXPECT_EQ(trace.strokes, 1u);  // distance 0 -> 1 selection stroke
+}
+
+TEST(SketchFormulationTest, NoUsableSketchFallsBackToFreehand) {
+  Series target = RenderMotif(MotifShape::kSineBump, 32);
+  // Wrong-length sketches can never be adopted.
+  std::vector<Series> sketches = {ZNormalize(RenderMotif(MotifShape::kStep, 16))};
+  SketchFormulationTrace trace = SimulateSketchFormulation(target, sketches);
+  EXPECT_EQ(trace.sketch_used, -1);
+  EXPECT_GE(trace.strokes, 3u);  // base 2 + >= 1 segment
+}
+
+TEST(SketchFormulationTest, CannedSketchesReduceStrokes) {
+  // Workload of noisy motif instances; data-driven sketches vs none.
+  Rng rng(12);
+  std::vector<Series> collection;
+  for (int i = 0; i < 6; ++i) {
+    collection.push_back(GenerateSyntheticSeries(
+        600, 8, {MotifShape::kSineBump, MotifShape::kStep}, 32, rng));
+  }
+  SketchSelectConfig select;
+  select.budget = 4;
+  select.tau = 3.5;
+  std::vector<Series> sketches = SelectSketches(collection, select).sketches;
+  ASSERT_FALSE(sketches.empty());
+
+  // Targets: fresh windows from a new series of the same family.
+  Series fresh = GenerateSyntheticSeries(
+      600, 8, {MotifShape::kSineBump, MotifShape::kStep}, 32, rng);
+  std::vector<Series> targets = SlidingWindows(fresh, 32, 16);
+  double with = MeanSketchStrokes(targets, sketches);
+  double without = MeanSketchStrokes(targets, {});
+  EXPECT_LE(with, without);
+}
+
+TEST(SketchSelectTest, MoreBudgetMoreCoverage) {
+  Rng rng(10);
+  std::vector<Series> collection;
+  for (int i = 0; i < 4; ++i) {
+    collection.push_back(GenerateSyntheticSeries(
+        500, 6,
+        {MotifShape::kSineBump, MotifShape::kStep, MotifShape::kSpike,
+         MotifShape::kRamp},
+        32, rng));
+  }
+  SketchSelectConfig small;
+  small.budget = 1;
+  small.tau = 2.0;
+  SketchSelectConfig large = small;
+  large.budget = 8;
+  double cov_small = SelectSketches(collection, small).coverage;
+  double cov_large = SelectSketches(collection, large).coverage;
+  EXPECT_GE(cov_large, cov_small);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -1,0 +1,216 @@
+// vqi_cli — command-line front end for the library's end-to-end workflows:
+// generate data, build a data-driven VQI, inspect/serialize it, export
+// patterns to Graphviz, and run the simulated usability study.
+//
+//   vqi_cli gen-molecules <count> <seed> <out.lg>
+//   vqi_cli gen-network   <n> <m> <seed> <out.lg>
+//   vqi_cli build-db      <in.lg> <out.vqi> [budget]
+//   vqi_cli build-net     <in.lg> <out.vqi> [budget]
+//   vqi_cli show          <file.vqi>
+//   vqi_cli export-dot    <file.vqi> <out.dot>
+//   vqi_cli suggest       <in.lg> <vertex-label> [k]
+//   vqi_cli usability     <in.lg> <file.vqi> [queries]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "layout/dot_export.h"
+#include "sim/usability.h"
+#include "sim/workload.h"
+#include "vqi/builder.h"
+#include "vqi/serialize.h"
+#include "vqi/suggestion.h"
+
+namespace vqi {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vqi_cli <command> ...\n"
+               "  gen-molecules <count> <seed> <out.lg>\n"
+               "  gen-network   <n> <m> <seed> <out.lg>\n"
+               "  build-db      <in.lg> <out.vqi> [budget]\n"
+               "  build-net     <in.lg> <out.vqi> [budget]\n"
+               "  show          <file.vqi>\n"
+               "  export-dot    <file.vqi> <out.dot>\n"
+               "  suggest       <in.lg> <vertex-label> [k]\n"
+               "  usability     <in.lg> <file.vqi> [queries]\n");
+  return 2;
+}
+
+int64_t ParseIntOrDie(const char* text) {
+  int64_t value = 0;
+  if (!ParseInt64(text, &value)) {
+    std::fprintf(stderr, "error: '%s' is not an integer\n", text);
+    std::exit(2);
+  }
+  return value;
+}
+
+int GenMolecules(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  size_t count = static_cast<size_t>(ParseIntOrDie(argv[0]));
+  uint64_t seed = static_cast<uint64_t>(ParseIntOrDie(argv[1]));
+  GraphDatabase db = gen::MoleculeDatabase(count, gen::MoleculeConfig{}, seed);
+  if (Status s = io::SaveDatabase(db, argv[2]); !s.ok()) return Fail(s);
+  std::printf("wrote %zu molecule graphs to %s\n", db.size(), argv[2]);
+  return 0;
+}
+
+int GenNetwork(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  size_t n = static_cast<size_t>(ParseIntOrDie(argv[0]));
+  size_t m = static_cast<size_t>(ParseIntOrDie(argv[1]));
+  Rng rng(static_cast<uint64_t>(ParseIntOrDie(argv[2])));
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 6;
+  Graph network = gen::BarabasiAlbert(n, m, labels, rng);
+  network.set_id(0);
+  GraphDatabase db;
+  db.Add(std::move(network));
+  if (Status s = io::SaveDatabase(db, argv[3]); !s.ok()) return Fail(s);
+  std::printf("wrote %zu-vertex network to %s\n", n, argv[3]);
+  return 0;
+}
+
+int BuildDb(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return Usage();
+  auto db = io::LoadDatabase(argv[0]);
+  if (!db.ok()) return Fail(db.status());
+  CatapultConfig config;
+  config.budget = argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 10;
+  config.tree_config.min_support = std::max<size_t>(2, db->size() / 20);
+  auto built = BuildVqiForDatabase(*db, config);
+  if (!built.ok()) return Fail(built.status());
+  if (Status s = SaveVqi(built->vqi, argv[1]); !s.ok()) return Fail(s);
+  std::printf("%s\n", built->vqi.Summary().c_str());
+  std::printf("selection took %.2fs (%zu candidates); wrote %s\n",
+              built->catapult_stats.total_seconds(),
+              built->catapult_stats.num_candidates, argv[1]);
+  return 0;
+}
+
+int BuildNet(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return Usage();
+  auto db = io::LoadDatabase(argv[0]);
+  if (!db.ok()) return Fail(db.status());
+  if (db->empty()) {
+    return Fail(Status::InvalidArgument("input has no graphs"));
+  }
+  const Graph& network = db->graphs()[0];
+  TattooConfig config;
+  config.budget = argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 10;
+  auto built = BuildVqiForNetwork(network, config);
+  if (!built.ok()) return Fail(built.status());
+  if (Status s = SaveVqi(built->vqi, argv[1]); !s.ok()) return Fail(s);
+  std::printf("%s\n", built->vqi.Summary().c_str());
+  std::printf("truss split %zu/%zu, %zu candidates; wrote %s\n",
+              built->tattoo_stats.infested_edges,
+              built->tattoo_stats.oblivious_edges,
+              built->tattoo_stats.num_candidates, argv[1]);
+  return 0;
+}
+
+int Show(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  auto vqi = LoadVqi(argv[0]);
+  if (!vqi.ok()) return Fail(vqi.status());
+  std::printf("%s\n", vqi->Summary().c_str());
+  std::printf("vertex attributes:\n");
+  for (const AttributeEntry& e : vqi->attribute_panel().vertex_attributes()) {
+    std::printf("  %-12s label=%u count=%zu\n", e.name.c_str(), e.label,
+                e.count);
+  }
+  std::printf("patterns:\n");
+  for (const PatternEntry& p : vqi->pattern_panel().entries()) {
+    std::printf("  %-6s %zuv/%zue coverage=%.3f\n",
+                p.is_basic ? "basic" : "canned", p.graph.NumVertices(),
+                p.graph.NumEdges(), p.coverage);
+  }
+  return 0;
+}
+
+int ExportDot(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  auto vqi = LoadVqi(argv[0]);
+  if (!vqi.ok()) return Fail(vqi.status());
+  std::ofstream out(argv[1]);
+  if (!out) return Fail(Status::IoError("cannot open output"));
+  DotOptions options;
+  options.name = "pattern_panel";
+  out << PatternsToDot(vqi->pattern_panel().AllPatterns(), options);
+  std::printf("wrote %zu patterns to %s\n", vqi->pattern_panel().size(),
+              argv[1]);
+  return 0;
+}
+
+int Suggest(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return Usage();
+  auto db = io::LoadDatabase(argv[0]);
+  if (!db.ok()) return Fail(db.status());
+  Label from = static_cast<Label>(ParseIntOrDie(argv[1]));
+  size_t k = argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 5;
+  SuggestionIndex index = SuggestionIndex::Build(*db);
+  std::printf("continuations from a vertex labeled %u:\n", from);
+  for (const EdgeSuggestion& s : index.SuggestFrom(from, k)) {
+    std::printf("  --[%u]--> label %u   (seen %zu times)\n", s.edge_label,
+                s.to_label, s.support);
+  }
+  return 0;
+}
+
+int Usability(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return Usage();
+  auto db = io::LoadDatabase(argv[0]);
+  if (!db.ok()) return Fail(db.status());
+  auto vqi = LoadVqi(argv[1]);
+  if (!vqi.ok()) return Fail(vqi.status());
+  WorkloadConfig wconfig;
+  wconfig.num_queries =
+      argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 40;
+  std::vector<Graph> workload = GenerateDbWorkload(*db, wconfig);
+  VisualQueryInterface manual = BuildManualBaselineVqi(
+      db->ComputeLabelStats(), DataSourceKind::kGraphCollection);
+  UsabilityComparison cmp = CompareUsability(
+      workload, vqi->pattern_panel(), manual.pattern_panel());
+  std::printf("queries: %zu\n", workload.size());
+  std::printf("data-driven: %.1f steps, %.1f s\n",
+              cmp.data_driven.mean_steps, cmp.data_driven.mean_seconds);
+  std::printf("manual:      %.1f steps, %.1f s\n", cmp.manual.mean_steps,
+              cmp.manual.mean_seconds);
+  std::printf("reduction:   %.0f%% steps, %.0f%% time\n",
+              cmp.step_reduction_percent(), cmp.time_reduction_percent());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  int rest = argc - 2;
+  char** rest_argv = argv + 2;
+  if (command == "gen-molecules") return GenMolecules(rest, rest_argv);
+  if (command == "gen-network") return GenNetwork(rest, rest_argv);
+  if (command == "build-db") return BuildDb(rest, rest_argv);
+  if (command == "build-net") return BuildNet(rest, rest_argv);
+  if (command == "show") return Show(rest, rest_argv);
+  if (command == "export-dot") return ExportDot(rest, rest_argv);
+  if (command == "suggest") return Suggest(rest, rest_argv);
+  if (command == "usability") return Usability(rest, rest_argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace vqi
+
+int main(int argc, char** argv) { return vqi::Main(argc, argv); }
