@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_coverage_estimation.dir/bench_a1_coverage_estimation.cc.o"
+  "CMakeFiles/bench_a1_coverage_estimation.dir/bench_a1_coverage_estimation.cc.o.d"
+  "bench_a1_coverage_estimation"
+  "bench_a1_coverage_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_coverage_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_log_aware.dir/bench_a2_log_aware.cc.o"
+  "CMakeFiles/bench_a2_log_aware.dir/bench_a2_log_aware.cc.o.d"
+  "bench_a2_log_aware"
+  "bench_a2_log_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_log_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

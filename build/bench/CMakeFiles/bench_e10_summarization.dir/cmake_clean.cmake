@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_summarization.dir/bench_e10_summarization.cc.o"
+  "CMakeFiles/bench_e10_summarization.dir/bench_e10_summarization.cc.o.d"
+  "bench_e10_summarization"
+  "bench_e10_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

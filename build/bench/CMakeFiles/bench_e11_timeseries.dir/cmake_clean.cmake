@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_timeseries.dir/bench_e11_timeseries.cc.o"
+  "CMakeFiles/bench_e11_timeseries.dir/bench_e11_timeseries.cc.o.d"
+  "bench_e11_timeseries"
+  "bench_e11_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

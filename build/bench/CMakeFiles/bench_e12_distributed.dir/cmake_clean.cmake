@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_distributed.dir/bench_e12_distributed.cc.o"
+  "CMakeFiles/bench_e12_distributed.dir/bench_e12_distributed.cc.o.d"
+  "bench_e12_distributed"
+  "bench_e12_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_network_maintenance.dir/bench_e13_network_maintenance.cc.o"
+  "CMakeFiles/bench_e13_network_maintenance.dir/bench_e13_network_maintenance.cc.o.d"
+  "bench_e13_network_maintenance"
+  "bench_e13_network_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_network_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_usability_db.dir/bench_e1_usability_db.cc.o"
+  "CMakeFiles/bench_e1_usability_db.dir/bench_e1_usability_db.cc.o.d"
+  "bench_e1_usability_db"
+  "bench_e1_usability_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_usability_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

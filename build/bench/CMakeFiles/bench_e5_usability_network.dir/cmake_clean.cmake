@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_usability_network.dir/bench_e5_usability_network.cc.o"
+  "CMakeFiles/bench_e5_usability_network.dir/bench_e5_usability_network.cc.o.d"
+  "bench_e5_usability_network"
+  "bench_e5_usability_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_usability_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_midas_vs_rerun.dir/bench_e6_midas_vs_rerun.cc.o"
+  "CMakeFiles/bench_e6_midas_vs_rerun.dir/bench_e6_midas_vs_rerun.cc.o.d"
+  "bench_e6_midas_vs_rerun"
+  "bench_e6_midas_vs_rerun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_midas_vs_rerun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e6_midas_vs_rerun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_greedy_vs_opt.dir/bench_e8_greedy_vs_opt.cc.o"
+  "CMakeFiles/bench_e8_greedy_vs_opt.dir/bench_e8_greedy_vs_opt.cc.o.d"
+  "bench_e8_greedy_vs_opt"
+  "bench_e8_greedy_vs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_greedy_vs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

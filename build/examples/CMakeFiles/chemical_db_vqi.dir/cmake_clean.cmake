@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_db_vqi.dir/chemical_db_vqi.cpp.o"
+  "CMakeFiles/chemical_db_vqi.dir/chemical_db_vqi.cpp.o.d"
+  "chemical_db_vqi"
+  "chemical_db_vqi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_db_vqi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

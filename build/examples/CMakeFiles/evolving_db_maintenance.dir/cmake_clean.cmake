@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_db_maintenance.dir/evolving_db_maintenance.cpp.o"
+  "CMakeFiles/evolving_db_maintenance.dir/evolving_db_maintenance.cpp.o.d"
+  "evolving_db_maintenance"
+  "evolving_db_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_db_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

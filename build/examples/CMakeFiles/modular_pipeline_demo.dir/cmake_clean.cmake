@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_pipeline_demo.dir/modular_pipeline_demo.cpp.o"
+  "CMakeFiles/modular_pipeline_demo.dir/modular_pipeline_demo.cpp.o.d"
+  "modular_pipeline_demo"
+  "modular_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_vqi.dir/social_network_vqi.cpp.o"
+  "CMakeFiles/social_network_vqi.dir/social_network_vqi.cpp.o.d"
+  "social_network_vqi"
+  "social_network_vqi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_vqi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catapult/candidate_generator.cc" "src/CMakeFiles/vqi_catapult.dir/catapult/candidate_generator.cc.o" "gcc" "src/CMakeFiles/vqi_catapult.dir/catapult/candidate_generator.cc.o.d"
+  "/root/repo/src/catapult/catapult.cc" "src/CMakeFiles/vqi_catapult.dir/catapult/catapult.cc.o" "gcc" "src/CMakeFiles/vqi_catapult.dir/catapult/catapult.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

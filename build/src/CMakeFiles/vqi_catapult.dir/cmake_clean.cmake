@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_catapult.dir/catapult/candidate_generator.cc.o"
+  "CMakeFiles/vqi_catapult.dir/catapult/candidate_generator.cc.o.d"
+  "CMakeFiles/vqi_catapult.dir/catapult/catapult.cc.o"
+  "CMakeFiles/vqi_catapult.dir/catapult/catapult.cc.o.d"
+  "libvqi_catapult.a"
+  "libvqi_catapult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_catapult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

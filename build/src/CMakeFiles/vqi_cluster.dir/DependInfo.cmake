@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/agglomerative.cc" "src/CMakeFiles/vqi_cluster.dir/cluster/agglomerative.cc.o" "gcc" "src/CMakeFiles/vqi_cluster.dir/cluster/agglomerative.cc.o.d"
+  "/root/repo/src/cluster/closure.cc" "src/CMakeFiles/vqi_cluster.dir/cluster/closure.cc.o" "gcc" "src/CMakeFiles/vqi_cluster.dir/cluster/closure.cc.o.d"
+  "/root/repo/src/cluster/csg.cc" "src/CMakeFiles/vqi_cluster.dir/cluster/csg.cc.o" "gcc" "src/CMakeFiles/vqi_cluster.dir/cluster/csg.cc.o.d"
+  "/root/repo/src/cluster/features.cc" "src/CMakeFiles/vqi_cluster.dir/cluster/features.cc.o" "gcc" "src/CMakeFiles/vqi_cluster.dir/cluster/features.cc.o.d"
+  "/root/repo/src/cluster/kmedoids.cc" "src/CMakeFiles/vqi_cluster.dir/cluster/kmedoids.cc.o" "gcc" "src/CMakeFiles/vqi_cluster.dir/cluster/kmedoids.cc.o.d"
+  "/root/repo/src/cluster/similarity.cc" "src/CMakeFiles/vqi_cluster.dir/cluster/similarity.cc.o" "gcc" "src/CMakeFiles/vqi_cluster.dir/cluster/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_cluster.dir/cluster/agglomerative.cc.o"
+  "CMakeFiles/vqi_cluster.dir/cluster/agglomerative.cc.o.d"
+  "CMakeFiles/vqi_cluster.dir/cluster/closure.cc.o"
+  "CMakeFiles/vqi_cluster.dir/cluster/closure.cc.o.d"
+  "CMakeFiles/vqi_cluster.dir/cluster/csg.cc.o"
+  "CMakeFiles/vqi_cluster.dir/cluster/csg.cc.o.d"
+  "CMakeFiles/vqi_cluster.dir/cluster/features.cc.o"
+  "CMakeFiles/vqi_cluster.dir/cluster/features.cc.o.d"
+  "CMakeFiles/vqi_cluster.dir/cluster/kmedoids.cc.o"
+  "CMakeFiles/vqi_cluster.dir/cluster/kmedoids.cc.o.d"
+  "CMakeFiles/vqi_cluster.dir/cluster/similarity.cc.o"
+  "CMakeFiles/vqi_cluster.dir/cluster/similarity.cc.o.d"
+  "libvqi_cluster.a"
+  "libvqi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_common.dir/common/logging.cc.o"
+  "CMakeFiles/vqi_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/vqi_common.dir/common/rng.cc.o"
+  "CMakeFiles/vqi_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/vqi_common.dir/common/status.cc.o"
+  "CMakeFiles/vqi_common.dir/common/status.cc.o.d"
+  "CMakeFiles/vqi_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/vqi_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/vqi_common.dir/common/strings.cc.o"
+  "CMakeFiles/vqi_common.dir/common/strings.cc.o.d"
+  "libvqi_common.a"
+  "libvqi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvqi_common.a"
+)

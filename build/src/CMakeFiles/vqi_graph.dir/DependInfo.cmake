@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/vqi_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/vqi_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/vqi_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/vqi_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_algos.cc" "src/CMakeFiles/vqi_graph.dir/graph/graph_algos.cc.o" "gcc" "src/CMakeFiles/vqi_graph.dir/graph/graph_algos.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/vqi_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/vqi_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_database.cc" "src/CMakeFiles/vqi_graph.dir/graph/graph_database.cc.o" "gcc" "src/CMakeFiles/vqi_graph.dir/graph/graph_database.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/vqi_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/vqi_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/vqi_graph.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/vqi_graph.dir/graph/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

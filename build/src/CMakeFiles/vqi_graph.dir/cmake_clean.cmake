@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/vqi_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/vqi_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/vqi_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/vqi_graph.dir/graph/graph_algos.cc.o"
+  "CMakeFiles/vqi_graph.dir/graph/graph_algos.cc.o.d"
+  "CMakeFiles/vqi_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/vqi_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/vqi_graph.dir/graph/graph_database.cc.o"
+  "CMakeFiles/vqi_graph.dir/graph/graph_database.cc.o.d"
+  "CMakeFiles/vqi_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/vqi_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/vqi_graph.dir/graph/partition.cc.o"
+  "CMakeFiles/vqi_graph.dir/graph/partition.cc.o.d"
+  "libvqi_graph.a"
+  "libvqi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/aesthetics.cc" "src/CMakeFiles/vqi_layout.dir/layout/aesthetics.cc.o" "gcc" "src/CMakeFiles/vqi_layout.dir/layout/aesthetics.cc.o.d"
+  "/root/repo/src/layout/dot_export.cc" "src/CMakeFiles/vqi_layout.dir/layout/dot_export.cc.o" "gcc" "src/CMakeFiles/vqi_layout.dir/layout/dot_export.cc.o.d"
+  "/root/repo/src/layout/force_layout.cc" "src/CMakeFiles/vqi_layout.dir/layout/force_layout.cc.o" "gcc" "src/CMakeFiles/vqi_layout.dir/layout/force_layout.cc.o.d"
+  "/root/repo/src/layout/optimize.cc" "src/CMakeFiles/vqi_layout.dir/layout/optimize.cc.o" "gcc" "src/CMakeFiles/vqi_layout.dir/layout/optimize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_layout.dir/layout/aesthetics.cc.o"
+  "CMakeFiles/vqi_layout.dir/layout/aesthetics.cc.o.d"
+  "CMakeFiles/vqi_layout.dir/layout/dot_export.cc.o"
+  "CMakeFiles/vqi_layout.dir/layout/dot_export.cc.o.d"
+  "CMakeFiles/vqi_layout.dir/layout/force_layout.cc.o"
+  "CMakeFiles/vqi_layout.dir/layout/force_layout.cc.o.d"
+  "CMakeFiles/vqi_layout.dir/layout/optimize.cc.o"
+  "CMakeFiles/vqi_layout.dir/layout/optimize.cc.o.d"
+  "libvqi_layout.a"
+  "libvqi_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_match.dir/match/canonical.cc.o"
+  "CMakeFiles/vqi_match.dir/match/canonical.cc.o.d"
+  "CMakeFiles/vqi_match.dir/match/pattern_utils.cc.o"
+  "CMakeFiles/vqi_match.dir/match/pattern_utils.cc.o.d"
+  "CMakeFiles/vqi_match.dir/match/similarity_search.cc.o"
+  "CMakeFiles/vqi_match.dir/match/similarity_search.cc.o.d"
+  "CMakeFiles/vqi_match.dir/match/vf2.cc.o"
+  "CMakeFiles/vqi_match.dir/match/vf2.cc.o.d"
+  "libvqi_match.a"
+  "libvqi_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

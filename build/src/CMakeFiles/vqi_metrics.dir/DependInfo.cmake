@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cognitive_load.cc" "src/CMakeFiles/vqi_metrics.dir/metrics/cognitive_load.cc.o" "gcc" "src/CMakeFiles/vqi_metrics.dir/metrics/cognitive_load.cc.o.d"
+  "/root/repo/src/metrics/coverage.cc" "src/CMakeFiles/vqi_metrics.dir/metrics/coverage.cc.o" "gcc" "src/CMakeFiles/vqi_metrics.dir/metrics/coverage.cc.o.d"
+  "/root/repo/src/metrics/diversity.cc" "src/CMakeFiles/vqi_metrics.dir/metrics/diversity.cc.o" "gcc" "src/CMakeFiles/vqi_metrics.dir/metrics/diversity.cc.o.d"
+  "/root/repo/src/metrics/log_utility.cc" "src/CMakeFiles/vqi_metrics.dir/metrics/log_utility.cc.o" "gcc" "src/CMakeFiles/vqi_metrics.dir/metrics/log_utility.cc.o.d"
+  "/root/repo/src/metrics/pattern_score.cc" "src/CMakeFiles/vqi_metrics.dir/metrics/pattern_score.cc.o" "gcc" "src/CMakeFiles/vqi_metrics.dir/metrics/pattern_score.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_metrics.dir/metrics/cognitive_load.cc.o"
+  "CMakeFiles/vqi_metrics.dir/metrics/cognitive_load.cc.o.d"
+  "CMakeFiles/vqi_metrics.dir/metrics/coverage.cc.o"
+  "CMakeFiles/vqi_metrics.dir/metrics/coverage.cc.o.d"
+  "CMakeFiles/vqi_metrics.dir/metrics/diversity.cc.o"
+  "CMakeFiles/vqi_metrics.dir/metrics/diversity.cc.o.d"
+  "CMakeFiles/vqi_metrics.dir/metrics/log_utility.cc.o"
+  "CMakeFiles/vqi_metrics.dir/metrics/log_utility.cc.o.d"
+  "CMakeFiles/vqi_metrics.dir/metrics/pattern_score.cc.o"
+  "CMakeFiles/vqi_metrics.dir/metrics/pattern_score.cc.o.d"
+  "libvqi_metrics.a"
+  "libvqi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_midas.dir/midas/drift.cc.o"
+  "CMakeFiles/vqi_midas.dir/midas/drift.cc.o.d"
+  "CMakeFiles/vqi_midas.dir/midas/midas.cc.o"
+  "CMakeFiles/vqi_midas.dir/midas/midas.cc.o.d"
+  "CMakeFiles/vqi_midas.dir/midas/swap_selector.cc.o"
+  "CMakeFiles/vqi_midas.dir/midas/swap_selector.cc.o.d"
+  "libvqi_midas.a"
+  "libvqi_midas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_midas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

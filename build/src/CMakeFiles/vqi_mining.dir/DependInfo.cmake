@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/closed_trees.cc" "src/CMakeFiles/vqi_mining.dir/mining/closed_trees.cc.o" "gcc" "src/CMakeFiles/vqi_mining.dir/mining/closed_trees.cc.o.d"
+  "/root/repo/src/mining/graphlets.cc" "src/CMakeFiles/vqi_mining.dir/mining/graphlets.cc.o" "gcc" "src/CMakeFiles/vqi_mining.dir/mining/graphlets.cc.o.d"
+  "/root/repo/src/mining/random_walk.cc" "src/CMakeFiles/vqi_mining.dir/mining/random_walk.cc.o" "gcc" "src/CMakeFiles/vqi_mining.dir/mining/random_walk.cc.o.d"
+  "/root/repo/src/mining/tree_miner.cc" "src/CMakeFiles/vqi_mining.dir/mining/tree_miner.cc.o" "gcc" "src/CMakeFiles/vqi_mining.dir/mining/tree_miner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

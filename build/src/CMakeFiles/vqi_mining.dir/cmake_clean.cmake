@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_mining.dir/mining/closed_trees.cc.o"
+  "CMakeFiles/vqi_mining.dir/mining/closed_trees.cc.o.d"
+  "CMakeFiles/vqi_mining.dir/mining/graphlets.cc.o"
+  "CMakeFiles/vqi_mining.dir/mining/graphlets.cc.o.d"
+  "CMakeFiles/vqi_mining.dir/mining/random_walk.cc.o"
+  "CMakeFiles/vqi_mining.dir/mining/random_walk.cc.o.d"
+  "CMakeFiles/vqi_mining.dir/mining/tree_miner.cc.o"
+  "CMakeFiles/vqi_mining.dir/mining/tree_miner.cc.o.d"
+  "libvqi_mining.a"
+  "libvqi_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_modular.dir/modular/pipeline.cc.o"
+  "CMakeFiles/vqi_modular.dir/modular/pipeline.cc.o.d"
+  "CMakeFiles/vqi_modular.dir/modular/strategies.cc.o"
+  "CMakeFiles/vqi_modular.dir/modular/strategies.cc.o.d"
+  "libvqi_modular.a"
+  "libvqi_modular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

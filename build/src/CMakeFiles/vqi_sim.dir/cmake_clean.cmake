@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_sim.dir/sim/formulation.cc.o"
+  "CMakeFiles/vqi_sim.dir/sim/formulation.cc.o.d"
+  "CMakeFiles/vqi_sim.dir/sim/klm.cc.o"
+  "CMakeFiles/vqi_sim.dir/sim/klm.cc.o.d"
+  "CMakeFiles/vqi_sim.dir/sim/usability.cc.o"
+  "CMakeFiles/vqi_sim.dir/sim/usability.cc.o.d"
+  "CMakeFiles/vqi_sim.dir/sim/workload.cc.o"
+  "CMakeFiles/vqi_sim.dir/sim/workload.cc.o.d"
+  "libvqi_sim.a"
+  "libvqi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_summary.dir/summary/summarizer.cc.o"
+  "CMakeFiles/vqi_summary.dir/summary/summarizer.cc.o.d"
+  "libvqi_summary.a"
+  "libvqi_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_tattoo.dir/tattoo/distributed.cc.o"
+  "CMakeFiles/vqi_tattoo.dir/tattoo/distributed.cc.o.d"
+  "CMakeFiles/vqi_tattoo.dir/tattoo/network_maintenance.cc.o"
+  "CMakeFiles/vqi_tattoo.dir/tattoo/network_maintenance.cc.o.d"
+  "CMakeFiles/vqi_tattoo.dir/tattoo/tattoo.cc.o"
+  "CMakeFiles/vqi_tattoo.dir/tattoo/tattoo.cc.o.d"
+  "CMakeFiles/vqi_tattoo.dir/tattoo/topology_candidates.cc.o"
+  "CMakeFiles/vqi_tattoo.dir/tattoo/topology_candidates.cc.o.d"
+  "libvqi_tattoo.a"
+  "libvqi_tattoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_tattoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

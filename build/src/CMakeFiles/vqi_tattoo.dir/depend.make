@@ -1,0 +1,2 @@
+# Empty dependencies file for vqi_tattoo.
+# This may be replaced when dependencies are built.

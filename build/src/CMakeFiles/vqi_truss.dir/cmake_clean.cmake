@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_truss.dir/truss/truss.cc.o"
+  "CMakeFiles/vqi_truss.dir/truss/truss.cc.o.d"
+  "libvqi_truss.a"
+  "libvqi_truss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_truss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsquery/series.cc" "src/CMakeFiles/vqi_tsquery.dir/tsquery/series.cc.o" "gcc" "src/CMakeFiles/vqi_tsquery.dir/tsquery/series.cc.o.d"
+  "/root/repo/src/tsquery/sketch_formulation.cc" "src/CMakeFiles/vqi_tsquery.dir/tsquery/sketch_formulation.cc.o" "gcc" "src/CMakeFiles/vqi_tsquery.dir/tsquery/sketch_formulation.cc.o.d"
+  "/root/repo/src/tsquery/sketch_select.cc" "src/CMakeFiles/vqi_tsquery.dir/tsquery/sketch_select.cc.o" "gcc" "src/CMakeFiles/vqi_tsquery.dir/tsquery/sketch_select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

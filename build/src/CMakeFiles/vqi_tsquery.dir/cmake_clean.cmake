@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_tsquery.dir/tsquery/series.cc.o"
+  "CMakeFiles/vqi_tsquery.dir/tsquery/series.cc.o.d"
+  "CMakeFiles/vqi_tsquery.dir/tsquery/sketch_formulation.cc.o"
+  "CMakeFiles/vqi_tsquery.dir/tsquery/sketch_formulation.cc.o.d"
+  "CMakeFiles/vqi_tsquery.dir/tsquery/sketch_select.cc.o"
+  "CMakeFiles/vqi_tsquery.dir/tsquery/sketch_select.cc.o.d"
+  "libvqi_tsquery.a"
+  "libvqi_tsquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_tsquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

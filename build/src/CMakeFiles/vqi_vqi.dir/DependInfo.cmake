@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vqi/builder.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/builder.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/builder.cc.o.d"
+  "/root/repo/src/vqi/explorer.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/explorer.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/explorer.cc.o.d"
+  "/root/repo/src/vqi/interface.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/interface.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/interface.cc.o.d"
+  "/root/repo/src/vqi/maintainer.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/maintainer.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/maintainer.cc.o.d"
+  "/root/repo/src/vqi/panels.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/panels.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/panels.cc.o.d"
+  "/root/repo/src/vqi/serialize.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/serialize.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/serialize.cc.o.d"
+  "/root/repo/src/vqi/session.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/session.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/session.cc.o.d"
+  "/root/repo/src/vqi/suggestion.cc" "src/CMakeFiles/vqi_vqi.dir/vqi/suggestion.cc.o" "gcc" "src/CMakeFiles/vqi_vqi.dir/vqi/suggestion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_catapult.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_tattoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_midas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_truss.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

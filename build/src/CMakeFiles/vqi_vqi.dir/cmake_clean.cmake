@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_vqi.dir/vqi/builder.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/builder.cc.o.d"
+  "CMakeFiles/vqi_vqi.dir/vqi/explorer.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/explorer.cc.o.d"
+  "CMakeFiles/vqi_vqi.dir/vqi/interface.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/interface.cc.o.d"
+  "CMakeFiles/vqi_vqi.dir/vqi/maintainer.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/maintainer.cc.o.d"
+  "CMakeFiles/vqi_vqi.dir/vqi/panels.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/panels.cc.o.d"
+  "CMakeFiles/vqi_vqi.dir/vqi/serialize.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/serialize.cc.o.d"
+  "CMakeFiles/vqi_vqi.dir/vqi/session.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/session.cc.o.d"
+  "CMakeFiles/vqi_vqi.dir/vqi/suggestion.cc.o"
+  "CMakeFiles/vqi_vqi.dir/vqi/suggestion.cc.o.d"
+  "libvqi_vqi.a"
+  "libvqi_vqi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_vqi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

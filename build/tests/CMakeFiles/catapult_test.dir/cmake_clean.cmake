@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catapult_test.dir/catapult_test.cc.o"
+  "CMakeFiles/catapult_test.dir/catapult_test.cc.o.d"
+  "catapult_test"
+  "catapult_test.pdb"
+  "catapult_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catapult_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

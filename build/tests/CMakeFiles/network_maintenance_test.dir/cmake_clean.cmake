@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_maintenance_test.dir/network_maintenance_test.cc.o"
+  "CMakeFiles/network_maintenance_test.dir/network_maintenance_test.cc.o.d"
+  "network_maintenance_test"
+  "network_maintenance_test.pdb"
+  "network_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

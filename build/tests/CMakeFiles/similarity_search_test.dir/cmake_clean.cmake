@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_search_test.dir/similarity_search_test.cc.o"
+  "CMakeFiles/similarity_search_test.dir/similarity_search_test.cc.o.d"
+  "similarity_search_test"
+  "similarity_search_test.pdb"
+  "similarity_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggestion_test.dir/suggestion_test.cc.o"
+  "CMakeFiles/suggestion_test.dir/suggestion_test.cc.o.d"
+  "suggestion_test"
+  "suggestion_test.pdb"
+  "suggestion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

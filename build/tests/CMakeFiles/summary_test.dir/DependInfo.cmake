@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/summary_test.cc" "tests/CMakeFiles/summary_test.dir/summary_test.cc.o" "gcc" "tests/CMakeFiles/summary_test.dir/summary_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqi_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

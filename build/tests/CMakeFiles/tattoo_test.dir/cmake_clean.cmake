@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tattoo_test.dir/tattoo_test.cc.o"
+  "CMakeFiles/tattoo_test.dir/tattoo_test.cc.o.d"
+  "tattoo_test"
+  "tattoo_test.pdb"
+  "tattoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tattoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsquery_test.dir/tsquery_test.cc.o"
+  "CMakeFiles/tsquery_test.dir/tsquery_test.cc.o.d"
+  "tsquery_test"
+  "tsquery_test.pdb"
+  "tsquery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsquery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

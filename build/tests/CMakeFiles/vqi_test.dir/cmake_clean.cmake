@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_test.dir/vqi_test.cc.o"
+  "CMakeFiles/vqi_test.dir/vqi_test.cc.o.d"
+  "vqi_test"
+  "vqi_test.pdb"
+  "vqi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqi_cli.dir/vqi_cli.cpp.o"
+  "CMakeFiles/vqi_cli.dir/vqi_cli.cpp.o.d"
+  "vqi_cli"
+  "vqi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

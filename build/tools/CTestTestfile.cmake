@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/vqi_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_end_to_end "sh" "-c" "/root/repo/build/tools/vqi_cli gen-molecules 40 7 cli_test.lg && /root/repo/build/tools/vqi_cli build-db cli_test.lg cli_test.vqi 4 && /root/repo/build/tools/vqi_cli show cli_test.vqi && /root/repo/build/tools/vqi_cli export-dot cli_test.vqi cli_test.dot && /root/repo/build/tools/vqi_cli suggest cli_test.lg 0 3 && /root/repo/build/tools/vqi_cli usability cli_test.lg cli_test.vqi 10")
+set_tests_properties(cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_network_flow "sh" "-c" "/root/repo/build/tools/vqi_cli gen-network 500 2 9 cli_net.lg && /root/repo/build/tools/vqi_cli build-net cli_net.lg cli_net.vqi 4 && /root/repo/build/tools/vqi_cli show cli_net.vqi")
+set_tests_properties(cli_network_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
