@@ -1,0 +1,199 @@
+// E14 — the serving layer for interactive VQIs (ROADMAP north star:
+// production-scale traffic). Two claims: (1) QueryService throughput on a
+// subgraph-match workload scales monotonically as workers grow 1 -> 8 (each
+// request is an independent VF2 run, so the pool parallelizes cleanly);
+// (2) on a repeated-query workload — the canned-pattern / re-drawn-query
+// access pattern TATTOO targets — the canonical-form result cache beats the
+// uncached configuration by a wide margin, because isomorphic re-draws
+// collapse onto one cache entry.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "graph/generators.h"
+#include "service/query_service.h"
+#include "sim/workload.h"
+
+namespace vqi {
+namespace {
+
+constexpr uint64_t kSeed = 14;
+constexpr size_t kDbSize = 300;
+constexpr size_t kDistinctQueries = 48;
+
+GraphDatabase MakeDb() {
+  return gen::MoleculeDatabase(kDbSize, gen::MoleculeConfig{}, kSeed);
+}
+
+std::vector<QueryRequest> MakeRequests(const GraphDatabase& db,
+                                       size_t repeats) {
+  WorkloadConfig config;
+  config.num_queries = kDistinctQueries;
+  config.min_edges = 3;
+  config.max_edges = 8;
+  config.seed = kSeed;
+  std::vector<Graph> queries = GenerateDbWorkload(db, config);
+
+  // Interleave the repeats (q0, q1, ..., q0, q1, ...) so cached runs mix hits
+  // and misses the way a panel of popular patterns would.
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size() * repeats);
+  for (size_t round = 0; round < repeats; ++round) {
+    for (const Graph& q : queries) {
+      QueryRequest request;
+      request.pattern = q;
+      request.target = kAllGraphs;
+      request.max_embeddings = 2000;
+      requests.push_back(std::move(request));
+    }
+  }
+  return requests;
+}
+
+struct ReplayOutcome {
+  double seconds = 0;
+  uint64_t completed = 0;
+};
+
+// Replay with backpressure handling: on kUnavailable, wait for the oldest
+// outstanding future (the client-side analogue of retry-after-drain). When
+// `round_size` > 0 a barrier is placed every `round_size` requests — each
+// repeat round models users re-issuing popular queries after earlier results
+// came back, rather than one simultaneous burst of duplicates.
+ReplayOutcome Replay(QueryService& service,
+                     const std::vector<QueryRequest>& requests,
+                     size_t round_size = 0) {
+  Stopwatch timer;
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(requests.size());
+  size_t next_wait = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    for (;;) {
+      auto submitted = service.Submit(requests[i]);
+      if (submitted.ok()) {
+        futures.push_back(std::move(submitted).value());
+        break;
+      }
+      if (next_wait < futures.size()) {
+        futures[next_wait++].get();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    if (round_size > 0 && (i + 1) % round_size == 0) {
+      for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
+    }
+  }
+  for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
+  return {timer.ElapsedSeconds(), futures.size()};
+}
+
+QueryServiceOptions Options(size_t threads, size_t cache_capacity) {
+  QueryServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = 512;
+  options.cache_capacity = cache_capacity;
+  options.cache_shards = 8;
+  return options;
+}
+
+void RunScalingExperiment() {
+  GraphDatabase db = MakeDb();
+  std::vector<QueryRequest> requests = MakeRequests(db, /*repeats=*/3);
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u\n", hw);
+  if (hw < 8) {
+    std::printf("note: fewer hardware threads than the largest pool tested; "
+                "speedup is capped near %u on this machine\n", hw);
+  }
+  bench::Table table(
+      "E14a: QueryService throughput scaling (match workload, cache off)",
+      {"threads", "total (s)", "queries/s", "speedup", "p50 (ms)", "p99 (ms)"});
+  double baseline_qps = 0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    QueryService service(db, Options(threads, /*cache_capacity=*/0));
+    ReplayOutcome outcome = Replay(service, requests);
+    ServiceStats stats = service.Snapshot();
+    double qps = static_cast<double>(outcome.completed) / outcome.seconds;
+    if (threads == 1) baseline_qps = qps;
+    table.AddRow({std::to_string(threads), bench::Fmt(outcome.seconds),
+                  bench::Fmt(qps, 0), bench::Fmt(qps / baseline_qps, 2),
+                  bench::Fmt(stats.p50_latency_ms, 2),
+                  bench::Fmt(stats.p99_latency_ms, 2)});
+  }
+  table.Print();
+}
+
+void RunCacheExperiment() {
+  GraphDatabase db = MakeDb();
+  std::vector<QueryRequest> requests = MakeRequests(db, /*repeats=*/5);
+  bench::Table table(
+      "E14b: canonical-form result cache on a repeated-query workload (4 "
+      "threads)",
+      {"cache", "total (s)", "queries/s", "hit rate", "hits", "evictions"});
+  for (size_t capacity : {0u, 1024u}) {
+    QueryService service(db, Options(4, capacity));
+    ReplayOutcome outcome = Replay(service, requests, kDistinctQueries);
+    ServiceStats stats = service.Snapshot();
+    uint64_t lookups = stats.cache_hits + stats.cache_misses;
+    double hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(stats.cache_hits) / lookups;
+    table.AddRow(
+        {capacity == 0 ? "off" : std::to_string(capacity),
+         bench::Fmt(outcome.seconds),
+         bench::Fmt(static_cast<double>(outcome.completed) / outcome.seconds,
+                    0),
+         bench::Fmt(hit_rate, 2), std::to_string(stats.cache_hits),
+         std::to_string(stats.cache_evictions)});
+  }
+  table.Print();
+}
+
+void BM_ServiceMatchThroughput(benchmark::State& state) {
+  GraphDatabase db = MakeDb();
+  std::vector<QueryRequest> requests = MakeRequests(db, /*repeats=*/1);
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    QueryService service(db, Options(threads, /*cache_capacity=*/0));
+    ReplayOutcome outcome = Replay(service, requests);
+    benchmark::DoNotOptimize(outcome.completed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(requests.size()));
+}
+BENCHMARK(BM_ServiceMatchThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CachedSubmitLatency(benchmark::State& state) {
+  GraphDatabase db = MakeDb();
+  std::vector<QueryRequest> requests = MakeRequests(db, /*repeats=*/1);
+  QueryService service(db, Options(2, /*cache_capacity=*/1024));
+  Replay(service, requests);  // warm the cache
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryResult result = service.Execute(requests[i++ % requests.size()]);
+    benchmark::DoNotOptimize(result.embedding_count);
+  }
+}
+BENCHMARK(BM_CachedSubmitLatency)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vqi
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  vqi::RunScalingExperiment();
+  vqi::RunCacheExperiment();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,11 +2,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace vqi {
 
 namespace {
 LogLevel g_min_level = LogLevel::kInfo;
+
+// Serializes whole-line emission so concurrent service workers never
+// interleave fragments of two log lines on stderr.
+std::mutex& EmitMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+void EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -45,7 +59,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= g_min_level) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    EmitLine(stream_.str());
   }
 }
 
@@ -54,7 +68,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line) {
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  EmitLine(stream_.str());
   std::abort();
 }
 

@@ -1,0 +1,140 @@
+#ifndef VQLIB_SERVICE_LRU_CACHE_H_
+#define VQLIB_SERVICE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+/// Aggregated counters across all shards of a ShardedLruCache.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+
+  double hit_rate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// A sharded LRU map from string keys to values of type `V`.
+///
+/// Keys in the query service are canonical forms (match/canonical.h) combined
+/// with the target graph id, so isomorphic queries — however the user drew
+/// them — share one entry. Sharding by key hash keeps lock hold times short
+/// under concurrent workers; each shard maintains its own recency list and
+/// counters, so eviction is LRU *per shard* (the standard serving-cache
+/// trade-off; use num_shards = 1 for strict global LRU).
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `num_shards`
+  /// (each shard gets at least one slot).
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8) {
+    VQI_CHECK_GT(capacity, 0u) << "cache capacity must be positive";
+    if (num_shards == 0) num_shards = 1;
+    if (num_shards > capacity) num_shards = capacity;
+    size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Returns a copy of the cached value and promotes the entry to
+  /// most-recently-used, or nullopt on a miss.
+  std::optional<V> Get(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, making it most-recently-used; evicts the
+  /// least-recently-used entry of the shard when it is at capacity.
+  void Put(const std::string& key, V value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    if (shard.order.size() >= shard.capacity) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index[key] = shard.order.begin();
+  }
+
+  /// Drops every entry (counters are preserved).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->order.clear();
+      shard->index.clear();
+    }
+  }
+
+  /// Sums hit/miss/eviction counters and live entries across shards.
+  CacheStats GetStats() const {
+    CacheStats stats;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      stats.hits += shard->hits;
+      stats.misses += shard->misses;
+      stats.evictions += shard->evictions;
+      stats.entries += shard->order.size();
+    }
+    return stats;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+
+    mutable std::mutex mutex;
+    // front = most recently used.
+    std::list<std::pair<std::string, V>> order;
+    std::unordered_map<std::string,
+                       typename std::list<std::pair<std::string, V>>::iterator>
+        index;
+    size_t capacity;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_SERVICE_LRU_CACHE_H_

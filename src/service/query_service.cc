@@ -1,0 +1,270 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "match/canonical.h"
+
+namespace vqi {
+namespace {
+
+// Canonicalization (match/canonical.h) enforces this vertex bound; larger
+// patterns are served uncached rather than rejected.
+constexpr size_t kMaxCacheableVertices = 64;
+
+// First cooperative step slice for deadline-bounded matching. Slices double
+// until the matcher finishes or the wall clock passes the deadline, so the
+// overshoot past a deadline is bounded by one slice and total work is at most
+// twice the final slice.
+constexpr uint64_t kInitialStepSlice = 1u << 14;
+
+// Latency samples kept for percentile estimation (ring buffer).
+constexpr size_t kMaxLatencySamples = 1u << 16;
+
+bool DeadlinePassed(const QueryRequest& request, const Stopwatch& admitted) {
+  return request.deadline_ms > 0 &&
+         admitted.ElapsedMillis() >= request.deadline_ms;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
+    : db_(db),
+      options_(options),
+      suggestions_(SuggestionIndex::Build(db)),
+      cache_(std::max<size_t>(1, options.cache_capacity),
+             std::max<size_t>(1, options.cache_shards)),
+      pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity}) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() { pool_.Shutdown(); }
+
+std::string QueryService::CacheKey(const QueryRequest& request) const {
+  if (options_.cache_capacity == 0) return "";
+  if (request.pattern.NumVertices() > kMaxCacheableVertices) return "";
+  std::string key;
+  if (request.kind == QueryKind::kSuggest) {
+    // Suggestions depend only on the focus vertex's label and k.
+    key = "s|";
+    key += std::to_string(request.pattern.VertexLabel(request.focus));
+    key += '|';
+    key += std::to_string(request.top_k);
+    return key;
+  }
+  const MatchOptions& mo = options_.match_options;
+  key = "m|";
+  key += CanonicalCode(request.pattern);
+  key += '|';
+  key += std::to_string(request.target);
+  key += '|';
+  key += std::to_string(request.max_embeddings);
+  key += '|';
+  key += mo.induced ? '1' : '0';
+  key += mo.match_vertex_labels ? '1' : '0';
+  key += mo.match_edge_labels ? '1' : '0';
+  key += mo.dummy_is_wildcard ? '1' : '0';
+  return key;
+}
+
+StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
+  if (request.pattern.Empty()) {
+    return Status::InvalidArgument("query pattern is empty");
+  }
+  if (request.target != kAllGraphs && !db_.Contains(request.target)) {
+    return Status::NotFound("unknown target graph id " +
+                            std::to_string(request.target));
+  }
+  if (request.kind == QueryKind::kSuggest &&
+      request.focus >= request.pattern.NumVertices()) {
+    return Status::InvalidArgument("focus vertex out of range");
+  }
+
+  Stopwatch admitted;
+  std::string key = CacheKey(request);
+
+  // Cache probe before any pool dispatch: a hit is served synchronously on
+  // the submitting thread.
+  if (!key.empty()) {
+    if (std::optional<QueryResult> hit = cache_.Get(key)) {
+      QueryResult result = std::move(*hit);
+      result.from_cache = true;
+      result.latency_ms = admitted.ElapsedMillis();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++admitted_;
+      }
+      RecordCompletion(result);
+      std::promise<QueryResult> ready;
+      std::future<QueryResult> future = ready.get_future();
+      ready.set_value(std::move(result));
+      return future;
+    }
+  }
+
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> future = promise->get_future();
+  auto shared_request = std::make_shared<QueryRequest>(std::move(request));
+  Status submitted = pool_.Submit(
+      [this, promise, shared_request, key = std::move(key), admitted] {
+        QueryResult result;
+        // Second probe at dequeue: an identical request admitted just ahead
+        // of this one may have populated the cache while this one queued
+        // (coalescing-lite; repeated-query bursts collapse after the first
+        // computation). A hit also rescues requests whose deadline expired
+        // in the queue — serving it is free.
+        std::optional<QueryResult> hit;
+        if (!key.empty() && (hit = cache_.Get(key))) {
+          result = std::move(*hit);
+          result.from_cache = true;
+        } else {
+          result = Run(*shared_request, admitted);
+          if (result.status.ok() && !key.empty()) {
+            cache_.Put(key, result);
+          }
+        }
+        result.latency_ms = admitted.ElapsedMillis();
+        RecordCompletion(result);
+        promise->set_value(std::move(result));
+      });
+  if (!submitted.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++rejected_;
+    return submitted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++admitted_;
+  }
+  return future;
+}
+
+QueryResult QueryService::Execute(QueryRequest request) {
+  auto submitted = Submit(std::move(request));
+  if (!submitted.ok()) {
+    QueryResult result;
+    result.status = submitted.status();
+    return result;
+  }
+  return submitted.value().get();
+}
+
+QueryResult QueryService::Run(const QueryRequest& request,
+                              const Stopwatch& admitted) {
+  if (DeadlinePassed(request, admitted)) {
+    QueryResult result;
+    result.status = Status::DeadlineExceeded(
+        "deadline expired before execution started");
+    return result;
+  }
+  return request.kind == QueryKind::kSuggest ? RunSuggest(request)
+                                             : RunMatch(request, admitted);
+}
+
+QueryResult QueryService::RunMatch(const QueryRequest& request,
+                                   const Stopwatch& admitted) {
+  QueryResult result;
+  auto match_one = [&](const Graph& target) -> bool {
+    if (DeadlinePassed(request, admitted)) return false;
+    uint64_t count = 0;
+    if (!CountWithDeadline(request.pattern, target, request, admitted,
+                           &count)) {
+      return false;
+    }
+    result.embedding_count += count;
+    if (count > 0) result.matched_graphs.push_back(target.id());
+    return true;
+  };
+
+  if (request.target == kAllGraphs) {
+    for (const Graph& target : db_.graphs()) {
+      if (!match_one(target)) {
+        result.status =
+            Status::DeadlineExceeded("deadline expired mid-collection");
+        return result;
+      }
+    }
+  } else if (!match_one(db_.Get(request.target))) {
+    result.status = Status::DeadlineExceeded("deadline expired while matching");
+    return result;
+  }
+  result.status = Status::OK();
+  return result;
+}
+
+QueryResult QueryService::RunSuggest(const QueryRequest& request) {
+  QueryResult result;
+  result.suggestions = suggestions_.SuggestNextEdges(
+      request.pattern, request.focus, request.top_k);
+  result.status = Status::OK();
+  return result;
+}
+
+bool QueryService::CountWithDeadline(const Graph& pattern, const Graph& target,
+                                     const QueryRequest& request,
+                                     const Stopwatch& admitted,
+                                     uint64_t* count) {
+  MatchOptions opts = options_.match_options;
+  opts.max_embeddings = request.max_embeddings;
+  if (request.deadline_ms <= 0) {
+    opts.max_steps = 0;
+    SubgraphMatcher matcher(pattern, target, opts);
+    *count = matcher.CountEmbeddings();
+    return true;
+  }
+  // The matcher cannot pause/resume, so the cooperative budget hook
+  // (max_steps) is applied in exponentially growing slices: re-running from
+  // scratch at double the cap costs at most 2x the final successful run and
+  // bounds how far past the deadline a worker can overshoot.
+  for (uint64_t slice = kInitialStepSlice;; slice *= 2) {
+    opts.max_steps = slice;
+    SubgraphMatcher matcher(pattern, target, opts);
+    *count = matcher.CountEmbeddings();
+    if (!matcher.hit_step_limit()) return true;
+    if (admitted.ElapsedMillis() >= request.deadline_ms) return false;
+  }
+}
+
+void QueryService::RecordCompletion(const QueryResult& result) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++completed_;
+  if (result.status.code() == StatusCode::kDeadlineExceeded) {
+    ++deadline_exceeded_;
+  }
+  if (latency_samples_ms_.size() < kMaxLatencySamples) {
+    latency_samples_ms_.push_back(result.latency_ms);
+  } else {
+    latency_samples_ms_[completed_ % kMaxLatencySamples] = result.latency_ms;
+  }
+}
+
+ServiceStats QueryService::Snapshot() const {
+  ServiceStats stats;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.admitted = admitted_;
+    stats.completed = completed_;
+    stats.rejected = rejected_;
+    stats.deadline_exceeded = deadline_exceeded_;
+    samples = latency_samples_ms_;
+  }
+  CacheStats cache_stats = cache_.GetStats();
+  stats.cache_hits = cache_stats.hits;
+  stats.cache_misses = cache_stats.misses;
+  stats.cache_evictions = cache_stats.evictions;
+  stats.p50_latency_ms = Percentile(samples, 0.50);
+  stats.p99_latency_ms = Percentile(std::move(samples), 0.99);
+  return stats;
+}
+
+}  // namespace vqi

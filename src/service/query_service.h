@@ -1,0 +1,159 @@
+#ifndef VQLIB_SERVICE_QUERY_SERVICE_H_
+#define VQLIB_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "match/vf2.h"
+#include "service/lru_cache.h"
+#include "service/thread_pool.h"
+#include "vqi/suggestion.h"
+
+namespace vqi {
+
+/// Request target meaning "match against every graph in the database".
+inline constexpr GraphId kAllGraphs = -1;
+
+/// The two interactive workloads a VQI front end issues while the user draws:
+/// evaluate the current visual query (subgraph matching), or rank plausible
+/// next edges for the vertex being extended (auto-suggestion).
+enum class QueryKind { kMatchCount, kSuggest };
+
+/// One request against the service.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kMatchCount;
+  /// The (partial) visual query graph. Must be non-empty.
+  Graph pattern;
+  /// Graph to match against, or kAllGraphs for the whole collection.
+  GraphId target = kAllGraphs;
+  /// Wall-clock budget measured from admission; 0 disables the deadline.
+  double deadline_ms = 0;
+  /// Embedding cap per target graph for kMatchCount (0 = unlimited).
+  uint64_t max_embeddings = 1000;
+  /// For kSuggest: the vertex of `pattern` the user is extending.
+  VertexId focus = 0;
+  /// For kSuggest: how many ranked continuations to return.
+  size_t top_k = 5;
+};
+
+/// Outcome of one request. `status` is OK, kDeadlineExceeded (budget ran out
+/// before the answer was complete), kNotFound (unknown target id), or
+/// kInvalidArgument.
+struct QueryResult {
+  Status status;
+  /// kMatchCount: total embeddings found (capped per graph).
+  uint64_t embedding_count = 0;
+  /// kMatchCount: ids of target graphs with at least one embedding.
+  std::vector<GraphId> matched_graphs;
+  /// kSuggest: ranked next-edge continuations for the focus vertex.
+  std::vector<EdgeSuggestion> suggestions;
+  /// True when served from the result cache without touching the matcher.
+  bool from_cache = false;
+  /// Admission-to-completion latency.
+  double latency_ms = 0;
+};
+
+/// Point-in-time counters of a QueryService.
+struct ServiceStats {
+  uint64_t admitted = 0;           ///< requests accepted into the queue
+  uint64_t completed = 0;          ///< futures resolved (any status)
+  uint64_t rejected = 0;           ///< admission failures (queue full)
+  uint64_t deadline_exceeded = 0;  ///< completed with kDeadlineExceeded
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+};
+
+/// Sizing and semantics knobs for a QueryService.
+struct QueryServiceOptions {
+  size_t num_threads = 4;
+  size_t queue_capacity = 256;
+  /// Total result-cache entries (0 disables the cache entirely).
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+  /// Matching semantics applied to every kMatchCount request. The step cap
+  /// is managed internally by the deadline logic; leave max_steps at 0.
+  MatchOptions match_options;
+};
+
+/// Concurrent serving layer over a GraphDatabase.
+///
+/// Request lifecycle: admission (validate + backpressure) → cache probe
+/// (canonical-form key, so isomorphic re-draws of a query hit) → dispatch to
+/// the worker pool → VF2 / suggestion-index execution under the request's
+/// deadline → stats recording. See docs/service.md.
+///
+/// Deadlines are honored cooperatively through the matcher's existing
+/// max_steps budget hook: matching runs in exponentially growing step slices
+/// and the wall clock is checked between slices and between target graphs,
+/// so a runaway pattern cannot pin a worker past its budget by more than one
+/// slice.
+///
+/// Thread-safe; the database must outlive the service and not be mutated
+/// while it is serving.
+class QueryService {
+ public:
+  explicit QueryService(const GraphDatabase& db,
+                        QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits `request` and returns a future resolving to its result. Fails
+  /// with kUnavailable when the queue is full (the caller should back off),
+  /// kInvalidArgument for an empty pattern, kNotFound for an unknown target.
+  StatusOr<std::future<QueryResult>> Submit(QueryRequest request);
+
+  /// Convenience: Submit and wait. A rejected admission is reported through
+  /// QueryResult::status.
+  QueryResult Execute(QueryRequest request);
+
+  /// Counters + latency percentiles over everything served so far.
+  ServiceStats Snapshot() const;
+
+  /// Graceful shutdown: admitted requests complete, new ones are rejected.
+  void Shutdown();
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  QueryResult Run(const QueryRequest& request, const Stopwatch& admitted);
+  QueryResult RunMatch(const QueryRequest& request, const Stopwatch& admitted);
+  QueryResult RunSuggest(const QueryRequest& request);
+  /// Counts embeddings of `pattern` in `target` in cooperative step slices;
+  /// false when the deadline expired first.
+  bool CountWithDeadline(const Graph& pattern, const Graph& target,
+                         const QueryRequest& request, const Stopwatch& admitted,
+                         uint64_t* count);
+  /// Cache key, or "" when the request is uncacheable (pattern too large for
+  /// canonicalization).
+  std::string CacheKey(const QueryRequest& request) const;
+  void RecordCompletion(const QueryResult& result);
+
+  const GraphDatabase& db_;
+  QueryServiceOptions options_;
+  SuggestionIndex suggestions_;
+  ShardedLruCache<QueryResult> cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex stats_mutex_;
+  std::vector<double> latency_samples_ms_;
+  uint64_t admitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_SERVICE_QUERY_SERVICE_H_

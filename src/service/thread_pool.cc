@@ -1,0 +1,80 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vqi {
+
+ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
+  options_.num_threads = std::max<size_t>(1, options_.num_threads);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  VQI_CHECK(task != nullptr) << "ThreadPool::Submit requires a task";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return Status::Unavailable("thread pool is shutting down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::Unavailable("task queue is full");
+    }
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::TasksExecuted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ and nothing left to drain.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++executed_;
+    }
+  }
+}
+
+}  // namespace vqi

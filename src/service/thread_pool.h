@@ -1,0 +1,73 @@
+#ifndef VQLIB_SERVICE_THREAD_POOL_H_
+#define VQLIB_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vqi {
+
+/// Sizing knobs for a ThreadPool.
+struct ThreadPoolOptions {
+  /// Number of worker threads; clamped to at least 1.
+  size_t num_threads = 4;
+  /// Maximum number of admitted-but-not-yet-running tasks; clamped to at
+  /// least 1. Admission beyond this returns kUnavailable.
+  size_t queue_capacity = 256;
+};
+
+/// Fixed-size worker pool over a bounded MPMC task queue.
+///
+/// `Submit` never blocks: when the queue is at capacity it returns
+/// `kUnavailable` so callers shed load (backpressure) instead of stalling the
+/// submitting thread — the admission-control idiom of serving systems.
+/// Shutdown is graceful: tasks already admitted run to completion, further
+/// submissions are rejected, and the destructor joins every worker.
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolOptions options = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution. Returns OK when admitted, kUnavailable
+  /// when the queue is full or the pool is shutting down. `task` must be
+  /// non-null.
+  Status Submit(std::function<void()> task);
+
+  /// Stops admission, drains the queue (running every admitted task), and
+  /// joins all workers. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
+  /// Tasks currently waiting in the queue (approximate under concurrency).
+  size_t QueueDepth() const;
+
+  /// Total tasks that have finished executing.
+  uint64_t TasksExecuted() const;
+
+ private:
+  void WorkerLoop();
+
+  ThreadPoolOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  uint64_t executed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace vqi
+
+#endif  // VQLIB_SERVICE_THREAD_POOL_H_

@@ -30,9 +30,17 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
         StatusCode::kInternal, StatusCode::kUnimplemented,
-        StatusCode::kIoError, StatusCode::kParseError}) {
+        StatusCode::kIoError, StatusCode::kParseError,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, ServiceCodes) {
+  EXPECT_EQ(Status::Unavailable("queue full").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
 }
 
 TEST(StatusOrTest, HoldsValue) {

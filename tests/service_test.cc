@@ -1,0 +1,418 @@
+// Tests for the concurrent query service layer: thread-pool backpressure,
+// LRU cache behaviour, deadline handling, and a multi-threaded stress run.
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/lru_cache.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+
+namespace vqi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(ThreadPoolOptions{2, 16});
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_EQ(pool.TasksExecuted(), 10u);
+}
+
+TEST(ThreadPoolTest, FullQueueReturnsUnavailable) {
+  ThreadPool pool(ThreadPoolOptions{1, 1});
+  // Gate the single worker so the queue state is deterministic.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  bool worker_started = false;
+  ASSERT_TRUE(pool.Submit([&] {
+                    std::unique_lock<std::mutex> lock(mutex);
+                    worker_started = true;
+                    cv.notify_all();
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  {
+    // Wait until the worker has dequeued the gate task (queue empty again).
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return worker_started; });
+  }
+  // One slot in the queue: first fill succeeds, second is shed.
+  EXPECT_TRUE(pool.Submit([] {}).ok());
+  Status rejected = pool.Submit([] {});
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+  EXPECT_EQ(pool.TasksExecuted(), 2u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAdmittedTasksAndRejectsNew) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(ThreadPoolOptions{1, 64});
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
+    }
+    pool.Shutdown();
+    EXPECT_EQ(pool.Submit([&counter] { ++counter; }).code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLruCache
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<int> cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);
+  // Touch "a" so "b" becomes the eviction victim.
+  EXPECT_EQ(cache.Get("a").value(), 1);
+  cache.Put("d", 4);
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_TRUE(cache.Get("d").has_value());
+
+  CacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(LruCacheTest, PutOverwritesWithoutEviction) {
+  ShardedLruCache<int> cache(2, 1);
+  cache.Put("a", 1);
+  cache.Put("a", 7);
+  EXPECT_EQ(cache.Get("a").value(), 7);
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(LruCacheTest, ShardsSplitTheCapacity) {
+  ShardedLruCache<int> cache(/*capacity=*/64, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  for (int i = 0; i < 200; ++i) {
+    cache.Put("key" + std::to_string(i), i);
+  }
+  CacheStats stats = cache.GetStats();
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+
+// A small deterministic collection: a labeled triangle, a 4-path, and a
+// square, over vertex labels {0,1,2}.
+GraphDatabase MakeDatabase() {
+  GraphDatabase db;
+  {
+    Graph g;  // triangle 0-1-2
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddVertex(2);
+    g.AddEdge(0, 1);
+    g.AddEdge(1, 2);
+    g.AddEdge(0, 2);
+    db.Add(std::move(g));
+  }
+  {
+    Graph g;  // path 0-1-0-1
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddEdge(0, 1);
+    g.AddEdge(1, 2);
+    g.AddEdge(2, 3);
+    db.Add(std::move(g));
+  }
+  {
+    Graph g;  // square, all label 0
+    for (int i = 0; i < 4; ++i) g.AddVertex(0);
+    g.AddEdge(0, 1);
+    g.AddEdge(1, 2);
+    g.AddEdge(2, 3);
+    g.AddEdge(0, 3);
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+// A single 0-1 edge pattern.
+Graph EdgePattern() {
+  Graph p;
+  p.AddVertex(0);
+  p.AddVertex(1);
+  p.AddEdge(0, 1);
+  return p;
+}
+
+// A pattern whose exhaustive enumeration on a dense target takes far longer
+// than any test deadline: a 6-leaf star matched into K28 (unlabeled), with
+// ~3e11 embeddings.
+Graph HeavyStarPattern() {
+  Graph p;
+  VertexId center = p.AddVertex(0);
+  for (int i = 0; i < 6; ++i) {
+    VertexId leaf = p.AddVertex(0);
+    p.AddEdge(center, leaf);
+  }
+  return p;
+}
+
+GraphDatabase MakeDenseTarget() {
+  GraphDatabase db;
+  Graph g;
+  constexpr int kN = 28;
+  for (int i = 0; i < kN; ++i) g.AddVertex(0);
+  for (int i = 0; i < kN; ++i) {
+    for (int j = i + 1; j < kN; ++j) g.AddEdge(i, j);
+  }
+  db.Add(std::move(g));
+  return db;
+}
+
+TEST(QueryServiceTest, MatchCountAcrossCollection) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}});
+
+  QueryRequest request;
+  request.pattern = EdgePattern();
+  QueryResult result = service.Execute(request);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  // Triangle contributes 0-1 and 2-1 (two mappings each: 2*2=... counted as
+  // distinct vertex mappings), path contributes each 0-1 adjacency.
+  EXPECT_GT(result.embedding_count, 0u);
+  EXPECT_EQ(result.matched_graphs.size(), 2u);  // square has no label-1 vertex
+  EXPECT_FALSE(result.from_cache);
+}
+
+TEST(QueryServiceTest, SingleTargetMatch) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{1, 8, 16, 1, {}});
+
+  QueryRequest request;
+  request.pattern = EdgePattern();
+  request.target = 0;  // the triangle
+  QueryResult result = service.Execute(request);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.matched_graphs, std::vector<GraphId>{0});
+}
+
+TEST(QueryServiceTest, IsomorphicRedrawHitsCache) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}});
+
+  QueryRequest first;
+  first.pattern = EdgePattern();
+  QueryResult miss = service.Execute(first);
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_FALSE(miss.from_cache);
+
+  // The same query drawn "the other way round": vertex 0 labeled 1.
+  QueryRequest second;
+  second.pattern.AddVertex(1);
+  second.pattern.AddVertex(0);
+  second.pattern.AddEdge(0, 1);
+  QueryResult hit = service.Execute(second);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.embedding_count, miss.embedding_count);
+
+  ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(QueryServiceTest, ExpiredDeadlineBeforeExecution) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{1, 8, 0, 1, {}});
+
+  QueryRequest request;
+  request.pattern = EdgePattern();
+  // Any queueing/dispatch delay exceeds a nanosecond-scale deadline.
+  request.deadline_ms = 1e-9;
+  QueryResult result = service.Execute(request);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Snapshot().deadline_exceeded, 1u);
+}
+
+TEST(QueryServiceTest, DeadlineCutsOffHeavyMatch) {
+  GraphDatabase db = MakeDenseTarget();
+  QueryService service(db, QueryServiceOptions{1, 8, 0, 1, {}});
+
+  QueryRequest request;
+  request.pattern = HeavyStarPattern();
+  request.max_embeddings = 0;  // unlimited: forces full enumeration
+  request.deadline_ms = 25;
+  Stopwatch timer;
+  QueryResult result = service.Execute(request);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  // Cooperative slicing: overshoot is bounded (generous margin for CI).
+  EXPECT_LT(timer.ElapsedMillis(), 5000.0);
+}
+
+TEST(QueryServiceTest, DeadlineExceededResultsAreNotCached) {
+  GraphDatabase db = MakeDenseTarget();
+  QueryService service(db, QueryServiceOptions{1, 8, 64, 1, {}});
+
+  QueryRequest request;
+  request.pattern = HeavyStarPattern();
+  request.max_embeddings = 0;
+  request.deadline_ms = 10;
+  EXPECT_EQ(service.Execute(request).status.code(),
+            StatusCode::kDeadlineExceeded);
+  // Re-issuing must compute again (and fail again), not hit a cached error.
+  EXPECT_EQ(service.Execute(request).status.code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Snapshot().cache_hits, 0u);
+}
+
+TEST(QueryServiceTest, SuggestRanksContinuations) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{1, 8, 16, 1, {}});
+
+  QueryRequest request;
+  request.kind = QueryKind::kSuggest;
+  request.pattern = EdgePattern();
+  request.focus = 0;  // a vertex labeled 0
+  request.top_k = 3;
+  QueryResult result = service.Execute(request);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_FALSE(result.suggestions.empty());
+  for (const EdgeSuggestion& s : result.suggestions) {
+    EXPECT_EQ(s.from_label, 0u);
+    EXPECT_GT(s.support, 0u);
+  }
+  for (size_t i = 1; i < result.suggestions.size(); ++i) {
+    EXPECT_GE(result.suggestions[i - 1].support, result.suggestions[i].support);
+  }
+
+  // Suggestion results are cached by focus label.
+  EXPECT_TRUE(service.Execute(request).from_cache);
+}
+
+TEST(QueryServiceTest, AdmissionValidation) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{1, 8, 16, 1, {}});
+
+  QueryRequest empty;
+  EXPECT_EQ(service.Execute(empty).status.code(),
+            StatusCode::kInvalidArgument);
+
+  QueryRequest unknown;
+  unknown.pattern = EdgePattern();
+  unknown.target = 999;
+  EXPECT_EQ(service.Execute(unknown).status.code(), StatusCode::kNotFound);
+
+  QueryRequest bad_focus;
+  bad_focus.kind = QueryKind::kSuggest;
+  bad_focus.pattern = EdgePattern();
+  bad_focus.focus = 99;
+  EXPECT_EQ(service.Execute(bad_focus).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, BurstAgainstTinyQueueShedsLoad) {
+  GraphDatabase db = MakeDenseTarget();
+  QueryService service(db, QueryServiceOptions{1, 2, 0, 1, {}});
+
+  // Each heavy request occupies the single worker for ~its deadline, so a
+  // rapid burst of 10 must overflow the 2-slot queue.
+  std::vector<std::future<QueryResult>> futures;
+  size_t rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    QueryRequest request;
+    request.pattern = HeavyStarPattern();
+    request.max_embeddings = 0;
+    request.deadline_ms = 50;
+    auto submitted = service.Submit(std::move(request));
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).value());
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status.code(), StatusCode::kDeadlineExceeded);
+  }
+  ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.admitted + stats.rejected, 10u);
+  EXPECT_EQ(stats.completed, stats.admitted);
+}
+
+TEST(QueryServiceTest, StressMixedRequestsAllFuturesResolve) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{4, 64, 128, 8, {}});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 125;  // 1000 total
+  std::atomic<uint64_t> resolved{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([t, &service, &resolved, &rejected] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryRequest request;
+        int variant = (t * kPerThread + i) % 4;
+        if (variant == 3) {
+          request.kind = QueryKind::kSuggest;
+          request.pattern = EdgePattern();
+          request.focus = static_cast<VertexId>(i % 2);
+          request.top_k = 1 + static_cast<size_t>(i % 4);
+        } else {
+          request.pattern = EdgePattern();
+          if (variant == 1) request.target = i % 3;
+          if (variant == 2) request.deadline_ms = (i % 2 == 0) ? 1e-9 : 50.0;
+        }
+        auto submitted = service.Submit(std::move(request));
+        if (!submitted.ok()) {
+          ++rejected;
+          continue;
+        }
+        QueryResult result = submitted.value().get();
+        EXPECT_TRUE(result.status.ok() ||
+                    result.status.code() == StatusCode::kDeadlineExceeded)
+            << result.status.ToString();
+        ++resolved;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(resolved.load() + rejected.load(), 1000u);
+  ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.admitted, resolved.load());
+  EXPECT_EQ(stats.completed, resolved.load());
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -10,17 +10,24 @@
 //   vqi_cli export-dot    <file.vqi> <out.dot>
 //   vqi_cli suggest       <in.lg> <vertex-label> [k]
 //   vqi_cli usability     <in.lg> <file.vqi> [queries]
+//   vqi_cli serve-bench   <in.lg> [queries] [threads] [repeat]
+//                         (replay a generated query workload through the
+//                         concurrent QueryService and print serving stats)
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "layout/dot_export.h"
+#include "service/query_service.h"
 #include "sim/usability.h"
 #include "sim/workload.h"
 #include "vqi/builder.h"
@@ -45,7 +52,8 @@ int Usage() {
                "  show          <file.vqi>\n"
                "  export-dot    <file.vqi> <out.dot>\n"
                "  suggest       <in.lg> <vertex-label> [k]\n"
-               "  usability     <in.lg> <file.vqi> [queries]\n");
+               "  usability     <in.lg> <file.vqi> [queries]\n"
+               "  serve-bench   <in.lg> [queries] [threads] [repeat]\n");
   return 2;
 }
 
@@ -194,6 +202,82 @@ int Usability(int argc, char** argv) {
   return 0;
 }
 
+int ServeBench(int argc, char** argv) {
+  if (argc < 1 || argc > 4) return Usage();
+  auto db = io::LoadDatabase(argv[0]);
+  if (!db.ok()) return Fail(db.status());
+  if (db->empty()) return Fail(Status::InvalidArgument("input has no graphs"));
+
+  int64_t queries_arg = argc >= 2 ? ParseIntOrDie(argv[1]) : 40;
+  int64_t threads_arg = argc >= 3 ? ParseIntOrDie(argv[2]) : 4;
+  int64_t repeat_arg = argc >= 4 ? ParseIntOrDie(argv[3]) : 3;
+  if (queries_arg < 1 || threads_arg < 1 || repeat_arg < 1) {
+    return Fail(Status::InvalidArgument(
+        "queries, threads, and repeat must all be >= 1"));
+  }
+  if (threads_arg > 1024) {
+    return Fail(Status::InvalidArgument("threads must be <= 1024"));
+  }
+  WorkloadConfig wconfig;
+  wconfig.num_queries = static_cast<size_t>(queries_arg);
+  size_t threads = static_cast<size_t>(threads_arg);
+  size_t repeat = static_cast<size_t>(repeat_arg);
+  std::vector<Graph> queries = GenerateDbWorkload(*db, wconfig);
+
+  QueryServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = 512;
+  options.cache_capacity = 1024;
+  QueryService service(*db, options);
+
+  Stopwatch timer;
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size() * repeat);
+  size_t next_wait = 0;
+  for (size_t round = 0; round < repeat; ++round) {
+    for (const Graph& q : queries) {
+      QueryRequest request;
+      request.pattern = q;
+      request.max_embeddings = 2000;
+      for (;;) {
+        auto submitted = service.Submit(request);
+        if (submitted.ok()) {
+          futures.push_back(std::move(submitted).value());
+          break;
+        }
+        // Backpressure: drain the oldest outstanding request, then retry.
+        if (next_wait < futures.size()) {
+          futures[next_wait++].get();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    // Round barrier: repeats model re-issued popular queries, not one
+    // simultaneous burst of duplicates.
+    for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
+  }
+  for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
+  double seconds = timer.ElapsedSeconds();
+
+  ServiceStats stats = service.Snapshot();
+  std::printf("replayed %zu requests (%zu distinct queries x %zu rounds) on "
+              "%zu threads in %.3fs\n",
+              futures.size(), queries.size(), repeat, threads, seconds);
+  std::printf("throughput:  %.0f queries/s\n",
+              static_cast<double>(futures.size()) / seconds);
+  std::printf("latency:     p50 %.3fms  p99 %.3fms\n", stats.p50_latency_ms,
+              stats.p99_latency_ms);
+  std::printf("admission:   %llu admitted, %llu rejected (backpressure)\n",
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected));
+  std::printf("cache:       %llu hits / %llu misses / %llu evictions\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.cache_evictions));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -207,6 +291,7 @@ int Main(int argc, char** argv) {
   if (command == "export-dot") return ExportDot(rest, rest_argv);
   if (command == "suggest") return Suggest(rest, rest_argv);
   if (command == "usability") return Usability(rest, rest_argv);
+  if (command == "serve-bench") return ServeBench(rest, rest_argv);
   return Usage();
 }
 
