@@ -113,18 +113,29 @@ void RunScalingExperiment() {
   }
   bench::Table table(
       "E14a: QueryService throughput scaling (match workload, cache off)",
-      {"threads", "total (s)", "queries/s", "speedup", "p50 (ms)", "p99 (ms)"});
+      {"threads", "total (s)", "queries/s", "speedup", "p50 (ms)", "p99 (ms)",
+       "qwait p50", "qwait p99"});
   double baseline_qps = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     QueryService service(db, Options(threads, /*cache_capacity=*/0));
     ReplayOutcome outcome = Replay(service, requests);
     ServiceStats stats = service.Snapshot();
+    // Queue-wait distribution comes straight off the pool's histogram: time a
+    // request sat admitted-but-not-running, the dominant latency term when
+    // the pool is saturated.
+    obs::HistogramSnapshot queue_wait =
+        service.metrics()
+            .GetHistogram("vqi_pool_queue_wait_ms", "",
+                          obs::Histogram::DefaultLatencyBoundsMs())
+            .Snapshot();
     double qps = static_cast<double>(outcome.completed) / outcome.seconds;
     if (threads == 1) baseline_qps = qps;
     table.AddRow({std::to_string(threads), bench::Fmt(outcome.seconds),
                   bench::Fmt(qps, 0), bench::Fmt(qps / baseline_qps, 2),
                   bench::Fmt(stats.p50_latency_ms, 2),
-                  bench::Fmt(stats.p99_latency_ms, 2)});
+                  bench::Fmt(stats.p99_latency_ms, 2),
+                  bench::Fmt(queue_wait.Quantile(0.50), 2),
+                  bench::Fmt(queue_wait.Quantile(0.99), 2)});
   }
   table.Print();
 }

@@ -63,6 +63,11 @@ class SubgraphMatcher {
   /// lower bounds).
   bool hit_step_limit() const { return hit_step_limit_; }
 
+  /// Recursive search steps consumed by the last Exists/FindOne/Count/
+  /// Enumerate call — the unit max_steps budgets, exposed so callers (e.g.
+  /// the query service's deadline slicing) can meter matcher work.
+  uint64_t steps() const { return steps_; }
+
  private:
   void ComputeOrder();
   bool Feasible(VertexId pu, VertexId tv) const;

@@ -1,0 +1,241 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace vqi {
+namespace obs {
+namespace {
+
+// Prometheus/JSON-friendly number rendering: integers stay integral,
+// everything else gets enough digits to round-trip typical latencies.
+std::string FormatNumber(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64,
+                  static_cast<int64_t>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') escaped.push_back('\\');
+    if (c == '\n') {
+      escaped += "\\n";
+      continue;
+    }
+    escaped.push_back(c);
+  }
+  return escaped;
+}
+
+// {shard="3"} — or "" for the unlabeled series. `extra` appends a final
+// label (used for histogram le="...").
+std::string RenderLabels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(key) + "\":\"" + JsonEscape(value) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  for (const FamilySnapshot& family : registry.Snapshot()) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + ' ' + family.help + '\n';
+    }
+    out += "# TYPE " + family.name + ' ' + InstrumentKindName(family.kind);
+    out += '\n';
+    for (const SeriesSnapshot& series : family.series) {
+      if (family.kind != InstrumentKind::kHistogram) {
+        out += family.name + RenderLabels(series.labels) + ' ' +
+               FormatNumber(series.value) + '\n';
+        continue;
+      }
+      const HistogramSnapshot& h = series.histogram;
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < h.bounds.size(); ++b) {
+        cumulative += h.counts[b];
+        out += family.name + "_bucket" +
+               RenderLabels(series.labels,
+                            "le=\"" + FormatNumber(h.bounds[b]) + "\"") +
+               ' ' + FormatNumber(static_cast<double>(cumulative)) + '\n';
+      }
+      out += family.name + "_bucket" +
+             RenderLabels(series.labels, "le=\"+Inf\"") + ' ' +
+             FormatNumber(static_cast<double>(h.count)) + '\n';
+      out += family.name + "_sum" + RenderLabels(series.labels) + ' ' +
+             FormatNumber(h.sum) + '\n';
+      out += family.name + "_count" + RenderLabels(series.labels) + ' ' +
+             FormatNumber(static_cast<double>(h.count)) + '\n';
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsRegistry& registry) {
+  std::string out = "{\"families\":[";
+  bool first_family = true;
+  for (const FamilySnapshot& family : registry.Snapshot()) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + JsonEscape(family.name) + "\",\"type\":\"";
+    out += InstrumentKindName(family.kind);
+    out += "\",\"help\":\"" + JsonEscape(family.help) + "\",\"series\":[";
+    bool first_series = true;
+    for (const SeriesSnapshot& series : family.series) {
+      if (!first_series) out += ',';
+      first_series = false;
+      out += "{\"labels\":" + JsonLabels(series.labels);
+      if (family.kind != InstrumentKind::kHistogram) {
+        out += ",\"value\":" + FormatNumber(series.value);
+      } else {
+        const HistogramSnapshot& h = series.histogram;
+        out += ",\"count\":" + FormatNumber(static_cast<double>(h.count));
+        out += ",\"sum\":" + FormatNumber(h.sum);
+        out += ",\"p50\":" + FormatNumber(h.Quantile(0.5));
+        out += ",\"p99\":" + FormatNumber(h.Quantile(0.99));
+        out += ",\"bounds\":[";
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+          if (b > 0) out += ',';
+          out += FormatNumber(h.bounds[b]);
+        }
+        out += "],\"counts\":[";
+        for (size_t b = 0; b < h.counts.size(); ++b) {
+          if (b > 0) out += ',';
+          out += FormatNumber(static_cast<double>(h.counts[b]));
+        }
+        out += ']';
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TracesToJson(const TraceRecorder& recorder) {
+  std::string out = "[";
+  bool first = true;
+  for (const RequestTrace& trace : recorder.Recent()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + FormatNumber(static_cast<double>(trace.id));
+    out += ",\"kind\":\"" + JsonEscape(trace.kind) + '"';
+    out += ",\"status\":\"" + JsonEscape(trace.status) + '"';
+    out += ",\"from_cache\":";
+    out += trace.from_cache ? "true" : "false";
+    out += ",\"total_ms\":" + FormatNumber(trace.total_ms);
+    out += ",\"match_steps\":" +
+           FormatNumber(static_cast<double>(trace.match_steps));
+    out += ",\"match_slices\":" +
+           FormatNumber(static_cast<double>(trace.match_slices));
+    out += ",\"stages\":{";
+    bool first_stage = true;
+    for (const TraceStage& stage : trace.stages) {
+      if (!first_stage) out += ',';
+      first_stage = false;
+      out += '"' + JsonEscape(stage.name) + "\":" + FormatNumber(stage.ms);
+    }
+    out += "}}";
+  }
+  out += ']';
+  return out;
+}
+
+std::string FormatTraceTable(const std::vector<RequestTrace>& traces) {
+  std::string out =
+      "    id  kind     status            cache  total ms  slices      steps  "
+      "stage breakdown\n";
+  for (const RequestTrace& trace : traces) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%6" PRIu64 "  %-7s  %-16s  %-5s  %8.3f  %6u  %9" PRIu64
+                  "  ",
+                  trace.id, trace.kind.c_str(), trace.status.c_str(),
+                  trace.from_cache ? "hit" : "-", trace.total_ms,
+                  trace.match_slices, trace.match_steps);
+    out += line;
+    bool first = true;
+    for (const TraceStage& stage : trace.stages) {
+      if (!first) out += ' ';
+      first = false;
+      char part[64];
+      std::snprintf(part, sizeof(part), "%s=%.3f", stage.name.c_str(),
+                    stage.ms);
+      out += part;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WritePrometheusFile(const MetricsRegistry& registry,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open metrics output " + path);
+  out << ToPrometheusText(registry);
+  if (!out) return Status::IoError("failed writing metrics output " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace vqi

@@ -1,0 +1,36 @@
+#ifndef VQLIB_OBS_EXPORT_H_
+#define VQLIB_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vqi {
+namespace obs {
+
+/// Renders every registered family in the Prometheus text exposition format
+/// (# HELP / # TYPE headers, one line per series; histograms expand into
+/// cumulative _bucket{le=...} series plus _sum and _count).
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// Renders the same snapshot as a JSON document:
+/// {"families":[{"name":...,"type":...,"help":...,"series":[...]}]}.
+std::string ToJson(const MetricsRegistry& registry);
+
+/// Renders retained traces as a JSON array (stage breakdown per request).
+std::string TracesToJson(const TraceRecorder& recorder);
+
+/// Human-readable table of traces for CLI output, oldest first.
+std::string FormatTraceTable(const std::vector<RequestTrace>& traces);
+
+/// Writes ToPrometheusText(registry) to `path`.
+Status WritePrometheusFile(const MetricsRegistry& registry,
+                           const std::string& path);
+
+}  // namespace obs
+}  // namespace vqi
+
+#endif  // VQLIB_OBS_EXPORT_H_

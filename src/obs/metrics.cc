@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vqi {
+namespace obs {
+
+const char* InstrumentKindName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+size_t StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumStripes;
+  return index;
+}
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count);
+  double cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    double in_bucket = static_cast<double>(counts[b]);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (b == bounds.size()) return bounds.back();  // +Inf overflow bucket
+      double lower = b == 0 ? 0.0 : bounds[b - 1];
+      double upper = bounds[b];
+      double fraction = (rank - cumulative) / in_bucket;
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  VQI_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    VQI_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  size_t buckets = bounds_.size() + 1;  // + the implicit +Inf bucket
+  // Pad each stripe's bucket block to a cache-line multiple so stripes of
+  // concurrent writers don't share lines.
+  constexpr size_t kPerLine = 64 / sizeof(std::atomic<uint64_t>);
+  stride_ = (buckets + kPerLine - 1) / kPerLine * kPerLine;
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+      stride_ * internal::kNumStripes);
+  for (size_t i = 0; i < stride_ * internal::kNumStripes; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& sum : sums_) sum.store(0, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketFor(double value) const {
+  // First bound >= value; values above every bound land in the +Inf bucket.
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::Observe(double value) {
+  size_t stripe = internal::StripeIndex();
+  counts_[stripe * stride_ + BucketFor(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(sums_[stripe], value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (size_t stripe = 0; stripe < internal::kNumStripes; ++stripe) {
+    for (size_t b = 0; b < snapshot.counts.size(); ++b) {
+      snapshot.counts[b] +=
+          counts_[stripe * stride_ + b].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += sums_[stripe].load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snapshot.counts) snapshot.count += c;
+  return snapshot;
+}
+
+uint64_t Histogram::Count() const { return Snapshot().count; }
+
+double Histogram::Sum() const { return Snapshot().sum; }
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  VQI_CHECK(start > 0 && factor > 1 && count > 0)
+      << "ExponentialBounds needs start > 0, factor > 1, count > 0";
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  return {0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,
+          5.0,  10.0,  25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    InstrumentKind kind) {
+  for (auto& family : families_) {
+    if (family->name == name) {
+      VQI_CHECK(family->kind == kind)
+          << "metric family '" << name << "' already registered as "
+          << InstrumentKindName(family->kind) << ", requested as "
+          << InstrumentKindName(kind);
+      if (family->help.empty()) family->help = help;
+      return *family;
+    }
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->help = help;
+  family->kind = kind;
+  families_.push_back(std::move(family));
+  return *families_.back();
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindSeries(Family& family,
+                                                     const Labels& labels) {
+  for (auto& series : family.series) {
+    if (series->labels == labels) return series.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, InstrumentKind::kCounter);
+  if (Series* series = FindSeries(family, labels)) return *series->counter;
+  auto series = std::make_unique<Series>();
+  series->labels = labels;
+  series->counter = std::make_unique<Counter>();
+  family.series.push_back(std::move(series));
+  return *family.series.back()->counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, InstrumentKind::kGauge);
+  if (Series* series = FindSeries(family, labels)) return *series->gauge;
+  auto series = std::make_unique<Series>();
+  series->labels = labels;
+  series->gauge = std::make_unique<Gauge>();
+  family.series.push_back(std::move(series));
+  return *family.series.back()->gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, InstrumentKind::kHistogram);
+  if (Series* series = FindSeries(family, labels)) return *series->histogram;
+  auto series = std::make_unique<Series>();
+  series->labels = labels;
+  series->histogram = std::make_unique<Histogram>(std::move(bounds));
+  family.series.push_back(std::move(series));
+  return *family.series.back()->histogram;
+}
+
+std::vector<FamilySnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilySnapshot> snapshot;
+  snapshot.reserve(families_.size());
+  for (const auto& family : families_) {
+    FamilySnapshot fs;
+    fs.name = family->name;
+    fs.help = family->help;
+    fs.kind = family->kind;
+    for (const auto& series : family->series) {
+      SeriesSnapshot ss;
+      ss.labels = series->labels;
+      switch (family->kind) {
+        case InstrumentKind::kCounter:
+          ss.value = static_cast<double>(series->counter->Value());
+          break;
+        case InstrumentKind::kGauge:
+          ss.value = series->gauge->Value();
+          break;
+        case InstrumentKind::kHistogram:
+          ss.histogram = series->histogram->Snapshot();
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    snapshot.push_back(std::move(fs));
+  }
+  return snapshot;
+}
+
+}  // namespace obs
+}  // namespace vqi

@@ -1,0 +1,208 @@
+#ifndef VQLIB_OBS_METRICS_H_
+#define VQLIB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vqi {
+namespace obs {
+
+/// A metric series' label set, e.g. {{"shard", "3"}}. Order is preserved in
+/// exposition. An empty set is the unlabeled series of a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+/// Returns "counter", "gauge", or "histogram" (the Prometheus TYPE token).
+const char* InstrumentKindName(InstrumentKind kind);
+
+namespace internal {
+
+/// Hot-path increments are spread over this many cache-line-padded stripes;
+/// reads sum the stripes. Sized for small-machine worker pools.
+inline constexpr size_t kNumStripes = 8;
+
+/// Stable per-thread stripe assignment (round-robin at first use).
+size_t StripeIndex();
+
+/// fetch_add for doubles via a CAS loop (portable; no atomic<double>::fetch_add
+/// dependence).
+void AtomicAddDouble(std::atomic<double>& target, double delta);
+
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing count. Increments go to a per-thread stripe so
+/// concurrent hot paths don't contend on one cache line; Value() sums stripes
+/// (exact once writers are quiescent, a consistent-enough snapshot otherwise).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    stripes_[internal::StripeIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::PaddedU64 stripes_[internal::kNumStripes];
+};
+
+/// A value that can go up and down (queue depth, pool size).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { internal::AtomicAddDouble(value_, delta); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Point-in-time copy of a histogram's state. `counts[i]` is the number of
+/// observations in bucket i (NOT cumulative); bucket i covers
+/// (bounds[i-1], bounds[i]], and the final bucket (index bounds.size()) is
+/// the +Inf overflow bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< finite upper bounds, strictly increasing
+  std::vector<uint64_t> counts;  ///< size bounds.size() + 1
+  uint64_t count = 0;            ///< total observations
+  double sum = 0;                ///< sum of observed values
+
+  /// Estimates the q-quantile (q in [0,1]) by linear interpolation within the
+  /// containing bucket, assuming non-negative observations (the library's
+  /// histograms record latencies, steps, and slice counts). Observations in
+  /// the +Inf bucket are attributed to the largest finite bound.
+  double Quantile(double q) const;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Fixed-bucket histogram. Observe() is lock-free: a binary search over the
+/// bounds plus one relaxed fetch_add on a striped bucket counter.
+class Histogram {
+ public:
+  /// `bounds` are the finite bucket upper bounds; must be non-empty and
+  /// strictly increasing. An implicit +Inf bucket catches overflow.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  HistogramSnapshot Snapshot() const;
+  /// Convenience for Snapshot().Quantile(q).
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// `count` bounds starting at `start`, each `factor` times the previous.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+  /// Default bounds for request/queue latencies in milliseconds:
+  /// 0.01ms .. ~5s, roughly 2.5x apart.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+ private:
+  size_t BucketFor(double value) const;
+
+  std::vector<double> bounds_;
+  size_t stride_;  ///< buckets per stripe, padded to a cache-line multiple
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<double> sums_[internal::kNumStripes];
+};
+
+/// One series (label set + current value) inside a family snapshot.
+struct SeriesSnapshot {
+  Labels labels;
+  double value = 0;             ///< counter / gauge value
+  HistogramSnapshot histogram;  ///< populated for histogram families only
+};
+
+/// All series of one named metric, e.g. vqi_cache_hits_total over its shards.
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::vector<SeriesSnapshot> series;
+};
+
+/// Owner and namespace of instruments. Get* calls find-or-create: the first
+/// call for a (name, labels) pair creates the instrument, later calls return
+/// the same one, so call sites don't need registration ceremony. Returned
+/// references are stable for the registry's lifetime. Registering the same
+/// family name with two different kinds is a checked contract violation.
+///
+/// Thread-safe. Lookup takes a registry-wide mutex, so hot paths should hold
+/// on to the returned reference instead of re-resolving names per event.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "",
+                      const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help = "",
+                  const Labels& labels = {});
+  /// `bounds` applies when the call creates the series; an existing series
+  /// keeps its original buckets.
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const Labels& labels = {});
+
+  /// Consistent-enough point-in-time copy of every family, in registration
+  /// order (exporters consume this).
+  std::vector<FamilySnapshot> Snapshot() const;
+
+ private:
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    InstrumentKind kind;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family& FamilyFor(const std::string& name, const std::string& help,
+                    InstrumentKind kind);
+  Series* FindSeries(Family& family, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+}  // namespace obs
+}  // namespace vqi
+
+#endif  // VQLIB_OBS_METRICS_H_

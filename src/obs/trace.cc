@@ -1,0 +1,49 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace vqi {
+namespace obs {
+
+double RequestTrace::StageMs(const std::string& name) const {
+  for (const TraceStage& stage : stages) {
+    if (stage.name == name) return stage.ms;
+  }
+  return 0.0;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::Record(RequestTrace trace) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+    return;
+  }
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<RequestTrace> TraceRecorder::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RequestTrace> result;
+  result.reserve(ring_.size());
+  // Before the first wraparound next_ is 0 and the ring is already oldest
+  // first; afterwards next_ points at the oldest retained trace.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    result.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return result;
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace obs
+}  // namespace vqi

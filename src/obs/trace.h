@@ -1,0 +1,94 @@
+#ifndef VQLIB_OBS_TRACE_H_
+#define VQLIB_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace vqi {
+namespace obs {
+
+/// One named stage of a request's lifecycle and how long it took.
+struct TraceStage {
+  std::string name;
+  double ms = 0;
+};
+
+/// Per-request record of where time went: the stage breakdown
+/// (admission → cache probe → queue wait → execution) plus the matcher work
+/// the request actually performed. Built on one thread at a time as the
+/// request moves through the service, then handed to a TraceRecorder.
+struct RequestTrace {
+  uint64_t id = 0;
+  std::string kind;    ///< "match" or "suggest"
+  std::string status;  ///< StatusCodeToString of the final status
+  bool from_cache = false;
+  double total_ms = 0;
+  uint64_t match_steps = 0;   ///< VF2 recursion steps consumed
+  uint32_t match_slices = 0;  ///< cooperative deadline slices run
+  std::vector<TraceStage> stages;
+
+  /// The duration of `name`, or 0 when the stage was never recorded.
+  double StageMs(const std::string& name) const;
+};
+
+/// RAII stage timer: appends {stage, elapsed} to the trace when it goes out
+/// of scope (or at an explicit Stop()). Not thread-safe — a span belongs to
+/// the single thread currently driving its request.
+class TraceSpan {
+ public:
+  TraceSpan(RequestTrace& trace, std::string stage)
+      : trace_(&trace), stage_(std::move(stage)) {}
+  ~TraceSpan() { Stop(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Records the stage now; later calls (and the destructor) are no-ops.
+  void Stop() {
+    if (trace_ == nullptr) return;
+    trace_->stages.push_back({std::move(stage_), timer_.ElapsedMillis()});
+    trace_ = nullptr;
+  }
+
+ private:
+  RequestTrace* trace_;
+  std::string stage_;
+  Stopwatch timer_;
+};
+
+/// Bounded ring buffer of the most recent completed request traces. Keeping
+/// only the tail bounds memory while still answering "why was this request
+/// slow" for anything that just happened. Thread-safe.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity);
+
+  /// Stores `trace`, overwriting the oldest retained trace when full. A
+  /// zero-capacity recorder drops everything (tracing disabled).
+  void Record(RequestTrace trace);
+
+  /// Retained traces, oldest first.
+  std::vector<RequestTrace> Recent() const;
+
+  /// Total traces ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RequestTrace> ring_;
+  size_t next_ = 0;  ///< ring slot the next Record overwrites
+  uint64_t total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace vqi
+
+#endif  // VQLIB_OBS_TRACE_H_

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vqi {
 
@@ -61,9 +62,11 @@ class ShardedLruCache {
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       ++shard.misses;
+      if (shard.misses_metric != nullptr) shard.misses_metric->Increment();
       return std::nullopt;
     }
     ++shard.hits;
+    if (shard.hits_metric != nullptr) shard.hits_metric->Increment();
     shard.order.splice(shard.order.begin(), shard.order, it->second);
     return it->second->second;
   }
@@ -83,6 +86,9 @@ class ShardedLruCache {
       shard.index.erase(shard.order.back().first);
       shard.order.pop_back();
       ++shard.evictions;
+      if (shard.evictions_metric != nullptr) {
+        shard.evictions_metric->Increment();
+      }
     }
     shard.order.emplace_front(key, std::move(value));
     shard.index[key] = shard.order.begin();
@@ -110,6 +116,35 @@ class ShardedLruCache {
     return stats;
   }
 
+  /// Registers per-shard hit/miss/eviction counters (label shard="<i>") under
+  /// `prefix` and mirrors every future event into them; counts accumulated
+  /// before registration are carried over. The registry must outlive the
+  /// cache. Per-shard series expose skew a summed counter would hide — one
+  /// hot shard saturating its mutex looks healthy in aggregate.
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix = "vqi_cache") {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      obs::Labels labels{{"shard", std::to_string(i)}};
+      obs::Counter& hits = registry.GetCounter(
+          prefix + "_hits_total", "Result-cache hits.", labels);
+      obs::Counter& misses = registry.GetCounter(
+          prefix + "_misses_total", "Result-cache misses.", labels);
+      obs::Counter& evictions = registry.GetCounter(
+          prefix + "_evictions_total", "Result-cache LRU evictions.", labels);
+      Shard& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.hits > 0) hits.Increment(shard.hits);
+      if (shard.misses > 0) misses.Increment(shard.misses);
+      if (shard.evictions > 0) evictions.Increment(shard.evictions);
+      shard.hits_metric = &hits;
+      shard.misses_metric = &misses;
+      shard.evictions_metric = &evictions;
+    }
+    registry
+        .GetGauge(prefix + "_shards", "Number of cache shards.")
+        .Set(static_cast<double>(shards_.size()));
+  }
+
   size_t num_shards() const { return shards_.size(); }
 
  private:
@@ -126,6 +161,11 @@ class ShardedLruCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    // Optional mirrors into an obs registry (see RegisterMetrics); guarded by
+    // `mutex` like the local counters.
+    obs::Counter* hits_metric = nullptr;
+    obs::Counter* misses_metric = nullptr;
+    obs::Counter* evictions_metric = nullptr;
   };
 
   Shard& ShardFor(const std::string& key) {

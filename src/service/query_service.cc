@@ -1,7 +1,6 @@
 #include "service/query_service.h"
 
 #include <algorithm>
-#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -20,19 +19,13 @@ constexpr size_t kMaxCacheableVertices = 64;
 // twice the final slice.
 constexpr uint64_t kInitialStepSlice = 1u << 14;
 
-// Latency samples kept for percentile estimation (ring buffer).
-constexpr size_t kMaxLatencySamples = 1u << 16;
-
 bool DeadlinePassed(const QueryRequest& request, const Stopwatch& admitted) {
   return request.deadline_ms > 0 &&
          admitted.ElapsedMillis() >= request.deadline_ms;
 }
 
-double Percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
-  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
-  return samples[rank];
+const char* KindName(QueryKind kind) {
+  return kind == QueryKind::kSuggest ? "suggest" : "match";
 }
 
 }  // namespace
@@ -40,29 +33,68 @@ double Percentile(std::vector<double> samples, double p) {
 QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
     : db_(db),
       options_(options),
+      traces_(options.trace_capacity),
       suggestions_(SuggestionIndex::Build(db)),
       cache_(std::max<size_t>(1, options.cache_capacity),
              std::max<size_t>(1, options.cache_shards)),
-      pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity}) {}
+      pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity,
+                              &metrics_}) {
+  cache_.RegisterMetrics(metrics_);
+  admitted_total_ = &metrics_.GetCounter(
+      "vqi_requests_admitted_total", "Requests accepted past admission.");
+  completed_total_ = &metrics_.GetCounter(
+      "vqi_requests_completed_total", "Requests resolved (any status).");
+  rejected_total_ = &metrics_.GetCounter(
+      "vqi_requests_rejected_total",
+      "Admission failures due to a full queue (backpressure).");
+  deadline_exceeded_total_ = &metrics_.GetCounter(
+      "vqi_requests_deadline_exceeded_total",
+      "Requests that completed with kDeadlineExceeded.");
+  cache_invalidations_total_ = &metrics_.GetCounter(
+      "vqi_cache_invalidations_total",
+      "InvalidateCache() epoch bumps (e.g. maintenance batches).");
+  match_steps_total_ = &metrics_.GetCounter(
+      "vqi_match_steps_total", "VF2 recursion steps across all requests.");
+  match_slices_total_ = &metrics_.GetCounter(
+      "vqi_match_slices_total",
+      "Cooperative deadline slices run across all requests.");
+  latency_ms_ = &metrics_.GetHistogram(
+      "vqi_request_latency_ms", "Admission-to-completion request latency.",
+      obs::Histogram::DefaultLatencyBoundsMs());
+  slices_per_request_ = &metrics_.GetHistogram(
+      "vqi_match_slices_per_request",
+      "VF2 invocations one match request needed: one per target graph, plus "
+      "one per deadline-slice retry.",
+      obs::Histogram::ExponentialBounds(1, 2, 12));
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() { pool_.Shutdown(); }
 
+void QueryService::InvalidateCache() {
+  cache_epoch_.fetch_add(1, std::memory_order_relaxed);
+  cache_invalidations_total_->Increment();
+}
+
 std::string QueryService::CacheKey(const QueryRequest& request) const {
   if (options_.cache_capacity == 0) return "";
   if (request.pattern.NumVertices() > kMaxCacheableVertices) return "";
-  std::string key;
+  // The epoch prefix implements InvalidateCache(): bumping it reroutes every
+  // lookup away from pre-bump entries, which then age out via LRU.
+  std::string key = "e";
+  key += std::to_string(cache_epoch_.load(std::memory_order_relaxed));
+  key += '|';
   if (request.kind == QueryKind::kSuggest) {
     // Suggestions depend only on the focus vertex's label and k.
-    key = "s|";
+    key += "s|";
     key += std::to_string(request.pattern.VertexLabel(request.focus));
     key += '|';
     key += std::to_string(request.top_k);
     return key;
   }
   const MatchOptions& mo = options_.match_options;
-  key = "m|";
+  key += "m|";
   key += CanonicalCode(request.pattern);
   key += '|';
   key += std::to_string(request.target);
@@ -77,45 +109,56 @@ std::string QueryService::CacheKey(const QueryRequest& request) const {
 }
 
 StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
-  if (request.pattern.Empty()) {
-    return Status::InvalidArgument("query pattern is empty");
-  }
-  if (request.target != kAllGraphs && !db_.Contains(request.target)) {
-    return Status::NotFound("unknown target graph id " +
-                            std::to_string(request.target));
-  }
-  if (request.kind == QueryKind::kSuggest &&
-      request.focus >= request.pattern.NumVertices()) {
-    return Status::InvalidArgument("focus vertex out of range");
-  }
-
   Stopwatch admitted;
-  std::string key = CacheKey(request);
-
-  // Cache probe before any pool dispatch: a hit is served synchronously on
-  // the submitting thread.
-  if (!key.empty()) {
-    if (std::optional<QueryResult> hit = cache_.Get(key)) {
-      QueryResult result = std::move(*hit);
-      result.from_cache = true;
-      result.latency_ms = admitted.ElapsedMillis();
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++admitted_;
-      }
-      RecordCompletion(result);
-      std::promise<QueryResult> ready;
-      std::future<QueryResult> future = ready.get_future();
-      ready.set_value(std::move(result));
-      return future;
+  obs::RequestTrace trace;
+  trace.id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  trace.kind = KindName(request.kind);
+  {
+    obs::TraceSpan span(trace, "admission");
+    if (request.pattern.Empty()) {
+      return Status::InvalidArgument("query pattern is empty");
     }
+    if (request.target != kAllGraphs && !db_.Contains(request.target)) {
+      return Status::NotFound("unknown target graph id " +
+                              std::to_string(request.target));
+    }
+    if (request.kind == QueryKind::kSuggest &&
+        request.focus >= request.pattern.NumVertices()) {
+      return Status::InvalidArgument("focus vertex out of range");
+    }
+  }
+
+  std::string key;
+  std::optional<QueryResult> hit;
+  {
+    obs::TraceSpan span(trace, "cache_probe");
+    key = CacheKey(request);
+    // Cache probe before any pool dispatch: a hit is served synchronously on
+    // the submitting thread.
+    if (!key.empty()) hit = cache_.Get(key);
+  }
+  if (hit.has_value()) {
+    QueryResult result = std::move(*hit);
+    result.from_cache = true;
+    result.match_steps = 0;
+    result.match_slices = 0;
+    result.latency_ms = admitted.ElapsedMillis();
+    admitted_total_->Increment();
+    RecordCompletion(result, std::move(trace));
+    std::promise<QueryResult> ready;
+    std::future<QueryResult> future = ready.get_future();
+    ready.set_value(std::move(result));
+    return future;
   }
 
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> future = promise->get_future();
   auto shared_request = std::make_shared<QueryRequest>(std::move(request));
+  Stopwatch queued;
   Status submitted = pool_.Submit(
-      [this, promise, shared_request, key = std::move(key), admitted] {
+      [this, promise, shared_request, key = std::move(key), admitted, queued,
+       trace = std::move(trace)]() mutable {
+        trace.stages.push_back({"queue_wait", queued.ElapsedMillis()});
         QueryResult result;
         // Second probe at dequeue: an identical request admitted just ahead
         // of this one may have populated the cache while this one queued
@@ -123,28 +166,32 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
         // computation). A hit also rescues requests whose deadline expired
         // in the queue — serving it is free.
         std::optional<QueryResult> hit;
-        if (!key.empty() && (hit = cache_.Get(key))) {
+        {
+          obs::TraceSpan span(trace, "dequeue_probe");
+          if (!key.empty()) hit = cache_.Get(key);
+        }
+        if (hit.has_value()) {
           result = std::move(*hit);
           result.from_cache = true;
+          result.match_steps = 0;
+          result.match_slices = 0;
         } else {
+          obs::TraceSpan span(trace, "execute");
           result = Run(*shared_request, admitted);
+          span.Stop();
           if (result.status.ok() && !key.empty()) {
             cache_.Put(key, result);
           }
         }
         result.latency_ms = admitted.ElapsedMillis();
-        RecordCompletion(result);
+        RecordCompletion(result, std::move(trace));
         promise->set_value(std::move(result));
       });
   if (!submitted.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++rejected_;
+    rejected_total_->Increment();
     return submitted;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++admitted_;
-  }
+  admitted_total_->Increment();
   return future;
 }
 
@@ -176,8 +223,8 @@ QueryResult QueryService::RunMatch(const QueryRequest& request,
   auto match_one = [&](const Graph& target) -> bool {
     if (DeadlinePassed(request, admitted)) return false;
     uint64_t count = 0;
-    if (!CountWithDeadline(request.pattern, target, request, admitted,
-                           &count)) {
+    if (!CountWithDeadline(request.pattern, target, request, admitted, &count,
+                           &result)) {
       return false;
     }
     result.embedding_count += count;
@@ -212,13 +259,15 @@ QueryResult QueryService::RunSuggest(const QueryRequest& request) {
 bool QueryService::CountWithDeadline(const Graph& pattern, const Graph& target,
                                      const QueryRequest& request,
                                      const Stopwatch& admitted,
-                                     uint64_t* count) {
+                                     uint64_t* count, QueryResult* result) {
   MatchOptions opts = options_.match_options;
   opts.max_embeddings = request.max_embeddings;
   if (request.deadline_ms <= 0) {
     opts.max_steps = 0;
     SubgraphMatcher matcher(pattern, target, opts);
     *count = matcher.CountEmbeddings();
+    result->match_steps += matcher.steps();
+    result->match_slices += 1;
     return true;
   }
   // The matcher cannot pause/resume, so the cooperative budget hook
@@ -229,41 +278,46 @@ bool QueryService::CountWithDeadline(const Graph& pattern, const Graph& target,
     opts.max_steps = slice;
     SubgraphMatcher matcher(pattern, target, opts);
     *count = matcher.CountEmbeddings();
+    result->match_steps += matcher.steps();
+    result->match_slices += 1;
     if (!matcher.hit_step_limit()) return true;
     if (admitted.ElapsedMillis() >= request.deadline_ms) return false;
   }
 }
 
-void QueryService::RecordCompletion(const QueryResult& result) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++completed_;
+void QueryService::RecordCompletion(const QueryResult& result,
+                                    obs::RequestTrace trace) {
+  completed_total_->Increment();
   if (result.status.code() == StatusCode::kDeadlineExceeded) {
-    ++deadline_exceeded_;
+    deadline_exceeded_total_->Increment();
   }
-  if (latency_samples_ms_.size() < kMaxLatencySamples) {
-    latency_samples_ms_.push_back(result.latency_ms);
-  } else {
-    latency_samples_ms_[completed_ % kMaxLatencySamples] = result.latency_ms;
+  latency_ms_->Observe(result.latency_ms);
+  if (result.match_slices > 0) {
+    match_steps_total_->Increment(result.match_steps);
+    match_slices_total_->Increment(result.match_slices);
+    slices_per_request_->Observe(static_cast<double>(result.match_slices));
   }
+  trace.status = StatusCodeToString(result.status.code());
+  trace.from_cache = result.from_cache;
+  trace.total_ms = result.latency_ms;
+  trace.match_steps = result.match_steps;
+  trace.match_slices = result.match_slices;
+  traces_.Record(std::move(trace));
 }
 
 ServiceStats QueryService::Snapshot() const {
   ServiceStats stats;
-  std::vector<double> samples;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats.admitted = admitted_;
-    stats.completed = completed_;
-    stats.rejected = rejected_;
-    stats.deadline_exceeded = deadline_exceeded_;
-    samples = latency_samples_ms_;
-  }
+  stats.admitted = admitted_total_->Value();
+  stats.completed = completed_total_->Value();
+  stats.rejected = rejected_total_->Value();
+  stats.deadline_exceeded = deadline_exceeded_total_->Value();
   CacheStats cache_stats = cache_.GetStats();
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;
   stats.cache_evictions = cache_stats.evictions;
-  stats.p50_latency_ms = Percentile(samples, 0.50);
-  stats.p99_latency_ms = Percentile(std::move(samples), 0.99);
+  obs::HistogramSnapshot latency = latency_ms_->Snapshot();
+  stats.p50_latency_ms = latency.Quantile(0.50);
+  stats.p99_latency_ms = latency.Quantile(0.99);
   return stats;
 }
 

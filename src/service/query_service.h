@@ -1,9 +1,9 @@
 #ifndef VQLIB_SERVICE_QUERY_SERVICE_H_
 #define VQLIB_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +12,8 @@
 #include "graph/graph.h"
 #include "graph/graph_database.h"
 #include "match/vf2.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/lru_cache.h"
 #include "service/thread_pool.h"
 #include "vqi/suggestion.h"
@@ -58,9 +60,15 @@ struct QueryResult {
   bool from_cache = false;
   /// Admission-to-completion latency.
   double latency_ms = 0;
+  /// Matcher work performed for THIS response: VF2 recursion steps and
+  /// cooperative deadline slices. Zero for cache hits and suggestions.
+  uint64_t match_steps = 0;
+  uint32_t match_slices = 0;
 };
 
-/// Point-in-time counters of a QueryService.
+/// Point-in-time counters of a QueryService. The latency percentiles are
+/// estimated from the vqi_request_latency_ms histogram (fixed memory however
+/// long the service runs); the full instrument set is on metrics().
 struct ServiceStats {
   uint64_t admitted = 0;           ///< requests accepted into the queue
   uint64_t completed = 0;          ///< futures resolved (any status)
@@ -83,6 +91,9 @@ struct QueryServiceOptions {
   /// Matching semantics applied to every kMatchCount request. The step cap
   /// is managed internally by the deadline logic; leave max_steps at 0.
   MatchOptions match_options;
+  /// Completed-request traces retained in the ring buffer (0 disables
+  /// tracing).
+  size_t trace_capacity = 256;
 };
 
 /// Concurrent serving layer over a GraphDatabase.
@@ -98,8 +109,13 @@ struct QueryServiceOptions {
 /// so a runaway pattern cannot pin a worker past its budget by more than one
 /// slice.
 ///
-/// Thread-safe; the database must outlive the service and not be mutated
-/// while it is serving.
+/// Every request is metered into the service's MetricsRegistry (see
+/// docs/observability.md for the instrument catalog) and leaves a
+/// stage-by-stage RequestTrace in a bounded ring of recent traces.
+///
+/// Thread-safe; the database must outlive the service. If the database is
+/// mutated between requests (e.g. VqiMaintainer batches), call
+/// InvalidateCache() afterwards so cached match counts cannot go stale.
 class QueryService {
  public:
   explicit QueryService(const GraphDatabase& db,
@@ -121,6 +137,20 @@ class QueryService {
   /// Counters + latency percentiles over everything served so far.
   ServiceStats Snapshot() const;
 
+  /// Invalidates every cached result by bumping the cache-key epoch: stale
+  /// entries become unreachable immediately and age out via LRU. Cheap
+  /// (no locks, no scan); call after any database mutation, e.g. from a
+  /// VqiMaintainer batch listener.
+  void InvalidateCache();
+
+  /// The service's instrument registry (counters, gauges, histograms).
+  /// Exposition: obs::ToPrometheusText / obs::ToJson.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Ring buffer of recently completed request traces.
+  const obs::TraceRecorder& traces() const { return traces_; }
+
   /// Graceful shutdown: admitted requests complete, new ones are rejected.
   void Shutdown();
 
@@ -131,27 +161,39 @@ class QueryService {
   QueryResult RunMatch(const QueryRequest& request, const Stopwatch& admitted);
   QueryResult RunSuggest(const QueryRequest& request);
   /// Counts embeddings of `pattern` in `target` in cooperative step slices;
-  /// false when the deadline expired first.
+  /// false when the deadline expired first. Accumulates slice/step telemetry
+  /// into `result`.
   bool CountWithDeadline(const Graph& pattern, const Graph& target,
                          const QueryRequest& request, const Stopwatch& admitted,
-                         uint64_t* count);
+                         uint64_t* count, QueryResult* result);
   /// Cache key, or "" when the request is uncacheable (pattern too large for
   /// canonicalization).
   std::string CacheKey(const QueryRequest& request) const;
-  void RecordCompletion(const QueryResult& result);
+  void RecordCompletion(const QueryResult& result, obs::RequestTrace trace);
 
   const GraphDatabase& db_;
   QueryServiceOptions options_;
+  // Declared before cache_/pool_: both register instruments here during
+  // construction and hold references for their lifetime.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder traces_;
   SuggestionIndex suggestions_;
   ShardedLruCache<QueryResult> cache_;
   ThreadPool pool_;
 
-  mutable std::mutex stats_mutex_;
-  std::vector<double> latency_samples_ms_;
-  uint64_t admitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t deadline_exceeded_ = 0;
+  std::atomic<uint64_t> cache_epoch_{0};
+  std::atomic<uint64_t> next_trace_id_{0};
+
+  // Instrument handles resolved once in the constructor.
+  obs::Counter* admitted_total_;
+  obs::Counter* completed_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* deadline_exceeded_total_;
+  obs::Counter* cache_invalidations_total_;
+  obs::Counter* match_steps_total_;
+  obs::Counter* match_slices_total_;
+  obs::Histogram* latency_ms_;
+  obs::Histogram* slices_per_request_;
 };
 
 }  // namespace vqi

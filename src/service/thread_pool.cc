@@ -10,6 +10,24 @@ namespace vqi {
 ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
   options_.num_threads = std::max<size_t>(1, options_.num_threads);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *options_.metrics;
+    queue_depth_ = &registry.GetGauge(
+        "vqi_pool_queue_depth", "Tasks admitted but not yet running.");
+    queue_wait_ms_ = &registry.GetHistogram(
+        "vqi_pool_queue_wait_ms",
+        "Time tasks spent queued before a worker picked them up.",
+        obs::Histogram::DefaultLatencyBoundsMs());
+    tasks_executed_total_ = &registry.GetCounter(
+        "vqi_pool_tasks_executed_total", "Tasks that finished executing.");
+    registry
+        .GetGauge("vqi_pool_threads", "Worker threads in the pool.")
+        .Set(static_cast<double>(options_.num_threads));
+    registry
+        .GetGauge("vqi_pool_queue_capacity",
+                  "Queue slots before admission returns kUnavailable.")
+        .Set(static_cast<double>(options_.queue_capacity));
+  }
   workers_.reserve(options_.num_threads);
   for (size_t i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -28,7 +46,10 @@ Status ThreadPool::Submit(std::function<void()> task) {
     if (queue_.size() >= options_.queue_capacity) {
       return Status::Unavailable("task queue is full");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), Stopwatch()});
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
   }
   task_available_.notify_one();
   return Status::OK();
@@ -57,7 +78,7 @@ uint64_t ThreadPool::TasksExecuted() const {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock,
@@ -68,8 +89,15 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->Set(static_cast<double>(queue_.size()));
+      }
     }
-    task();
+    if (queue_wait_ms_ != nullptr) {
+      queue_wait_ms_->Observe(task.enqueued.ElapsedMillis());
+    }
+    task.fn();
+    if (tasks_executed_total_ != nullptr) tasks_executed_total_->Increment();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++executed_;

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace vqi {
 
@@ -21,6 +23,10 @@ struct ThreadPoolOptions {
   /// Maximum number of admitted-but-not-yet-running tasks; clamped to at
   /// least 1. Admission beyond this returns kUnavailable.
   size_t queue_capacity = 256;
+  /// When set, the pool registers its instruments here (vqi_pool_queue_depth
+  /// gauge, vqi_pool_queue_wait_ms histogram, vqi_pool_tasks_executed_total
+  /// counter, vqi_pool_threads gauge). Must outlive the pool.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Fixed-size worker pool over a bounded MPMC task queue.
@@ -30,6 +36,11 @@ struct ThreadPoolOptions {
 /// submitting thread — the admission-control idiom of serving systems.
 /// Shutdown is graceful: tasks already admitted run to completion, further
 /// submissions are rejected, and the destructor joins every worker.
+///
+/// With ThreadPoolOptions::metrics set, the pool reports queue depth at every
+/// enqueue/dequeue and the queue-wait time (admission to dequeue) of each
+/// task — the two signals that separate "the matcher is slow" from "the pool
+/// is saturated".
 class ThreadPool {
  public:
   explicit ThreadPool(ThreadPoolOptions options = {});
@@ -57,15 +68,26 @@ class ThreadPool {
   uint64_t TasksExecuted() const;
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    Stopwatch enqueued;  ///< started at admission; read at dequeue
+  };
+
   void WorkerLoop();
 
   ThreadPoolOptions options_;
   mutable std::mutex mutex_;
   std::condition_variable task_available_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> workers_;
   uint64_t executed_ = 0;
   bool stopping_ = false;
+
+  // Instrument handles resolved once at construction (null when the pool has
+  // no registry). queue_depth_ is only written under mutex_.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* queue_wait_ms_ = nullptr;
+  obs::Counter* tasks_executed_total_ = nullptr;
 };
 
 }  // namespace vqi

@@ -27,7 +27,15 @@ StatusOr<MaintenanceReport> VqiMaintainer::ApplyBatch(
   coverages.reserve(patterns.size());
   for (const Graph& p : patterns) coverages.push_back(DbCoverage(db, p));
   vqi.pattern_panel().ReplaceCanned(patterns, coverages);
+
+  // The database just changed under anything serving from it; give caches a
+  // chance to drop results computed against the pre-batch state.
+  for (const auto& listener : batch_listeners_) listener();
   return report;
+}
+
+void VqiMaintainer::AddBatchListener(std::function<void()> listener) {
+  batch_listeners_.push_back(std::move(listener));
 }
 
 }  // namespace vqi

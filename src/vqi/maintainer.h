@@ -1,6 +1,9 @@
 #ifndef VQLIB_VQI_MAINTAINER_H_
 #define VQLIB_VQI_MAINTAINER_H_
 
+#include <functional>
+#include <vector>
+
 #include "common/status.h"
 #include "midas/midas.h"
 #include "vqi/interface.h"
@@ -24,11 +27,20 @@ class VqiMaintainer {
                                          BatchUpdate update,
                                          const LabelDictionary* dict = nullptr);
 
+  /// Registers `listener` to run after every successfully applied batch,
+  /// once the database and panels reflect the update. Serving layers hook
+  /// their cache invalidation here (e.g. QueryService::InvalidateCache) so
+  /// maintenance can never leave stale match counts being served. Listeners
+  /// run on the ApplyBatch caller's thread, in registration order; they must
+  /// not call back into this maintainer.
+  void AddBatchListener(std::function<void()> listener);
+
   const MidasState& state() const { return state_; }
 
  private:
   MidasState state_;
   MidasConfig config_;
+  std::vector<std::function<void()>> batch_listeners_;
 };
 
 }  // namespace vqi

@@ -1,0 +1,366 @@
+// Tests for the observability subsystem: striped counters under concurrency,
+// histogram buckets and quantile estimation, the metrics registry's
+// find-or-create contract, Prometheus/JSON exposition, and the bounded trace
+// ring.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vqi {
+namespace obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(CounterTest, SumsIncrements) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& w : writers) w.join();
+  // Striped counters are exact once writers are quiescent.
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kPerThread));
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 10.5);
+  gauge.Add(2.0);
+  gauge.Add(-4.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // (0, 1]
+  histogram.Observe(1.0);    // bounds are inclusive upper: (0, 1]
+  histogram.Observe(5.0);    // (1, 10]
+  histogram.Observe(100.0);  // (10, 100]
+  histogram.Observe(1e6);    // +Inf overflow
+
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.counts[1], 1u);
+  EXPECT_EQ(snapshot.counts[2], 1u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), snapshot.sum / 5.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram histogram({10.0, 20.0});
+  for (int i = 0; i < 5; ++i) histogram.Observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 5; ++i) histogram.Observe(15.0);  // bucket (10, 20]
+
+  // rank = q * 10 observations; linear interpolation inside the bucket.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 10.0);   // rank 5 = end of bucket 0
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 15.0);  // halfway through bucket 1
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 20.0);
+  // q=0.25 → rank 2.5 of 5 in (0, 10].
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.25), 5.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram histogram({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);  // empty histogram
+
+  // Observations past every bound are attributed to the largest finite bound
+  // rather than infinity.
+  histogram.Observe(1e9);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 20.0);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  std::vector<double> bounds = Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+
+  std::vector<double> latency = Histogram::DefaultLatencyBoundsMs();
+  ASSERT_GT(latency.size(), 2u);
+  for (size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_LT(latency[i - 1], latency[i]);
+  }
+}
+
+TEST(HistogramTest, ConcurrentObservesAreExact) {
+  Histogram histogram({1.0, 2.0, 4.0, 8.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(static_cast<double>(i % 10));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kPerThread));
+  // Per thread: each value 0..9 observed kPerThread/10 times → sum 45 * 500.
+  EXPECT_DOUBLE_EQ(snapshot.sum, kThreads * 45.0 * (kPerThread / 10));
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("vqi_test_total", "help text");
+  Counter& b = registry.GetCounter("vqi_test_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.Value(), 3u);
+}
+
+TEST(MetricsRegistryTest, LabelsSelectDistinctSeries) {
+  MetricsRegistry registry;
+  Counter& shard0 = registry.GetCounter("vqi_hits_total", "", {{"shard", "0"}});
+  Counter& shard1 = registry.GetCounter("vqi_hits_total", "", {{"shard", "1"}});
+  EXPECT_NE(&shard0, &shard1);
+  shard0.Increment(2);
+  shard1.Increment(5);
+
+  std::vector<FamilySnapshot> families = registry.Snapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].name, "vqi_hits_total");
+  EXPECT_EQ(families[0].kind, InstrumentKind::kCounter);
+  ASSERT_EQ(families[0].series.size(), 2u);
+  EXPECT_DOUBLE_EQ(families[0].series[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(families[0].series[1].value, 5.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("vqi_first_total");
+  registry.GetGauge("vqi_second");
+  registry.GetHistogram("vqi_third_ms", "", {1.0, 2.0});
+
+  std::vector<FamilySnapshot> families = registry.Snapshot();
+  ASSERT_EQ(families.size(), 3u);
+  EXPECT_EQ(families[0].name, "vqi_first_total");
+  EXPECT_EQ(families[1].name, "vqi_second");
+  EXPECT_EQ(families[2].name, "vqi_third_ms");
+  EXPECT_EQ(families[2].kind, InstrumentKind::kHistogram);
+}
+
+TEST(MetricsRegistryTest, HistogramSeriesKeepsOriginalBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("vqi_h_ms", "", {1.0, 2.0});
+  // A later Get with different bounds returns the existing series unchanged.
+  Histogram& again = registry.GetHistogram("vqi_h_ms", "", {5.0, 50.0, 500.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+TEST(ExportTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("vqi_requests_total", "Requests served.").Increment(7);
+  registry.GetGauge("vqi_depth", "Queue depth.").Set(3);
+  Histogram& h = registry.GetHistogram("vqi_lat_ms", "Latency.", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(100.0);
+  registry.GetCounter("vqi_hits_total", "", {{"shard", "0"}}).Increment(9);
+
+  std::string text = ToPrometheusText(registry);
+  EXPECT_TRUE(Contains(text, "# HELP vqi_requests_total Requests served.\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE vqi_requests_total counter\n"));
+  EXPECT_TRUE(Contains(text, "vqi_requests_total 7\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE vqi_depth gauge\n"));
+  EXPECT_TRUE(Contains(text, "vqi_depth 3\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE vqi_lat_ms histogram\n"));
+  // Bucket counts are cumulative in the text format.
+  EXPECT_TRUE(Contains(text, "vqi_lat_ms_bucket{le=\"1\"} 2\n"));
+  EXPECT_TRUE(Contains(text, "vqi_lat_ms_bucket{le=\"10\"} 3\n"));
+  EXPECT_TRUE(Contains(text, "vqi_lat_ms_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(Contains(text, "vqi_lat_ms_count 4\n"));
+  EXPECT_TRUE(Contains(text, "vqi_lat_ms_sum 106\n"));
+  EXPECT_TRUE(Contains(text, "vqi_hits_total{shard=\"0\"} 9\n"));
+}
+
+TEST(ExportTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("vqi_odd_total", "", {{"path", "a\"b\\c\nd"}})
+      .Increment();
+  std::string text = ToPrometheusText(registry);
+  EXPECT_TRUE(Contains(text, "vqi_odd_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+}
+
+TEST(ExportTest, JsonSnapshotContainsFamiliesAndQuantiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("vqi_requests_total").Increment(2);
+  Histogram& h = registry.GetHistogram("vqi_lat_ms", "", {10.0, 20.0});
+  for (int i = 0; i < 5; ++i) h.Observe(5.0);
+  for (int i = 0; i < 5; ++i) h.Observe(15.0);
+
+  std::string json = ToJson(registry);
+  EXPECT_TRUE(Contains(json, "\"name\":\"vqi_requests_total\""));
+  EXPECT_TRUE(Contains(json, "\"type\":\"counter\""));
+  EXPECT_TRUE(Contains(json, "\"name\":\"vqi_lat_ms\""));
+  EXPECT_TRUE(Contains(json, "\"count\":10"));
+  EXPECT_TRUE(Contains(json, "\"p50\":10"));
+}
+
+TEST(ExportTest, WritePrometheusFileRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("vqi_file_total").Increment(4);
+  std::string path = "obs_test_export.prom";
+  ASSERT_TRUE(WritePrometheusFile(registry, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(Contains(buffer.str(), "vqi_file_total 4\n"));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceSpanTest, RecordsStagesInOrder) {
+  RequestTrace trace;
+  {
+    TraceSpan admission(trace, "admission");
+  }
+  {
+    TraceSpan execute(trace, "execute");
+    execute.Stop();
+    execute.Stop();  // idempotent: no duplicate stage
+  }
+  ASSERT_EQ(trace.stages.size(), 2u);
+  EXPECT_EQ(trace.stages[0].name, "admission");
+  EXPECT_EQ(trace.stages[1].name, "execute");
+  EXPECT_GE(trace.StageMs("admission"), 0.0);
+  EXPECT_DOUBLE_EQ(trace.StageMs("never_ran"), 0.0);
+}
+
+TEST(TraceRecorderTest, RetainsEverythingBelowCapacity) {
+  TraceRecorder recorder(8);
+  for (uint64_t i = 0; i < 3; ++i) {
+    RequestTrace trace;
+    trace.id = i;
+    recorder.Record(std::move(trace));
+  }
+  std::vector<RequestTrace> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent.front().id, 0u);
+  EXPECT_EQ(recent.back().id, 2u);
+  EXPECT_EQ(recorder.total_recorded(), 3u);
+}
+
+TEST(TraceRecorderTest, WrapsAroundKeepingTheTail) {
+  TraceRecorder recorder(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    RequestTrace trace;
+    trace.id = i;
+    recorder.Record(std::move(trace));
+  }
+  std::vector<RequestTrace> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Oldest first: ids 6, 7, 8, 9 survive.
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].id, 6u + i);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+}
+
+TEST(TraceRecorderTest, ZeroCapacityDisablesTracing) {
+  TraceRecorder recorder(0);
+  RequestTrace trace;
+  trace.id = 7;
+  recorder.Record(std::move(trace));
+  // Fully disabled: nothing retained and nothing counted.
+  EXPECT_TRUE(recorder.Recent().empty());
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+}
+
+TEST(TraceRecorderTest, ConcurrentRecordsKeepRingConsistent) {
+  TraceRecorder recorder(16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RequestTrace trace;
+        trace.id = static_cast<uint64_t>(t * kPerThread + i);
+        recorder.Record(std::move(trace));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(recorder.total_recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.Recent().size(), 16u);
+}
+
+TEST(TraceExportTest, TableAndJsonRenderTraces) {
+  TraceRecorder recorder(4);
+  RequestTrace trace;
+  trace.id = 1;
+  trace.kind = "match";
+  trace.status = "OK";
+  trace.from_cache = true;
+  trace.total_ms = 1.25;
+  trace.stages.push_back({"cache_probe", 1.0});
+  recorder.Record(std::move(trace));
+
+  std::string table = FormatTraceTable(recorder.Recent());
+  EXPECT_TRUE(Contains(table, "match"));
+  EXPECT_TRUE(Contains(table, "cache_probe"));
+
+  std::string json = TracesToJson(recorder);
+  EXPECT_TRUE(Contains(json, "\"kind\":\"match\""));
+  EXPECT_TRUE(Contains(json, "\"cache_probe\""));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vqi

@@ -1,17 +1,24 @@
 // Tests for the concurrent query service layer: thread-pool backpressure,
-// LRU cache behaviour, deadline handling, and a multi-threaded stress run.
+// LRU cache behaviour, deadline handling, cache invalidation (standalone and
+// driven by maintenance batches), the service's metrics/trace surface, and a
+// multi-threaded stress run.
 
 #include <atomic>
 #include <condition_variable>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "obs/export.h"
 #include "service/lru_cache.h"
 #include "service/query_service.h"
 #include "service/thread_pool.h"
+#include "vqi/builder.h"
+#include "vqi/maintainer.h"
 
 namespace vqi {
 namespace {
@@ -364,6 +371,133 @@ TEST(QueryServiceTest, BurstAgainstTinyQueueShedsLoad) {
   EXPECT_EQ(stats.rejected, rejected);
   EXPECT_EQ(stats.admitted + stats.rejected, 10u);
   EXPECT_EQ(stats.completed, stats.admitted);
+}
+
+TEST(QueryServiceTest, InvalidateCacheForcesRecompute) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}});
+
+  QueryRequest request;
+  request.pattern = EdgePattern();
+  ASSERT_TRUE(service.Execute(request).status.ok());
+  EXPECT_TRUE(service.Execute(request).from_cache);
+
+  service.InvalidateCache();
+  // The epoch bump must reroute lookups away from the stale entry.
+  QueryResult recomputed = service.Execute(request);
+  ASSERT_TRUE(recomputed.status.ok());
+  EXPECT_FALSE(recomputed.from_cache);
+  // And the new epoch caches normally again.
+  EXPECT_TRUE(service.Execute(request).from_cache);
+  EXPECT_EQ(service.metrics()
+                .GetCounter("vqi_cache_invalidations_total")
+                .Value(),
+            1u);
+}
+
+TEST(QueryServiceTest, MaintainerBatchListenerInvalidatesCache) {
+  GraphDatabase db = gen::MoleculeDatabase(50, gen::MoleculeConfig{}, 45);
+  CatapultConfig config;
+  config.budget = 4;
+  config.num_clusters = 4;
+  config.tree_config.min_support = 4;
+  config.walks_per_csg = 16;
+  config.use_closed_trees = true;
+  auto built = BuildVqiForDatabase(db, config);
+  ASSERT_TRUE(built.ok());
+  VisualQueryInterface vqi = std::move(built->vqi);
+
+  MidasConfig midas;
+  midas.base = config;
+  midas.drift_threshold = 0.0;
+  VqiMaintainer maintainer(std::move(built->catapult_state), midas);
+
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}});
+  maintainer.AddBatchListener([&service] { service.InvalidateCache(); });
+
+  // Cache a count against the pre-batch database.
+  QueryRequest request;
+  request.pattern = EdgePattern();
+  QueryResult before = service.Execute(request);
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_TRUE(service.Execute(request).from_cache);
+
+  // The batch adds and deletes graphs, so the cached count is stale.
+  BatchUpdate update;
+  Rng rng(46);
+  for (int i = 0; i < 8; ++i) {
+    update.additions.push_back(gen::Molecule(gen::MoleculeConfig{}, rng));
+  }
+  update.deletions = {0, 1, 2};
+  auto report = maintainer.ApplyBatch(vqi, db, std::move(update));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The listener fired: the next identical query recomputes against the
+  // post-batch database instead of serving the stale cached count.
+  QueryResult after = service.Execute(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.from_cache);
+  EXPECT_EQ(service.metrics()
+                .GetCounter("vqi_cache_invalidations_total")
+                .Value(),
+            1u);
+}
+
+TEST(QueryServiceTest, MetricsAndTracesCoverRequestLifecycle) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}, 8});
+
+  QueryRequest request;
+  request.pattern = EdgePattern();
+  QueryResult miss = service.Execute(request);
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_GT(miss.match_steps, 0u);
+  EXPECT_GT(miss.match_slices, 0u);
+  QueryResult hit = service.Execute(request);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.match_steps, 0u);  // no matcher work on a cache hit
+
+  // Counters reflect the two requests.
+  obs::MetricsRegistry& metrics = service.metrics();
+  EXPECT_EQ(metrics.GetCounter("vqi_requests_admitted_total").Value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("vqi_requests_completed_total").Value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("vqi_match_steps_total").Value(),
+            miss.match_steps);
+  EXPECT_EQ(metrics
+                .GetHistogram("vqi_request_latency_ms", "",
+                              obs::Histogram::DefaultLatencyBoundsMs())
+                .Count(),
+            2u);
+
+  // Both requests left traces with the expected stage breakdown.
+  std::vector<obs::RequestTrace> traces = service.traces().Recent();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].kind, "match");
+  EXPECT_EQ(traces[0].status, "OK");
+  EXPECT_FALSE(traces[0].from_cache);
+  EXPECT_GT(traces[0].StageMs("execute"), 0.0);
+  EXPECT_TRUE(traces[1].from_cache);
+  EXPECT_EQ(traces[1].match_steps, 0u);
+
+  // The exposition contains the service's key series.
+  std::string text = obs::ToPrometheusText(metrics);
+  EXPECT_NE(text.find("vqi_pool_queue_wait_ms_bucket"), std::string::npos);
+  EXPECT_NE(text.find("vqi_cache_hits_total{shard="), std::string::npos);
+  EXPECT_NE(text.find("vqi_request_latency_ms_count 2"), std::string::npos);
+}
+
+TEST(QueryServiceTest, SnapshotPercentilesComeFromHistogram) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{1, 8, 0, 1, {}});
+  for (int i = 0; i < 20; ++i) {
+    QueryRequest request;
+    request.pattern = EdgePattern();
+    ASSERT_TRUE(service.Execute(request).status.ok());
+  }
+  ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.completed, 20u);
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
 }
 
 TEST(QueryServiceTest, StressMixedRequestsAllFuturesResolve) {

@@ -11,9 +11,16 @@
 //   vqi_cli suggest       <in.lg> <vertex-label> [k]
 //   vqi_cli usability     <in.lg> <file.vqi> [queries]
 //   vqi_cli serve-bench   <in.lg> [queries] [threads] [repeat]
+//                         [--clients=N] [--metrics-out=<file>]
 //                         (replay a generated query workload through the
-//                         concurrent QueryService and print serving stats)
+//                         concurrent QueryService and print serving stats;
+//                         --clients runs N submitter threads, --metrics-out
+//                         writes a Prometheus-text metrics snapshot)
+//   vqi_cli metrics-demo  (serve a small in-memory workload and dump the
+//                         observability surface: Prometheus text, JSON,
+//                         recent request traces)
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +34,7 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "layout/dot_export.h"
+#include "obs/export.h"
 #include "service/query_service.h"
 #include "sim/usability.h"
 #include "sim/workload.h"
@@ -53,7 +61,9 @@ int Usage() {
                "  export-dot    <file.vqi> <out.dot>\n"
                "  suggest       <in.lg> <vertex-label> [k]\n"
                "  usability     <in.lg> <file.vqi> [queries]\n"
-               "  serve-bench   <in.lg> [queries] [threads] [repeat]\n");
+               "  serve-bench   <in.lg> [queries] [threads] [repeat]\n"
+               "                [--clients=N] [--metrics-out=<file>]\n"
+               "  metrics-demo\n");
   return 2;
 }
 
@@ -202,26 +212,89 @@ int Usability(int argc, char** argv) {
   return 0;
 }
 
+// One serve-bench submitter thread's outcome. `attempts` counts Submit calls
+// (admitted + rejected), so rejected/attempts is the client's reject rate.
+struct ClientOutcome {
+  uint64_t attempts = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+};
+
+// Replays this client's share of the workload (queries striped across
+// clients). On kUnavailable the client waits for its own oldest outstanding
+// request, then retries — the retry-after-drain loop a well-behaved caller
+// runs under backpressure. A barrier between rounds models users re-issuing
+// popular queries after earlier answers came back.
+void RunBenchClient(QueryService& service, const std::vector<Graph>& queries,
+                    size_t repeat, size_t client_id, size_t num_clients,
+                    ClientOutcome* outcome) {
+  std::vector<std::future<QueryResult>> futures;
+  size_t next_wait = 0;
+  for (size_t round = 0; round < repeat; ++round) {
+    for (size_t qi = client_id; qi < queries.size(); qi += num_clients) {
+      QueryRequest request;
+      request.pattern = queries[qi];
+      request.max_embeddings = 2000;
+      for (;;) {
+        ++outcome->attempts;
+        auto submitted = service.Submit(request);
+        if (submitted.ok()) {
+          futures.push_back(std::move(submitted).value());
+          break;
+        }
+        ++outcome->rejected;
+        if (next_wait < futures.size()) {
+          futures[next_wait++].get();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
+  }
+  for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
+  outcome->completed = futures.size();
+}
+
 int ServeBench(int argc, char** argv) {
-  if (argc < 1 || argc > 4) return Usage();
-  auto db = io::LoadDatabase(argv[0]);
+  // Flags may appear anywhere; everything else is positional.
+  std::string metrics_out;
+  int64_t clients_arg = 1;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients_arg = ParseIntOrDie(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 1 || positional.size() > 4) return Usage();
+  auto db = io::LoadDatabase(positional[0]);
   if (!db.ok()) return Fail(db.status());
   if (db->empty()) return Fail(Status::InvalidArgument("input has no graphs"));
 
-  int64_t queries_arg = argc >= 2 ? ParseIntOrDie(argv[1]) : 40;
-  int64_t threads_arg = argc >= 3 ? ParseIntOrDie(argv[2]) : 4;
-  int64_t repeat_arg = argc >= 4 ? ParseIntOrDie(argv[3]) : 3;
-  if (queries_arg < 1 || threads_arg < 1 || repeat_arg < 1) {
+  int64_t queries_arg = positional.size() >= 2 ? ParseIntOrDie(positional[1]) : 40;
+  int64_t threads_arg = positional.size() >= 3 ? ParseIntOrDie(positional[2]) : 4;
+  int64_t repeat_arg = positional.size() >= 4 ? ParseIntOrDie(positional[3]) : 3;
+  if (queries_arg < 1 || threads_arg < 1 || repeat_arg < 1 ||
+      clients_arg < 1) {
     return Fail(Status::InvalidArgument(
-        "queries, threads, and repeat must all be >= 1"));
+        "queries, threads, repeat, and clients must all be >= 1"));
   }
-  if (threads_arg > 1024) {
-    return Fail(Status::InvalidArgument("threads must be <= 1024"));
+  if (threads_arg > 1024 || clients_arg > 256) {
+    return Fail(Status::InvalidArgument(
+        "threads must be <= 1024 and clients <= 256"));
   }
   WorkloadConfig wconfig;
   wconfig.num_queries = static_cast<size_t>(queries_arg);
   size_t threads = static_cast<size_t>(threads_arg);
   size_t repeat = static_cast<size_t>(repeat_arg);
+  size_t clients = static_cast<size_t>(clients_arg);
   std::vector<Graph> queries = GenerateDbWorkload(*db, wconfig);
 
   QueryServiceOptions options;
@@ -231,43 +304,40 @@ int ServeBench(int argc, char** argv) {
   QueryService service(*db, options);
 
   Stopwatch timer;
-  std::vector<std::future<QueryResult>> futures;
-  futures.reserve(queries.size() * repeat);
-  size_t next_wait = 0;
-  for (size_t round = 0; round < repeat; ++round) {
-    for (const Graph& q : queries) {
-      QueryRequest request;
-      request.pattern = q;
-      request.max_embeddings = 2000;
-      for (;;) {
-        auto submitted = service.Submit(request);
-        if (submitted.ok()) {
-          futures.push_back(std::move(submitted).value());
-          break;
-        }
-        // Backpressure: drain the oldest outstanding request, then retry.
-        if (next_wait < futures.size()) {
-          futures[next_wait++].get();
-        } else {
-          std::this_thread::yield();
-        }
-      }
+  std::vector<ClientOutcome> outcomes(clients);
+  if (clients == 1) {
+    RunBenchClient(service, queries, repeat, 0, 1, &outcomes[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        RunBenchClient(service, queries, repeat, c, clients, &outcomes[c]);
+      });
     }
-    // Round barrier: repeats model re-issued popular queries, not one
-    // simultaneous burst of duplicates.
-    for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
+    for (auto& w : workers) w.join();
   }
-  for (; next_wait < futures.size(); ++next_wait) futures[next_wait].get();
   double seconds = timer.ElapsedSeconds();
 
+  uint64_t total_completed = 0;
+  for (const ClientOutcome& o : outcomes) total_completed += o.completed;
+
   ServiceStats stats = service.Snapshot();
-  std::printf("replayed %zu requests (%zu distinct queries x %zu rounds) on "
-              "%zu threads in %.3fs\n",
-              futures.size(), queries.size(), repeat, threads, seconds);
+  std::printf("replayed %llu requests (%zu distinct queries x %zu rounds, "
+              "%zu clients) on %zu threads in %.3fs\n",
+              static_cast<unsigned long long>(total_completed), queries.size(),
+              repeat, clients, threads, seconds);
   std::printf("throughput:  %.0f queries/s\n",
-              static_cast<double>(futures.size()) / seconds);
+              static_cast<double>(total_completed) / seconds);
   std::printf("latency:     p50 %.3fms  p99 %.3fms\n", stats.p50_latency_ms,
               stats.p99_latency_ms);
+  obs::HistogramSnapshot queue_wait =
+      service.metrics()
+          .GetHistogram("vqi_pool_queue_wait_ms", "",
+                        obs::Histogram::DefaultLatencyBoundsMs())
+          .Snapshot();
+  std::printf("queue wait:  p50 %.3fms  p99 %.3fms\n",
+              queue_wait.Quantile(0.50), queue_wait.Quantile(0.99));
   std::printf("admission:   %llu admitted, %llu rejected (backpressure)\n",
               static_cast<unsigned long long>(stats.admitted),
               static_cast<unsigned long long>(stats.rejected));
@@ -275,6 +345,85 @@ int ServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),
               static_cast<unsigned long long>(stats.cache_evictions));
+  if (clients > 1) {
+    std::printf("per-client reject rates:\n");
+    for (size_t c = 0; c < clients; ++c) {
+      const ClientOutcome& o = outcomes[c];
+      double rate = o.attempts == 0
+                        ? 0.0
+                        : static_cast<double>(o.rejected) /
+                              static_cast<double>(o.attempts);
+      std::printf("  client %zu: %llu completed, %llu/%llu submits rejected "
+                  "(%.1f%%)\n",
+                  c, static_cast<unsigned long long>(o.completed),
+                  static_cast<unsigned long long>(o.rejected),
+                  static_cast<unsigned long long>(o.attempts), 100.0 * rate);
+    }
+  }
+  std::printf("traces:      %llu recorded, last %zu retained\n",
+              static_cast<unsigned long long>(service.traces().total_recorded()),
+              service.traces().Recent().size());
+  if (!metrics_out.empty()) {
+    if (Status s = obs::WritePrometheusFile(service.metrics(), metrics_out);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("metrics:     wrote Prometheus snapshot to %s\n",
+                metrics_out.c_str());
+  }
+  return 0;
+}
+
+// Serves a small in-memory workload and dumps every observability surface —
+// the quickest way to see the instrument catalog of docs/observability.md
+// populated with real traffic (cache hits, a shed deadline, traces).
+int MetricsDemo(int argc, char** argv) {
+  (void)argv;
+  if (argc != 0) return Usage();
+  GraphDatabase db = gen::MoleculeDatabase(80, gen::MoleculeConfig{}, 7);
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 10;
+  wconfig.seed = 7;
+  std::vector<Graph> queries = GenerateDbWorkload(db, wconfig);
+
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 64;
+  options.cache_capacity = 256;
+  options.cache_shards = 4;
+  options.trace_capacity = 64;
+  QueryService service(db, options);
+
+  // Two rounds of the same queries (second round hits the cache), one
+  // suggestion, and one request whose deadline expires before execution.
+  for (int round = 0; round < 2; ++round) {
+    for (const Graph& q : queries) {
+      QueryRequest request;
+      request.pattern = q;
+      request.max_embeddings = 2000;
+      service.Execute(std::move(request));
+    }
+  }
+  {
+    QueryRequest request;
+    request.kind = QueryKind::kSuggest;
+    request.pattern = queries[0];
+    request.focus = 0;
+    service.Execute(std::move(request));
+  }
+  {
+    QueryRequest request;
+    request.pattern = queries[0];
+    request.deadline_ms = 1e-9;
+    service.Execute(std::move(request));
+  }
+
+  std::printf("--- Prometheus text exposition ---\n%s\n",
+              obs::ToPrometheusText(service.metrics()).c_str());
+  std::printf("--- JSON snapshot ---\n%s\n",
+              obs::ToJson(service.metrics()).c_str());
+  std::printf("--- recent request traces (oldest first) ---\n%s",
+              obs::FormatTraceTable(service.traces().Recent()).c_str());
   return 0;
 }
 
@@ -292,6 +441,7 @@ int Main(int argc, char** argv) {
   if (command == "suggest") return Suggest(rest, rest_argv);
   if (command == "usability") return Usability(rest, rest_argv);
   if (command == "serve-bench") return ServeBench(rest, rest_argv);
+  if (command == "metrics-demo") return MetricsDemo(rest, rest_argv);
   return Usage();
 }
 
