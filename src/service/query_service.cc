@@ -1,13 +1,21 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "match/canonical.h"
 
 namespace vqi {
 namespace {
+
+void SleepMs(double ms) {
+  if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
 
 // Canonicalization (match/canonical.h) enforces this vertex bound; larger
 // patterns are served uncached rather than rejected.
@@ -30,6 +38,18 @@ const char* KindName(QueryKind kind) {
 
 }  // namespace
 
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kInteractive:
+      return "interactive";
+    case RequestPriority::kNormal:
+      return "normal";
+    case RequestPriority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
 QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
     : db_(db),
       options_(options),
@@ -46,13 +66,30 @@ QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
       "vqi_requests_completed_total", "Requests resolved (any status).");
   rejected_total_ = &metrics_.GetCounter(
       "vqi_requests_rejected_total",
-      "Admission failures due to a full queue (backpressure).");
+      "Admission failures: full queue (backpressure) or priority shedding.");
+  shed_background_total_ = &metrics_.GetCounter(
+      "vqi_requests_shed_total",
+      "Requests shed by priority at the queue high-water mark.",
+      {{"priority", "background"}});
+  shed_normal_total_ = &metrics_.GetCounter(
+      "vqi_requests_shed_total",
+      "Requests shed by priority at the queue high-water mark.",
+      {{"priority", "normal"}});
   deadline_exceeded_total_ = &metrics_.GetCounter(
       "vqi_requests_deadline_exceeded_total",
       "Requests that completed with kDeadlineExceeded.");
+  truncated_total_ = &metrics_.GetCounter(
+      "vqi_requests_truncated_total",
+      "Requests answered with a partial (truncated) result.");
   cache_invalidations_total_ = &metrics_.GetCounter(
       "vqi_cache_invalidations_total",
       "InvalidateCache() epoch bumps (e.g. maintenance batches).");
+  cache_key_invalidations_total_ = &metrics_.GetCounter(
+      "vqi_cache_key_invalidations_total",
+      "InvalidateCacheKey() per-graph epoch bumps.");
+  cache_probe_faults_total_ = &metrics_.GetCounter(
+      "vqi_cache_probe_degraded_total",
+      "Cache probes degraded to a miss by an injected cache fault.");
   match_steps_total_ = &metrics_.GetCounter(
       "vqi_match_steps_total", "VF2 recursion steps across all requests.");
   match_slices_total_ = &metrics_.GetCounter(
@@ -66,6 +103,9 @@ QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
       "VF2 invocations one match request needed: one per target graph, plus "
       "one per deadline-slice retry.",
       obs::Histogram::ExponentialBounds(1, 2, 12));
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->RegisterMetrics(metrics_);
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -77,13 +117,43 @@ void QueryService::InvalidateCache() {
   cache_invalidations_total_->Increment();
 }
 
+void QueryService::InvalidateCacheKey(GraphId graph_id) {
+  {
+    std::lock_guard<std::mutex> lock(graph_epochs_mutex_);
+    ++graph_epochs_[graph_id];
+  }
+  // Whole-collection results and suggestions depend on every graph, so they
+  // must go too; single-target entries for other graphs survive.
+  all_graphs_epoch_.fetch_add(1, std::memory_order_relaxed);
+  cache_key_invalidations_total_->Increment();
+}
+
+uint64_t QueryService::GraphEpoch(GraphId graph_id) const {
+  std::lock_guard<std::mutex> lock(graph_epochs_mutex_);
+  auto it = graph_epochs_.find(graph_id);
+  return it == graph_epochs_.end() ? 0 : it->second;
+}
+
 std::string QueryService::CacheKey(const QueryRequest& request) const {
   if (options_.cache_capacity == 0) return "";
   if (request.pattern.NumVertices() > kMaxCacheableVertices) return "";
   // The epoch prefix implements InvalidateCache(): bumping it reroutes every
-  // lookup away from pre-bump entries, which then age out via LRU.
+  // lookup away from pre-bump entries, which then age out via LRU. The
+  // second segment implements InvalidateCacheKey(): entries are additionally
+  // keyed by the epoch of the data they depend on — the target graph's for a
+  // single-target match, the whole collection's for kAllGraphs matches and
+  // suggestions.
   std::string key = "e";
   key += std::to_string(cache_epoch_.load(std::memory_order_relaxed));
+  key += '|';
+  if (request.kind == QueryKind::kSuggest ||
+      request.target == kAllGraphs) {
+    key += 'a';
+    key += std::to_string(all_graphs_epoch_.load(std::memory_order_relaxed));
+  } else {
+    key += 'g';
+    key += std::to_string(GraphEpoch(request.target));
+  }
   key += '|';
   if (request.kind == QueryKind::kSuggest) {
     // Suggestions depend only on the focus vertex's label and k.
@@ -126,6 +196,17 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
         request.focus >= request.pattern.NumVertices()) {
       return Status::InvalidArgument("focus vertex out of range");
     }
+    // Chaos hook: the admission machinery itself can stall or error (an
+    // overloaded front door). An injected drop behaves like backpressure.
+    if (options_.fault_injector != nullptr) {
+      resilience::FaultDecision fault = options_.fault_injector->Decide(
+          resilience::FaultPoint::kAdmission);
+      SleepMs(fault.latency_ms);
+      if (!fault.status.ok()) {
+        rejected_total_->Increment();
+        return fault.status;
+      }
+    }
   }
 
   std::string key;
@@ -135,7 +216,7 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
     key = CacheKey(request);
     // Cache probe before any pool dispatch: a hit is served synchronously on
     // the submitting thread.
-    if (!key.empty()) hit = cache_.Get(key);
+    hit = ProbeCache(key);
   }
   if (hit.has_value()) {
     QueryResult result = std::move(*hit);
@@ -149,6 +230,14 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
     std::future<QueryResult> future = ready.get_future();
     ready.set_value(std::move(result));
     return future;
+  }
+
+  // Priority load shedding applies only to requests that would occupy a
+  // worker: cache hits above were served for free, and shedding cheap-to-
+  // serve traffic would lower availability for nothing.
+  if (Status shed = AdmitAtPriority(request.priority); !shed.ok()) {
+    rejected_total_->Increment();
+    return shed;
   }
 
   auto promise = std::make_shared<std::promise<QueryResult>>();
@@ -168,7 +257,7 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
         std::optional<QueryResult> hit;
         {
           obs::TraceSpan span(trace, "dequeue_probe");
-          if (!key.empty()) hit = cache_.Get(key);
+          hit = ProbeCache(key);
         }
         if (hit.has_value()) {
           result = std::move(*hit);
@@ -177,9 +266,27 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
           result.match_slices = 0;
         } else {
           obs::TraceSpan span(trace, "execute");
-          result = Run(*shared_request, admitted);
+          // Chaos hook: the worker executing this request can stall, fail,
+          // or lose the task. A drop still resolves the promise — the
+          // service models the *detection* of a lost task (a real one would
+          // hang the future forever, which is exactly the outage mode the
+          // chaos suite asserts cannot happen).
+          resilience::FaultDecision fault;
+          if (options_.fault_injector != nullptr) {
+            fault = options_.fault_injector->Decide(
+                resilience::FaultPoint::kExecutor);
+            SleepMs(fault.latency_ms);
+          }
+          if (!fault.status.ok()) {
+            result.status = fault.status;
+          } else {
+            result = Run(*shared_request, admitted);
+          }
           span.Stop();
-          if (result.status.ok() && !key.empty()) {
+          // Partial (truncated) and errored results are never cached: a
+          // later identical request must get the chance to compute the full
+          // answer.
+          if (result.status.ok() && !result.truncated && !key.empty()) {
             cache_.Put(key, result);
           }
         }
@@ -209,8 +316,14 @@ QueryResult QueryService::Run(const QueryRequest& request,
                               const Stopwatch& admitted) {
   if (DeadlinePassed(request, admitted)) {
     QueryResult result;
-    result.status = Status::DeadlineExceeded(
-        "deadline expired before execution started");
+    if (request.allow_partial && request.kind == QueryKind::kMatchCount) {
+      // Graceful degradation: an empty answer is a valid (trivial) subset.
+      result.truncated = true;
+      result.status = Status::OK();
+    } else {
+      result.status = Status::DeadlineExceeded(
+          "deadline expired before execution started");
+    }
     return result;
   }
   return request.kind == QueryKind::kSuggest ? RunSuggest(request)
@@ -220,29 +333,52 @@ QueryResult QueryService::Run(const QueryRequest& request,
 QueryResult QueryService::RunMatch(const QueryRequest& request,
                                    const Stopwatch& admitted) {
   QueryResult result;
-  auto match_one = [&](const Graph& target) -> bool {
-    if (DeadlinePassed(request, admitted)) return false;
-    uint64_t count = 0;
-    if (!CountWithDeadline(request.pattern, target, request, admitted, &count,
-                           &result)) {
-      return false;
+  // Everything accumulated below is real: counted embeddings exist and a
+  // graph enters matched_graphs only once >= 1 embedding was found, so a
+  // truncated result is always a subset of the fault-free answer.
+  auto truncate = [&](const char* why) {
+    result.truncated = true;
+    result.status = request.allow_partial ? Status::OK()
+                                          : Status::DeadlineExceeded(why);
+  };
+  auto match_one = [&](const Graph& target) -> Status {
+    if (DeadlinePassed(request, admitted)) {
+      return Status::DeadlineExceeded("deadline expired between targets");
     }
-    result.embedding_count += count;
-    if (count > 0) result.matched_graphs.push_back(target.id());
-    return true;
+    uint64_t count = 0;
+    Status s = CountWithDeadline(request.pattern, target, request, admitted,
+                                 &count, &result);
+    if (s.ok() || s.code() == StatusCode::kDeadlineExceeded) {
+      // On deadline, `count` is the partial lower bound from the final
+      // slice — still a subset of the true answer.
+      result.embedding_count += count;
+      if (count > 0) result.matched_graphs.push_back(target.id());
+    }
+    return s;
   };
 
   if (request.target == kAllGraphs) {
     for (const Graph& target : db_.graphs()) {
-      if (!match_one(target)) {
-        result.status =
-            Status::DeadlineExceeded("deadline expired mid-collection");
+      Status s = match_one(target);
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        truncate("deadline expired mid-collection");
+        return result;
+      }
+      if (!s.ok()) {  // injected vf2_slice fault
+        result.status = s;
         return result;
       }
     }
-  } else if (!match_one(db_.Get(request.target))) {
-    result.status = Status::DeadlineExceeded("deadline expired while matching");
-    return result;
+  } else {
+    Status s = match_one(db_.Get(request.target));
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      truncate("deadline expired while matching");
+      return result;
+    }
+    if (!s.ok()) {
+      result.status = s;
+      return result;
+    }
   }
   result.status = Status::OK();
   return result;
@@ -256,33 +392,92 @@ QueryResult QueryService::RunSuggest(const QueryRequest& request) {
   return result;
 }
 
-bool QueryService::CountWithDeadline(const Graph& pattern, const Graph& target,
-                                     const QueryRequest& request,
-                                     const Stopwatch& admitted,
-                                     uint64_t* count, QueryResult* result) {
+Status QueryService::CountWithDeadline(const Graph& pattern,
+                                       const Graph& target,
+                                       const QueryRequest& request,
+                                       const Stopwatch& admitted,
+                                       uint64_t* count, QueryResult* result) {
+  // Chaos hook: one matching slice can be slow (injected latency eats the
+  // deadline, the slow-shard mode) or fail outright.
+  auto slice_fault = [&]() -> Status {
+    if (options_.fault_injector == nullptr) return Status::OK();
+    resilience::FaultDecision fault = options_.fault_injector->Decide(
+        resilience::FaultPoint::kVf2Slice);
+    SleepMs(fault.latency_ms);
+    if (fault.dropped) {
+      return Status::Unavailable("injected slice drop at vf2_slice");
+    }
+    return fault.status;
+  };
+
   MatchOptions opts = options_.match_options;
   opts.max_embeddings = request.max_embeddings;
   if (request.deadline_ms <= 0) {
     opts.max_steps = 0;
+    VQI_RETURN_IF_ERROR(slice_fault());
     SubgraphMatcher matcher(pattern, target, opts);
     *count = matcher.CountEmbeddings();
     result->match_steps += matcher.steps();
     result->match_slices += 1;
-    return true;
+    return Status::OK();
   }
   // The matcher cannot pause/resume, so the cooperative budget hook
   // (max_steps) is applied in exponentially growing slices: re-running from
   // scratch at double the cap costs at most 2x the final successful run and
   // bounds how far past the deadline a worker can overshoot.
   for (uint64_t slice = kInitialStepSlice;; slice *= 2) {
+    VQI_RETURN_IF_ERROR(slice_fault());
     opts.max_steps = slice;
     SubgraphMatcher matcher(pattern, target, opts);
+    // Each slice recounts from scratch, so overwrite rather than accumulate:
+    // after a deadline the last value is the best lower bound found.
     *count = matcher.CountEmbeddings();
     result->match_steps += matcher.steps();
     result->match_slices += 1;
-    if (!matcher.hit_step_limit()) return true;
-    if (admitted.ElapsedMillis() >= request.deadline_ms) return false;
+    if (!matcher.hit_step_limit()) return Status::OK();
+    if (admitted.ElapsedMillis() >= request.deadline_ms) {
+      return Status::DeadlineExceeded("deadline expired mid-match");
+    }
   }
+}
+
+Status QueryService::AdmitAtPriority(RequestPriority priority) {
+  if (priority == RequestPriority::kInteractive ||
+      options_.shed_high_water >= 1.0) {
+    return Status::OK();
+  }
+  double high_water = std::max(0.0, options_.shed_high_water);
+  double capacity = static_cast<double>(pool_.queue_capacity());
+  // Background sheds at the high-water mark, normal halfway between the
+  // mark and a full queue — the closer the queue is to full, the more
+  // important the traffic must be to enter it.
+  double mark = priority == RequestPriority::kBackground
+                    ? high_water * capacity
+                    : (high_water + 1.0) / 2.0 * capacity;
+  if (static_cast<double>(pool_.QueueDepth()) < mark) return Status::OK();
+  if (priority == RequestPriority::kBackground) {
+    shed_background_total_->Increment();
+  } else {
+    shed_normal_total_->Increment();
+  }
+  return Status::Unavailable(
+      std::string("load shed: queue over the ") +
+      RequestPriorityName(priority) + " high-water mark");
+}
+
+std::optional<QueryResult> QueryService::ProbeCache(const std::string& key) {
+  if (key.empty()) return std::nullopt;
+  if (options_.fault_injector != nullptr) {
+    resilience::FaultDecision fault = options_.fault_injector->Decide(
+        resilience::FaultPoint::kCacheProbe);
+    SleepMs(fault.latency_ms);
+    if (!fault.status.ok()) {
+      // A broken cache degrades to a miss — it must never fail a request.
+      cache_probe_faults_total_->Increment();
+      return std::nullopt;
+    }
+  }
+  return cache_.Get(key);
 }
 
 void QueryService::RecordCompletion(const QueryResult& result,
@@ -291,6 +486,7 @@ void QueryService::RecordCompletion(const QueryResult& result,
   if (result.status.code() == StatusCode::kDeadlineExceeded) {
     deadline_exceeded_total_->Increment();
   }
+  if (result.truncated) truncated_total_->Increment();
   latency_ms_->Observe(result.latency_ms);
   if (result.match_slices > 0) {
     match_steps_total_->Increment(result.match_steps);
@@ -310,7 +506,9 @@ ServiceStats QueryService::Snapshot() const {
   stats.admitted = admitted_total_->Value();
   stats.completed = completed_total_->Value();
   stats.rejected = rejected_total_->Value();
+  stats.shed = shed_background_total_->Value() + shed_normal_total_->Value();
   stats.deadline_exceeded = deadline_exceeded_total_->Value();
+  stats.truncated = truncated_total_->Value();
   CacheStats cache_stats = cache_.GetStats();
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;

@@ -4,7 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/lru_cache.h"
+#include "service/resilience/fault_injector.h"
 #include "service/thread_pool.h"
 #include "vqi/suggestion.h"
 
@@ -27,6 +31,19 @@ inline constexpr GraphId kAllGraphs = -1;
 /// evaluate the current visual query (subgraph matching), or rank plausible
 /// next edges for the vertex being extended (auto-suggestion).
 enum class QueryKind { kMatchCount, kSuggest };
+
+/// Admission priority under overload. When the queue crosses the service's
+/// high-water mark, kBackground work is shed first, then kNormal; a user
+/// actively drawing (kInteractive) is only rejected by a completely full
+/// queue.
+enum class RequestPriority : uint8_t {
+  kInteractive = 0,
+  kNormal = 1,
+  kBackground = 2,
+};
+
+/// "interactive", "normal", or "background".
+const char* RequestPriorityName(RequestPriority priority);
 
 /// One request against the service.
 struct QueryRequest {
@@ -43,6 +60,14 @@ struct QueryRequest {
   VertexId focus = 0;
   /// For kSuggest: how many ranked continuations to return.
   size_t top_k = 5;
+  /// Load-shedding class under overload (see RequestPriority).
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Graceful degradation: when true, a kMatchCount request whose deadline
+  /// expires returns everything found so far as an OK result with
+  /// `truncated` set, instead of a bare kDeadlineExceeded. Partial results
+  /// are always a subset of the fault-free answer (every counted embedding
+  /// and matched graph is real); they are never cached.
+  bool allow_partial = false;
 };
 
 /// Outcome of one request. `status` is OK, kDeadlineExceeded (budget ran out
@@ -58,6 +83,10 @@ struct QueryResult {
   std::vector<EdgeSuggestion> suggestions;
   /// True when served from the result cache without touching the matcher.
   bool from_cache = false;
+  /// True when the answer is incomplete (deadline expired mid-search). With
+  /// QueryRequest::allow_partial the status is still OK; otherwise the
+  /// partial counts accompany a kDeadlineExceeded status.
+  bool truncated = false;
   /// Admission-to-completion latency.
   double latency_ms = 0;
   /// Matcher work performed for THIS response: VF2 recursion steps and
@@ -73,7 +102,9 @@ struct ServiceStats {
   uint64_t admitted = 0;           ///< requests accepted into the queue
   uint64_t completed = 0;          ///< futures resolved (any status)
   uint64_t rejected = 0;           ///< admission failures (queue full)
+  uint64_t shed = 0;               ///< rejected by priority load shedding
   uint64_t deadline_exceeded = 0;  ///< completed with kDeadlineExceeded
+  uint64_t truncated = 0;          ///< completed with a partial (truncated) answer
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -94,6 +125,17 @@ struct QueryServiceOptions {
   /// Completed-request traces retained in the ring buffer (0 disables
   /// tracing).
   size_t trace_capacity = 256;
+  /// Queue-depth fraction at which priority load shedding starts: at
+  /// >= shed_high_water * queue_capacity kBackground requests are shed, at
+  /// >= halfway between the high-water mark and a full queue kNormal
+  /// requests are shed too. kInteractive requests are only rejected by a
+  /// full queue. 1.0 disables shedding.
+  double shed_high_water = 0.75;
+  /// Chaos hook: when set, the service consults this injector at its named
+  /// fault points (cache_probe, admission, executor, vf2_slice — see
+  /// docs/resilience.md). Must outlive the service; its metrics are
+  /// registered into the service's registry. Null = no injection.
+  resilience::FaultInjector* fault_injector = nullptr;
 };
 
 /// Concurrent serving layer over a GraphDatabase.
@@ -143,6 +185,13 @@ class QueryService {
   /// VqiMaintainer batch listener.
   void InvalidateCache();
 
+  /// Invalidates only the cached results that could depend on `graph_id`:
+  /// single-target entries for that graph, plus every whole-collection
+  /// (kAllGraphs) and suggestion entry. Single-target entries for *other*
+  /// graphs survive, so a maintenance batch that touches one graph no longer
+  /// cold-starts the whole cache.
+  void InvalidateCacheKey(GraphId graph_id);
+
   /// The service's instrument registry (counters, gauges, histograms).
   /// Exposition: obs::ToPrometheusText / obs::ToJson.
   obs::MetricsRegistry& metrics() { return metrics_; }
@@ -160,12 +209,24 @@ class QueryService {
   QueryResult Run(const QueryRequest& request, const Stopwatch& admitted);
   QueryResult RunMatch(const QueryRequest& request, const Stopwatch& admitted);
   QueryResult RunSuggest(const QueryRequest& request);
-  /// Counts embeddings of `pattern` in `target` in cooperative step slices;
-  /// false when the deadline expired first. Accumulates slice/step telemetry
-  /// into `result`.
-  bool CountWithDeadline(const Graph& pattern, const Graph& target,
-                         const QueryRequest& request, const Stopwatch& admitted,
-                         uint64_t* count, QueryResult* result);
+  /// Counts embeddings of `pattern` in `target` in cooperative step slices.
+  /// Returns OK when the count completed, kDeadlineExceeded when the
+  /// deadline expired first (*count then holds the partial lower bound from
+  /// the final slice), or an injected vf2_slice fault status. Accumulates
+  /// slice/step telemetry into `result`.
+  Status CountWithDeadline(const Graph& pattern, const Graph& target,
+                           const QueryRequest& request,
+                           const Stopwatch& admitted, uint64_t* count,
+                           QueryResult* result);
+  /// Non-OK when priority load shedding rejects this request at the current
+  /// queue depth (see QueryServiceOptions::shed_high_water).
+  Status AdmitAtPriority(RequestPriority priority);
+  /// Cache probe behind the cache_probe fault point: an injected fault
+  /// degrades to a miss (the cache is an optimization, never a failure
+  /// source).
+  std::optional<QueryResult> ProbeCache(const std::string& key);
+  /// Epoch of one target graph's cached entries (see InvalidateCacheKey).
+  uint64_t GraphEpoch(GraphId graph_id) const;
   /// Cache key, or "" when the request is uncacheable (pattern too large for
   /// canonicalization).
   std::string CacheKey(const QueryRequest& request) const;
@@ -184,12 +245,25 @@ class QueryService {
   std::atomic<uint64_t> cache_epoch_{0};
   std::atomic<uint64_t> next_trace_id_{0};
 
+  // Per-graph cache epochs for InvalidateCacheKey. all_graphs_epoch_ covers
+  // entries that depend on the entire collection (kAllGraphs matches and
+  // suggestions); graph_epochs_ holds only graphs that were individually
+  // invalidated (absent = epoch 0).
+  std::atomic<uint64_t> all_graphs_epoch_{0};
+  mutable std::mutex graph_epochs_mutex_;
+  std::unordered_map<GraphId, uint64_t> graph_epochs_;
+
   // Instrument handles resolved once in the constructor.
   obs::Counter* admitted_total_;
   obs::Counter* completed_total_;
   obs::Counter* rejected_total_;
+  obs::Counter* shed_background_total_;
+  obs::Counter* shed_normal_total_;
   obs::Counter* deadline_exceeded_total_;
+  obs::Counter* truncated_total_;
   obs::Counter* cache_invalidations_total_;
+  obs::Counter* cache_key_invalidations_total_;
+  obs::Counter* cache_probe_faults_total_;
   obs::Counter* match_steps_total_;
   obs::Counter* match_slices_total_;
   obs::Histogram* latency_ms_;

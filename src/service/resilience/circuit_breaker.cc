@@ -1,0 +1,118 @@
+#include "service/resilience/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace vqi {
+namespace resilience {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "Closed";
+    case BreakerState::kOpen:
+      return "Open";
+    case BreakerState::kHalfOpen:
+      return "HalfOpen";
+  }
+  return "Unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  options_.window_size = std::max<size_t>(1, options_.window_size);
+  options_.min_samples =
+      std::max<size_t>(1, std::min(options_.min_samples, options_.window_size));
+  options_.half_open_probes = std::max<size_t>(1, options_.half_open_probes);
+  window_.assign(options_.window_size, false);
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (opened_at_.ElapsedMillis() < options_.open_cooldown_ms) return false;
+      state_ = BreakerState::kHalfOpen;
+      half_open_admitted_ = 0;
+      half_open_successes_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (half_open_admitted_ >= options_.half_open_probes) return false;
+      ++half_open_admitted_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RecordLocked(/*failure=*/false);
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RecordLocked(/*failure=*/true);
+}
+
+void CircuitBreaker::RecordLocked(bool failure) {
+  if (state_ == BreakerState::kHalfOpen) {
+    if (failure) {
+      OpenLocked();
+      return;
+    }
+    if (++half_open_successes_ >= options_.half_open_probes) {
+      // Recovered: close with a clean window so stale failures from before
+      // the outage cannot re-trip the breaker immediately.
+      state_ = BreakerState::kClosed;
+      std::fill(window_.begin(), window_.end(), false);
+      window_next_ = 0;
+      window_count_ = 0;
+      window_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // late completions; ignore
+  if (window_count_ == window_.size()) {
+    if (window_[window_next_]) --window_failures_;
+  } else {
+    ++window_count_;
+  }
+  window_[window_next_] = failure;
+  if (failure) ++window_failures_;
+  window_next_ = (window_next_ + 1) % window_.size();
+  if (window_count_ >= options_.min_samples &&
+      WindowFailureRateLocked() >= options_.failure_threshold) {
+    OpenLocked();
+  }
+}
+
+void CircuitBreaker::OpenLocked() {
+  state_ = BreakerState::kOpen;
+  opened_at_.Restart();
+  ++times_opened_;
+}
+
+double CircuitBreaker::WindowFailureRateLocked() const {
+  return window_count_ == 0 ? 0.0
+                            : static_cast<double>(window_failures_) /
+                                  static_cast<double>(window_count_);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+double CircuitBreaker::FailureRate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return WindowFailureRateLocked();
+}
+
+uint64_t CircuitBreaker::TimesOpened() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return times_opened_;
+}
+
+}  // namespace resilience
+}  // namespace vqi

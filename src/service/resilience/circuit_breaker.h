@@ -1,0 +1,88 @@
+#ifndef VQLIB_SERVICE_RESILIENCE_CIRCUIT_BREAKER_H_
+#define VQLIB_SERVICE_RESILIENCE_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace vqi {
+namespace resilience {
+
+enum class BreakerState : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// "Closed", "Open", or "HalfOpen".
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Rolling window of most-recent outcomes the failure rate is computed
+  /// over.
+  size_t window_size = 32;
+  /// Outcomes required in the window before the breaker may trip (a single
+  /// early failure must not open a cold breaker).
+  size_t min_samples = 8;
+  /// Failure fraction (within the window) at or above which the breaker
+  /// opens.
+  double failure_threshold = 0.5;
+  /// How long an open breaker rejects before letting probes through.
+  double open_cooldown_ms = 100.0;
+  /// Successful probes required in half-open to close; any probe failure
+  /// reopens (and restarts the cooldown).
+  size_t half_open_probes = 3;
+};
+
+/// Three-state circuit breaker over a rolling failure-rate window — the
+/// fail-fast guard between a client and a struggling service. Closed passes
+/// everything and tracks outcomes; when the windowed failure rate crosses the
+/// threshold the breaker opens and rejects instantly (no queueing against a
+/// dead backend); after a cooldown it admits a handful of half-open probes
+/// whose outcomes decide between closing and reopening.
+///
+/// Thread-safe. The caller reports outcomes via RecordSuccess/RecordFailure
+/// for every operation that Allow() admitted.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// True when the caller may attempt the operation now. In the open state
+  /// this is where the cooldown expiry transitions to half-open; in
+  /// half-open at most `half_open_probes` callers are admitted per probe
+  /// round.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  /// Failure fraction over the current window (0 when empty).
+  double FailureRate() const;
+  /// Times the breaker transitioned closed/half-open -> open.
+  uint64_t TimesOpened() const;
+
+ private:
+  // Callers hold `mutex_`.
+  void RecordLocked(bool failure);
+  void OpenLocked();
+  double WindowFailureRateLocked() const;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  // Rolling outcome window (true = failure), a ring over the last
+  // window_size outcomes.
+  std::vector<bool> window_;
+  size_t window_next_ = 0;
+  size_t window_count_ = 0;
+  size_t window_failures_ = 0;
+  Stopwatch opened_at_;
+  size_t half_open_admitted_ = 0;
+  size_t half_open_successes_ = 0;
+  uint64_t times_opened_ = 0;
+};
+
+}  // namespace resilience
+}  // namespace vqi
+
+#endif  // VQLIB_SERVICE_RESILIENCE_CIRCUIT_BREAKER_H_

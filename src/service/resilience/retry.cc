@@ -1,0 +1,46 @@
+#include "service/resilience/retry.h"
+
+#include <algorithm>
+
+namespace vqi {
+namespace resilience {
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kInternal;
+}
+
+double NextBackoffMs(const RetryPolicy& policy, double prev_ms, Rng& rng) {
+  double base = std::max(policy.base_ms, 0.0);
+  double cap = std::max(policy.cap_ms, base);
+  if (prev_ms <= 0) return std::min(base, cap);
+  double hi = std::min(prev_ms * 3.0, cap);
+  if (hi <= base) return base;
+  return base + rng.UniformDouble() * (hi - base);
+}
+
+RetryBudget::RetryBudget(double ratio, double capacity)
+    : ratio_(std::max(ratio, 0.0)),
+      capacity_(std::max(capacity, 1.0)),
+      // Start full: a cold client may retry a small initial burst; the ratio
+      // governs everything beyond it.
+      tokens_(capacity_) {}
+
+void RetryBudget::OnRequest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tokens_ = std::min(tokens_ + ratio_, capacity_);
+}
+
+bool RetryBudget::TryConsumeRetry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tokens_;
+}
+
+}  // namespace resilience
+}  // namespace vqi

@@ -1,0 +1,70 @@
+#ifndef VQLIB_SERVICE_RESILIENCE_RETRY_H_
+#define VQLIB_SERVICE_RESILIENCE_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace vqi {
+namespace resilience {
+
+/// Client retry schedule: exponential backoff with decorrelated jitter
+/// (Brooker's "Exponential Backoff And Jitter" variant). Each wait is drawn
+/// uniformly from [base_ms, prev_wait * 3], capped at cap_ms — retries spread
+/// out in time instead of synchronizing into waves.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  size_t max_attempts = 4;
+  /// Lower bound (and first wait) in milliseconds.
+  double base_ms = 1.0;
+  /// Upper bound every wait is clamped to.
+  double cap_ms = 200.0;
+};
+
+/// True for status codes a retry can plausibly fix: kUnavailable (queue full,
+/// brief outage) and kInternal (transient server fault). Caller errors
+/// (kInvalidArgument, kNotFound) and budget expiry (kDeadlineExceeded) are
+/// never retried.
+bool IsRetryable(StatusCode code);
+
+/// Next wait given the previous one (pass 0 before the first retry).
+/// Deterministic given the Rng state.
+double NextBackoffMs(const RetryPolicy& policy, double prev_ms, Rng& rng);
+
+/// Token-bucket retry budget: the guard that turns "retry on failure" from a
+/// load amplifier into a bounded mitigation. Every first attempt deposits
+/// `ratio` tokens (capped at `capacity`); every retry must withdraw one full
+/// token or be denied. Over any long window, retries ≤ ratio * requests +
+/// capacity, so total load amplification is bounded by (1 + ratio) plus a
+/// constant burst allowance — even when the service fails 100% of requests.
+///
+/// Thread-safe; one budget is shared by all requests of a client.
+class RetryBudget {
+ public:
+  explicit RetryBudget(double ratio = 0.1, double capacity = 10.0);
+
+  /// Deposit for one first attempt.
+  void OnRequest();
+
+  /// Withdraws one token; false (and no state change) when the bucket has
+  /// less than one token — the caller must give up instead of retrying.
+  bool TryConsumeRetry();
+
+  double tokens() const;
+  double ratio() const { return ratio_; }
+  double capacity() const { return capacity_; }
+
+ private:
+  const double ratio_;
+  const double capacity_;
+  mutable std::mutex mutex_;
+  double tokens_;
+};
+
+}  // namespace resilience
+}  // namespace vqi
+
+#endif  // VQLIB_SERVICE_RESILIENCE_RETRY_H_

@@ -1,0 +1,129 @@
+#include "service/resilience/service_client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace vqi {
+namespace resilience {
+
+ServiceClient::ServiceClient(QueryService& service,
+                             ServiceClientOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      breaker_(options_.breaker),
+      budget_(options_.retry_budget_ratio, options_.retry_budget_capacity),
+      rng_(options_.jitter_seed) {
+  obs::MetricsRegistry& registry = service_.metrics();
+  obs::Labels labels{{"client", options_.metric_label}};
+  requests_total_ = &registry.GetCounter(
+      "vqi_client_requests_total", "Requests issued through a ServiceClient.",
+      labels);
+  retries_total_ = &registry.GetCounter(
+      "vqi_client_retries_total", "Retry attempts the budget admitted.",
+      labels);
+  budget_denied_total_ = &registry.GetCounter(
+      "vqi_client_budget_denied_total",
+      "Retries suppressed by the token-bucket retry budget.", labels);
+  breaker_rejected_total_ = &registry.GetCounter(
+      "vqi_client_breaker_rejected_total",
+      "Requests rejected fast while the circuit breaker was open.", labels);
+  breaker_opened_total_ = &registry.GetCounter(
+      "vqi_breaker_opened_total",
+      "Circuit-breaker transitions into the open state.", labels);
+  attempts_per_request_ = &registry.GetHistogram(
+      "vqi_client_attempts_per_request",
+      "Submit attempts one request needed (1 = no retries); the mean is the "
+      "client's load amplification.",
+      obs::Histogram::ExponentialBounds(1, 2, 6), labels);
+  breaker_state_gauge_ = &registry.GetGauge(
+      "vqi_breaker_state",
+      "Circuit-breaker state: 0 closed, 1 open, 2 half-open.", labels);
+}
+
+void ServiceClient::RecordOutcome(StatusCode code) {
+  if (!options_.enable_breaker) return;
+  uint64_t opened_before = breaker_.TimesOpened();
+  // Only service-health failures count against the breaker. Caller errors
+  // and deadline expiries are answers, not outages.
+  if (IsRetryable(code)) {
+    breaker_.RecordFailure();
+  } else {
+    breaker_.RecordSuccess();
+  }
+  uint64_t newly_opened = breaker_.TimesOpened() - opened_before;
+  if (newly_opened > 0) breaker_opened_total_->Increment(newly_opened);
+  breaker_state_gauge_->Set(static_cast<double>(breaker_.state()));
+}
+
+QueryResult ServiceClient::Execute(QueryRequest request) {
+  requests_total_->Increment();
+  budget_.OnRequest();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+  }
+
+  uint64_t attempts = 0;
+  double backoff_ms = 0;
+  QueryResult result;
+  for (;;) {
+    if (options_.enable_breaker && !breaker_.Allow()) {
+      breaker_rejected_total_->Increment();
+      breaker_state_gauge_->Set(static_cast<double>(breaker_.state()));
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.breaker_rejected;
+      ++stats_.failed;
+      result.status = Status::Unavailable("circuit breaker open");
+      return result;
+    }
+
+    ++attempts;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.attempts;
+    }
+    result = service_.Execute(request);
+    RecordOutcome(result.status.code());
+
+    if (!IsRetryable(result.status.code())) break;
+    if (attempts >= options_.retry.max_attempts) break;
+    if (!budget_.TryConsumeRetry()) {
+      budget_denied_total_->Increment();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.budget_denied;
+      break;
+    }
+
+    retries_total_->Increment();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+      backoff_ms = NextBackoffMs(options_.retry, backoff_ms, rng_);
+      stats_.total_backoff_ms += backoff_ms;
+    }
+    if (options_.sleep_on_backoff && backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+
+  attempts_per_request_->Observe(static_cast<double>(attempts));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result.status.ok()) {
+      ++stats_.ok;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  return result;
+}
+
+ClientStats ServiceClient::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace resilience
+}  // namespace vqi

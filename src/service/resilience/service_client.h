@@ -1,0 +1,113 @@
+#ifndef VQLIB_SERVICE_RESILIENCE_SERVICE_CLIENT_H_
+#define VQLIB_SERVICE_RESILIENCE_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "service/resilience/circuit_breaker.h"
+#include "service/resilience/retry.h"
+
+namespace vqi {
+namespace resilience {
+
+/// Knobs for a ServiceClient.
+struct ServiceClientOptions {
+  RetryPolicy retry;
+  /// Retry-budget token deposit per first attempt (see RetryBudget). The
+  /// client's steady-state load amplification is bounded by 1 + this ratio.
+  double retry_budget_ratio = 0.1;
+  /// Retry-budget burst allowance in tokens.
+  double retry_budget_capacity = 10.0;
+  CircuitBreakerOptions breaker;
+  /// When false, the breaker never rejects (retry/budget still apply).
+  bool enable_breaker = true;
+  /// Seed for backoff jitter (deterministic tests fix it).
+  uint64_t jitter_seed = 1;
+  /// When false, backoff waits are computed and recorded but not slept —
+  /// lets deterministic tests run a thousand "retries" in microseconds.
+  bool sleep_on_backoff = true;
+  /// Label applied to this client's metric series ({client="<label>"}).
+  std::string metric_label = "0";
+};
+
+/// Point-in-time counters of one client.
+struct ClientStats {
+  uint64_t requests = 0;          ///< Execute() calls
+  uint64_t attempts = 0;          ///< Submit attempts reaching the service
+  uint64_t retries = 0;           ///< attempts beyond each request's first
+  uint64_t ok = 0;                ///< requests that ended OK
+  uint64_t failed = 0;            ///< requests that ended non-OK (any code)
+  uint64_t budget_denied = 0;     ///< retries suppressed by the budget
+  uint64_t breaker_rejected = 0;  ///< requests rejected while the breaker was open
+  double total_backoff_ms = 0;    ///< backoff the policy scheduled
+
+  /// attempts / requests — the measured load amplification the retry budget
+  /// bounds at (1 + ratio) plus the burst allowance.
+  double amplification() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(attempts) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Client-side resilience wrapper around QueryService::Submit: a circuit
+/// breaker in front, a jittered-backoff retry loop behind it, and a
+/// token-bucket retry budget so the loop cannot amplify load on a failing
+/// service beyond a configured factor. This is the layer a well-behaved VQI
+/// front end (or engine bridge, à la VisualNeo) talks to instead of raw
+/// Submit.
+///
+/// Instruments (registered in the service's registry, labeled by client):
+/// vqi_client_requests_total, vqi_client_retries_total,
+/// vqi_client_budget_denied_total, vqi_client_breaker_rejected_total,
+/// vqi_client_attempts_per_request (histogram), vqi_breaker_state (gauge:
+/// 0 closed, 1 open, 2 half-open) and vqi_breaker_opened_total.
+///
+/// Thread-safe; the service must outlive the client.
+class ServiceClient {
+ public:
+  explicit ServiceClient(QueryService& service,
+                         ServiceClientOptions options = {});
+
+  /// Submits `request` with breaker + retry + budget semantics and waits for
+  /// the result. Non-retryable outcomes (OK, kInvalidArgument, kNotFound,
+  /// kDeadlineExceeded) return immediately; kUnavailable / kInternal retry
+  /// up to the policy's attempt cap while the budget allows. A request
+  /// rejected by the open breaker returns kUnavailable without touching the
+  /// service.
+  QueryResult Execute(QueryRequest request);
+
+  ClientStats stats() const;
+  BreakerState breaker_state() const { return breaker_.state(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  double budget_tokens() const { return budget_.tokens(); }
+
+ private:
+  void RecordOutcome(StatusCode code);
+
+  QueryService& service_;
+  ServiceClientOptions options_;
+  CircuitBreaker breaker_;
+  RetryBudget budget_;
+
+  mutable std::mutex mutex_;  // guards rng_ and stats_
+  Rng rng_;
+  ClientStats stats_;
+
+  obs::Counter* requests_total_;
+  obs::Counter* retries_total_;
+  obs::Counter* budget_denied_total_;
+  obs::Counter* breaker_rejected_total_;
+  obs::Counter* breaker_opened_total_;
+  obs::Histogram* attempts_per_request_;
+  obs::Gauge* breaker_state_gauge_;
+};
+
+}  // namespace resilience
+}  // namespace vqi
+
+#endif  // VQLIB_SERVICE_RESILIENCE_SERVICE_CLIENT_H_

@@ -1,0 +1,716 @@
+// Chaos suite for the resilience layer: deterministic fault injection, retry
+// budgets, circuit breaking, and graceful degradation. The integration tests
+// drive a real QueryService through a ServiceClient under injected faults and
+// assert the layer's core invariants:
+//   - no crash, every admitted future resolves;
+//   - retry amplification stays within the token-bucket budget even at a
+//     100% failure rate;
+//   - the breaker opens under sustained failure and recovers via half-open;
+//   - partial (truncated) results are always a subset of the true answer.
+// Every test fixes the injector seed, so the suite is deterministic and safe
+// to run under TSan/ASan.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "service/query_service.h"
+#include "service/resilience/circuit_breaker.h"
+#include "service/resilience/fault_injector.h"
+#include "service/resilience/retry.h"
+#include "service/resilience/service_client.h"
+
+namespace vqi {
+namespace {
+
+using resilience::BreakerState;
+using resilience::CircuitBreaker;
+using resilience::CircuitBreakerOptions;
+using resilience::FaultDecision;
+using resilience::FaultInjector;
+using resilience::FaultPlan;
+using resilience::FaultPoint;
+using resilience::FaultPointSpec;
+using resilience::IsRetryable;
+using resilience::kNumFaultPoints;
+using resilience::NextBackoffMs;
+using resilience::RetryBudget;
+using resilience::RetryPolicy;
+using resilience::ServiceClient;
+using resilience::ServiceClientOptions;
+
+// The same tiny collection service_test uses: triangle, labeled path, square.
+GraphDatabase MakeDatabase() {
+  GraphDatabase db;
+  {
+    Graph g;
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddVertex(2);
+    g.AddEdge(0, 1);
+    g.AddEdge(1, 2);
+    g.AddEdge(0, 2);
+    db.Add(std::move(g));
+  }
+  {
+    Graph g;
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddEdge(0, 1);
+    g.AddEdge(1, 2);
+    g.AddEdge(2, 3);
+    db.Add(std::move(g));
+  }
+  {
+    Graph g;
+    for (int i = 0; i < 4; ++i) g.AddVertex(0);
+    g.AddEdge(0, 1);
+    g.AddEdge(1, 2);
+    g.AddEdge(2, 3);
+    g.AddEdge(0, 3);
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+Graph EdgePattern() {
+  Graph p;
+  p.AddVertex(0);
+  p.AddVertex(1);
+  p.AddEdge(0, 1);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy + budget
+
+TEST(RetryTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kDeadlineExceeded));
+}
+
+TEST(RetryTest, BackoffStaysWithinBaseAndCap) {
+  RetryPolicy policy;
+  policy.base_ms = 2.0;
+  policy.cap_ms = 50.0;
+  Rng rng(99);
+  // First wait is exactly the base; later waits are decorrelated-jittered in
+  // [base, min(3 * prev, cap)].
+  double prev = NextBackoffMs(policy, 0, rng);
+  EXPECT_DOUBLE_EQ(prev, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    double next = NextBackoffMs(policy, prev, rng);
+    EXPECT_GE(next, policy.base_ms);
+    EXPECT_LE(next, policy.cap_ms);
+    EXPECT_LE(next, std::max(prev * 3.0, policy.base_ms));
+    prev = next;
+  }
+}
+
+TEST(RetryTest, BudgetBoundsRetriesToRatioPlusBurst) {
+  const double kRatio = 0.1, kCapacity = 5.0;
+  RetryBudget budget(kRatio, kCapacity);
+  const int kRequests = 1000;
+  int granted = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    budget.OnRequest();
+    // Pathological client: wants to retry every single request.
+    if (budget.TryConsumeRetry()) ++granted;
+  }
+  // Over the whole run: retries <= ratio * requests + initial burst.
+  EXPECT_LE(granted, static_cast<int>(kRatio * kRequests + kCapacity) + 1);
+  EXPECT_GT(granted, 0);
+}
+
+TEST(RetryTest, BudgetRefillsFromFreshRequests) {
+  RetryBudget budget(0.5, 2.0);
+  // Drain the initial burst.
+  EXPECT_TRUE(budget.TryConsumeRetry());
+  EXPECT_TRUE(budget.TryConsumeRetry());
+  EXPECT_FALSE(budget.TryConsumeRetry());
+  // Two first attempts deposit 0.5 each: one retry token.
+  budget.OnRequest();
+  budget.OnRequest();
+  EXPECT_TRUE(budget.TryConsumeRetry());
+  EXPECT_FALSE(budget.TryConsumeRetry());
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker state machine
+
+CircuitBreakerOptions FastBreaker() {
+  CircuitBreakerOptions options;
+  options.window_size = 8;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  options.open_cooldown_ms = 5.0;
+  options.half_open_probes = 2;
+  return options;
+}
+
+TEST(CircuitBreakerTest, ColdBreakerIgnoresEarlyFailures) {
+  CircuitBreaker breaker(FastBreaker());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();  // 3 < min_samples: must not trip
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, OpensAtThresholdAndClosesViaHalfOpen) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.TimesOpened(), 1u);
+  EXPECT_FALSE(breaker.Allow());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Cooldown elapsed: the next Allow transitions to half-open.
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // Recovery cleared the window: the old failures cannot re-trip it.
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 0.0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.TimesOpened(), 2u);
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsBoundedProbes) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());
+  // Probe quota (2) exhausted with no outcomes yet: further calls rejected.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector: determinism and the chaos-spec grammar
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.At(FaultPoint::kExecutor).error_p = 0.35;
+  plan.At(FaultPoint::kCacheProbe).drop_p = 0.2;
+  plan.At(FaultPoint::kVf2Slice).latency_p = 0.25;
+  plan.At(FaultPoint::kVf2Slice).latency_ms = 0.01;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (size_t p = 0; p < kNumFaultPoints; ++p) {
+    FaultPoint point = static_cast<FaultPoint>(p);
+    for (int i = 0; i < 500; ++i) {
+      FaultDecision da = a.Decide(point);
+      FaultDecision db = b.Decide(point);
+      EXPECT_EQ(da.status.code(), db.status.code());
+      EXPECT_EQ(da.dropped, db.dropped);
+      EXPECT_DOUBLE_EQ(da.latency_ms, db.latency_ms);
+    }
+    EXPECT_EQ(a.InjectedErrors(point), b.InjectedErrors(point));
+    EXPECT_EQ(a.InjectedDrops(point), b.InjectedDrops(point));
+    EXPECT_EQ(a.InjectedLatencies(point), b.InjectedLatencies(point));
+  }
+  EXPECT_EQ(a.InjectedTotal(), b.InjectedTotal());
+  EXPECT_GT(a.InjectedTotal(), 0u);
+}
+
+TEST(FaultInjectorTest, PointStreamsAreIndependent) {
+  // Activating faults at OTHER points, or adding latency at the SAME point,
+  // must not change which error decisions a point draws (forked per-point
+  // streams + fixed three-draw burn per decision).
+  FaultPlan base;
+  base.seed = 21;
+  base.At(FaultPoint::kExecutor).error_p = 0.5;
+
+  FaultPlan busy = base;
+  busy.At(FaultPoint::kAdmission).drop_p = 0.3;
+  busy.At(FaultPoint::kCacheProbe).error_p = 0.9;
+  busy.At(FaultPoint::kExecutor).latency_p = 0.5;
+  busy.At(FaultPoint::kExecutor).latency_ms = 0.001;
+
+  FaultInjector a(base);
+  FaultInjector b(busy);
+  for (int i = 0; i < 300; ++i) {
+    // Interleave decisions at other points on b only.
+    b.Decide(FaultPoint::kAdmission);
+    b.Decide(FaultPoint::kCacheProbe);
+    FaultDecision da = a.Decide(FaultPoint::kExecutor);
+    FaultDecision db = b.Decide(FaultPoint::kExecutor);
+    EXPECT_EQ(da.status.code(), db.status.code()) << "decision " << i;
+  }
+  EXPECT_EQ(a.InjectedErrors(FaultPoint::kExecutor),
+            b.InjectedErrors(FaultPoint::kExecutor));
+}
+
+TEST(FaultInjectorTest, RegisterMetricsCarriesOverAndTracksInjections) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.At(FaultPoint::kExecutor).error_p = 1.0;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 5; ++i) injector.Decide(FaultPoint::kExecutor);
+
+  obs::MetricsRegistry registry;
+  injector.RegisterMetrics(registry);
+  obs::Counter& errors = registry.GetCounter(
+      "vqi_faults_injected_total", "", {{"point", "executor"}, {"kind", "error"}});
+  EXPECT_EQ(errors.Value(), 5u);  // pre-registration injections carried over
+  injector.Decide(FaultPoint::kExecutor);
+  EXPECT_EQ(errors.Value(), 6u);
+  EXPECT_EQ(injector.InjectedErrors(FaultPoint::kExecutor), 6u);
+}
+
+TEST(ChaosSpecTest, ParsesFullGrammar) {
+  auto parsed = FaultInjector::ParseChaosSpec(
+      "seed=7;executor:error=0.2,code=internal;"
+      "vf2_slice:latency_ms=5,latency_p=0.5;admission:drop=0.1;"
+      "cache_probe:error=1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FaultPlan& plan = parsed.value();
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.At(FaultPoint::kExecutor).error_p, 0.2);
+  EXPECT_EQ(plan.At(FaultPoint::kExecutor).error_code, StatusCode::kInternal);
+  EXPECT_DOUBLE_EQ(plan.At(FaultPoint::kVf2Slice).latency_ms, 5.0);
+  EXPECT_DOUBLE_EQ(plan.At(FaultPoint::kVf2Slice).latency_p, 0.5);
+  EXPECT_DOUBLE_EQ(plan.At(FaultPoint::kAdmission).drop_p, 0.1);
+  EXPECT_DOUBLE_EQ(plan.At(FaultPoint::kCacheProbe).error_p, 1.0);
+  EXPECT_TRUE(plan.AnyActive());
+}
+
+TEST(ChaosSpecTest, BareLatencyImpliesCertainProbability) {
+  auto parsed = FaultInjector::ParseChaosSpec("executor:latency_ms=3");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->At(FaultPoint::kExecutor).latency_p, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->At(FaultPoint::kExecutor).latency_ms, 3.0);
+}
+
+TEST(ChaosSpecTest, EmptySpecIsInertAndKeepsDefaultSeed) {
+  auto parsed = FaultInjector::ParseChaosSpec("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->AnyActive());
+  EXPECT_EQ(parsed->seed, 42u);
+}
+
+TEST(ChaosSpecTest, RejectsMalformedSpecs) {
+  const char* kBad[] = {
+      "bogus:error=1",          // unknown fault point
+      "executor:frob=1",        // unknown key
+      "executor:error=1.5",     // probability out of range
+      "executor:error=-0.1",    // negative probability
+      "executor:code=teapot",   // unknown error code
+      "executor:latency_ms=-1", // negative latency
+      "seed=abc",               // non-numeric seed
+      "executor error=1",       // missing colon
+      "executor:error",         // missing value
+  };
+  for (const char* spec : kBad) {
+    auto parsed = FaultInjector::ParseChaosSpec(spec);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << spec;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integration: service + client under chaos
+
+// Invariant: with every fault point active at once, under concurrent load,
+// nothing crashes, every Execute returns a classified status, and every
+// admitted request resolves.
+TEST(ChaosServiceTest, AllFaultPointsActiveNoCrashAllRequestsResolve) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.At(FaultPoint::kCacheProbe) = {0.2, StatusCode::kUnavailable, 0, 0, 0.1};
+  plan.At(FaultPoint::kAdmission) = {0.05, StatusCode::kUnavailable, 0.05, 0.1,
+                                     0.02};
+  plan.At(FaultPoint::kExecutor) = {0.2, StatusCode::kInternal, 0.2, 0.2, 0.1};
+  plan.At(FaultPoint::kVf2Slice) = {0.05, StatusCode::kUnavailable, 0.2, 0.05,
+                                    0};
+  FaultInjector injector(plan);
+
+  GraphDatabase db = MakeDatabase();
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 64;
+  options.cache_capacity = 128;
+  options.fault_injector = &injector;
+  QueryService service(db, options);
+
+  ServiceClientOptions client_options;
+  client_options.retry.max_attempts = 3;
+  client_options.retry_budget_ratio = 0.2;
+  client_options.retry_budget_capacity = 10.0;
+  client_options.breaker.window_size = 64;
+  client_options.breaker.min_samples = 32;
+  client_options.breaker.failure_threshold = 0.95;  // chaos is not an outage
+  client_options.sleep_on_backoff = false;
+  ServiceClient client(service, client_options);
+
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 150;
+  std::atomic<uint64_t> bad_status{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &client, &bad_status] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryRequest request;
+        int variant = (t * kPerThread + i) % 4;
+        request.pattern = EdgePattern();
+        if (variant == 1) request.target = i % 3;
+        if (variant == 2) {
+          request.deadline_ms = 50;
+          request.allow_partial = (i % 2 == 0);
+        }
+        if (variant == 3) {
+          request.kind = QueryKind::kSuggest;
+          request.focus = static_cast<VertexId>(i % 2);
+        }
+        request.priority = static_cast<RequestPriority>(i % 3);
+        QueryResult result = client.Execute(request);
+        StatusCode code = result.status.code();
+        bool classified = code == StatusCode::kOk ||
+                          code == StatusCode::kUnavailable ||
+                          code == StatusCode::kInternal ||
+                          code == StatusCode::kDeadlineExceeded;
+        if (!classified) ++bad_status;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(bad_status.load(), 0u);
+  resilience::ClientStats stats = client.stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads * kPerThread));
+  // Budget invariant holds even under mixed concurrent chaos.
+  EXPECT_LE(stats.attempts,
+            static_cast<uint64_t>(stats.requests * 1.2 +
+                                  client_options.retry_budget_capacity + 1));
+  // Every fault point actually fired.
+  for (size_t p = 0; p < kNumFaultPoints; ++p) {
+    FaultPoint point = static_cast<FaultPoint>(p);
+    EXPECT_GT(injector.InjectedErrors(point) + injector.InjectedDrops(point) +
+                  injector.InjectedLatencies(point),
+              0u)
+        << resilience::FaultPointName(point);
+  }
+  // All admitted work resolved (Execute is synchronous, so by now the
+  // counters must balance) and the injected faults surfaced in the metrics.
+  ServiceStats service_stats = service.Snapshot();
+  EXPECT_EQ(service_stats.completed, service_stats.admitted);
+  // The cache_probe point is consulted on every request, so its error series
+  // is guaranteed to be non-empty in the service's registry.
+  EXPECT_GT(service.metrics()
+                .GetCounter("vqi_faults_injected_total", "",
+                            {{"point", "cache_probe"}, {"kind", "error"}})
+                .Value(),
+            0u);
+}
+
+// Invariant: at a 100% service failure rate, the retry budget caps the
+// client's load amplification at (1 + ratio) plus the burst allowance.
+TEST(ChaosServiceTest, RetryAmplificationStaysWithinBudget) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.At(FaultPoint::kExecutor).error_p = 1.0;  // total outage
+  FaultInjector injector(plan);
+
+  GraphDatabase db = MakeDatabase();
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 32;
+  options.cache_capacity = 0;  // no cache: every request reaches the executor
+  options.fault_injector = &injector;
+  QueryService service(db, options);
+
+  const double kRatio = 0.1, kCapacity = 5.0;
+  ServiceClientOptions client_options;
+  client_options.retry.max_attempts = 6;
+  client_options.retry_budget_ratio = kRatio;
+  client_options.retry_budget_capacity = kCapacity;
+  client_options.enable_breaker = false;  // isolate the budget invariant
+  client_options.sleep_on_backoff = false;
+  ServiceClient client(service, client_options);
+
+  constexpr uint64_t kRequests = 200;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    QueryRequest request;
+    request.pattern = EdgePattern();
+    QueryResult result = client.Execute(request);
+    EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  }
+
+  resilience::ClientStats stats = client.stats();
+  EXPECT_EQ(stats.requests, kRequests);
+  // retries <= ratio * requests + initial burst, so
+  // attempts <= requests * (1 + ratio) + capacity.
+  EXPECT_LE(stats.attempts,
+            static_cast<uint64_t>(kRequests * (1.0 + kRatio) + kCapacity) + 1);
+  EXPECT_GE(stats.attempts, kRequests);
+  // The pathological retry pressure was actually suppressed by the budget,
+  // not by the attempt cap alone.
+  EXPECT_GT(stats.budget_denied, 0u);
+  EXPECT_LE(client.stats().amplification(),
+            1.0 + kRatio + (kCapacity + 1) / static_cast<double>(kRequests));
+}
+
+// Invariant: sustained failure opens the breaker (fast-fail without touching
+// the service); after the fault clears and the cooldown elapses, half-open
+// probes close it and the client serves normally again.
+TEST(ChaosServiceTest, BreakerOpensUnderSustainedFailureAndRecovers) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.At(FaultPoint::kExecutor).error_p = 1.0;
+  plan.At(FaultPoint::kExecutor).error_code = StatusCode::kInternal;
+  FaultInjector injector(plan);
+
+  GraphDatabase db = MakeDatabase();
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 16;
+  options.cache_capacity = 0;
+  options.fault_injector = &injector;
+  QueryService service(db, options);
+
+  ServiceClientOptions client_options;
+  client_options.retry.max_attempts = 1;  // isolate the breaker
+  client_options.breaker.window_size = 16;
+  client_options.breaker.min_samples = 4;
+  client_options.breaker.failure_threshold = 0.5;
+  client_options.breaker.open_cooldown_ms = 40.0;
+  client_options.breaker.half_open_probes = 2;
+  ServiceClient client(service, client_options);
+
+  QueryRequest request;
+  request.pattern = EdgePattern();
+
+  // Sustained failure: the breaker must open within a bounded number of
+  // requests (min_samples = 4 at a 100% failure rate).
+  int to_open = 0;
+  while (client.breaker_state() != BreakerState::kOpen && to_open < 50) {
+    EXPECT_EQ(client.Execute(request).status.code(), StatusCode::kInternal);
+    ++to_open;
+  }
+  ASSERT_EQ(client.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(to_open, 4);
+  EXPECT_EQ(client.breaker().TimesOpened(), 1u);
+
+  // While open, requests fast-fail without reaching the service.
+  uint64_t admitted_before = service.Snapshot().admitted;
+  QueryResult rejected = client.Execute(request);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status.message().find("circuit breaker open"),
+            std::string::npos);
+  EXPECT_EQ(service.Snapshot().admitted, admitted_before);
+  EXPECT_GE(client.stats().breaker_rejected, 1u);
+  EXPECT_EQ(service.metrics()
+                .GetCounter("vqi_breaker_opened_total", "",
+                            {{"client", "0"}})
+                .Value(),
+            1u);
+
+  // The service recovers...
+  injector.SetSpec(FaultPoint::kExecutor, FaultPointSpec{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // ...and half-open probes (2 successes) close the breaker again.
+  QueryResult probe1 = client.Execute(request);
+  EXPECT_TRUE(probe1.status.ok()) << probe1.status.ToString();
+  QueryResult probe2 = client.Execute(request);
+  EXPECT_TRUE(probe2.status.ok());
+  EXPECT_EQ(client.breaker_state(), BreakerState::kClosed);
+  QueryResult healthy = client.Execute(request);
+  EXPECT_TRUE(healthy.status.ok());
+  EXPECT_EQ(client.breaker().TimesOpened(), 1u);  // never re-opened
+}
+
+// Invariant: a deadline-truncated partial result is a subset of the true
+// answer — every counted embedding and matched graph is real — and partial
+// results are never served from or stored into the cache.
+TEST(ChaosServiceTest, PartialResultsAreSubsetOfTrueResults) {
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, 19);
+
+  QueryRequest request;
+  request.pattern = EdgePattern();
+  request.max_embeddings = 0;
+
+  // Ground truth: fault-free, no deadline.
+  QueryResult full;
+  {
+    QueryService service(db, QueryServiceOptions{1, 8, 0, 1, {}});
+    full = service.Execute(request);
+    ASSERT_TRUE(full.status.ok());
+    ASSERT_FALSE(full.truncated);
+    ASSERT_GT(full.embedding_count, 0u);
+    ASSERT_GT(full.matched_graphs.size(), 4u);
+  }
+
+  // Degraded run: every matching slice is stalled 3ms, so a 12ms budget
+  // expires after a handful of the 40 targets.
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.At(FaultPoint::kVf2Slice).latency_p = 1.0;
+  plan.At(FaultPoint::kVf2Slice).latency_ms = 3.0;
+  FaultInjector injector(plan);
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 8;
+  options.cache_capacity = 64;
+  options.fault_injector = &injector;
+  QueryService service(db, options);
+
+  QueryRequest degraded = request;
+  degraded.deadline_ms = 12;
+  degraded.allow_partial = true;
+  QueryResult partial = service.Execute(degraded);
+  ASSERT_TRUE(partial.status.ok()) << partial.status.ToString();
+  EXPECT_TRUE(partial.truncated);
+  EXPECT_LE(partial.embedding_count, full.embedding_count);
+  EXPECT_LT(partial.matched_graphs.size(), full.matched_graphs.size());
+  // Subset: both are in ascending target order.
+  EXPECT_TRUE(std::includes(full.matched_graphs.begin(),
+                            full.matched_graphs.end(),
+                            partial.matched_graphs.begin(),
+                            partial.matched_graphs.end()));
+  EXPECT_EQ(service.Snapshot().truncated, 1u);
+
+  // Truncated results must never be cached: the rerun recomputes.
+  QueryResult rerun = service.Execute(degraded);
+  EXPECT_FALSE(rerun.from_cache);
+  EXPECT_EQ(service.Snapshot().cache_hits, 0u);
+
+  // Without allow_partial the same truncation is an error status, but the
+  // partial counts still ride along for diagnostics.
+  QueryRequest strict = degraded;
+  strict.allow_partial = false;
+  QueryResult failed = service.Execute(strict);
+  EXPECT_EQ(failed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(failed.truncated);
+}
+
+// Invariant: under overload the service sheds by priority — background work
+// is rejected at the high-water mark while interactive work still admits.
+TEST(ChaosServiceTest, ShedsBackgroundBeforeInteractiveUnderOverload) {
+  FaultPlan plan;
+  plan.seed = 29;
+  plan.At(FaultPoint::kExecutor).latency_p = 1.0;
+  plan.At(FaultPoint::kExecutor).latency_ms = 50.0;  // pin the single worker
+  FaultInjector injector(plan);
+
+  GraphDatabase db = MakeDatabase();
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 8;
+  options.cache_capacity = 0;
+  options.shed_high_water = 0.5;  // background sheds at depth 4, normal at 6
+  options.fault_injector = &injector;
+  QueryService service(db, options);
+
+  // One request occupies the worker; four more fill the queue to the
+  // background high-water mark.
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    QueryRequest request;
+    request.pattern = EdgePattern();
+    request.priority = RequestPriority::kInteractive;
+    auto submitted = service.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).value());
+  }
+  // Let the worker dequeue the first request (it then stalls on the injected
+  // 50ms executor latency, freezing the queue at depth 4).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  QueryRequest background;
+  background.pattern = EdgePattern();
+  background.priority = RequestPriority::kBackground;
+  QueryResult shed = service.Execute(background);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status.message().find("load shed"), std::string::npos);
+
+  // The same queue depth admits normal and interactive work.
+  for (RequestPriority priority :
+       {RequestPriority::kNormal, RequestPriority::kInteractive}) {
+    QueryRequest request;
+    request.pattern = EdgePattern();
+    request.priority = priority;
+    auto submitted = service.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok()) << RequestPriorityName(priority);
+    futures.push_back(std::move(submitted).value());
+  }
+
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.rejected, 1u);  // shed requests count as rejections too
+  EXPECT_EQ(service.metrics()
+                .GetCounter("vqi_requests_shed_total", "",
+                            {{"priority", "background"}})
+                .Value(),
+            1u);
+}
+
+// Invariant: a fixed seed makes a whole single-threaded chaos run replayable
+// — same statuses, same injected-fault counts.
+TEST(ChaosServiceTest, FixedSeedMakesChaosRunsDeterministic) {
+  auto parsed = FaultInjector::ParseChaosSpec(
+      "seed=31;executor:error=0.3;cache_probe:drop=0.2;"
+      "admission:error=0.1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FaultPlan chaos_plan = parsed.value();
+  auto run = [&chaos_plan](std::vector<StatusCode>* codes) -> uint64_t {
+    FaultInjector injector(chaos_plan);
+    GraphDatabase db = MakeDatabase();
+    QueryServiceOptions options;
+    options.num_threads = 1;
+    options.queue_capacity = 16;
+    options.cache_capacity = 64;
+    options.fault_injector = &injector;
+    QueryService service(db, options);
+    ServiceClientOptions client_options;
+    client_options.retry.max_attempts = 3;
+    client_options.enable_breaker = false;  // cooldown is wall-clock-driven
+    client_options.sleep_on_backoff = false;
+    client_options.jitter_seed = 2;
+    ServiceClient client(service, client_options);
+    for (int i = 0; i < 40; ++i) {
+      QueryRequest request;
+      request.pattern = EdgePattern();
+      if (i % 3 == 1) request.target = i % 3;
+      codes->push_back(client.Execute(request).status.code());
+    }
+    return injector.InjectedTotal();
+  };
+  std::vector<StatusCode> first, second;
+  uint64_t faults_first = run(&first);
+  uint64_t faults_second = run(&second);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(faults_first, faults_second);
+  EXPECT_GT(faults_first, 0u);
+}
+
+}  // namespace
+}  // namespace vqi

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "catapult/catapult.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
@@ -160,6 +164,75 @@ TEST(RobustnessTest, CorruptLgFilesRejected) {
   };
   for (const char* text : corrupt) {
     EXPECT_FALSE(io::ParseGraph(text).ok()) << "accepted: " << text;
+  }
+}
+
+// Writes `content` to a fresh file under the test temp dir and returns its
+// path.
+std::string WriteTempFile(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(RobustnessTest, TruncatedLgFilesFailWithParseError) {
+  // Files cut off mid-record (a crashed writer, a partial download) must come
+  // back as a ParseError naming the offending line — never a crash and never
+  // a silently half-loaded database.
+  const char* truncated[] = {
+      "t # 0\nv 0 0\nv 1 0\ne 0 1",      // edge line cut before its label
+      "t # 0\nv 0",                      // vertex line cut before its label
+      "t # 0\nv 0 0\nv 1 0\ne",          // bare directive
+  };
+  int i = 0;
+  for (const char* content : truncated) {
+    std::string path =
+        WriteTempFile("truncated_" + std::to_string(i++) + ".lg", content);
+    auto loaded = io::LoadDatabase(path);
+    ASSERT_FALSE(loaded.ok()) << "accepted: " << content;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+    EXPECT_NE(loaded.status().message().find("line"), std::string::npos);
+  }
+  EXPECT_EQ(io::LoadDatabase(::testing::TempDir() + "/does_not_exist.lg")
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST(RobustnessTest, BadLgHeadersRejected) {
+  const char* bad[] = {
+      "x # 0\nv 0 0\n",                      // unknown header directive
+      "t # 99999999999999999999999999\n",    // graph id overflows int64
+      "t # -0x10\n",                         // garbage id
+      "v 0 0\ne 0 1 0\n",                    // body before any 't' header
+  };
+  for (const char* content : bad) {
+    auto parsed = io::ParseGraph(content);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << content;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  }
+  // Two graphs claiming the same id poison the whole database load.
+  std::istringstream in("t # 7\nv 0 0\nt # 7\nv 0 0\n");
+  auto db = io::ParseDatabase(in);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("duplicate graph id"),
+            std::string::npos);
+}
+
+TEST(RobustnessTest, OutOfRangeVertexIdsRejected) {
+  const char* bad[] = {
+      "t # 0\nv 7 0\n",                              // sparse declaration
+      "t # 0\nv -1 0\n",                             // negative vertex id
+      "t # 0\nv 0 0\nv 1 0\ne 0 99 0\n",             // edge beyond last vertex
+      "t # 0\nv 0 0\ne 0 18446744073709551616 0\n",  // endpoint overflows
+      "t # 0\nv 0 0\nv 1 0\ne 1 -2 0\n",             // negative endpoint
+      "t # 0\nv 0 0\nv 0 9\n",                       // re-declared vertex 0
+  };
+  for (const char* content : bad) {
+    auto parsed = io::ParseGraph(content);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << content;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
   }
 }
 

@@ -395,6 +395,46 @@ TEST(QueryServiceTest, InvalidateCacheForcesRecompute) {
             1u);
 }
 
+TEST(QueryServiceTest, InvalidateCacheKeyOnlyEvictsDependentEntries) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}});
+
+  // Cache one single-target result per graph plus a whole-collection result.
+  auto target_request = [](GraphId target) {
+    QueryRequest request;
+    request.pattern = EdgePattern();
+    request.target = target;
+    return request;
+  };
+  QueryRequest all_graphs;
+  all_graphs.pattern = EdgePattern();
+  ASSERT_TRUE(service.Execute(target_request(0)).status.ok());
+  ASSERT_TRUE(service.Execute(target_request(1)).status.ok());
+  ASSERT_TRUE(service.Execute(all_graphs).status.ok());
+  ASSERT_TRUE(service.Execute(target_request(0)).from_cache);
+  ASSERT_TRUE(service.Execute(target_request(1)).from_cache);
+  ASSERT_TRUE(service.Execute(all_graphs).from_cache);
+
+  service.InvalidateCacheKey(0);
+
+  // Entries that could depend on graph 0 recompute; graph 1's entry survives.
+  EXPECT_FALSE(service.Execute(target_request(0)).from_cache);
+  EXPECT_FALSE(service.Execute(all_graphs).from_cache);
+  EXPECT_TRUE(service.Execute(target_request(1)).from_cache);
+  // And the new epochs cache normally again.
+  EXPECT_TRUE(service.Execute(target_request(0)).from_cache);
+  EXPECT_TRUE(service.Execute(all_graphs).from_cache);
+  EXPECT_EQ(service.metrics()
+                .GetCounter("vqi_cache_key_invalidations_total")
+                .Value(),
+            1u);
+  // The full invalidation epoch was untouched.
+  EXPECT_EQ(service.metrics()
+                .GetCounter("vqi_cache_invalidations_total")
+                .Value(),
+            0u);
+}
+
 TEST(QueryServiceTest, MaintainerBatchListenerInvalidatesCache) {
   GraphDatabase db = gen::MoleculeDatabase(50, gen::MoleculeConfig{}, 45);
   CatapultConfig config;

@@ -11,11 +11,16 @@
 //   vqi_cli suggest       <in.lg> <vertex-label> [k]
 //   vqi_cli usability     <in.lg> <file.vqi> [queries]
 //   vqi_cli serve-bench   <in.lg> [queries] [threads] [repeat]
-//                         [--clients=N] [--metrics-out=<file>]
+//                         [--clients=N] [--threads=N] [--deadline-ms=X]
+//                         [--chaos=<spec>] [--metrics-out=<file>]
 //                         (replay a generated query workload through the
 //                         concurrent QueryService and print serving stats;
-//                         --clients runs N submitter threads, --metrics-out
-//                         writes a Prometheus-text metrics snapshot)
+//                         --clients runs N submitter threads, --deadline-ms
+//                         puts a budget on every request, --chaos injects
+//                         faults per the spec grammar of docs/resilience.md
+//                         and drives the load through resilient
+//                         ServiceClients, --metrics-out writes a
+//                         Prometheus-text metrics snapshot)
 //   vqi_cli metrics-demo  (serve a small in-memory workload and dump the
 //                         observability surface: Prometheus text, JSON,
 //                         recent request traces)
@@ -25,6 +30,8 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +43,8 @@
 #include "layout/dot_export.h"
 #include "obs/export.h"
 #include "service/query_service.h"
+#include "service/resilience/fault_injector.h"
+#include "service/resilience/service_client.h"
 #include "sim/usability.h"
 #include "sim/workload.h"
 #include "vqi/builder.h"
@@ -62,7 +71,8 @@ int Usage() {
                "  suggest       <in.lg> <vertex-label> [k]\n"
                "  usability     <in.lg> <file.vqi> [queries]\n"
                "  serve-bench   <in.lg> [queries] [threads] [repeat]\n"
-               "                [--clients=N] [--metrics-out=<file>]\n"
+               "                [--clients=N] [--threads=N] [--deadline-ms=X]\n"
+               "                [--chaos=<spec>] [--metrics-out=<file>]\n"
                "  metrics-demo\n");
   return 2;
 }
@@ -212,6 +222,22 @@ int Usability(int argc, char** argv) {
   return 0;
 }
 
+// Parses a bounded integer CLI value into `out`; malformed or out-of-range
+// text comes back as kInvalidArgument instead of exiting mid-command.
+Status ParseCount(const std::string& text, const char* name, int64_t min_value,
+                  int64_t max_value, int64_t* out) {
+  if (!ParseInt64(text, out)) {
+    return Status::InvalidArgument(std::string(name) + ": '" + text +
+                                   "' is not an integer");
+  }
+  if (*out < min_value || *out > max_value) {
+    return Status::InvalidArgument(std::string(name) + " must be between " +
+                                   std::to_string(min_value) + " and " +
+                                   std::to_string(max_value) + ", got " + text);
+  }
+  return Status::OK();
+}
+
 // One serve-bench submitter thread's outcome. `attempts` counts Submit calls
 // (admitted + rejected), so rejected/attempts is the client's reject rate.
 struct ClientOutcome {
@@ -220,6 +246,59 @@ struct ClientOutcome {
   uint64_t completed = 0;
 };
 
+// One chaos-mode client's result-status tally.
+struct ChaosOutcome {
+  uint64_t ok = 0;
+  uint64_t truncated = 0;  // subset of ok when allow_partial is set
+  uint64_t unavailable = 0;
+  uint64_t internal_error = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other = 0;
+
+  uint64_t total() const {
+    return ok + unavailable + internal_error + deadline_exceeded + other;
+  }
+};
+
+// Chaos-mode bench client: drives its share of the workload through a
+// resilient ServiceClient (breaker + budgeted retries) instead of raw Submit,
+// and tallies final statuses. With a deadline set, requests opt into partial
+// results, so deadline expiries surface as truncated OK answers.
+void RunChaosClient(resilience::ServiceClient& client,
+                    const std::vector<Graph>& queries, size_t repeat,
+                    size_t client_id, size_t num_clients, double deadline_ms,
+                    ChaosOutcome* outcome) {
+  for (size_t round = 0; round < repeat; ++round) {
+    for (size_t qi = client_id; qi < queries.size(); qi += num_clients) {
+      QueryRequest request;
+      request.pattern = queries[qi];
+      request.max_embeddings = 2000;
+      request.deadline_ms = deadline_ms;
+      request.allow_partial = deadline_ms > 0;
+      request.priority = static_cast<RequestPriority>(qi % 3);
+      QueryResult result = client.Execute(std::move(request));
+      if (result.truncated) ++outcome->truncated;
+      switch (result.status.code()) {
+        case StatusCode::kOk:
+          ++outcome->ok;
+          break;
+        case StatusCode::kUnavailable:
+          ++outcome->unavailable;
+          break;
+        case StatusCode::kInternal:
+          ++outcome->internal_error;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++outcome->deadline_exceeded;
+          break;
+        default:
+          ++outcome->other;
+          break;
+      }
+    }
+  }
+}
+
 // Replays this client's share of the workload (queries striped across
 // clients). On kUnavailable the client waits for its own oldest outstanding
 // request, then retries — the retry-after-drain loop a well-behaved caller
@@ -227,7 +306,7 @@ struct ClientOutcome {
 // popular queries after earlier answers came back.
 void RunBenchClient(QueryService& service, const std::vector<Graph>& queries,
                     size_t repeat, size_t client_id, size_t num_clients,
-                    ClientOutcome* outcome) {
+                    double deadline_ms, ClientOutcome* outcome) {
   std::vector<std::future<QueryResult>> futures;
   size_t next_wait = 0;
   for (size_t round = 0; round < repeat; ++round) {
@@ -235,6 +314,7 @@ void RunBenchClient(QueryService& service, const std::vector<Graph>& queries,
       QueryRequest request;
       request.pattern = queries[qi];
       request.max_embeddings = 2000;
+      request.deadline_ms = deadline_ms;
       for (;;) {
         ++outcome->attempts;
         auto submitted = service.Submit(request);
@@ -257,16 +337,48 @@ void RunBenchClient(QueryService& service, const std::vector<Graph>& queries,
 }
 
 int ServeBench(int argc, char** argv) {
-  // Flags may appear anywhere; everything else is positional.
+  // Flags may appear anywhere; everything else is positional. Every value is
+  // validated into a Status — a bad flag must never crash or misconfigure a
+  // long bench run.
   std::string metrics_out;
+  std::string chaos_spec;
   int64_t clients_arg = 1;
+  int64_t threads_arg = 4;
+  bool threads_flag_set = false;
+  double deadline_ms = 0;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
-      metrics_out = argv[i] + 14;
-    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
-      clients_arg = ParseIntOrDie(argv[i] + 10);
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(10), "--clients", 1, 256,
+                                &clients_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(10), "--threads", 1, 1024,
+                                &threads_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+      threads_flag_set = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      std::string value = arg.substr(14);
+      if (!ParseDouble(value, &deadline_ms) || deadline_ms < 0 ||
+          deadline_ms > 1e9) {
+        return Fail(Status::InvalidArgument(
+            "--deadline-ms: '" + value +
+            "' must be a number of milliseconds in [0, 1e9]"));
+      }
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      chaos_spec = arg.substr(8);
+      if (chaos_spec.empty()) {
+        return Fail(Status::InvalidArgument(
+            "--chaos: empty spec (see docs/resilience.md for the grammar)"));
+      }
+    } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return Usage();
     } else {
@@ -278,17 +390,31 @@ int ServeBench(int argc, char** argv) {
   if (!db.ok()) return Fail(db.status());
   if (db->empty()) return Fail(Status::InvalidArgument("input has no graphs"));
 
-  int64_t queries_arg = positional.size() >= 2 ? ParseIntOrDie(positional[1]) : 40;
-  int64_t threads_arg = positional.size() >= 3 ? ParseIntOrDie(positional[2]) : 4;
-  int64_t repeat_arg = positional.size() >= 4 ? ParseIntOrDie(positional[3]) : 3;
-  if (queries_arg < 1 || threads_arg < 1 || repeat_arg < 1 ||
-      clients_arg < 1) {
-    return Fail(Status::InvalidArgument(
-        "queries, threads, repeat, and clients must all be >= 1"));
+  int64_t queries_arg = 40;
+  int64_t repeat_arg = 3;
+  if (positional.size() >= 2) {
+    if (Status s = ParseCount(positional[1], "queries", 1, 1000000,
+                              &queries_arg);
+        !s.ok()) {
+      return Fail(s);
+    }
   }
-  if (threads_arg > 1024 || clients_arg > 256) {
-    return Fail(Status::InvalidArgument(
-        "threads must be <= 1024 and clients <= 256"));
+  if (positional.size() >= 3) {
+    if (threads_flag_set) {
+      return Fail(Status::InvalidArgument(
+          "threads given both positionally and via --threads"));
+    }
+    if (Status s = ParseCount(positional[2], "threads", 1, 1024, &threads_arg);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  if (positional.size() >= 4) {
+    if (Status s = ParseCount(positional[3], "repeat", 1, 1000000,
+                              &repeat_arg);
+        !s.ok()) {
+      return Fail(s);
+    }
   }
   WorkloadConfig wconfig;
   wconfig.num_queries = static_cast<size_t>(queries_arg);
@@ -297,23 +423,50 @@ int ServeBench(int argc, char** argv) {
   size_t clients = static_cast<size_t>(clients_arg);
   std::vector<Graph> queries = GenerateDbWorkload(*db, wconfig);
 
+  std::optional<resilience::FaultInjector> injector;
+  if (!chaos_spec.empty()) {
+    auto plan = resilience::FaultInjector::ParseChaosSpec(chaos_spec);
+    if (!plan.ok()) return Fail(plan.status());
+    injector.emplace(plan.value());
+  }
+
   QueryServiceOptions options;
   options.num_threads = threads;
   options.queue_capacity = 512;
   options.cache_capacity = 1024;
+  if (injector.has_value()) options.fault_injector = &*injector;
   QueryService service(*db, options);
 
   Stopwatch timer;
   std::vector<ClientOutcome> outcomes(clients);
+  std::vector<ChaosOutcome> chaos_outcomes(clients);
+  std::vector<std::unique_ptr<resilience::ServiceClient>> chaos_clients;
+  if (injector.has_value()) {
+    // Chaos mode: each bench client gets its own resilient wrapper (its own
+    // breaker and retry budget), labeled in the metrics by client id.
+    for (size_t c = 0; c < clients; ++c) {
+      resilience::ServiceClientOptions client_options;
+      client_options.metric_label = std::to_string(c);
+      chaos_clients.push_back(std::make_unique<resilience::ServiceClient>(
+          service, client_options));
+    }
+  }
+  auto run_client = [&](size_t c) {
+    if (injector.has_value()) {
+      RunChaosClient(*chaos_clients[c], queries, repeat, c, clients,
+                     deadline_ms, &chaos_outcomes[c]);
+    } else {
+      RunBenchClient(service, queries, repeat, c, clients, deadline_ms,
+                     &outcomes[c]);
+    }
+  };
   if (clients == 1) {
-    RunBenchClient(service, queries, repeat, 0, 1, &outcomes[0]);
+    run_client(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(clients);
     for (size_t c = 0; c < clients; ++c) {
-      workers.emplace_back([&, c] {
-        RunBenchClient(service, queries, repeat, c, clients, &outcomes[c]);
-      });
+      workers.emplace_back([&run_client, c] { run_client(c); });
     }
     for (auto& w : workers) w.join();
   }
@@ -321,6 +474,7 @@ int ServeBench(int argc, char** argv) {
 
   uint64_t total_completed = 0;
   for (const ClientOutcome& o : outcomes) total_completed += o.completed;
+  for (const ChaosOutcome& o : chaos_outcomes) total_completed += o.total();
 
   ServiceStats stats = service.Snapshot();
   std::printf("replayed %llu requests (%zu distinct queries x %zu rounds, "
@@ -345,7 +499,73 @@ int ServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),
               static_cast<unsigned long long>(stats.cache_evictions));
-  if (clients > 1) {
+  if (injector.has_value()) {
+    // Resilience summary: what the chaos layer injected and how the client
+    // stack (retries, budget, breaker, partial results) absorbed it.
+    std::printf("chaos:       spec '%s' (seed %llu)\n", chaos_spec.c_str(),
+                static_cast<unsigned long long>(injector->seed()));
+    for (size_t p = 0; p < resilience::kNumFaultPoints; ++p) {
+      auto point = static_cast<resilience::FaultPoint>(p);
+      uint64_t errors = injector->InjectedErrors(point);
+      uint64_t latencies = injector->InjectedLatencies(point);
+      uint64_t drops = injector->InjectedDrops(point);
+      if (errors + latencies + drops == 0) continue;
+      std::printf("  %-11s %llu errors, %llu latencies, %llu drops\n",
+                  resilience::FaultPointName(point),
+                  static_cast<unsigned long long>(errors),
+                  static_cast<unsigned long long>(latencies),
+                  static_cast<unsigned long long>(drops));
+    }
+    resilience::ClientStats totals;
+    uint64_t opened = 0;
+    for (const auto& client : chaos_clients) {
+      resilience::ClientStats s = client->stats();
+      totals.requests += s.requests;
+      totals.attempts += s.attempts;
+      totals.retries += s.retries;
+      totals.ok += s.ok;
+      totals.failed += s.failed;
+      totals.budget_denied += s.budget_denied;
+      totals.breaker_rejected += s.breaker_rejected;
+      opened += client->breaker().TimesOpened();
+    }
+    ChaosOutcome tally;
+    for (const ChaosOutcome& o : chaos_outcomes) {
+      tally.ok += o.ok;
+      tally.truncated += o.truncated;
+      tally.unavailable += o.unavailable;
+      tally.internal_error += o.internal_error;
+      tally.deadline_exceeded += o.deadline_exceeded;
+      tally.other += o.other;
+    }
+    std::printf("resilience:  %llu attempts for %llu requests "
+                "(amplification %.3f), %llu retries, %llu budget-denied\n",
+                static_cast<unsigned long long>(totals.attempts),
+                static_cast<unsigned long long>(totals.requests),
+                totals.amplification(),
+                static_cast<unsigned long long>(totals.retries),
+                static_cast<unsigned long long>(totals.budget_denied));
+    std::printf("breaker:     opened %llu times, fast-failed %llu requests\n",
+                static_cast<unsigned long long>(opened),
+                static_cast<unsigned long long>(totals.breaker_rejected));
+    double availability =
+        tally.total() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(tally.ok) /
+                  static_cast<double>(tally.total());
+    std::printf("availability: %.1f%% ok (%llu truncated partials; "
+                "%llu unavailable, %llu internal, %llu deadline-exceeded)\n",
+                availability,
+                static_cast<unsigned long long>(tally.truncated),
+                static_cast<unsigned long long>(tally.unavailable),
+                static_cast<unsigned long long>(tally.internal_error),
+                static_cast<unsigned long long>(tally.deadline_exceeded));
+    std::printf("degradation: %llu shed by priority, %llu truncated answers "
+                "served\n",
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.truncated));
+  }
+  if (clients > 1 && !injector.has_value()) {
     std::printf("per-client reject rates:\n");
     for (size_t c = 0; c < clients; ++c) {
       const ClientOutcome& o = outcomes[c];
