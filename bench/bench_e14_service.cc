@@ -5,7 +5,9 @@
 // (2) on a repeated-query workload — the canned-pattern / re-drawn-query
 // access pattern TATTOO targets — the canonical-form result cache beats the
 // uncached configuration by a wide margin, because isomorphic re-draws
-// collapse onto one cache entry.
+// collapse onto one cache entry; (3, E16) on duplicate-heavy bursts,
+// single-flight coalescing collapses backend VF2 executions toward the
+// unique-query count as the dup-ratio rises.
 
 #include <benchmark/benchmark.h>
 
@@ -99,6 +101,9 @@ QueryServiceOptions Options(size_t threads, size_t cache_capacity) {
   options.queue_capacity = 512;
   options.cache_capacity = cache_capacity;
   options.cache_shards = 8;
+  // E14 measures pool scaling and the result cache in isolation; the E16
+  // comparison flips single-flight coalescing on explicitly.
+  options.enable_coalescing = false;
   return options;
 }
 
@@ -166,6 +171,74 @@ void RunCacheExperiment() {
   table.Print();
 }
 
+// A duplicate-heavy burst stream over the first `unique` distinct queries:
+// with dup-ratio d the stream holds round(unique / (1 - d)) requests, so a
+// fraction d of them are re-issues of an earlier query. Interactive priority
+// keeps shedding out of the comparison, and interleaved rounds put the
+// duplicates in flight together — the burst shape canned-pattern VQI panels
+// produce.
+std::vector<QueryRequest> MakeDupWorkload(const std::vector<Graph>& queries,
+                                          double dup_ratio) {
+  size_t total = static_cast<size_t>(
+      static_cast<double>(queries.size()) / (1.0 - dup_ratio) + 0.5);
+  std::vector<QueryRequest> requests;
+  requests.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    QueryRequest request;
+    request.pattern = queries[i % queries.size()];
+    request.target = kAllGraphs;
+    request.max_embeddings = 2000;
+    request.priority = RequestPriority::kInteractive;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void RunCoalescingExperiment() {
+  GraphDatabase db = MakeDb();
+  WorkloadConfig config;
+  config.num_queries = kDistinctQueries;
+  config.min_edges = 3;
+  config.max_edges = 8;
+  config.seed = kSeed;
+  std::vector<Graph> queries = GenerateDbWorkload(db, config);
+
+  // Cache off isolates single-flight coalescing: with it on, the dequeue-time
+  // re-probe already rescues duplicates that arrive after their leader
+  // finished, and on a small machine that masks the in-flight effect.
+  bench::Table table(
+      "E16: single-flight coalescing on duplicate-heavy bursts (4 threads, "
+      "cache off)",
+      {"dup-ratio", "requests", "coalesce", "total (s)", "queries/s",
+       "backend", "vs uncoal", "waiters", "fanout"});
+  for (double dup_ratio : {0.0, 0.5, 0.8, 0.9}) {
+    std::vector<QueryRequest> requests = MakeDupWorkload(queries, dup_ratio);
+    uint64_t uncoalesced_backend = 0;
+    for (bool coalesce : {false, true}) {
+      QueryServiceOptions options = Options(4, /*cache_capacity=*/0);
+      options.enable_coalescing = coalesce;
+      QueryService service(db, options);
+      ReplayOutcome outcome = Replay(service, requests);
+      ServiceStats stats = service.Snapshot();
+      if (!coalesce) uncoalesced_backend = stats.backend_executions;
+      double vs_uncoalesced =
+          uncoalesced_backend == 0
+              ? 1.0
+              : static_cast<double>(stats.backend_executions) /
+                    static_cast<double>(uncoalesced_backend);
+      table.AddRow(
+          {bench::Fmt(dup_ratio, 1), std::to_string(requests.size()),
+           coalesce ? "on" : "off", bench::Fmt(outcome.seconds),
+           bench::Fmt(static_cast<double>(outcome.completed) / outcome.seconds,
+                      0),
+           std::to_string(stats.backend_executions),
+           bench::Fmt(vs_uncoalesced, 2), std::to_string(stats.coalesce_waiters),
+           std::to_string(stats.coalesce_fanout)});
+    }
+  }
+  table.Print();
+}
+
 void BM_ServiceMatchThroughput(benchmark::State& state) {
   GraphDatabase db = MakeDb();
   std::vector<QueryRequest> requests = MakeRequests(db, /*repeats=*/1);
@@ -205,6 +278,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   vqi::RunScalingExperiment();
   vqi::RunCacheExperiment();
+  vqi::RunCoalescingExperiment();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -57,9 +57,12 @@ QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
       suggestions_(SuggestionIndex::Build(db)),
       cache_(std::max<size_t>(1, options.cache_capacity),
              std::max<size_t>(1, options.cache_shards)),
+      waiter_budget_(options.coalesce_retry_ratio,
+                     options.coalesce_retry_capacity),
       pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity,
                               &metrics_}) {
   cache_.RegisterMetrics(metrics_);
+  inflight_.RegisterMetrics(metrics_);
   admitted_total_ = &metrics_.GetCounter(
       "vqi_requests_admitted_total", "Requests accepted past admission.");
   completed_total_ = &metrics_.GetCounter(
@@ -90,6 +93,11 @@ QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
   cache_probe_faults_total_ = &metrics_.GetCounter(
       "vqi_cache_probe_degraded_total",
       "Cache probes degraded to a miss by an injected cache fault.");
+  backend_executions_total_ = &metrics_.GetCounter(
+      "vqi_backend_executions_total",
+      "Requests that reached the matcher/suggestion backend; cache hits and "
+      "coalesced fan-outs are excluded, so on duplicate-heavy traffic this "
+      "tracks the unique-query count rather than the request count.");
   match_steps_total_ = &metrics_.GetCounter(
       "vqi_match_steps_total", "VF2 recursion steps across all requests.");
   match_slices_total_ = &metrics_.GetCounter(
@@ -123,7 +131,8 @@ void QueryService::InvalidateCacheKey(GraphId graph_id) {
     ++graph_epochs_[graph_id];
   }
   // Whole-collection results and suggestions depend on every graph, so they
-  // must go too; single-target entries for other graphs survive.
+  // must go too; single-target and explicit-target-set entries that do not
+  // involve this graph survive.
   all_graphs_epoch_.fetch_add(1, std::memory_order_relaxed);
   cache_key_invalidations_total_->Increment();
 }
@@ -135,21 +144,35 @@ uint64_t QueryService::GraphEpoch(GraphId graph_id) const {
 }
 
 std::string QueryService::CacheKey(const QueryRequest& request) const {
-  if (options_.cache_capacity == 0) return "";
+  if (options_.cache_capacity == 0 && !options_.enable_coalescing) return "";
   if (request.pattern.NumVertices() > kMaxCacheableVertices) return "";
   // The epoch prefix implements InvalidateCache(): bumping it reroutes every
   // lookup away from pre-bump entries, which then age out via LRU. The
   // second segment implements InvalidateCacheKey(): entries are additionally
   // keyed by the epoch of the data they depend on — the target graph's for a
-  // single-target match, the whole collection's for kAllGraphs matches and
-  // suggestions.
+  // single-target match, each member graph's for an explicit target set, the
+  // whole collection's for kAllGraphs matches and suggestions. Coalesced
+  // waiters are detached by the same mechanism: fan-out recomputes this key
+  // and a mid-flight invalidation makes it differ from the entry's.
   std::string key = "e";
   key += std::to_string(cache_epoch_.load(std::memory_order_relaxed));
   key += '|';
   if (request.kind == QueryKind::kSuggest ||
-      request.target == kAllGraphs) {
+      (request.target == kAllGraphs && request.targets.empty())) {
     key += 'a';
     key += std::to_string(all_graphs_epoch_.load(std::memory_order_relaxed));
+  } else if (!request.targets.empty()) {
+    // Admission sorted and deduplicated the set, so equal sets produce equal
+    // keys. One lock for all members keeps the epoch vector consistent.
+    key += 't';
+    std::lock_guard<std::mutex> lock(graph_epochs_mutex_);
+    for (GraphId id : request.targets) {
+      key += std::to_string(id);
+      key += ':';
+      auto it = graph_epochs_.find(id);
+      key += std::to_string(it == graph_epochs_.end() ? 0 : it->second);
+      key += ',';
+    }
   } else {
     key += 'g';
     key += std::to_string(GraphEpoch(request.target));
@@ -188,7 +211,22 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
     if (request.pattern.Empty()) {
       return Status::InvalidArgument("query pattern is empty");
     }
-    if (request.target != kAllGraphs && !db_.Contains(request.target)) {
+    if (request.kind == QueryKind::kMatchCount && !request.targets.empty()) {
+      // Normalize the explicit target set so semantically equal requests
+      // coalesce and cache together: sorted, deduplicated, and the (ignored)
+      // single-target field pinned to its default.
+      std::sort(request.targets.begin(), request.targets.end());
+      request.targets.erase(
+          std::unique(request.targets.begin(), request.targets.end()),
+          request.targets.end());
+      for (GraphId id : request.targets) {
+        if (!db_.Contains(id)) {
+          return Status::NotFound("unknown target graph id " +
+                                  std::to_string(id));
+        }
+      }
+      request.target = kAllGraphs;
+    } else if (request.target != kAllGraphs && !db_.Contains(request.target)) {
       return Status::NotFound("unknown target graph id " +
                               std::to_string(request.target));
     }
@@ -221,6 +259,7 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
   if (hit.has_value()) {
     QueryResult result = std::move(*hit);
     result.from_cache = true;
+    result.coalesced = false;
     result.match_steps = 0;
     result.match_slices = 0;
     result.latency_ms = admitted.ElapsedMillis();
@@ -234,7 +273,9 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
 
   // Priority load shedding applies only to requests that would occupy a
   // worker: cache hits above were served for free, and shedding cheap-to-
-  // serve traffic would lower availability for nothing.
+  // serve traffic would lower availability for nothing. Coalesced waiters
+  // are NOT free — they hold memory and fan-out work — so they pass through
+  // this gate and count toward its occupancy.
   if (Status shed = AdmitAtPriority(request.priority); !shed.ok()) {
     rejected_total_->Increment();
     return shed;
@@ -242,64 +283,225 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
 
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> future = promise->get_future();
-  auto shared_request = std::make_shared<QueryRequest>(std::move(request));
-  Stopwatch queued;
-  Status submitted = pool_.Submit(
-      [this, promise, shared_request, key = std::move(key), admitted, queued,
-       trace = std::move(trace)]() mutable {
-        trace.stages.push_back({"queue_wait", queued.ElapsedMillis()});
-        QueryResult result;
-        // Second probe at dequeue: an identical request admitted just ahead
-        // of this one may have populated the cache while this one queued
-        // (coalescing-lite; repeated-query bursts collapse after the first
-        // computation). A hit also rescues requests whose deadline expired
-        // in the queue — serving it is free.
-        std::optional<QueryResult> hit;
-        {
-          obs::TraceSpan span(trace, "dequeue_probe");
-          hit = ProbeCache(key);
-        }
-        if (hit.has_value()) {
-          result = std::move(*hit);
-          result.from_cache = true;
-          result.match_steps = 0;
-          result.match_slices = 0;
-        } else {
-          obs::TraceSpan span(trace, "execute");
-          // Chaos hook: the worker executing this request can stall, fail,
-          // or lose the task. A drop still resolves the promise — the
-          // service models the *detection* of a lost task (a real one would
-          // hang the future forever, which is exactly the outage mode the
-          // chaos suite asserts cannot happen).
-          resilience::FaultDecision fault;
-          if (options_.fault_injector != nullptr) {
-            fault = options_.fault_injector->Decide(
-                resilience::FaultPoint::kExecutor);
-            SleepMs(fault.latency_ms);
-          }
-          if (!fault.status.ok()) {
-            result.status = fault.status;
-          } else {
-            result = Run(*shared_request, admitted);
-          }
-          span.Stop();
-          // Partial (truncated) and errored results are never cached: a
-          // later identical request must get the chance to compute the full
-          // answer.
-          if (result.status.ok() && !result.truncated && !key.empty()) {
-            cache_.Put(key, result);
-          }
-        }
-        result.latency_ms = admitted.ElapsedMillis();
-        RecordCompletion(result, std::move(trace));
-        promise->set_value(std::move(result));
-      });
+
+  const bool coalesce = options_.enable_coalescing && !key.empty();
+  if (coalesce) {
+    InflightWaiter waiter{std::move(request), promise, admitted, Stopwatch(),
+                          std::move(trace)};
+    if (inflight_.JoinOrLead(key, &waiter) == InflightTable::Role::kWaiter) {
+      // Single-flight: an identical request is already queued or running.
+      // This one parked inside the table; the leader's fan-out resolves the
+      // promise. The deposit funds a potential re-execution if the leader's
+      // result turns out unshareable.
+      waiter_budget_.OnRequest();
+      admitted_total_->Increment();
+      return future;
+    }
+    // Leader: take the request back and execute it for everyone.
+    request = std::move(waiter.request);
+    trace = std::move(waiter.trace);
+  }
+
+  Status submitted =
+      Dispatch(std::make_shared<QueryRequest>(std::move(request)), key,
+               admitted, std::move(trace), promise, /*lead=*/coalesce);
   if (!submitted.ok()) {
     rejected_total_->Increment();
     return submitted;
   }
   admitted_total_->Increment();
   return future;
+}
+
+Status QueryService::Dispatch(std::shared_ptr<QueryRequest> request,
+                              std::string key, Stopwatch admitted,
+                              obs::RequestTrace trace,
+                              std::shared_ptr<std::promise<QueryResult>> promise,
+                              bool lead) {
+  Stopwatch queued;
+  Status submitted = pool_.Submit(
+      [this, request, key, admitted, queued, promise, lead,
+       trace = std::move(trace)]() mutable {
+        trace.stages.push_back({"queue_wait", queued.ElapsedMillis()});
+        QueryResult result = ExecuteOnWorker(*request, key, admitted, trace);
+        result.latency_ms = admitted.ElapsedMillis();
+        // Fan out before resolving the leader's own promise: a caller woken
+        // by the leader future must observe the table entry already retired.
+        if (lead) FanOut(key, result);
+        RecordCompletion(result, std::move(trace));
+        promise->set_value(std::move(result));
+      });
+  if (!submitted.ok() && lead) AbortLead(key, submitted);
+  return submitted;
+}
+
+QueryResult QueryService::ExecuteOnWorker(const QueryRequest& request,
+                                          const std::string& key,
+                                          const Stopwatch& admitted,
+                                          obs::RequestTrace& trace) {
+  QueryResult result;
+  // Second probe at dequeue: an identical request admitted just ahead of
+  // this one may have populated the cache while this one queued
+  // (coalescing-lite; collapses duplicates that arrive after their leader
+  // finished). A hit also rescues requests whose deadline expired in the
+  // queue — serving it is free.
+  std::optional<QueryResult> hit;
+  {
+    obs::TraceSpan span(trace, "dequeue_probe");
+    hit = ProbeCache(key);
+  }
+  if (hit.has_value()) {
+    result = std::move(*hit);
+    result.from_cache = true;
+    result.coalesced = false;
+    result.match_steps = 0;
+    result.match_slices = 0;
+    return result;
+  }
+  obs::TraceSpan span(trace, "execute");
+  // Chaos hook: the worker executing this request can stall, fail, or lose
+  // the task. A drop still resolves the promise — the service models the
+  // *detection* of a lost task (a real one would hang the future forever,
+  // which is exactly the outage mode the chaos suite asserts cannot happen).
+  resilience::FaultDecision fault;
+  if (options_.fault_injector != nullptr) {
+    fault =
+        options_.fault_injector->Decide(resilience::FaultPoint::kExecutor);
+    SleepMs(fault.latency_ms);
+  }
+  if (!fault.status.ok()) {
+    result.status = fault.status;
+  } else {
+    backend_executions_total_->Increment();
+    result = Run(request, admitted);
+  }
+  span.Stop();
+  // Partial (truncated) and errored results are never cached: a later
+  // identical request must get the chance to compute the full answer.
+  if (result.status.ok() && !result.truncated && !key.empty() &&
+      options_.cache_capacity > 0) {
+    cache_.Put(key, result);
+  }
+  return result;
+}
+
+void QueryService::FanOut(const std::string& key, const QueryResult& leader) {
+  std::vector<InflightWaiter> waiters = inflight_.Complete(key);
+  for (InflightWaiter& waiter : waiters) {
+    // Mid-flight invalidation check: if any epoch this waiter depends on
+    // moved while the leader ran, its current key no longer matches the key
+    // it coalesced under — the leader's result may be stale, so the waiter
+    // detaches and re-executes against fresh data. Correctness-driven, so it
+    // is exempt from the retry budget.
+    if (CacheKey(waiter.request) != key) {
+      inflight_.RecordDetach();
+      Reexecute(std::move(waiter), /*budgeted=*/false, leader);
+      continue;
+    }
+    ResolveWaiter(std::move(waiter), leader);
+  }
+}
+
+void QueryService::ResolveWaiter(InflightWaiter waiter,
+                                 const QueryResult& leader) {
+  // Shareable: any full OK result (even with a waiter whose own deadline
+  // expired in flight — serving a ready answer is free, same rationale as
+  // the dequeue-probe rescue), or a partial one the waiter opted into via
+  // allow_partial. Leader errors and rejected partials re-execute instead,
+  // within the retry budget.
+  const bool shareable =
+      leader.status.ok() && (!leader.truncated || waiter.request.allow_partial);
+  if (!shareable) {
+    Reexecute(std::move(waiter), /*budgeted=*/true, leader);
+    return;
+  }
+  QueryResult result = leader;
+  result.coalesced = true;
+  result.match_steps = 0;
+  result.match_slices = 0;
+  result.latency_ms = waiter.admitted.ElapsedMillis();
+  inflight_.RecordFanout(1);
+  inflight_.ObserveWaiterWait(waiter.attached.ElapsedMillis());
+  RecordCompletion(result, std::move(waiter.trace));
+  waiter.promise->set_value(std::move(result));
+}
+
+void QueryService::Reexecute(InflightWaiter waiter, bool budgeted,
+                             const QueryResult& leader) {
+  inflight_.ObserveWaiterWait(waiter.attached.ElapsedMillis());
+  // The outcome a waiter inherits when its re-execution cannot run. A
+  // rejected partial becomes the deadline outcome with the partial counts
+  // attached; otherwise the leader's own status stands.
+  auto leader_outcome = [&leader]() {
+    QueryResult result;
+    result.coalesced = true;
+    if (leader.status.ok() && leader.truncated) {
+      result.status = Status::DeadlineExceeded(
+          "coalesced leader returned a partial result");
+      result.embedding_count = leader.embedding_count;
+      result.matched_graphs = leader.matched_graphs;
+      result.truncated = true;
+    } else {
+      result.status = leader.status;
+    }
+    return result;
+  };
+  if (budgeted && !waiter_budget_.TryConsumeRetry()) {
+    // Budget exhausted: re-running every waiter of a failing leader would
+    // amplify a coalesced burst back into the thundering herd coalescing
+    // absorbed. Propagate the leader's outcome instead.
+    inflight_.RecordReexecDenied();
+    QueryResult result = leader_outcome();
+    result.latency_ms = waiter.admitted.ElapsedMillis();
+    RecordCompletion(result, std::move(waiter.trace));
+    waiter.promise->set_value(std::move(result));
+    return;
+  }
+  inflight_.RecordReexec();
+  const char* kind = KindName(waiter.request.kind);
+  auto promise = waiter.promise;
+  Stopwatch admitted = waiter.admitted;
+  // Recompute the key (a detach means it changed) and dispatch as a plain
+  // non-leading task: re-executions never re-join the in-flight table, so a
+  // persistently failing leader cannot grow retry chains.
+  std::string key = CacheKey(waiter.request);
+  Status submitted =
+      Dispatch(std::make_shared<QueryRequest>(std::move(waiter.request)), key,
+               admitted, std::move(waiter.trace), promise, /*lead=*/false);
+  if (!submitted.ok()) {
+    // Pool full or shut down; the promise must still resolve. The request
+    // was admitted, so a retroactive rejection would be dishonest: a
+    // budgeted waiter inherits the leader's outcome (same contract as
+    // budget denial); a detached waiter cannot (the leader's result is
+    // stale for it) and reports the dispatch failure. The trace moved into
+    // the dead dispatch, so record a minimal fresh one.
+    QueryResult result = budgeted ? leader_outcome() : QueryResult{};
+    if (!budgeted) result.status = submitted;
+    result.coalesced = true;
+    result.latency_ms = admitted.ElapsedMillis();
+    obs::RequestTrace trace;
+    trace.id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    trace.kind = kind;
+    RecordCompletion(result, std::move(trace));
+    promise->set_value(std::move(result));
+  }
+}
+
+void QueryService::AbortLead(const std::string& key, const Status& status) {
+  // The leader never entered the queue, so its entry must be retired here or
+  // later duplicates would park on a leader that will never fan out. Waiters
+  // that managed to attach in the meantime get the same rejection the leader
+  // got — admission backpressure, not a computed answer.
+  std::vector<InflightWaiter> waiters = inflight_.Complete(key);
+  for (InflightWaiter& waiter : waiters) {
+    QueryResult result;
+    result.status = status;
+    result.coalesced = true;
+    result.latency_ms = waiter.admitted.ElapsedMillis();
+    inflight_.ObserveWaiterWait(waiter.attached.ElapsedMillis());
+    RecordCompletion(result, std::move(waiter.trace));
+    waiter.promise->set_value(std::move(result));
+  }
 }
 
 QueryResult QueryService::Execute(QueryRequest request) {
@@ -356,18 +558,26 @@ QueryResult QueryService::RunMatch(const QueryRequest& request,
     }
     return s;
   };
+  auto match_many = [&](const Graph& target) -> bool {
+    Status s = match_one(target);
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      truncate("deadline expired mid-collection");
+      return false;
+    }
+    if (!s.ok()) {  // injected vf2_slice fault
+      result.status = s;
+      return false;
+    }
+    return true;
+  };
 
-  if (request.target == kAllGraphs) {
+  if (!request.targets.empty()) {
+    for (GraphId id : request.targets) {
+      if (!match_many(db_.Get(id))) return result;
+    }
+  } else if (request.target == kAllGraphs) {
     for (const Graph& target : db_.graphs()) {
-      Status s = match_one(target);
-      if (s.code() == StatusCode::kDeadlineExceeded) {
-        truncate("deadline expired mid-collection");
-        return result;
-      }
-      if (!s.ok()) {  // injected vf2_slice fault
-        result.status = s;
-        return result;
-      }
+      if (!match_many(target)) return result;
     }
   } else {
     Status s = match_one(db_.Get(request.target));
@@ -454,7 +664,12 @@ Status QueryService::AdmitAtPriority(RequestPriority priority) {
   double mark = priority == RequestPriority::kBackground
                     ? high_water * capacity
                     : (high_water + 1.0) / 2.0 * capacity;
-  if (static_cast<double>(pool_.QueueDepth()) < mark) return Status::OK();
+  // Occupancy counts attached coalesced waiters alongside queued tasks: a
+  // flood of duplicates executes once but still holds N promises, traces,
+  // and fan-out work, so it must not bypass overload protection.
+  double occupancy =
+      static_cast<double>(pool_.QueueDepth() + inflight_.TotalWaiters());
+  if (occupancy < mark) return Status::OK();
   if (priority == RequestPriority::kBackground) {
     shed_background_total_->Increment();
   } else {
@@ -466,7 +681,9 @@ Status QueryService::AdmitAtPriority(RequestPriority priority) {
 }
 
 std::optional<QueryResult> QueryService::ProbeCache(const std::string& key) {
-  if (key.empty()) return std::nullopt;
+  // cache_capacity 0 disables the cache but not coalescing, which still
+  // computes keys — so the gate lives here, not in CacheKey.
+  if (key.empty() || options_.cache_capacity == 0) return std::nullopt;
   if (options_.fault_injector != nullptr) {
     resilience::FaultDecision fault = options_.fault_injector->Decide(
         resilience::FaultPoint::kCacheProbe);
@@ -513,6 +730,11 @@ ServiceStats QueryService::Snapshot() const {
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;
   stats.cache_evictions = cache_stats.evictions;
+  stats.backend_executions = backend_executions_total_->Value();
+  stats.coalesce_leaders = inflight_.leaders();
+  stats.coalesce_waiters = inflight_.waiters();
+  stats.coalesce_fanout = inflight_.fanout();
+  stats.coalesce_detached = inflight_.detached();
   obs::HistogramSnapshot latency = latency_ms_->Snapshot();
   stats.p50_latency_ms = latency.Quantile(0.50);
   stats.p99_latency_ms = latency.Quantile(0.99);

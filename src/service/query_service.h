@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -17,83 +18,15 @@
 #include "match/vf2.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/inflight_table.h"
 #include "service/lru_cache.h"
+#include "service/query_types.h"
 #include "service/resilience/fault_injector.h"
+#include "service/resilience/retry.h"
 #include "service/thread_pool.h"
 #include "vqi/suggestion.h"
 
 namespace vqi {
-
-/// Request target meaning "match against every graph in the database".
-inline constexpr GraphId kAllGraphs = -1;
-
-/// The two interactive workloads a VQI front end issues while the user draws:
-/// evaluate the current visual query (subgraph matching), or rank plausible
-/// next edges for the vertex being extended (auto-suggestion).
-enum class QueryKind { kMatchCount, kSuggest };
-
-/// Admission priority under overload. When the queue crosses the service's
-/// high-water mark, kBackground work is shed first, then kNormal; a user
-/// actively drawing (kInteractive) is only rejected by a completely full
-/// queue.
-enum class RequestPriority : uint8_t {
-  kInteractive = 0,
-  kNormal = 1,
-  kBackground = 2,
-};
-
-/// "interactive", "normal", or "background".
-const char* RequestPriorityName(RequestPriority priority);
-
-/// One request against the service.
-struct QueryRequest {
-  QueryKind kind = QueryKind::kMatchCount;
-  /// The (partial) visual query graph. Must be non-empty.
-  Graph pattern;
-  /// Graph to match against, or kAllGraphs for the whole collection.
-  GraphId target = kAllGraphs;
-  /// Wall-clock budget measured from admission; 0 disables the deadline.
-  double deadline_ms = 0;
-  /// Embedding cap per target graph for kMatchCount (0 = unlimited).
-  uint64_t max_embeddings = 1000;
-  /// For kSuggest: the vertex of `pattern` the user is extending.
-  VertexId focus = 0;
-  /// For kSuggest: how many ranked continuations to return.
-  size_t top_k = 5;
-  /// Load-shedding class under overload (see RequestPriority).
-  RequestPriority priority = RequestPriority::kNormal;
-  /// Graceful degradation: when true, a kMatchCount request whose deadline
-  /// expires returns everything found so far as an OK result with
-  /// `truncated` set, instead of a bare kDeadlineExceeded. Partial results
-  /// are always a subset of the fault-free answer (every counted embedding
-  /// and matched graph is real); they are never cached.
-  bool allow_partial = false;
-};
-
-/// Outcome of one request. `status` is OK, kDeadlineExceeded (budget ran out
-/// before the answer was complete), kNotFound (unknown target id), or
-/// kInvalidArgument.
-struct QueryResult {
-  Status status;
-  /// kMatchCount: total embeddings found (capped per graph).
-  uint64_t embedding_count = 0;
-  /// kMatchCount: ids of target graphs with at least one embedding.
-  std::vector<GraphId> matched_graphs;
-  /// kSuggest: ranked next-edge continuations for the focus vertex.
-  std::vector<EdgeSuggestion> suggestions;
-  /// True when served from the result cache without touching the matcher.
-  bool from_cache = false;
-  /// True when the answer is incomplete (deadline expired mid-search). With
-  /// QueryRequest::allow_partial the status is still OK; otherwise the
-  /// partial counts accompany a kDeadlineExceeded status.
-  bool truncated = false;
-  /// Admission-to-completion latency.
-  double latency_ms = 0;
-  /// Matcher work performed for THIS response: VF2 recursion steps and
-  /// cooperative deadline slices. Zero for cache hits and suggestions.
-  uint64_t match_steps = 0;
-  uint32_t match_slices = 0;
-};
 
 /// Point-in-time counters of a QueryService. The latency percentiles are
 /// estimated from the vqi_request_latency_ms histogram (fixed memory however
@@ -108,6 +41,15 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  /// Requests that actually reached the matcher / suggestion backend — the
+  /// number single-flight coalescing drives toward the unique-query count on
+  /// duplicate-heavy workloads (cache hits and coalesced waiters are zero
+  /// backend work).
+  uint64_t backend_executions = 0;
+  uint64_t coalesce_leaders = 0;   ///< requests that led a single-flight entry
+  uint64_t coalesce_waiters = 0;   ///< requests attached to an in-flight leader
+  uint64_t coalesce_fanout = 0;    ///< waiter responses served from a leader
+  uint64_t coalesce_detached = 0;  ///< waiters detached by mid-flight invalidation
   double p50_latency_ms = 0;
   double p99_latency_ms = 0;
 };
@@ -129,21 +71,38 @@ struct QueryServiceOptions {
   /// >= shed_high_water * queue_capacity kBackground requests are shed, at
   /// >= halfway between the high-water mark and a full queue kNormal
   /// requests are shed too. kInteractive requests are only rejected by a
-  /// full queue. 1.0 disables shedding.
+  /// full queue. 1.0 disables shedding. Occupancy counts queued tasks plus
+  /// attached coalesced waiters.
   double shed_high_water = 0.75;
   /// Chaos hook: when set, the service consults this injector at its named
   /// fault points (cache_probe, admission, executor, vf2_slice — see
   /// docs/resilience.md). Must outlive the service; its metrics are
   /// registered into the service's registry. Null = no injection.
   resilience::FaultInjector* fault_injector = nullptr;
+  /// Single-flight request coalescing: concurrent requests sharing a cache
+  /// key collapse onto one backend execution whose result fans out to every
+  /// waiter (see docs/service.md). Works with the cache disabled — the
+  /// canonical key is still computed for coalescing. Patterns too large to
+  /// canonicalize are neither cached nor coalesced.
+  bool enable_coalescing = true;
+  /// Token-bucket budget for *error-triggered* waiter re-execution (leader
+  /// failed, or returned a partial a strict waiter rejects): each attached
+  /// waiter deposits `ratio` tokens, each re-execution withdraws one — so a
+  /// failing leader cannot amplify a coalesced burst back into a full
+  /// thundering herd. Detach re-executions (mid-flight invalidation) are
+  /// exempt: they are required for correctness, never load mitigation.
+  double coalesce_retry_ratio = 0.5;
+  double coalesce_retry_capacity = 8.0;
 };
 
 /// Concurrent serving layer over a GraphDatabase.
 ///
 /// Request lifecycle: admission (validate + backpressure) → cache probe
-/// (canonical-form key, so isomorphic re-draws of a query hit) → dispatch to
-/// the worker pool → VF2 / suggestion-index execution under the request's
-/// deadline → stats recording. See docs/service.md.
+/// (canonical-form key, so isomorphic re-draws of a query hit) → single-
+/// flight coalescing (the first in-flight request for a key executes, its
+/// concurrent duplicates attach as waiters and share the one result) →
+/// dispatch to the worker pool → VF2 / suggestion-index execution under the
+/// request's deadline → fan-out + stats recording. See docs/service.md.
 ///
 /// Deadlines are honored cooperatively through the matcher's existing
 /// max_steps budget hook: matching runs in exponentially growing step slices
@@ -182,13 +141,15 @@ class QueryService {
   /// Invalidates every cached result by bumping the cache-key epoch: stale
   /// entries become unreachable immediately and age out via LRU. Cheap
   /// (no locks, no scan); call after any database mutation, e.g. from a
-  /// VqiMaintainer batch listener.
+  /// VqiMaintainer batch listener. In-flight coalesced waiters whose key
+  /// changes detach at fan-out and re-execute against fresh data.
   void InvalidateCache();
 
   /// Invalidates only the cached results that could depend on `graph_id`:
-  /// single-target entries for that graph, plus every whole-collection
-  /// (kAllGraphs) and suggestion entry. Single-target entries for *other*
-  /// graphs survive, so a maintenance batch that touches one graph no longer
+  /// single-target entries for that graph, explicit target-set entries whose
+  /// set contains it, plus every whole-collection (kAllGraphs) and
+  /// suggestion entry. Entries whose target (set) does not involve the graph
+  /// survive, so a maintenance batch that touches one graph no longer
   /// cold-starts the whole cache.
   void InvalidateCacheKey(GraphId graph_id);
 
@@ -219,7 +180,8 @@ class QueryService {
                            const Stopwatch& admitted, uint64_t* count,
                            QueryResult* result);
   /// Non-OK when priority load shedding rejects this request at the current
-  /// queue depth (see QueryServiceOptions::shed_high_water).
+  /// occupancy — queued tasks plus attached coalesced waiters (see
+  /// QueryServiceOptions::shed_high_water).
   Status AdmitAtPriority(RequestPriority priority);
   /// Cache probe behind the cache_probe fault point: an injected fault
   /// degrades to a miss (the cache is an optimization, never a failure
@@ -227,9 +189,35 @@ class QueryService {
   std::optional<QueryResult> ProbeCache(const std::string& key);
   /// Epoch of one target graph's cached entries (see InvalidateCacheKey).
   uint64_t GraphEpoch(GraphId graph_id) const;
-  /// Cache key, or "" when the request is uncacheable (pattern too large for
-  /// canonicalization).
+  /// Cache/coalescing key, or "" when the request is uncacheable (pattern
+  /// too large for canonicalization, or both the cache and coalescing are
+  /// disabled). The key embeds every epoch the result depends on, so an
+  /// invalidation reroutes lookups *and* lets fan-out detect stale waiters
+  /// by recomputing the key.
   std::string CacheKey(const QueryRequest& request) const;
+  /// Enqueues the worker-side task for `request` (dequeue re-probe, execute,
+  /// cache insert, fan-out when `lead`, completion recording). On a failed
+  /// enqueue the leader's in-flight entry is aborted.
+  Status Dispatch(std::shared_ptr<QueryRequest> request, std::string key,
+                  Stopwatch admitted, obs::RequestTrace trace,
+                  std::shared_ptr<std::promise<QueryResult>> promise,
+                  bool lead);
+  /// The worker-side body shared by leaders and waiter re-executions.
+  QueryResult ExecuteOnWorker(const QueryRequest& request,
+                              const std::string& key,
+                              const Stopwatch& admitted,
+                              obs::RequestTrace& trace);
+  /// Resolves every waiter attached to `key` from the leader's result:
+  /// detached (invalidated) waiters re-execute unbudgeted, full results and
+  /// accepted partials fan out directly, everything else re-executes within
+  /// the coalesce retry budget.
+  void FanOut(const std::string& key, const QueryResult& leader);
+  void ResolveWaiter(InflightWaiter waiter, const QueryResult& leader);
+  void Reexecute(InflightWaiter waiter, bool budgeted,
+                 const QueryResult& leader);
+  /// Leader dispatch failed: answer any already-attached waiter with the
+  /// same rejection.
+  void AbortLead(const std::string& key, const Status& status);
   void RecordCompletion(const QueryResult& result, obs::RequestTrace trace);
 
   const GraphDatabase& db_;
@@ -240,6 +228,10 @@ class QueryService {
   obs::TraceRecorder traces_;
   SuggestionIndex suggestions_;
   ShardedLruCache<QueryResult> cache_;
+  // Declared before pool_: leader tasks running during pool shutdown still
+  // fan out through the table and the budget.
+  InflightTable inflight_;
+  resilience::RetryBudget waiter_budget_;
   ThreadPool pool_;
 
   std::atomic<uint64_t> cache_epoch_{0};
@@ -264,6 +256,7 @@ class QueryService {
   obs::Counter* cache_invalidations_total_;
   obs::Counter* cache_key_invalidations_total_;
   obs::Counter* cache_probe_faults_total_;
+  obs::Counter* backend_executions_total_;
   obs::Counter* match_steps_total_;
   obs::Counter* match_slices_total_;
   obs::Histogram* latency_ms_;

@@ -344,7 +344,12 @@ TEST(QueryServiceTest, AdmissionValidation) {
 
 TEST(QueryServiceTest, BurstAgainstTinyQueueShedsLoad) {
   GraphDatabase db = MakeDenseTarget();
-  QueryService service(db, QueryServiceOptions{1, 2, 0, 1, {}});
+  QueryServiceOptions options{1, 2, 0, 1, {}};
+  // Raw queue backpressure is the subject here: with coalescing on, the
+  // duplicate bursts would park as waiters instead of overflowing the
+  // queue (that interplay is covered by coalesce_test).
+  options.enable_coalescing = false;
+  QueryService service(db, options);
 
   // Each heavy request occupies the single worker for ~its deadline, so a
   // rapid burst of 10 must overflow the 2-slot queue.
@@ -433,6 +438,64 @@ TEST(QueryServiceTest, InvalidateCacheKeyOnlyEvictsDependentEntries) {
                 .GetCounter("vqi_cache_invalidations_total")
                 .Value(),
             0u);
+}
+
+TEST(QueryServiceTest, TargetSetMatchesExactlyThoseGraphs) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}});
+
+  auto collection_request = [](std::vector<GraphId> targets) {
+    QueryRequest request;
+    request.pattern = EdgePattern();
+    request.targets = std::move(targets);
+    return request;
+  };
+
+  // EdgePattern (labels 0-1) matches the triangle and the path, never the
+  // all-zero square, so the target set controls exactly what is counted.
+  QueryResult both = service.Execute(collection_request({0, 1}));
+  ASSERT_TRUE(both.status.ok());
+  EXPECT_EQ(both.matched_graphs, (std::vector<GraphId>{0, 1}));
+  QueryResult with_square = service.Execute(collection_request({0, 2}));
+  ASSERT_TRUE(with_square.status.ok());
+  EXPECT_EQ(with_square.matched_graphs, std::vector<GraphId>{0});
+  EXPECT_LT(with_square.embedding_count, both.embedding_count);
+
+  // Admission normalizes the set: unordered duplicates are the same query
+  // and hit the {0,1} entry cached above.
+  QueryResult normalized = service.Execute(collection_request({1, 0, 0, 1}));
+  ASSERT_TRUE(normalized.status.ok());
+  EXPECT_TRUE(normalized.from_cache);
+  EXPECT_EQ(normalized.embedding_count, both.embedding_count);
+
+  // Every member of the set is validated up front.
+  EXPECT_EQ(service.Execute(collection_request({0, 999})).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST(QueryServiceTest, InvalidateCacheKeyEvictsOnlyTargetSetsContainingGraph) {
+  GraphDatabase db = MakeDatabase();
+  QueryService service(db, QueryServiceOptions{2, 32, 64, 4, {}});
+
+  auto collection_request = [](std::vector<GraphId> targets) {
+    QueryRequest request;
+    request.pattern = EdgePattern();
+    request.targets = std::move(targets);
+    return request;
+  };
+  ASSERT_TRUE(service.Execute(collection_request({0, 1})).status.ok());
+  ASSERT_TRUE(service.Execute(collection_request({1, 2})).status.ok());
+  ASSERT_TRUE(service.Execute(collection_request({0, 1})).from_cache);
+  ASSERT_TRUE(service.Execute(collection_request({1, 2})).from_cache);
+
+  service.InvalidateCacheKey(0);
+
+  // Only the set containing graph 0 recomputes; {1,2} is keyed by epochs of
+  // graphs the invalidation never touched.
+  EXPECT_FALSE(service.Execute(collection_request({0, 1})).from_cache);
+  EXPECT_TRUE(service.Execute(collection_request({1, 2})).from_cache);
+  // And the refreshed entry caches normally under the new epoch.
+  EXPECT_TRUE(service.Execute(collection_request({0, 1})).from_cache);
 }
 
 TEST(QueryServiceTest, MaintainerBatchListenerInvalidatesCache) {

@@ -12,14 +12,20 @@
 //   vqi_cli usability     <in.lg> <file.vqi> [queries]
 //   vqi_cli serve-bench   <in.lg> [queries] [threads] [repeat]
 //                         [--clients=N] [--threads=N] [--deadline-ms=X]
+//                         [--dup-ratio=X] [--coalesce] [--cache=N]
 //                         [--chaos=<spec>] [--metrics-out=<file>]
 //                         (replay a generated query workload through the
 //                         concurrent QueryService and print serving stats;
 //                         --clients runs N submitter threads, --deadline-ms
-//                         puts a budget on every request, --chaos injects
-//                         faults per the spec grammar of docs/resilience.md
-//                         and drives the load through resilient
-//                         ServiceClients, --metrics-out writes a
+//                         puts a budget on every request, --dup-ratio=X
+//                         expands the workload so a fraction X of requests
+//                         are in-flight duplicates, --coalesce turns on
+//                         single-flight request coalescing (off by default
+//                         here for A/B comparison; the library default is
+//                         on), --cache=N sets result-cache capacity (0 =
+//                         off), --chaos injects faults per the spec grammar
+//                         of docs/resilience.md and drives the load through
+//                         resilient ServiceClients, --metrics-out writes a
 //                         Prometheus-text metrics snapshot)
 //   vqi_cli metrics-demo  (serve a small in-memory workload and dump the
 //                         observability surface: Prometheus text, JSON,
@@ -72,6 +78,7 @@ int Usage() {
                "  usability     <in.lg> <file.vqi> [queries]\n"
                "  serve-bench   <in.lg> [queries] [threads] [repeat]\n"
                "                [--clients=N] [--threads=N] [--deadline-ms=X]\n"
+               "                [--dup-ratio=X] [--coalesce] [--cache=N]\n"
                "                [--chaos=<spec>] [--metrics-out=<file>]\n"
                "  metrics-demo\n");
   return 2;
@@ -344,13 +351,32 @@ int ServeBench(int argc, char** argv) {
   std::string chaos_spec;
   int64_t clients_arg = 1;
   int64_t threads_arg = 4;
+  int64_t cache_arg = 1024;
   bool threads_flag_set = false;
   double deadline_ms = 0;
+  double dup_ratio = 0;
+  bool coalesce = false;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg == "--coalesce") {
+      coalesce = true;
+    } else if (arg.rfind("--dup-ratio=", 0) == 0) {
+      std::string value = arg.substr(12);
+      if (!ParseDouble(value, &dup_ratio) || dup_ratio < 0 ||
+          dup_ratio > 0.99) {
+        return Fail(Status::InvalidArgument(
+            "--dup-ratio: '" + value +
+            "' must be a duplicate fraction in [0, 0.99]"));
+      }
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(8), "--cache", 0, 1 << 20,
+                                &cache_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
     } else if (arg.rfind("--clients=", 0) == 0) {
       if (Status s = ParseCount(arg.substr(10), "--clients", 1, 256,
                                 &clients_arg);
@@ -422,6 +448,20 @@ int ServeBench(int argc, char** argv) {
   size_t repeat = static_cast<size_t>(repeat_arg);
   size_t clients = static_cast<size_t>(clients_arg);
   std::vector<Graph> queries = GenerateDbWorkload(*db, wconfig);
+  size_t distinct_queries = queries.size();
+  if (dup_ratio > 0) {
+    // Expand so a fraction `dup_ratio` of the stream are duplicates of an
+    // earlier query, interleaved (q0..qN, q0..qN, ...) so the copies are in
+    // flight together — the burst shape single-flight coalescing targets.
+    size_t total = static_cast<size_t>(
+        static_cast<double>(distinct_queries) / (1.0 - dup_ratio) + 0.5);
+    std::vector<Graph> expanded;
+    expanded.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+      expanded.push_back(queries[i % distinct_queries]);
+    }
+    queries = std::move(expanded);
+  }
 
   std::optional<resilience::FaultInjector> injector;
   if (!chaos_spec.empty()) {
@@ -433,7 +473,8 @@ int ServeBench(int argc, char** argv) {
   QueryServiceOptions options;
   options.num_threads = threads;
   options.queue_capacity = 512;
-  options.cache_capacity = 1024;
+  options.cache_capacity = static_cast<size_t>(cache_arg);
+  options.enable_coalescing = coalesce;
   if (injector.has_value()) options.fault_injector = &*injector;
   QueryService service(*db, options);
 
@@ -479,8 +520,13 @@ int ServeBench(int argc, char** argv) {
   ServiceStats stats = service.Snapshot();
   std::printf("replayed %llu requests (%zu distinct queries x %zu rounds, "
               "%zu clients) on %zu threads in %.3fs\n",
-              static_cast<unsigned long long>(total_completed), queries.size(),
-              repeat, clients, threads, seconds);
+              static_cast<unsigned long long>(total_completed),
+              distinct_queries, repeat, clients, threads, seconds);
+  if (dup_ratio > 0) {
+    std::printf("workload:    dup-ratio %.2f (%zu requests per round, "
+                "coalescing %s)\n",
+                dup_ratio, queries.size(), coalesce ? "on" : "off");
+  }
   std::printf("throughput:  %.0f queries/s\n",
               static_cast<double>(total_completed) / seconds);
   std::printf("latency:     p50 %.3fms  p99 %.3fms\n", stats.p50_latency_ms,
@@ -499,6 +545,22 @@ int ServeBench(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),
               static_cast<unsigned long long>(stats.cache_evictions));
+  // Backend executions are the cost coalescing and caching both drive down:
+  // requests that actually ran the matcher / suggestion index.
+  std::printf("backend:     %llu executions (%.2f per admitted request)\n",
+              static_cast<unsigned long long>(stats.backend_executions),
+              stats.admitted == 0
+                  ? 0.0
+                  : static_cast<double>(stats.backend_executions) /
+                        static_cast<double>(stats.admitted));
+  if (coalesce) {
+    std::printf("coalesce:    %llu leaders, %llu waiters, %llu fanned out, "
+                "%llu detached\n",
+                static_cast<unsigned long long>(stats.coalesce_leaders),
+                static_cast<unsigned long long>(stats.coalesce_waiters),
+                static_cast<unsigned long long>(stats.coalesce_fanout),
+                static_cast<unsigned long long>(stats.coalesce_detached));
+  }
   if (injector.has_value()) {
     // Resilience summary: what the chaos layer injected and how the client
     // stack (retries, budget, breaker, partial results) absorbed it.
