@@ -1,23 +1,26 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace vqi {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+// Atomic because tests flip the level while service workers are logging.
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 
 // Serializes whole-line emission so concurrent service workers never
 // interleave fragments of two log lines on stderr.
-std::mutex& EmitMutex() {
-  static std::mutex mutex;
+Mutex& EmitMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
 void EmitLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(&EmitMutex());
   std::fprintf(stderr, "%s\n", line.c_str());
   std::fflush(stderr);
 }
@@ -45,9 +48,11 @@ const char* Basename(const char* path) {
 }
 }  // namespace
 
-void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel MinLogLevel() { return g_min_level; }
+LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
@@ -58,7 +63,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_min_level) {
+  if (level_ >= g_min_level.load(std::memory_order_relaxed)) {
     EmitLine(stream_.str());
   }
 }

@@ -32,7 +32,9 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error result carrying a code and a message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures (lost I/O
+/// errors, ignored shed-load rejections); cast to void to drop deliberately.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -98,7 +100,7 @@ class Status {
 /// Either a value of type `T` or an error `Status`. Accessing the value of an
 /// errored StatusOr is a checked contract violation.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
   StatusOr(T value) : value_(std::move(value)) {}

@@ -10,6 +10,13 @@ namespace vqi {
 void LabelDictionary::SetName(Label label, std::string name) {
   auto old = names_.find(label);
   if (old != names_.end()) ids_.erase(old->second);
+  // If the name previously belonged to another label, drop that label's
+  // reverse mapping too — otherwise Name(other) would keep returning a name
+  // that Intern() now resolves to `label`.
+  auto taken = ids_.find(name);
+  if (taken != ids_.end() && taken->second != label) {
+    names_.erase(taken->second);
+  }
   ids_[name] = label;
   names_[label] = std::move(name);
   if (label >= next_) next_ = label + 1;

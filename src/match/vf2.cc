@@ -156,6 +156,7 @@ bool SubgraphMatcher::Exists() {
   }
   uint64_t found = 0;
   steps_ = 0;
+  hit_step_limit_ = false;
   Recurse(0, [](const Embedding&) { return false; }, &found);
   return found > 0;
 }
@@ -169,6 +170,7 @@ std::optional<Embedding> SubgraphMatcher::FindOne() {
   }
   uint64_t found = 0;
   steps_ = 0;
+  hit_step_limit_ = false;
   Recurse(
       0,
       [&](const Embedding& e) {
@@ -192,6 +194,7 @@ uint64_t SubgraphMatcher::Enumerate(
   }
   uint64_t found = 0;
   steps_ = 0;
+  hit_step_limit_ = false;
   Recurse(0, callback, &found);
   return found;
 }

@@ -60,8 +60,13 @@ class SubgraphMatcher {
   uint64_t Enumerate(const std::function<bool(const Embedding&)>& callback);
 
   /// True when the search hit max_steps before completing (results may be
-  /// lower bounds).
+  /// lower bounds). Reset at the start of every Exists/FindOne/Count/
+  /// Enumerate call, so it always describes the most recent run.
   bool hit_step_limit() const { return hit_step_limit_; }
+
+  /// Adjusts the step budget for subsequent runs (0 = unlimited), letting a
+  /// caller retry the same matcher with a bigger budget after a limited run.
+  void set_max_steps(uint64_t max_steps) { options_.max_steps = max_steps; }
 
   /// Recursive search steps consumed by the last Exists/FindOne/Count/
   /// Enumerate call — the unit max_steps budgets, exposed so callers (e.g.

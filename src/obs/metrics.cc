@@ -169,7 +169,7 @@ MetricsRegistry::Series* MetricsRegistry::FindSeries(Family& family,
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Family& family = FamilyFor(name, help, InstrumentKind::kCounter);
   if (Series* series = FindSeries(family, labels)) return *series->counter;
   auto series = std::make_unique<Series>();
@@ -182,7 +182,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Family& family = FamilyFor(name, help, InstrumentKind::kGauge);
   if (Series* series = FindSeries(family, labels)) return *series->gauge;
   auto series = std::make_unique<Series>();
@@ -196,7 +196,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds,
                                          const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Family& family = FamilyFor(name, help, InstrumentKind::kHistogram);
   if (Series* series = FindSeries(family, labels)) return *series->histogram;
   auto series = std::make_unique<Series>();
@@ -207,7 +207,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::vector<FamilySnapshot> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<FamilySnapshot> snapshot;
   snapshot.reserve(families_.size());
   for (const auto& family : families_) {

@@ -5,10 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace vqi {
 namespace obs {
@@ -195,11 +197,12 @@ class MetricsRegistry {
   };
 
   Family& FamilyFor(const std::string& name, const std::string& help,
-                    InstrumentKind kind);
-  Series* FindSeries(Family& family, const Labels& labels);
+                    InstrumentKind kind) VQLIB_REQUIRES(mutex_);
+  Series* FindSeries(Family& family, const Labels& labels)
+      VQLIB_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Family>> families_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_ VQLIB_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

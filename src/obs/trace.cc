@@ -18,7 +18,7 @@ TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
 
 void TraceRecorder::Record(RequestTrace trace) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(trace));
@@ -29,7 +29,7 @@ void TraceRecorder::Record(RequestTrace trace) {
 }
 
 std::vector<RequestTrace> TraceRecorder::Recent() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<RequestTrace> result;
   result.reserve(ring_.size());
   // Before the first wraparound next_ is 0 and the ring is already oldest
@@ -41,7 +41,7 @@ std::vector<RequestTrace> TraceRecorder::Recent() const {
 }
 
 uint64_t TraceRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return total_;
 }
 

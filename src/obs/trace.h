@@ -3,11 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace vqi {
 namespace obs {
@@ -82,10 +83,11 @@ class TraceRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<RequestTrace> ring_;
-  size_t next_ = 0;  ///< ring slot the next Record overwrites
-  uint64_t total_ = 0;
+  mutable Mutex mutex_;
+  std::vector<RequestTrace> ring_ VQLIB_GUARDED_BY(mutex_);
+  /// Ring slot the next Record overwrites.
+  size_t next_ VQLIB_GUARDED_BY(mutex_) = 0;
+  uint64_t total_ VQLIB_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace obs

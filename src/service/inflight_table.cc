@@ -7,7 +7,7 @@ namespace vqi {
 InflightTable::Role InflightTable::JoinOrLead(const std::string& key,
                                               InflightWaiter* waiter) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto [it, inserted] = entries_.try_emplace(key);
     if (!inserted) {
       it->second.push_back(std::move(*waiter));
@@ -23,7 +23,7 @@ InflightTable::Role InflightTable::JoinOrLead(const std::string& key,
 std::vector<InflightWaiter> InflightTable::Complete(const std::string& key) {
   std::vector<InflightWaiter> waiters;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return waiters;
     waiters = std::move(it->second);
@@ -36,7 +36,7 @@ std::vector<InflightWaiter> InflightTable::Complete(const std::string& key) {
 }
 
 size_t InflightTable::InflightKeys() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return entries_.size();
 }
 

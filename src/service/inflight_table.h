@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/query_types.h"
@@ -74,8 +75,10 @@ class InflightTable {
 
   /// Registers the coalescing instrument set (vqi_coalesce_{leaders,waiters,
   /// fanout,detach,reexec,reexec_denied}_total and the waiter-wait
-  /// histogram). The registry must outlive the table. Without registration
-  /// the table still works; events are simply unmetered.
+  /// histogram). Must be called before the table is used concurrently (the
+  /// handles are unsynchronized init-time state); the registry must outlive
+  /// the table. Without registration the table still works; events are
+  /// simply unmetered.
   void RegisterMetrics(obs::MetricsRegistry& registry);
 
   // Metric hooks for the fan-out owner (the table cannot see fan-out policy).
@@ -100,10 +103,14 @@ class InflightTable {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::vector<InflightWaiter>> entries_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, std::vector<InflightWaiter>> entries_
+      VQLIB_GUARDED_BY(mutex_);
   std::atomic<size_t> total_waiters_{0};
 
+  // Instrument handles: written once by RegisterMetrics (which must happen
+  // before concurrent use, per the class contract), read-only afterwards —
+  // the same init-then-immutable pattern as ThreadPool's handles.
   obs::Counter* leaders_total_ = nullptr;
   obs::Counter* waiters_total_ = nullptr;
   obs::Counter* fanout_total_ = nullptr;

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace vqi {
@@ -58,7 +59,7 @@ class ShardedLruCache {
   /// most-recently-used, or nullopt on a miss.
   std::optional<V> Get(const std::string& key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(&shard.mutex);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       ++shard.misses;
@@ -75,7 +76,7 @@ class ShardedLruCache {
   /// least-recently-used entry of the shard when it is at capacity.
   void Put(const std::string& key, V value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(&shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->second = std::move(value);
@@ -97,7 +98,7 @@ class ShardedLruCache {
   /// Drops every entry (counters are preserved).
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(&shard->mutex);
       shard->order.clear();
       shard->index.clear();
     }
@@ -107,7 +108,7 @@ class ShardedLruCache {
   CacheStats GetStats() const {
     CacheStats stats;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(&shard->mutex);
       stats.hits += shard->hits;
       stats.misses += shard->misses;
       stats.evictions += shard->evictions;
@@ -132,7 +133,7 @@ class ShardedLruCache {
       obs::Counter& evictions = registry.GetCounter(
           prefix + "_evictions_total", "Result-cache LRU evictions.", labels);
       Shard& shard = *shards_[i];
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(&shard.mutex);
       if (shard.hits > 0) hits.Increment(shard.hits);
       if (shard.misses > 0) misses.Increment(shard.misses);
       if (shard.evictions > 0) evictions.Increment(shard.evictions);
@@ -151,21 +152,21 @@ class ShardedLruCache {
   struct Shard {
     explicit Shard(size_t cap) : capacity(cap) {}
 
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     // front = most recently used.
-    std::list<std::pair<std::string, V>> order;
+    std::list<std::pair<std::string, V>> order VQLIB_GUARDED_BY(mutex);
     std::unordered_map<std::string,
                        typename std::list<std::pair<std::string, V>>::iterator>
-        index;
-    size_t capacity;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+        index VQLIB_GUARDED_BY(mutex);
+    const size_t capacity;  ///< immutable after construction
+    uint64_t hits VQLIB_GUARDED_BY(mutex) = 0;
+    uint64_t misses VQLIB_GUARDED_BY(mutex) = 0;
+    uint64_t evictions VQLIB_GUARDED_BY(mutex) = 0;
     // Optional mirrors into an obs registry (see RegisterMetrics); guarded by
     // `mutex` like the local counters.
-    obs::Counter* hits_metric = nullptr;
-    obs::Counter* misses_metric = nullptr;
-    obs::Counter* evictions_metric = nullptr;
+    obs::Counter* hits_metric VQLIB_GUARDED_BY(mutex) = nullptr;
+    obs::Counter* misses_metric VQLIB_GUARDED_BY(mutex) = nullptr;
+    obs::Counter* evictions_metric VQLIB_GUARDED_BY(mutex) = nullptr;
   };
 
   Shard& ShardFor(const std::string& key) {

@@ -127,7 +127,7 @@ void QueryService::InvalidateCache() {
 
 void QueryService::InvalidateCacheKey(GraphId graph_id) {
   {
-    std::lock_guard<std::mutex> lock(graph_epochs_mutex_);
+    MutexLock lock(&graph_epochs_mutex_);
     ++graph_epochs_[graph_id];
   }
   // Whole-collection results and suggestions depend on every graph, so they
@@ -138,7 +138,7 @@ void QueryService::InvalidateCacheKey(GraphId graph_id) {
 }
 
 uint64_t QueryService::GraphEpoch(GraphId graph_id) const {
-  std::lock_guard<std::mutex> lock(graph_epochs_mutex_);
+  MutexLock lock(&graph_epochs_mutex_);
   auto it = graph_epochs_.find(graph_id);
   return it == graph_epochs_.end() ? 0 : it->second;
 }
@@ -165,7 +165,7 @@ std::string QueryService::CacheKey(const QueryRequest& request) const {
     // Admission sorted and deduplicated the set, so equal sets produce equal
     // keys. One lock for all members keeps the epoch vector consistent.
     key += 't';
-    std::lock_guard<std::mutex> lock(graph_epochs_mutex_);
+    MutexLock lock(&graph_epochs_mutex_);
     for (GraphId id : request.targets) {
       key += std::to_string(id);
       key += ':';

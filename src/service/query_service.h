@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/stopwatch.h"
 #include "graph/graph.h"
 #include "graph/graph_database.h"
@@ -188,13 +189,16 @@ class QueryService {
   /// source).
   std::optional<QueryResult> ProbeCache(const std::string& key);
   /// Epoch of one target graph's cached entries (see InvalidateCacheKey).
-  uint64_t GraphEpoch(GraphId graph_id) const;
+  /// Takes graph_epochs_mutex_ itself; must not be called with it held.
+  uint64_t GraphEpoch(GraphId graph_id) const
+      VQLIB_EXCLUDES(graph_epochs_mutex_);
   /// Cache/coalescing key, or "" when the request is uncacheable (pattern
   /// too large for canonicalization, or both the cache and coalescing are
   /// disabled). The key embeds every epoch the result depends on, so an
   /// invalidation reroutes lookups *and* lets fan-out detect stale waiters
   /// by recomputing the key.
-  std::string CacheKey(const QueryRequest& request) const;
+  std::string CacheKey(const QueryRequest& request) const
+      VQLIB_EXCLUDES(graph_epochs_mutex_);
   /// Enqueues the worker-side task for `request` (dequeue re-probe, execute,
   /// cache insert, fan-out when `lead`, completion recording). On a failed
   /// enqueue the leader's in-flight entry is aborted.
@@ -242,8 +246,9 @@ class QueryService {
   // suggestions); graph_epochs_ holds only graphs that were individually
   // invalidated (absent = epoch 0).
   std::atomic<uint64_t> all_graphs_epoch_{0};
-  mutable std::mutex graph_epochs_mutex_;
-  std::unordered_map<GraphId, uint64_t> graph_epochs_;
+  mutable Mutex graph_epochs_mutex_;
+  std::unordered_map<GraphId, uint64_t> graph_epochs_
+      VQLIB_GUARDED_BY(graph_epochs_mutex_);
 
   // Instrument handles resolved once in the constructor.
   obs::Counter* admitted_total_;

@@ -27,7 +27,7 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
 }
 
 bool CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   switch (state_) {
     case BreakerState::kClosed:
       return true;
@@ -46,12 +46,12 @@ bool CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   RecordLocked(/*failure=*/false);
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   RecordLocked(/*failure=*/true);
 }
 
@@ -100,17 +100,17 @@ double CircuitBreaker::WindowFailureRateLocked() const {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return state_;
 }
 
 double CircuitBreaker::FailureRate() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return WindowFailureRateLocked();
 }
 
 uint64_t CircuitBreaker::TimesOpened() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return times_opened_;
 }
 

@@ -3,10 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace vqi {
 namespace resilience {
@@ -62,24 +63,23 @@ class CircuitBreaker {
   uint64_t TimesOpened() const;
 
  private:
-  // Callers hold `mutex_`.
-  void RecordLocked(bool failure);
-  void OpenLocked();
-  double WindowFailureRateLocked() const;
+  void RecordLocked(bool failure) VQLIB_REQUIRES(mutex_);
+  void OpenLocked() VQLIB_REQUIRES(mutex_);
+  double WindowFailureRateLocked() const VQLIB_REQUIRES(mutex_);
 
   CircuitBreakerOptions options_;
-  mutable std::mutex mutex_;
-  BreakerState state_ = BreakerState::kClosed;
+  mutable Mutex mutex_;
+  BreakerState state_ VQLIB_GUARDED_BY(mutex_) = BreakerState::kClosed;
   // Rolling outcome window (true = failure), a ring over the last
   // window_size outcomes.
-  std::vector<bool> window_;
-  size_t window_next_ = 0;
-  size_t window_count_ = 0;
-  size_t window_failures_ = 0;
-  Stopwatch opened_at_;
-  size_t half_open_admitted_ = 0;
-  size_t half_open_successes_ = 0;
-  uint64_t times_opened_ = 0;
+  std::vector<bool> window_ VQLIB_GUARDED_BY(mutex_);
+  size_t window_next_ VQLIB_GUARDED_BY(mutex_) = 0;
+  size_t window_count_ VQLIB_GUARDED_BY(mutex_) = 0;
+  size_t window_failures_ VQLIB_GUARDED_BY(mutex_) = 0;
+  Stopwatch opened_at_ VQLIB_GUARDED_BY(mutex_);
+  size_t half_open_admitted_ VQLIB_GUARDED_BY(mutex_) = 0;
+  size_t half_open_successes_ VQLIB_GUARDED_BY(mutex_) = 0;
+  uint64_t times_opened_ VQLIB_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace resilience

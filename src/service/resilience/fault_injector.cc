@@ -56,10 +56,19 @@ FaultDecision FaultInjector::Decide(FaultPoint point) {
   PointState& state = states_[static_cast<size_t>(point)];
   FaultDecision decision;
   FaultPointSpec spec;
+  // Metric handles are snapshotted under the lock: RegisterMetrics may install
+  // them concurrently, and reading them unlocked after the critical section
+  // would race that write.
+  obs::Counter* latencies_metric = nullptr;
+  obs::Counter* drops_metric = nullptr;
+  obs::Counter* errors_metric = nullptr;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(&state.mutex);
     spec = state.spec;
     if (!spec.Active()) return decision;
+    latencies_metric = state.latencies_metric;
+    drops_metric = state.drops_metric;
+    errors_metric = state.errors_metric;
     // Always burn the same three draws per decision so toggling one
     // probability does not shift the sequence seen by the others.
     double latency_roll = state.rng.UniformDouble();
@@ -77,14 +86,14 @@ FaultDecision FaultInjector::Decide(FaultPoint point) {
   }
   if (decision.latency_ms > 0) {
     state.latencies.fetch_add(1, std::memory_order_relaxed);
-    if (state.latencies_metric != nullptr) state.latencies_metric->Increment();
+    if (latencies_metric != nullptr) latencies_metric->Increment();
   }
   if (decision.dropped) {
     state.drops.fetch_add(1, std::memory_order_relaxed);
-    if (state.drops_metric != nullptr) state.drops_metric->Increment();
+    if (drops_metric != nullptr) drops_metric->Increment();
   } else if (!decision.status.ok()) {
     state.errors.fetch_add(1, std::memory_order_relaxed);
-    if (state.errors_metric != nullptr) state.errors_metric->Increment();
+    if (errors_metric != nullptr) errors_metric->Increment();
   }
   return decision;
 }
@@ -100,13 +109,13 @@ Status FaultInjector::Act(FaultPoint point) {
 
 void FaultInjector::SetSpec(FaultPoint point, FaultPointSpec spec) {
   PointState& state = states_[static_cast<size_t>(point)];
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   state.spec = spec;
 }
 
 FaultPointSpec FaultInjector::GetSpec(FaultPoint point) const {
   const PointState& state = states_[static_cast<size_t>(point)];
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   return state.spec;
 }
 
@@ -148,7 +157,7 @@ void FaultInjector::RegisterMetrics(obs::MetricsRegistry& registry) {
     obs::Counter& drops = registry.GetCounter(
         "vqi_faults_injected_total", "Faults injected by the chaos layer.",
         {{"point", point}, {"kind", "drop"}});
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(&state.mutex);
     uint64_t e = state.errors.load(std::memory_order_relaxed);
     uint64_t l = state.latencies.load(std::memory_order_relaxed);
     uint64_t d = state.drops.load(std::memory_order_relaxed);

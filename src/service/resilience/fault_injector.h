@@ -5,12 +5,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace vqi {
@@ -139,15 +140,18 @@ class FaultInjector {
 
  private:
   struct PointState {
-    mutable std::mutex mutex;
-    Rng rng{0};
-    FaultPointSpec spec;
+    mutable Mutex mutex;
+    Rng rng VQLIB_GUARDED_BY(mutex){0};
+    FaultPointSpec spec VQLIB_GUARDED_BY(mutex);
     std::atomic<uint64_t> errors{0};
     std::atomic<uint64_t> latencies{0};
     std::atomic<uint64_t> drops{0};
-    obs::Counter* errors_metric = nullptr;
-    obs::Counter* latencies_metric = nullptr;
-    obs::Counter* drops_metric = nullptr;
+    // Mirrors into an obs registry; RegisterMetrics may race with Decide, so
+    // the handles are guarded like the spec (Decide snapshots them under the
+    // lock before incrementing — see fault_injector.cc).
+    obs::Counter* errors_metric VQLIB_GUARDED_BY(mutex) = nullptr;
+    obs::Counter* latencies_metric VQLIB_GUARDED_BY(mutex) = nullptr;
+    obs::Counter* drops_metric VQLIB_GUARDED_BY(mutex) = nullptr;
   };
 
   uint64_t seed_;

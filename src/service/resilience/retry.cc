@@ -26,19 +26,19 @@ RetryBudget::RetryBudget(double ratio, double capacity)
       tokens_(capacity_) {}
 
 void RetryBudget::OnRequest() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   tokens_ = std::min(tokens_ + ratio_, capacity_);
 }
 
 bool RetryBudget::TryConsumeRetry() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (tokens_ < 1.0) return false;
   tokens_ -= 1.0;
   return true;
 }
 
 double RetryBudget::tokens() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return tokens_;
 }
 

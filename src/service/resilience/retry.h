@@ -3,10 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace vqi {
 namespace resilience {
@@ -60,8 +61,8 @@ class RetryBudget {
  private:
   const double ratio_;
   const double capacity_;
-  mutable std::mutex mutex_;
-  double tokens_;
+  mutable Mutex mutex_;
+  double tokens_ VQLIB_GUARDED_BY(mutex_);
 };
 
 }  // namespace resilience

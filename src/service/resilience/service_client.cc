@@ -60,7 +60,7 @@ QueryResult ServiceClient::Execute(QueryRequest request) {
   requests_total_->Increment();
   budget_.OnRequest();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++stats_.requests;
   }
 
@@ -71,7 +71,7 @@ QueryResult ServiceClient::Execute(QueryRequest request) {
     if (options_.enable_breaker && !breaker_.Allow()) {
       breaker_rejected_total_->Increment();
       breaker_state_gauge_->Set(static_cast<double>(breaker_.state()));
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       ++stats_.breaker_rejected;
       ++stats_.failed;
       result.status = Status::Unavailable("circuit breaker open");
@@ -80,7 +80,7 @@ QueryResult ServiceClient::Execute(QueryRequest request) {
 
     ++attempts;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       ++stats_.attempts;
     }
     result = service_.Execute(request);
@@ -90,14 +90,14 @@ QueryResult ServiceClient::Execute(QueryRequest request) {
     if (attempts >= options_.retry.max_attempts) break;
     if (!budget_.TryConsumeRetry()) {
       budget_denied_total_->Increment();
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       ++stats_.budget_denied;
       break;
     }
 
     retries_total_->Increment();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       ++stats_.retries;
       backoff_ms = NextBackoffMs(options_.retry, backoff_ms, rng_);
       stats_.total_backoff_ms += backoff_ms;
@@ -110,7 +110,7 @@ QueryResult ServiceClient::Execute(QueryRequest request) {
 
   attempts_per_request_->Observe(static_cast<double>(attempts));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (result.status.ok()) {
       ++stats_.ok;
     } else {
@@ -121,7 +121,7 @@ QueryResult ServiceClient::Execute(QueryRequest request) {
 }
 
 ClientStats ServiceClient::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 

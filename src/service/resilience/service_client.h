@@ -2,10 +2,11 @@
 #define VQLIB_SERVICE_RESILIENCE_SERVICE_CLIENT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "service/query_service.h"
 #include "service/resilience/circuit_breaker.h"
@@ -94,9 +95,9 @@ class ServiceClient {
   CircuitBreaker breaker_;
   RetryBudget budget_;
 
-  mutable std::mutex mutex_;  // guards rng_ and stats_
-  Rng rng_;
-  ClientStats stats_;
+  mutable Mutex mutex_;
+  Rng rng_ VQLIB_GUARDED_BY(mutex_);
+  ClientStats stats_ VQLIB_GUARDED_BY(mutex_);
 
   obs::Counter* requests_total_;
   obs::Counter* retries_total_;

@@ -39,7 +39,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 Status ThreadPool::Submit(std::function<void()> task) {
   VQI_CHECK(task != nullptr) << "ThreadPool::Submit requires a task";
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (stopping_) {
       return Status::Unavailable("thread pool is shutting down");
     }
@@ -51,28 +51,28 @@ Status ThreadPool::Submit(std::function<void()> task) {
       queue_depth_->Set(static_cast<double>(queue_.size()));
     }
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
   return Status::OK();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return queue_.size();
 }
 
 uint64_t ThreadPool::TasksExecuted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return executed_;
 }
 
@@ -80,9 +80,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && queue_.empty()) task_available_.Wait(mutex_);
       if (queue_.empty()) {
         // stopping_ and nothing left to drain.
         return;
@@ -99,7 +98,7 @@ void ThreadPool::WorkerLoop() {
     task.fn();
     if (tasks_executed_total_ != nullptr) tasks_executed_total_->Increment();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       ++executed_;
     }
   }

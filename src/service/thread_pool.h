@@ -1,17 +1,17 @@
 #ifndef VQLIB_SERVICE_THREAD_POOL_H_
 #define VQLIB_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace vqi {
@@ -76,12 +76,14 @@ class ThreadPool {
   void WorkerLoop();
 
   ThreadPoolOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::deque<QueuedTask> queue_;
+  mutable Mutex mutex_;
+  CondVar task_available_;
+  std::deque<QueuedTask> queue_ VQLIB_GUARDED_BY(mutex_);
+  // Filled in the constructor before any concurrency, then only read (and
+  // joined under Shutdown); not guarded.
   std::vector<std::thread> workers_;
-  uint64_t executed_ = 0;
-  bool stopping_ = false;
+  uint64_t executed_ VQLIB_GUARDED_BY(mutex_) = 0;
+  bool stopping_ VQLIB_GUARDED_BY(mutex_) = false;
 
   // Instrument handles resolved once at construction (null when the pool has
   // no registry). queue_depth_ is only written under mutex_.

@@ -12,12 +12,15 @@
 // desired decision pattern (per-point streams depend only on the seed and the
 // decision index).
 
+#include <atomic>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "gtest/gtest.h"
+#include "service/inflight_table.h"
 #include "service/query_service.h"
 #include "service/resilience/fault_injector.h"
 
@@ -580,6 +583,59 @@ TEST(CoalesceStressTest, ManyThreadsFewKeysResolveCorrectly) {
             stats.coalesce_waiters);
   EXPECT_GE(Counter(service, "vqi_coalesce_reexec_total"),
             stats.coalesce_detached);
+}
+
+TEST(InflightTableTest, FanoutResolvesWaitersWithTableLockReleased) {
+  // The single-flight contract: Complete() hands the parked waiters back to
+  // the caller and releases the table mutex BEFORE any waiter promise is
+  // resolved. Consumers that wake from a fan-out immediately re-enter the
+  // table (a re-executing waiter calls JoinOrLead, then Complete); if
+  // fan-out resolved promises while still holding the table mutex, this
+  // re-entry would deadlock against it. Runs under the tsan preset.
+  InflightTable table;
+  InflightWaiter lead;
+  ASSERT_EQ(table.JoinOrLead("k", &lead), InflightTable::Role::kLeader);
+
+  constexpr int kWaiters = 8;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < kWaiters; ++i) {
+    InflightWaiter waiter;
+    waiter.promise = std::make_shared<std::promise<QueryResult>>();
+    futures.push_back(waiter.promise->get_future());
+    ASSERT_EQ(table.JoinOrLead("k", &waiter), InflightTable::Role::kWaiter);
+  }
+  ASSERT_EQ(table.TotalWaiters(), static_cast<size_t>(kWaiters));
+
+  std::atomic<int> reentered{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < kWaiters; ++i) {
+    consumers.emplace_back([&table, &futures, &reentered, i] {
+      QueryResult result = futures[static_cast<size_t>(i)].get();
+      EXPECT_TRUE(result.status.ok());
+      // Re-enter the table on wake, as a re-executing waiter would.
+      std::string key = "reexec-" + std::to_string(i);
+      InflightWaiter reexec;
+      if (table.JoinOrLead(key, &reexec) == InflightTable::Role::kLeader) {
+        table.Complete(key);
+      }
+      reentered.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Leader fan-out: the waiters come back by value with the mutex released,
+  // so resolving them can interleave with consumer re-entry freely.
+  std::vector<InflightWaiter> waiters = table.Complete("k");
+  ASSERT_EQ(waiters.size(), static_cast<size_t>(kWaiters));
+  for (InflightWaiter& waiter : waiters) {
+    waiter.promise->set_value(QueryResult{});
+    // The fan-out thread can keep using the table mid-resolution.
+    (void)table.InflightKeys();
+  }
+  for (auto& consumer : consumers) consumer.join();
+
+  EXPECT_EQ(reentered.load(), kWaiters);
+  EXPECT_EQ(table.TotalWaiters(), 0u);
+  EXPECT_EQ(table.InflightKeys(), 0u);
 }
 
 }  // namespace

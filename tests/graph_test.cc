@@ -301,6 +301,16 @@ TEST(LabelDictionaryTest, InternAndName) {
   EXPECT_EQ(dict.Name(5), "O");
 }
 
+TEST(LabelDictionaryTest, SetNameReassignmentDropsStaleReverseMapping) {
+  LabelDictionary dict;
+  Label c = dict.Intern("C");
+  dict.SetName(7, "C");  // "C" now belongs to label 7
+  EXPECT_EQ(dict.Intern("C"), 7u);
+  EXPECT_EQ(dict.Name(7), "C");
+  // The old owner must not keep reporting a name that resolves elsewhere.
+  EXPECT_EQ(dict.Name(c), "L" + std::to_string(c));
+}
+
 TEST(GeneratorsTest, ErdosRenyiEdgeCountNearExpectation) {
   Rng rng(11);
   gen::LabelConfig labels;

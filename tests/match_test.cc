@@ -118,6 +118,21 @@ TEST(Vf2Test, StepLimitReported) {
   EXPECT_TRUE(matcher.hit_step_limit());
 }
 
+TEST(Vf2Test, StepLimitFlagResetsBetweenRuns) {
+  // A matcher that hit the limit once must not report a stale flag for a
+  // later run that completed within budget.
+  Graph big = builder::Clique(9);
+  Graph pattern = builder::Clique(5);
+  MatchOptions opts;
+  opts.max_steps = 10;
+  SubgraphMatcher matcher(pattern, big, opts);
+  matcher.CountEmbeddings();
+  ASSERT_TRUE(matcher.hit_step_limit());
+  matcher.set_max_steps(0);  // unlimited
+  EXPECT_TRUE(matcher.Exists());
+  EXPECT_FALSE(matcher.hit_step_limit());
+}
+
 TEST(Vf2Test, PatternLargerThanTargetFailsFast) {
   Graph small = builder::Triangle();
   Graph big = builder::Clique(4);

@@ -194,6 +194,49 @@ TEST(MetricsRegistryTest, HistogramSeriesKeepsOriginalBounds) {
   EXPECT_EQ(again.bounds().size(), 2u);
 }
 
+TEST(MetricsRegistryTest, ConcurrentRegistrationYieldsOneInstrumentPerSeries) {
+  // Many threads racing find-or-create on the same (name, labels) pairs must
+  // converge on a single instrument per series, with no increments lost and
+  // no duplicate families/series in the snapshot. Runs under the tsan preset.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kSeries = 2;
+  constexpr int kIncrements = 500;
+  std::vector<std::thread> writers;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry, &seen, t] {
+      Labels labels{{"shard", std::to_string(t % kSeries)}};
+      seen[t] = &registry.GetCounter("vqi_races_total", "help", labels);
+      for (int i = 0; i < kIncrements; ++i) {
+        // Re-resolve every time so lookup itself is part of the race.
+        registry.GetCounter("vqi_races_total", "help", labels).Increment();
+      }
+      registry.GetGauge("vqi_race_depth", "", labels)
+          .Set(static_cast<double>(t));
+      registry
+          .GetHistogram("vqi_race_wait_ms", "",
+                        Histogram::ExponentialBounds(1, 2, 4), labels)
+          .Observe(1.0);
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[t % kSeries]) << "duplicate series for one label set";
+  }
+  for (int s = 0; s < kSeries; ++s) {
+    EXPECT_EQ(seen[s]->Value(),
+              static_cast<uint64_t>(kThreads / kSeries) * kIncrements);
+  }
+  std::vector<FamilySnapshot> families = registry.Snapshot();
+  ASSERT_EQ(families.size(), 3u);
+  for (const FamilySnapshot& family : families) {
+    EXPECT_EQ(family.series.size(), static_cast<size_t>(kSeries))
+        << family.name;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Exposition
 

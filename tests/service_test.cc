@@ -4,13 +4,12 @@
 // multi-threaded stress run.
 
 #include <atomic>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "obs/export.h"
@@ -40,31 +39,31 @@ TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
 TEST(ThreadPoolTest, FullQueueReturnsUnavailable) {
   ThreadPool pool(ThreadPoolOptions{1, 1});
   // Gate the single worker so the queue state is deterministic.
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   bool release = false;
   bool worker_started = false;
   ASSERT_TRUE(pool.Submit([&] {
-                    std::unique_lock<std::mutex> lock(mutex);
+                    MutexLock lock(&mutex);
                     worker_started = true;
-                    cv.notify_all();
-                    cv.wait(lock, [&] { return release; });
+                    cv.NotifyAll();
+                    while (!release) cv.Wait(mutex);
                   })
                   .ok());
   {
     // Wait until the worker has dequeued the gate task (queue empty again).
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return worker_started; });
+    MutexLock lock(&mutex);
+    while (!worker_started) cv.Wait(mutex);
   }
   // One slot in the queue: first fill succeeds, second is shed.
   EXPECT_TRUE(pool.Submit([] {}).ok());
   Status rejected = pool.Submit([] {});
   EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(&mutex);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   pool.Shutdown();
   EXPECT_EQ(pool.TasksExecuted(), 2u);
 }

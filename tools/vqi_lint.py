@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Repo lint for conventions the compiler cannot check.
+
+Run from anywhere:  python3 tools/vqi_lint.py [--root REPO] [--self-test]
+
+Rules (each has a stable id used in messages and the self-test):
+
+  metric-name      String literals passed as the name to GetCounter /
+                   GetGauge / GetHistogram must match vqi_[a-z_]+ with an
+                   optional _total / _ms suffix; counter names must end in
+                   _total. Non-literal names (built at runtime) are skipped.
+  raw-mutex        std::mutex, std::lock_guard, std::unique_lock,
+                   std::scoped_lock, std::condition_variable and the <mutex> /
+                   <condition_variable> includes are banned everywhere except
+                   src/common/mutex.h — use vqi::Mutex / MutexLock / CondVar
+                   so Clang Thread Safety Analysis sees every lock.
+  test-determinism rand(), srand(), std::random_device and std::mt19937 are
+                   banned under tests/; seeded vqi::Rng keeps failures
+                   reproducible.
+  common-layering  Files in src/common/ may only #include "common/..." quoted
+                   headers — common is the bottom layer and must not reach up.
+  no-analysis-optout
+                   VQLIB_NO_THREAD_SAFETY_ANALYSIS may appear only in
+                   src/common/mutex.h (and its definition in
+                   thread_annotations.h); the annotated codebase has no other
+                   sanctioned opt-outs.
+
+Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
+"""
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+SCAN_DIRS = ("src", "tests", "tools", "bench", "examples")
+
+METRIC_GETTER_RE = re.compile(
+    r"\bGet(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"vqi_[a-z_]+")
+
+RAW_MUTEX_RES = [
+    (re.compile(r"\bstd\s*::\s*mutex\b"), "std::mutex"),
+    (re.compile(r"\bstd\s*::\s*lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bstd\s*::\s*unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bstd\s*::\s*scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\bstd\s*::\s*condition_variable\b"),
+     "std::condition_variable"),
+    (re.compile(r"#\s*include\s*<mutex>"), "#include <mutex>"),
+    (re.compile(r"#\s*include\s*<condition_variable>"),
+     "#include <condition_variable>"),
+]
+
+NONDETERMINISM_RES = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+]
+
+QUOTED_INCLUDE_RE = re.compile(r"#\s*include\s*\"([^\"]+)\"")
+OPTOUT_RE = re.compile(r"\bVQLIB_NO_THREAD_SAFETY_ANALYSIS\b")
+
+
+def strip_line_comment(line):
+    """Drops a trailing // comment, respecting string literals."""
+    in_string = False
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if in_string:
+            if c == "\\":
+                i += 1
+            elif c == '"':
+                in_string = False
+        elif c == '"':
+            in_string = True
+        elif c == "/" and line[i:i + 2] == "//":
+            return line[:i]
+        i += 1
+    return line
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.violations = []
+
+    def report(self, rule, path, lineno, message):
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def files(self):
+        for top in SCAN_DIRS:
+            base = self.root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in CXX_SUFFIXES and path.is_file():
+                    yield path
+
+    def lint_file(self, path):
+        rel = path.relative_to(self.root).as_posix()
+        is_mutex_header = rel == "src/common/mutex.h"
+        is_annotations_header = rel == "src/common/thread_annotations.h"
+        in_tests = rel.startswith("tests/")
+        in_common = rel.startswith("src/common/")
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            return
+        for lineno, raw_line in enumerate(text.splitlines(), start=1):
+            line = strip_line_comment(raw_line)
+
+            for match in METRIC_GETTER_RE.finditer(line):
+                kind, name = match.group(1), match.group(2)
+                if not METRIC_NAME_RE.fullmatch(name):
+                    self.report(
+                        "metric-name", path, lineno,
+                        f"metric name '{name}' must match vqi_[a-z_]+")
+                elif kind == "Counter" and not name.endswith("_total"):
+                    self.report(
+                        "metric-name", path, lineno,
+                        f"counter '{name}' must end in _total")
+                elif kind != "Counter" and name.endswith("_total"):
+                    self.report(
+                        "metric-name", path, lineno,
+                        f"_total suffix is reserved for counters: '{name}'")
+
+            if not is_mutex_header:
+                for pattern, what in RAW_MUTEX_RES:
+                    if pattern.search(line):
+                        self.report(
+                            "raw-mutex", path, lineno,
+                            f"{what} is banned outside src/common/mutex.h; "
+                            "use vqi::Mutex / MutexLock / CondVar")
+
+            if in_tests:
+                for pattern, what in NONDETERMINISM_RES:
+                    if pattern.search(line):
+                        self.report(
+                            "test-determinism", path, lineno,
+                            f"{what} makes tests nondeterministic; "
+                            "use a seeded vqi::Rng")
+
+            if in_common:
+                match = QUOTED_INCLUDE_RE.search(line)
+                if match and not match.group(1).startswith("common/"):
+                    self.report(
+                        "common-layering", path, lineno,
+                        f'src/common may not include "{match.group(1)}" — '
+                        "common is the bottom layer")
+
+            if not is_mutex_header and not is_annotations_header:
+                if OPTOUT_RE.search(line):
+                    self.report(
+                        "no-analysis-optout", path, lineno,
+                        "VQLIB_NO_THREAD_SAFETY_ANALYSIS is only sanctioned "
+                        "in src/common/mutex.h")
+
+    def run(self):
+        for path in self.files():
+            self.lint_file(path)
+        return self.violations
+
+
+def self_test():
+    """Writes one violating scratch file per rule and asserts the rule fires."""
+    cases = [
+        ("metric-name", "src/scratch.cc",
+         'void F(R& r) { r.GetCounter("queries_served"); }\n'),
+        ("metric-name", "src/scratch.cc",
+         'void F(R& r) { r.GetCounter("vqi_queries_served"); }\n'),
+        ("metric-name", "src/scratch.cc",
+         'void F(R& r) { r.GetGauge("vqi_queue_depth_total"); }\n'),
+        ("raw-mutex", "src/scratch.cc",
+         "#include <mutex>\nstd::mutex mu;\n"),
+        ("raw-mutex", "tests/scratch_test.cc",
+         "void F() { std::lock_guard<std::mutex> lock(mu); }\n"),
+        ("test-determinism", "tests/scratch_test.cc",
+         "int F() { return rand() % 7; }\n"),
+        ("test-determinism", "tests/scratch_test.cc",
+         "#include <random>\nstd::mt19937 gen{std::random_device{}()};\n"),
+        ("common-layering", "src/common/scratch.h",
+         '#include "obs/metrics.h"\n'),
+        ("no-analysis-optout", "src/service/scratch.h",
+         "void F() VQLIB_NO_THREAD_SAFETY_ANALYSIS;\n"),
+    ]
+    clean = [
+        ("src/scratch_ok.cc",
+         'void F(R& r) { r.GetCounter("vqi_queries_served_total"); }\n'
+         '// std::mutex in a comment is fine\n'),
+        ("tests/scratch_ok_test.cc",
+         '#include "common/rng.h"\nvqi::Rng rng(42);\n'),
+    ]
+    failures = []
+    for rule, rel, content in cases:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content)
+            violations = Linter(root).run()
+            if not any(f"[{rule}]" in v for v in violations):
+                failures.append(
+                    f"expected [{rule}] to fire for {rel!r}:\n{content}")
+    for rel, content in clean:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content)
+            violations = Linter(root).run()
+            if violations:
+                failures.append(
+                    f"expected no violations for {rel!r}, got: {violations}")
+    if failures:
+        print("vqi_lint self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"vqi_lint self-test OK ({len(cases)} violating cases, "
+          f"{len(clean)} clean cases)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root (default: parent of this script's directory)")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify each rule fires on a known-bad scratch file")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"vqi_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    violations = Linter(root).run()
+    if violations:
+        for violation in violations:
+            print(violation, file=sys.stderr)
+        print(f"vqi_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("vqi_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
