@@ -1,0 +1,181 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/stopwatch.h"
+
+namespace vqi {
+namespace net {
+
+HttpClient::HttpClient() : HttpClient(Options()) {}
+
+HttpClient::HttpClient(Options options) : options_(options) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  parser_ = HttpResponseParser();
+}
+
+Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::Unavailable("connect " + host + ":" +
+                                        std::to_string(port) + ": " +
+                                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status HttpClient::WriteAll(std::string_view data) {
+  Stopwatch deadline;
+  while (!data.empty()) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    if (deadline.ElapsedMillis() >= options_.io_timeout_ms) {
+      return Status::Unavailable("send: write deadline exceeded");
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    ::poll(&pfd, 1, 10);
+  }
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  return WriteAll(data);
+}
+
+std::string HttpClient::ReadAvailable(double timeout_ms) {
+  std::string out;
+  if (fd_ < 0) return out;
+  Stopwatch deadline;
+  for (;;) {
+    double remaining = timeout_ms - deadline.ElapsedMillis();
+    if (remaining <= 0) return out;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    if (ready <= 0) {
+      if (ready < 0 && errno == EINTR) continue;
+      return out;
+    }
+    char buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return out;  // peer closed or errored: done
+    out.append(buf, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<HttpResponseParser::Response> HttpClient::Roundtrip(
+    const std::string& method, const std::string& target,
+    std::string_view body, const std::string& content_type) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string request;
+  request.reserve(body.size() + 160);
+  request += method;
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: vqlib\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: ";
+    request += content_type;
+    request += "\r\nContent-Length: ";
+    request += std::to_string(body.size());
+    request += "\r\n";
+  }
+  request += "\r\n";
+  request.append(body.data(), body.size());
+  if (Status sent = WriteAll(request); !sent.ok()) {
+    Close();
+    return sent;
+  }
+
+  Stopwatch deadline;
+  HttpResponseParser::State state = parser_.state();
+  while (state == HttpResponseParser::State::kNeedMore) {
+    double remaining = options_.io_timeout_ms - deadline.ElapsedMillis();
+    if (remaining <= 0) {
+      Close();
+      return Status::Unavailable("response deadline exceeded");
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Unavailable(std::string("poll: ") +
+                                 std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    char buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::Unavailable("connection closed before a full response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    state = parser_.Consume(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  if (state == HttpResponseParser::State::kError) {
+    Status status = Status::ParseError("bad response: " + parser_.error());
+    Close();
+    return status;
+  }
+  HttpResponseParser::Response response = parser_.response();
+  // A server that announced Connection: close will not serve this socket
+  // again; reflect that locally so the next Roundtrip fails fast.
+  if (FindHeader(response.headers, "connection") == "close") {
+    Close();
+  } else {
+    parser_.Reset();
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace vqi

@@ -1,0 +1,70 @@
+#ifndef VQLIB_NET_HTTP_CLIENT_H_
+#define VQLIB_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/http_parser.h"
+
+namespace vqi {
+namespace net {
+
+/// Minimal blocking HTTP/1.1 client for loopback benchmarking and tests:
+/// one TCP connection, keep-alive reuse, Content-Length framing only. This
+/// is the wire-driving half of `serve-bench --http` — it exists so the
+/// benchmark exercises the server's real socket path without an external
+/// curl dependency.
+///
+/// Not thread-safe; one client per driver thread.
+class HttpClient {
+ public:
+  struct Options {
+    double connect_timeout_ms = 2000;
+    double io_timeout_ms = 10000;
+  };
+
+  HttpClient();
+  explicit HttpClient(Options options);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Opens a TCP connection to host:port (dotted-quad host, e.g. loopback).
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and reads the full response. kUnavailable on
+  /// connection failures (peer reset, torn response, timeouts) — after which
+  /// the connection is closed and the caller may Connect() again. `body` is
+  /// sent with Content-Length framing; empty body + "GET" sends none.
+  StatusOr<HttpResponseParser::Response> Roundtrip(
+      const std::string& method, const std::string& target,
+      std::string_view body = {},
+      const std::string& content_type = "application/json");
+
+  /// Sends raw bytes on the open connection (tests drive torn/partial
+  /// requests with this).
+  Status SendRaw(std::string_view data);
+
+  /// Reads until the peer closes or the deadline, returning whatever
+  /// arrived (tests inspecting raw error responses).
+  std::string ReadAvailable(double timeout_ms);
+
+ private:
+  Status WriteAll(std::string_view data);
+
+  Options options_;
+  int fd_ = -1;
+  /// Unconsumed bytes from the previous response (pipelined leftovers).
+  HttpResponseParser parser_;
+};
+
+}  // namespace net
+}  // namespace vqi
+
+#endif  // VQLIB_NET_HTTP_CLIENT_H_

@@ -1,0 +1,286 @@
+#include "net/http_parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace vqi {
+namespace net {
+namespace {
+
+/// Parses a Content-Length value: digits only, no sign, no whitespace inside.
+bool ParseContentLength(std::string_view text, size_t* out) {
+  if (text.empty() || text.size() > 18) return false;
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool SplitHeaderLine(std::string_view line, std::string* key,
+                     std::string* value) {
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::string_view k = line.substr(0, colon);
+  // Field names may not contain whitespace (request smuggling guard).
+  for (char c : k) {
+    if (c == ' ' || c == '\t') return false;
+  }
+  *key = std::string(k);
+  *value = std::string(StripWhitespace(line.substr(colon + 1)));
+  return true;
+}
+
+bool EqualsIgnoreCaseAscii(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpRequestParser::HttpRequestParser(HttpParserLimits limits)
+    : limits_(limits) {}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+  return state_;
+}
+
+bool HttpRequestParser::NextLine(std::string_view* line, size_t limit,
+                                 bool* over_limit) {
+  *over_limit = false;
+  size_t nl = buffer_.find('\n', consumed_);
+  if (nl == std::string::npos) {
+    if (buffer_.size() - consumed_ > limit) *over_limit = true;
+    return false;
+  }
+  if (nl - consumed_ > limit) {
+    *over_limit = true;
+    return false;
+  }
+  size_t end = nl;
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+  *line = std::string_view(buffer_).substr(consumed_, end - consumed_);
+  consumed_ = nl + 1;
+  return true;
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view data) {
+  if (state_ == State::kComplete || state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  return Advance();
+}
+
+HttpRequestParser::State HttpRequestParser::Advance() {
+  for (;;) {
+    switch (phase_) {
+      case Phase::kRequestLine: {
+        std::string_view line;
+        bool over = false;
+        if (!NextLine(&line, limits_.max_request_line_bytes, &over)) {
+          if (over) return Fail(414, "request line exceeds limit");
+          return state_ = State::kNeedMore;
+        }
+        if (line.empty()) continue;  // tolerate leading CRLFs (RFC 9112 §2.2)
+        size_t sp1 = line.find(' ');
+        size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+        if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+            sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+            line.find(' ', sp2 + 1) != std::string_view::npos) {
+          return Fail(400, "malformed request line");
+        }
+        request_.method = std::string(line.substr(0, sp1));
+        request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+        request_.version = std::string(line.substr(sp2 + 1));
+        for (char c : request_.method) {
+          if (!std::isupper(static_cast<unsigned char>(c))) {
+            return Fail(400, "malformed method token");
+          }
+        }
+        if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+          return Fail(505, "unsupported HTTP version '" + request_.version +
+                               "'");
+        }
+        phase_ = Phase::kHeaders;
+        continue;
+      }
+      case Phase::kHeaders: {
+        std::string_view line;
+        bool over = false;
+        size_t remaining = limits_.max_header_bytes > header_bytes_
+                               ? limits_.max_header_bytes - header_bytes_
+                               : 0;
+        if (!NextLine(&line, remaining, &over)) {
+          if (over) return Fail(431, "header block exceeds byte limit");
+          return state_ = State::kNeedMore;
+        }
+        header_bytes_ += line.size() + 2;
+        if (line.empty()) {
+          // End of headers: requests that carry a body must declare its
+          // length — this server does not speak chunked framing.
+          std::string_view te = FindHeader(request_.headers,
+                                           "transfer-encoding");
+          if (!te.empty()) {
+            return Fail(400, "transfer-encoding is not supported");
+          }
+          if (!has_content_length_ &&
+              (request_.method == "POST" || request_.method == "PUT")) {
+            return Fail(411, "missing Content-Length");
+          }
+          if (body_expected_ == 0) {
+            state_ = State::kComplete;
+            return state_;
+          }
+          phase_ = Phase::kBody;
+          continue;
+        }
+        if (request_.headers.size() >= limits_.max_header_count) {
+          return Fail(431, "too many header fields");
+        }
+        std::string key;
+        std::string value;
+        if (!SplitHeaderLine(line, &key, &value)) {
+          return Fail(400, "malformed header field");
+        }
+        if (EqualsIgnoreCaseAscii(key, "content-length")) {
+          size_t length = 0;
+          if (!ParseContentLength(value, &length)) {
+            return Fail(400, "malformed Content-Length");
+          }
+          if (has_content_length_ && length != body_expected_) {
+            return Fail(400, "conflicting Content-Length fields");
+          }
+          if (length > limits_.max_body_bytes) {
+            return Fail(413, "Content-Length exceeds body limit");
+          }
+          has_content_length_ = true;
+          body_expected_ = length;
+        }
+        request_.headers.emplace_back(std::move(key), std::move(value));
+        continue;
+      }
+      case Phase::kBody: {
+        if (buffer_.size() - consumed_ < body_expected_) {
+          return state_ = State::kNeedMore;
+        }
+        request_.body = buffer_.substr(consumed_, body_expected_);
+        consumed_ += body_expected_;
+        state_ = State::kComplete;
+        return state_;
+      }
+    }
+  }
+}
+
+HttpRequestParser::State HttpRequestParser::Reset() {
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  has_content_length_ = false;
+  phase_ = Phase::kRequestLine;
+  state_ = State::kNeedMore;
+  request_ = HttpRequest{};
+  error_status_ = 400;
+  error_.clear();
+  if (buffer_.empty()) return state_;
+  return Advance();
+}
+
+HttpResponseParser::State HttpResponseParser::Fail(std::string message) {
+  state_ = State::kError;
+  error_ = std::move(message);
+  return state_;
+}
+
+HttpResponseParser::State HttpResponseParser::Consume(std::string_view data) {
+  if (state_ == State::kComplete || state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  return Advance();
+}
+
+HttpResponseParser::State HttpResponseParser::Advance() {
+  for (;;) {
+    if (phase_ == 2) {
+      if (buffer_.size() - consumed_ < body_expected_) {
+        return state_ = State::kNeedMore;
+      }
+      response_.body = buffer_.substr(consumed_, body_expected_);
+      consumed_ += body_expected_;
+      return state_ = State::kComplete;
+    }
+    size_t nl = buffer_.find('\n', consumed_);
+    if (nl == std::string::npos) return state_ = State::kNeedMore;
+    size_t end = nl;
+    if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+    std::string_view line =
+        std::string_view(buffer_).substr(consumed_, end - consumed_);
+    consumed_ = nl + 1;
+    if (phase_ == 0) {
+      if (line.empty()) continue;
+      // "HTTP/1.1 200 OK"
+      size_t sp1 = line.find(' ');
+      if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+        return Fail("malformed status line");
+      }
+      response_.version = std::string(line.substr(0, sp1));
+      int status = 0;
+      size_t i = sp1 + 1;
+      size_t digits = 0;
+      for (; i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+        status = status * 10 + (line[i] - '0');
+        ++digits;
+      }
+      if (digits != 3) return Fail("malformed status code");
+      response_.status = status;
+      phase_ = 1;
+      continue;
+    }
+    // Headers.
+    if (line.empty()) {
+      std::string_view length = FindHeader(response_.headers,
+                                           "content-length");
+      if (!length.empty() && !ParseContentLength(length, &body_expected_)) {
+        return Fail("malformed Content-Length");
+      }
+      if (body_expected_ == 0) return state_ = State::kComplete;
+      phase_ = 2;
+      continue;
+    }
+    std::string key;
+    std::string value;
+    if (!SplitHeaderLine(line, &key, &value)) {
+      return Fail("malformed header field");
+    }
+    response_.headers.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+HttpResponseParser::State HttpResponseParser::Reset() {
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  body_expected_ = 0;
+  phase_ = 0;
+  state_ = State::kNeedMore;
+  response_ = Response{};
+  error_.clear();
+  if (buffer_.empty()) return state_;
+  return Advance();
+}
+
+}  // namespace net
+}  // namespace vqi

@@ -1,0 +1,117 @@
+#ifndef VQLIB_NET_HTTP_PARSER_H_
+#define VQLIB_NET_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "net/http_message.h"
+
+namespace vqi {
+namespace net {
+
+/// Hard limits enforced while parsing, each mapped to the HTTP status the
+/// server answers before closing the connection. Defaults are production
+/// postures, not test conveniences: a request that exceeds any of them is
+/// rejected without buffering the rest.
+struct HttpParserLimits {
+  size_t max_request_line_bytes = 8 * 1024;   ///< 414 when exceeded
+  size_t max_header_count = 64;               ///< 431 when exceeded
+  size_t max_header_bytes = 32 * 1024;        ///< 431: total header block
+  size_t max_body_bytes = 1 * 1024 * 1024;    ///< 413: Content-Length cap
+};
+
+/// Incremental HTTP/1.1 request parser. Feed raw socket bytes with
+/// Consume(); the parser buffers across torn reads (a request line split over
+/// ten recv() calls parses identically to one). After kComplete, pipelined
+/// bytes beyond the request stay buffered — Reset() begins the next request
+/// from them, which is what makes keep-alive reuse allocation-free.
+///
+/// Not thread-safe; one parser per connection, owned by its worker.
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  explicit HttpRequestParser(HttpParserLimits limits = {});
+
+  /// Appends `data` and advances the parse. Returns the new state; kComplete
+  /// and kError are sticky until Reset().
+  State Consume(std::string_view data);
+
+  /// After kComplete: the parsed request.
+  const HttpRequest& request() const { return request_; }
+
+  /// After kError: the HTTP status to answer (400/411/413/414/431/505) and a
+  /// one-line diagnostic.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  /// Discards the completed request and re-parses any buffered pipelined
+  /// bytes. Returns the resulting state (kComplete again when a full
+  /// pipelined request was already buffered).
+  State Reset();
+
+  State state() const { return state_; }
+
+  /// Bytes buffered but not yet consumed by a completed request.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody };
+
+  State Advance();
+  State Fail(int status, std::string message);
+  /// Extracts the next CRLF- (or bare-LF-) terminated line starting at
+  /// `consumed_`; false when incomplete.
+  bool NextLine(std::string_view* line, size_t limit, bool* over_limit);
+
+  HttpParserLimits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;     ///< bytes of buffer_ already parsed
+  size_t header_bytes_ = 0;
+  size_t body_expected_ = 0;
+  bool has_content_length_ = false;
+  Phase phase_ = Phase::kRequestLine;
+  State state_ = State::kNeedMore;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// Incremental HTTP/1.1 response parser (status line + headers +
+/// Content-Length body) for the loopback client and tests. Same buffering
+/// contract as HttpRequestParser.
+class HttpResponseParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  struct Response {
+    int status = 0;
+    std::string version;
+    HttpHeaders headers;
+    std::string body;
+  };
+
+  State Consume(std::string_view data);
+  State state() const { return state_; }
+  const Response& response() const { return response_; }
+  const std::string& error() const { return error_; }
+  State Reset();
+
+ private:
+  State Advance();
+  State Fail(std::string message);
+
+  std::string buffer_;
+  size_t consumed_ = 0;
+  size_t body_expected_ = 0;
+  int phase_ = 0;  ///< 0 = status line, 1 = headers, 2 = body
+  State state_ = State::kNeedMore;
+  Response response_;
+  std::string error_;
+};
+
+}  // namespace net
+}  // namespace vqi
+
+#endif  // VQLIB_NET_HTTP_PARSER_H_

@@ -60,7 +60,7 @@ QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
       waiter_budget_(options.coalesce_retry_ratio,
                      options.coalesce_retry_capacity),
       pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity,
-                              &metrics_}) {
+                              &metrics_, /*metric_labels=*/{}}) {
   cache_.RegisterMetrics(metrics_);
   inflight_.RegisterMetrics(metrics_);
   admitted_total_ = &metrics_.GetCounter(

@@ -166,6 +166,10 @@ class QueryService {
   void Shutdown();
 
   size_t num_threads() const { return pool_.num_threads(); }
+  size_t queue_capacity() const { return pool_.queue_capacity(); }
+  /// Worker-pool tasks admitted but not yet running (approximate under
+  /// concurrency) — the live saturation signal /healthz reports.
+  size_t QueueDepth() const { return pool_.QueueDepth(); }
 
  private:
   QueryResult Run(const QueryRequest& request, const Stopwatch& admitted);

@@ -11,7 +11,7 @@ namespace resilience {
 namespace {
 
 constexpr const char* kPointNames[kNumFaultPoints] = {
-    "cache_probe", "admission", "executor", "vf2_slice"};
+    "cache_probe", "admission", "executor", "vf2_slice", "http_read"};
 
 Status MakeInjected(StatusCode code, FaultPoint point) {
   std::string msg = "injected fault at ";

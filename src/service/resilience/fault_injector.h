@@ -26,17 +26,22 @@ namespace resilience {
 ///                  (crashed shard, lost task).
 ///   kVf2Slice    — one matching slice is slow or errors (slow/failing shard
 ///                  mid-query; interacts with deadlines and partial results).
+///   kHttpRead    — reading one HTTP request off the wire is slow (slowloris:
+///                  a client trickling bytes holds a connection slot), torn
+///                  (drop: the peer disappears mid-request), or errors (the
+///                  socket fails; the server answers 503 and closes).
 enum class FaultPoint : uint8_t {
   kCacheProbe = 0,
   kAdmission = 1,
   kExecutor = 2,
   kVf2Slice = 3,
+  kHttpRead = 4,
 };
 
-inline constexpr size_t kNumFaultPoints = 4;
+inline constexpr size_t kNumFaultPoints = 5;
 
 /// Stable spec/metric name for `point` ("cache_probe", "admission",
-/// "executor", "vf2_slice").
+/// "executor", "vf2_slice", "http_read").
 const char* FaultPointName(FaultPoint point);
 
 /// Inverse of FaultPointName; false when `name` is not a fault point.
@@ -131,6 +136,7 @@ class FaultInjector {
   ///   clause  := 'seed' '=' uint
   ///            | point ':' setting (',' setting)*
   ///   point   := 'cache_probe' | 'admission' | 'executor' | 'vf2_slice'
+  ///            | 'http_read'
   ///   setting := 'error' '=' prob | 'code' '=' ('unavailable' | 'internal')
   ///            | 'latency_ms' '=' num | 'latency_p' '=' prob
   ///            | 'drop' '=' prob

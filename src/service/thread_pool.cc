@@ -12,20 +12,22 @@ ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& registry = *options_.metrics;
+    const obs::Labels& labels = options_.metric_labels;
     queue_depth_ = &registry.GetGauge(
-        "vqi_pool_queue_depth", "Tasks admitted but not yet running.");
+        "vqi_pool_queue_depth", "Tasks admitted but not yet running.", labels);
     queue_wait_ms_ = &registry.GetHistogram(
         "vqi_pool_queue_wait_ms",
         "Time tasks spent queued before a worker picked them up.",
-        obs::Histogram::DefaultLatencyBoundsMs());
+        obs::Histogram::DefaultLatencyBoundsMs(), labels);
     tasks_executed_total_ = &registry.GetCounter(
-        "vqi_pool_tasks_executed_total", "Tasks that finished executing.");
+        "vqi_pool_tasks_executed_total", "Tasks that finished executing.",
+        labels);
     registry
-        .GetGauge("vqi_pool_threads", "Worker threads in the pool.")
+        .GetGauge("vqi_pool_threads", "Worker threads in the pool.", labels)
         .Set(static_cast<double>(options_.num_threads));
     registry
         .GetGauge("vqi_pool_queue_capacity",
-                  "Queue slots before admission returns kUnavailable.")
+                  "Queue slots before admission returns kUnavailable.", labels)
         .Set(static_cast<double>(options_.queue_capacity));
   }
   workers_.reserve(options_.num_threads);

@@ -27,6 +27,12 @@ struct ThreadPoolOptions {
   /// gauge, vqi_pool_queue_wait_ms histogram, vqi_pool_tasks_executed_total
   /// counter, vqi_pool_threads gauge). Must outlive the pool.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Labels applied to every pool instrument, so two pools sharing one
+  /// registry (e.g. the query service's worker pool and the HTTP server's
+  /// connection pool, labeled {pool="http"}) keep distinct series instead of
+  /// writing through one gauge. Empty = the unlabeled series (the default,
+  /// preserving pre-existing dashboards).
+  obs::Labels metric_labels;
 };
 
 /// Fixed-size worker pool over a bounded MPMC task queue.

@@ -409,9 +409,12 @@ TEST(ChaosServiceTest, AllFaultPointsActiveNoCrashAllRequestsResolve) {
   EXPECT_LE(stats.attempts,
             static_cast<uint64_t>(stats.requests * 1.2 +
                                   client_options.retry_budget_capacity + 1));
-  // Every fault point actually fired.
+  // Every armed fault point actually fired (http_read stays unarmed here:
+  // it belongs to the HTTP server's read loop, exercised in http_test).
   for (size_t p = 0; p < kNumFaultPoints; ++p) {
     FaultPoint point = static_cast<FaultPoint>(p);
+    const resilience::FaultPointSpec& spec = plan.At(point);
+    if (spec.error_p == 0 && spec.drop_p == 0 && spec.latency_p == 0) continue;
     EXPECT_GT(injector.InjectedErrors(point) + injector.InjectedDrops(point) +
                   injector.InjectedLatencies(point),
               0u)

@@ -26,7 +26,10 @@ namespace {
 // ThreadPool
 
 TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
-  ThreadPool pool(ThreadPoolOptions{2, 16});
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads = 2;
+  pool_options.queue_capacity = 16;
+  ThreadPool pool(pool_options);
   std::atomic<int> counter{0};
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
@@ -37,7 +40,10 @@ TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
 }
 
 TEST(ThreadPoolTest, FullQueueReturnsUnavailable) {
-  ThreadPool pool(ThreadPoolOptions{1, 1});
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads = 1;
+  pool_options.queue_capacity = 1;
+  ThreadPool pool(pool_options);
   // Gate the single worker so the queue state is deterministic.
   Mutex mutex;
   CondVar cv;
@@ -71,7 +77,10 @@ TEST(ThreadPoolTest, FullQueueReturnsUnavailable) {
 TEST(ThreadPoolTest, ShutdownDrainsAdmittedTasksAndRejectsNew) {
   std::atomic<int> counter{0};
   {
-    ThreadPool pool(ThreadPoolOptions{1, 64});
+    ThreadPoolOptions pool_options;
+    pool_options.num_threads = 1;
+    pool_options.queue_capacity = 64;
+    ThreadPool pool(pool_options);
     for (int i = 0; i < 32; ++i) {
       ASSERT_TRUE(pool.Submit([&counter] { ++counter; }).ok());
     }

@@ -30,12 +30,31 @@
 //   vqi_cli metrics-demo  (serve a small in-memory workload and dump the
 //                         observability surface: Prometheus text, JSON,
 //                         recent request traces)
+//   vqi_cli serve         <in.lg> [--port=N] [--threads=N] [--cache=N]
+//                         [--chaos=<spec>] [--smoke]
+//                         (serve the collection over HTTP: GET /metrics,
+//                         GET /healthz, POST /query; SIGINT/SIGTERM drains
+//                         gracefully. --chaos arms the http_read fault point
+//                         for slowloris/torn-read injection; --smoke drives
+//                         one request through each endpoint over a real
+//                         loopback socket and exits — the hermetic CI check)
+//
+// serve-bench additionally accepts --http: run the workload twice — directly
+// against the in-process QueryService, then through real loopback sockets
+// with --clients keep-alive HTTP connections — and report the wire overhead
+// plus a byte-identity check of the result content (EXPERIMENTS.md E17).
+// With --chaos the injector arms only the server's http_read point and the
+// report becomes availability under slowloris-style faults.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -47,6 +66,10 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "layout/dot_export.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/serving.h"
 #include "obs/export.h"
 #include "service/query_service.h"
 #include "service/resilience/fault_injector.h"
@@ -80,24 +103,44 @@ int Usage() {
                "                [--clients=N] [--threads=N] [--deadline-ms=X]\n"
                "                [--dup-ratio=X] [--coalesce] [--cache=N]\n"
                "                [--chaos=<spec>] [--metrics-out=<file>]\n"
+               "                [--http]\n"
+               "  serve         <in.lg> [--port=N] [--threads=N] [--cache=N]\n"
+               "                [--chaos=<spec>] [--smoke]\n"
                "  metrics-demo\n");
   return 2;
 }
 
-int64_t ParseIntOrDie(const char* text) {
-  int64_t value = 0;
-  if (!ParseInt64(text, &value)) {
-    std::fprintf(stderr, "error: '%s' is not an integer\n", text);
-    std::exit(2);
+// Parses a bounded integer CLI value into `out`; malformed or out-of-range
+// text comes back as kInvalidArgument instead of exiting mid-command.
+Status ParseCount(const std::string& text, const char* name, int64_t min_value,
+                  int64_t max_value, int64_t* out) {
+  if (!ParseInt64(text, out)) {
+    return Status::InvalidArgument(std::string(name) + ": '" + text +
+                                   "' is not an integer");
   }
-  return value;
+  if (*out < min_value || *out > max_value) {
+    return Status::InvalidArgument(std::string(name) + " must be between " +
+                                   std::to_string(min_value) + " and " +
+                                   std::to_string(max_value) + ", got " + text);
+  }
+  return Status::OK();
 }
 
 int GenMolecules(int argc, char** argv) {
   if (argc != 3) return Usage();
-  size_t count = static_cast<size_t>(ParseIntOrDie(argv[0]));
-  uint64_t seed = static_cast<uint64_t>(ParseIntOrDie(argv[1]));
-  GraphDatabase db = gen::MoleculeDatabase(count, gen::MoleculeConfig{}, seed);
+  int64_t count = 0;
+  int64_t seed = 0;
+  if (Status s = ParseCount(argv[0], "count", 1, 100000000, &count); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = ParseCount(argv[1], "seed", 0,
+                            std::numeric_limits<int64_t>::max(), &seed);
+      !s.ok()) {
+    return Fail(s);
+  }
+  GraphDatabase db =
+      gen::MoleculeDatabase(static_cast<size_t>(count), gen::MoleculeConfig{},
+                            static_cast<uint64_t>(seed));
   if (Status s = io::SaveDatabase(db, argv[2]); !s.ok()) return Fail(s);
   std::printf("wrote %zu molecule graphs to %s\n", db.size(), argv[2]);
   return 0;
@@ -105,9 +148,23 @@ int GenMolecules(int argc, char** argv) {
 
 int GenNetwork(int argc, char** argv) {
   if (argc != 4) return Usage();
-  size_t n = static_cast<size_t>(ParseIntOrDie(argv[0]));
-  size_t m = static_cast<size_t>(ParseIntOrDie(argv[1]));
-  Rng rng(static_cast<uint64_t>(ParseIntOrDie(argv[2])));
+  int64_t n_arg = 0;
+  int64_t m_arg = 0;
+  int64_t seed = 0;
+  if (Status s = ParseCount(argv[0], "n", 1, 1000000000, &n_arg); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = ParseCount(argv[1], "m", 1, 1000000, &m_arg); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = ParseCount(argv[2], "seed", 0,
+                            std::numeric_limits<int64_t>::max(), &seed);
+      !s.ok()) {
+    return Fail(s);
+  }
+  size_t n = static_cast<size_t>(n_arg);
+  size_t m = static_cast<size_t>(m_arg);
+  Rng rng(static_cast<uint64_t>(seed));
   gen::LabelConfig labels;
   labels.num_vertex_labels = 6;
   Graph network = gen::BarabasiAlbert(n, m, labels, rng);
@@ -124,7 +181,14 @@ int BuildDb(int argc, char** argv) {
   auto db = io::LoadDatabase(argv[0]);
   if (!db.ok()) return Fail(db.status());
   CatapultConfig config;
-  config.budget = argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 10;
+  int64_t budget = 10;
+  if (argc == 3) {
+    if (Status s = ParseCount(argv[2], "budget", 1, 1000000, &budget);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  config.budget = static_cast<size_t>(budget);
   config.tree_config.min_support = std::max<size_t>(2, db->size() / 20);
   auto built = BuildVqiForDatabase(*db, config);
   if (!built.ok()) return Fail(built.status());
@@ -145,7 +209,14 @@ int BuildNet(int argc, char** argv) {
   }
   const Graph& network = db->graphs()[0];
   TattooConfig config;
-  config.budget = argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 10;
+  int64_t budget = 10;
+  if (argc == 3) {
+    if (Status s = ParseCount(argv[2], "budget", 1, 1000000, &budget);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  config.budget = static_cast<size_t>(budget);
   auto built = BuildVqiForNetwork(network, config);
   if (!built.ok()) return Fail(built.status());
   if (Status s = SaveVqi(built->vqi, argv[1]); !s.ok()) return Fail(s);
@@ -194,8 +265,19 @@ int Suggest(int argc, char** argv) {
   if (argc < 2 || argc > 3) return Usage();
   auto db = io::LoadDatabase(argv[0]);
   if (!db.ok()) return Fail(db.status());
-  Label from = static_cast<Label>(ParseIntOrDie(argv[1]));
-  size_t k = argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 5;
+  int64_t from_arg = 0;
+  int64_t k_arg = 5;
+  if (Status s = ParseCount(argv[1], "vertex-label", 0, 0xFFFFFFFF, &from_arg);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (argc == 3) {
+    if (Status s = ParseCount(argv[2], "k", 1, 1000000, &k_arg); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  Label from = static_cast<Label>(from_arg);
+  size_t k = static_cast<size_t>(k_arg);
   SuggestionIndex index = SuggestionIndex::Build(*db);
   std::printf("continuations from a vertex labeled %u:\n", from);
   for (const EdgeSuggestion& s : index.SuggestFrom(from, k)) {
@@ -212,8 +294,14 @@ int Usability(int argc, char** argv) {
   auto vqi = LoadVqi(argv[1]);
   if (!vqi.ok()) return Fail(vqi.status());
   WorkloadConfig wconfig;
-  wconfig.num_queries =
-      argc == 3 ? static_cast<size_t>(ParseIntOrDie(argv[2])) : 40;
+  int64_t num_queries = 40;
+  if (argc == 3) {
+    if (Status s = ParseCount(argv[2], "queries", 1, 1000000, &num_queries);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  wconfig.num_queries = static_cast<size_t>(num_queries);
   std::vector<Graph> workload = GenerateDbWorkload(*db, wconfig);
   VisualQueryInterface manual = BuildManualBaselineVqi(
       db->ComputeLabelStats(), DataSourceKind::kGraphCollection);
@@ -227,22 +315,6 @@ int Usability(int argc, char** argv) {
   std::printf("reduction:   %.0f%% steps, %.0f%% time\n",
               cmp.step_reduction_percent(), cmp.time_reduction_percent());
   return 0;
-}
-
-// Parses a bounded integer CLI value into `out`; malformed or out-of-range
-// text comes back as kInvalidArgument instead of exiting mid-command.
-Status ParseCount(const std::string& text, const char* name, int64_t min_value,
-                  int64_t max_value, int64_t* out) {
-  if (!ParseInt64(text, out)) {
-    return Status::InvalidArgument(std::string(name) + ": '" + text +
-                                   "' is not an integer");
-  }
-  if (*out < min_value || *out > max_value) {
-    return Status::InvalidArgument(std::string(name) + " must be between " +
-                                   std::to_string(min_value) + " and " +
-                                   std::to_string(max_value) + ", got " + text);
-  }
-  return Status::OK();
 }
 
 // One serve-bench submitter thread's outcome. `attempts` counts Submit calls
@@ -343,6 +415,486 @@ void RunBenchClient(QueryService& service, const std::vector<Graph>& queries,
   outcome->completed = futures.size();
 }
 
+// The wire form of one bench query: the JSON body POST /query decodes back
+// into the same QueryRequest RunBenchClient submits in-process.
+std::string QueryBodyJson(const Graph& pattern, double deadline_ms) {
+  net::JsonValue vertices = net::JsonValue::Array();
+  for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+    vertices.Append(net::JsonValue::Number(pattern.VertexLabel(v)));
+  }
+  net::JsonValue edges = net::JsonValue::Array();
+  for (const Edge& e : pattern.Edges()) {
+    net::JsonValue edge = net::JsonValue::Array();
+    edge.Append(net::JsonValue::Number(e.u));
+    edge.Append(net::JsonValue::Number(e.v));
+    edge.Append(net::JsonValue::Number(e.label));
+    edges.Append(edge);
+  }
+  net::JsonValue json_pattern = net::JsonValue::Object();
+  json_pattern.Set("vertices", std::move(vertices));
+  json_pattern.Set("edges", std::move(edges));
+  net::JsonValue body = net::JsonValue::Object();
+  body.Set("pattern", std::move(json_pattern));
+  body.Set("max_embeddings", net::JsonValue::Number(2000));
+  if (deadline_ms > 0) {
+    body.Set("deadline_ms", net::JsonValue::Number(deadline_ms));
+    body.Set("allow_partial", net::JsonValue::Bool(true));
+  }
+  return body.Dump();
+}
+
+// Re-extracts the deterministic content subset from a /query response body,
+// in the same key order QueryResultContentJson emits, so equal results dump
+// to equal bytes regardless of transport diagnostics in the full response.
+StatusOr<std::string> ResponseContentDump(const std::string& body) {
+  auto parsed = net::ParseJson(body);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().is_object()) {
+    return Status::ParseError("response body is not a JSON object");
+  }
+  net::JsonValue content = net::JsonValue::Object();
+  for (const char* key :
+       {"status", "embedding_count", "matched_graphs", "suggestions",
+        "truncated"}) {
+    const net::JsonValue* field = parsed.value().Find(key);
+    if (field == nullptr) {
+      return Status::ParseError(std::string("response is missing '") + key +
+                                "'");
+    }
+    content.Set(key, *field);
+  }
+  return content.Dump();
+}
+
+double Quantile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted_ms.size()));
+  if (index >= sorted_ms.size()) index = sorted_ms.size() - 1;
+  return sorted_ms[index];
+}
+
+// One HTTP bench client's tally. Latencies are client-observed (serialize +
+// wire + parse), the numbers E17 compares against in-process Execute calls.
+struct HttpClientOutcome {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t http_errors = 0;      // non-2xx responses (503 under chaos)
+  uint64_t transport_errors = 0; // torn reads, resets, timeouts
+  uint64_t content_matches = 0;
+  uint64_t content_mismatches = 0;
+};
+
+// Drives this client's stripe of the workload through a real socket. On any
+// failure the client reconnects but never re-sends the failed request, so
+// under chaos the server draws exactly one http_read fault decision per
+// request and the availability tally is a deterministic function of the
+// seed (EXPERIMENTS.md E17).
+void RunHttpBenchClient(uint16_t port, const std::vector<std::string>& bodies,
+                        const std::vector<std::string>& expected,
+                        size_t distinct, size_t repeat, size_t client_id,
+                        size_t num_clients, bool verify_content,
+                        HttpClientOutcome* outcome) {
+  net::HttpClient client;
+  for (size_t round = 0; round < repeat; ++round) {
+    for (size_t qi = client_id; qi < bodies.size(); qi += num_clients) {
+      if (!client.connected() &&
+          !client.Connect("127.0.0.1", port).ok()) {
+        ++outcome->transport_errors;
+        continue;
+      }
+      Stopwatch timer;
+      auto response = client.Roundtrip("POST", "/query", bodies[qi]);
+      if (!response.ok()) {
+        ++outcome->transport_errors;
+        client.Close();
+        continue;
+      }
+      outcome->latencies_ms.push_back(timer.ElapsedMillis());
+      if (response.value().status < 200 || response.value().status >= 300) {
+        ++outcome->http_errors;
+        continue;
+      }
+      ++outcome->ok;
+      if (verify_content) {
+        auto content = ResponseContentDump(response.value().body);
+        if (content.ok() && content.value() == expected[qi % distinct]) {
+          ++outcome->content_matches;
+        } else {
+          ++outcome->content_mismatches;
+        }
+      }
+    }
+  }
+}
+
+// serve-bench --http: the same workload, twice — in-process Execute calls,
+// then real loopback sockets — so the delta is exactly the serving stack
+// (JSON codec + HTTP framing + TCP + thread handoff).
+int RunHttpBench(const GraphDatabase& db, const std::vector<Graph>& queries,
+                 size_t distinct_queries, size_t repeat, size_t clients,
+                 size_t threads, double deadline_ms, int64_t cache_arg,
+                 bool coalesce, const std::string& chaos_spec,
+                 const std::string& metrics_out) {
+  QueryServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = 512;
+  options.cache_capacity = static_cast<size_t>(cache_arg);
+  options.enable_coalescing = coalesce;
+
+  // Expected result content per distinct query, computed by a throwaway
+  // service so both timed phases start with a cold cache.
+  std::vector<std::string> bodies;
+  bodies.reserve(queries.size());
+  for (const Graph& q : queries) {
+    bodies.push_back(QueryBodyJson(q, deadline_ms));
+  }
+  const bool verify_content = chaos_spec.empty() && deadline_ms == 0;
+  std::vector<std::string> expected(distinct_queries);
+  {
+    QueryService reference(db, options);
+    for (size_t qi = 0; qi < distinct_queries; ++qi) {
+      auto parsed = net::ParseJson(bodies[qi]);
+      auto request = net::QueryRequestFromJson(parsed.value());
+      if (!request.ok()) return Fail(request.status());
+      QueryResult result = reference.Execute(std::move(request).value());
+      expected[qi] = net::QueryResultContentJson(result).Dump();
+    }
+  }
+
+  // Phase A: in-process. Same striping and client threads as the HTTP
+  // phase; the only difference is the call is a function call.
+  std::vector<std::vector<double>> direct_latencies(clients);
+  double direct_seconds = 0;
+  {
+    QueryService service(db, options);
+    Stopwatch timer;
+    auto run_direct = [&](size_t c) {
+      for (size_t round = 0; round < repeat; ++round) {
+        for (size_t qi = c; qi < queries.size(); qi += clients) {
+          auto parsed = net::ParseJson(bodies[qi]);
+          auto request = net::QueryRequestFromJson(parsed.value());
+          Stopwatch one;
+          service.Execute(std::move(request).value());
+          direct_latencies[c].push_back(one.ElapsedMillis());
+        }
+      }
+    };
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&run_direct, c] { run_direct(c); });
+    }
+    for (auto& w : workers) w.join();
+    direct_seconds = timer.ElapsedSeconds();
+  }
+
+  // Phase B: the same requests through real sockets.
+  std::optional<resilience::FaultInjector> injector;
+  if (!chaos_spec.empty()) {
+    auto plan = resilience::FaultInjector::ParseChaosSpec(chaos_spec);
+    if (!plan.ok()) return Fail(plan.status());
+    injector.emplace(plan.value());
+  }
+  QueryService service(db, options);
+  net::QueryServing::Options serving_options;
+  serving_options.metrics = &service.metrics();
+  net::QueryServing serving(&service, serving_options);
+  net::HttpServerOptions server_options;
+  server_options.num_threads = threads;
+  server_options.metrics = &service.metrics();
+  // Chaos arms only the wire: the experiment isolates transport faults, so
+  // the backend itself stays fault-free.
+  if (injector.has_value()) server_options.fault_injector = &*injector;
+  net::HttpServer server(
+      [&serving](const net::HttpRequest& r) { return serving.Handle(r); },
+      server_options);
+  serving.set_server(&server);
+  if (Status s = server.Start(); !s.ok()) return Fail(s);
+
+  std::vector<HttpClientOutcome> outcomes(clients);
+  std::atomic<bool> bench_done{false};
+  uint64_t scrape_metrics_ok = 0;
+  uint64_t scrape_healthz_ok = 0;
+  uint64_t scrape_failures = 0;
+  // Under chaos the scraper would consume http_read fault draws and break
+  // run-to-run determinism, so it scrapes after the load loop instead.
+  std::thread scraper;
+  auto scrape_once = [&](net::HttpClient& probe) {
+    if (!probe.connected() &&
+        !probe.Connect("127.0.0.1", server.port()).ok()) {
+      ++scrape_failures;
+      return;
+    }
+    auto metrics = probe.Roundtrip("GET", "/metrics");
+    if (metrics.ok() && metrics.value().status == 200) {
+      ++scrape_metrics_ok;
+    } else {
+      ++scrape_failures;
+    }
+    auto healthz = probe.Roundtrip("GET", "/healthz");
+    if (healthz.ok() && healthz.value().status == 200) {
+      ++scrape_healthz_ok;
+    } else {
+      ++scrape_failures;
+    }
+  };
+  if (!injector.has_value()) {
+    scraper = std::thread([&] {
+      net::HttpClient probe;
+      while (!bench_done.load(std::memory_order_relaxed)) {
+        scrape_once(probe);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  Stopwatch timer;
+  {
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        RunHttpBenchClient(server.port(), bodies, expected, distinct_queries,
+                           repeat, c, clients, verify_content, &outcomes[c]);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  double http_seconds = timer.ElapsedSeconds();
+  bench_done.store(true, std::memory_order_relaxed);
+  if (scraper.joinable()) scraper.join();
+  if (injector.has_value()) {
+    // The probe itself draws http_read faults, so give it a few attempts;
+    // these draws come after every bench request's, so the availability
+    // tally above stays seed-deterministic.
+    net::HttpClient probe;
+    for (int attempt = 0;
+         attempt < 5 && (scrape_metrics_ok == 0 || scrape_healthz_ok == 0);
+         ++attempt) {
+      scrape_once(probe);
+    }
+  }
+
+  std::vector<double> direct_all;
+  for (auto& v : direct_latencies) {
+    direct_all.insert(direct_all.end(), v.begin(), v.end());
+  }
+  std::sort(direct_all.begin(), direct_all.end());
+  std::vector<double> http_all;
+  HttpClientOutcome tally;
+  for (const HttpClientOutcome& o : outcomes) {
+    http_all.insert(http_all.end(), o.latencies_ms.begin(),
+                    o.latencies_ms.end());
+    tally.ok += o.ok;
+    tally.http_errors += o.http_errors;
+    tally.transport_errors += o.transport_errors;
+    tally.content_matches += o.content_matches;
+    tally.content_mismatches += o.content_mismatches;
+  }
+  std::sort(http_all.begin(), http_all.end());
+  const uint64_t total_requests =
+      tally.ok + tally.http_errors + tally.transport_errors;
+
+  std::printf("http bench:  %zu distinct queries x %zu rounds, %zu clients, "
+              "%zu server threads\n",
+              distinct_queries, repeat, clients, threads);
+  std::printf("in-process:  %zu requests in %.3fs  p50 %.3fms  p99 %.3fms\n",
+              direct_all.size(), direct_seconds, Quantile(direct_all, 0.50),
+              Quantile(direct_all, 0.99));
+  std::printf("http:        %llu requests in %.3fs  p50 %.3fms  p99 %.3fms\n",
+              static_cast<unsigned long long>(total_requests), http_seconds,
+              Quantile(http_all, 0.50), Quantile(http_all, 0.99));
+  std::printf("wire overhead: p50 %+.3fms  p99 %+.3fms\n",
+              Quantile(http_all, 0.50) - Quantile(direct_all, 0.50),
+              Quantile(http_all, 0.99) - Quantile(direct_all, 0.99));
+  if (verify_content) {
+    std::printf("content:     %llu/%llu responses byte-identical to "
+                "in-process results\n",
+                static_cast<unsigned long long>(tally.content_matches),
+                static_cast<unsigned long long>(tally.content_matches +
+                                                tally.content_mismatches));
+  }
+  if (injector.has_value()) {
+    double availability =
+        total_requests == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(tally.ok) /
+                  static_cast<double>(total_requests);
+    std::printf("chaos:       spec '%s' (seed %llu)\n", chaos_spec.c_str(),
+                static_cast<unsigned long long>(injector->seed()));
+    auto point = resilience::FaultPoint::kHttpRead;
+    std::printf("  http_read  %llu errors, %llu latencies, %llu drops\n",
+                static_cast<unsigned long long>(
+                    injector->InjectedErrors(point)),
+                static_cast<unsigned long long>(
+                    injector->InjectedLatencies(point)),
+                static_cast<unsigned long long>(
+                    injector->InjectedDrops(point)));
+    std::printf("availability: %.1f%% ok (%llu http errors, %llu transport "
+                "errors)\n",
+                availability,
+                static_cast<unsigned long long>(tally.http_errors),
+                static_cast<unsigned long long>(tally.transport_errors));
+  }
+  std::printf("scrapes:     /metrics %llu ok, /healthz %llu ok, %llu "
+              "failures%s\n",
+              static_cast<unsigned long long>(scrape_metrics_ok),
+              static_cast<unsigned long long>(scrape_healthz_ok),
+              static_cast<unsigned long long>(scrape_failures),
+              injector.has_value() ? " (post-load under chaos)" : "");
+  if (!metrics_out.empty()) {
+    if (Status s = obs::WritePrometheusFile(service.metrics(), metrics_out);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("metrics:     wrote Prometheus snapshot to %s\n",
+                metrics_out.c_str());
+  }
+  server.Shutdown();
+  service.Shutdown();
+  if (verify_content && tally.content_mismatches > 0) return 1;
+  if (scrape_metrics_ok == 0 || scrape_healthz_ok == 0) {
+    std::fprintf(stderr, "error: observability endpoints never answered\n");
+    return 1;
+  }
+  return 0;
+}
+
+// SIGINT/SIGTERM flip this; the serve loop polls it and drains. Signal-safe:
+// handlers may only touch lock-free atomics.
+std::atomic<bool> g_serve_stop{false};
+
+void HandleServeSignal(int) { g_serve_stop.store(true); }
+
+int Serve(int argc, char** argv) {
+  int64_t port_arg = 8080;
+  int64_t threads_arg = 4;
+  int64_t cache_arg = 1024;
+  std::string chaos_spec;
+  bool smoke = false;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(7), "--port", 0, 65535, &port_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(10), "--threads", 1, 1024,
+                                &threads_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(8), "--cache", 0, 1 << 20,
+                                &cache_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      chaos_spec = arg.substr(8);
+      if (chaos_spec.empty()) {
+        return Fail(Status::InvalidArgument(
+            "--chaos: empty spec (see docs/resilience.md for the grammar)"));
+      }
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 1) return Usage();
+  auto db = io::LoadDatabase(positional[0]);
+  if (!db.ok()) return Fail(db.status());
+  if (db->empty()) return Fail(Status::InvalidArgument("input has no graphs"));
+
+  std::optional<resilience::FaultInjector> injector;
+  if (!chaos_spec.empty()) {
+    auto plan = resilience::FaultInjector::ParseChaosSpec(chaos_spec);
+    if (!plan.ok()) return Fail(plan.status());
+    injector.emplace(plan.value());
+  }
+
+  QueryServiceOptions options;
+  options.num_threads = static_cast<size_t>(threads_arg);
+  options.queue_capacity = 256;
+  options.cache_capacity = static_cast<size_t>(cache_arg);
+  if (injector.has_value()) options.fault_injector = &*injector;
+  QueryService service(*db, options);
+
+  net::QueryServing::Options serving_options;
+  serving_options.metrics = &service.metrics();
+  net::QueryServing serving(&service, serving_options);
+  net::HttpServerOptions server_options;
+  // --smoke binds an ephemeral port so CI runs never collide.
+  server_options.port = smoke ? 0 : static_cast<uint16_t>(port_arg);
+  server_options.num_threads = static_cast<size_t>(threads_arg);
+  server_options.metrics = &service.metrics();
+  if (injector.has_value()) server_options.fault_injector = &*injector;
+  net::HttpServer server(
+      [&serving](const net::HttpRequest& r) { return serving.Handle(r); },
+      server_options);
+  serving.set_server(&server);
+  if (Status s = server.Start(); !s.ok()) return Fail(s);
+  std::printf("serving %zu graphs on http://127.0.0.1:%u  "
+              "(GET /metrics, GET /healthz, POST /query)\n",
+              db->size(), server.port());
+
+  if (smoke) {
+    // Hermetic self-drive: one request through each endpoint over a real
+    // loopback socket, then a graceful drain. Exit status is the check.
+    net::HttpClient client;
+    if (Status s = client.Connect("127.0.0.1", server.port()); !s.ok()) {
+      return Fail(s);
+    }
+    auto healthz = client.Roundtrip("GET", "/healthz");
+    if (!healthz.ok()) return Fail(healthz.status());
+    std::printf("smoke /healthz: %d %s\n", healthz.value().status,
+                healthz.value().body.c_str());
+    Graph pattern;
+    pattern.AddVertex(db->graphs()[0].VertexLabel(0));
+    auto query =
+        client.Roundtrip("POST", "/query", QueryBodyJson(pattern, 0));
+    if (!query.ok()) return Fail(query.status());
+    std::printf("smoke /query: %d %s\n", query.value().status,
+                query.value().body.c_str());
+    auto metrics = client.Roundtrip("GET", "/metrics");
+    if (!metrics.ok()) return Fail(metrics.status());
+    bool instrumented =
+        metrics.value().body.find("vqi_http_requests_total") !=
+        std::string::npos;
+    std::printf("smoke /metrics: %d (%zu bytes, vqi_http_requests_total %s)\n",
+                metrics.value().status, metrics.value().body.size(),
+                instrumented ? "present" : "MISSING");
+    server.Shutdown();
+    service.Shutdown();
+    bool pass = healthz.value().status == 200 &&
+                query.value().status == 200 && metrics.value().status == 200 &&
+                instrumented;
+    std::printf("smoke: %s\n", pass ? "ok" : "FAILED");
+    return pass ? 0 : 1;
+  }
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("\nsignal received; draining (grace %.0fms)...\n",
+              server_options.drain_grace_ms);
+  server.Shutdown();
+  service.Shutdown();
+  ServiceStats stats = service.Snapshot();
+  std::printf("served %llu connections, %llu requests admitted, %llu shed\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.shed));
+  return 0;
+}
+
 int ServeBench(int argc, char** argv) {
   // Flags may appear anywhere; everything else is positional. Every value is
   // validated into a Status — a bad flag must never crash or misconfigure a
@@ -356,11 +908,14 @@ int ServeBench(int argc, char** argv) {
   double deadline_ms = 0;
   double dup_ratio = 0;
   bool coalesce = false;
+  bool http_mode = false;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg == "--http") {
+      http_mode = true;
     } else if (arg == "--coalesce") {
       coalesce = true;
     } else if (arg.rfind("--dup-ratio=", 0) == 0) {
@@ -461,6 +1016,12 @@ int ServeBench(int argc, char** argv) {
       expanded.push_back(queries[i % distinct_queries]);
     }
     queries = std::move(expanded);
+  }
+
+  if (http_mode) {
+    return RunHttpBench(*db, queries, distinct_queries, repeat, clients,
+                        threads, deadline_ms, cache_arg, coalesce, chaos_spec,
+                        metrics_out);
   }
 
   std::optional<resilience::FaultInjector> injector;
@@ -723,6 +1284,7 @@ int Main(int argc, char** argv) {
   if (command == "suggest") return Suggest(rest, rest_argv);
   if (command == "usability") return Usability(rest, rest_argv);
   if (command == "serve-bench") return ServeBench(rest, rest_argv);
+  if (command == "serve") return Serve(rest, rest_argv);
   if (command == "metrics-demo") return MetricsDemo(rest, rest_argv);
   return Usage();
 }

@@ -17,8 +17,18 @@ Rules (each has a stable id used in messages and the self-test):
   test-determinism rand(), srand(), std::random_device and std::mt19937 are
                    banned under tests/; seeded vqi::Rng keeps failures
                    reproducible.
+  metric-label     Label keys in obs::Labels literals ({{"key", value}} ...)
+                   must match [a-z][a-z_]* and must not start with "__"
+                   (reserved by Prometheus). Keys naming per-request
+                   identifiers (request_id, trace_id, uuid, ...) are rejected
+                   outright — every distinct value mints a new series, which
+                   is unbounded cardinality.
   common-layering  Files in src/common/ may only #include "common/..." quoted
                    headers — common is the bottom layer and must not reach up.
+  net-layering     Files in src/net/ may only #include quoted headers from
+                   common/, obs/, service/, or net/ — the wire layer sits on
+                   the service layer and must not reach into algorithm
+                   internals (graph/, match/, ...).
   no-analysis-optout
                    VQLIB_NO_THREAD_SAFETY_ANALYSIS may appear only in
                    src/common/mutex.h (and its definition in
@@ -61,6 +71,22 @@ NONDETERMINISM_RES = [
 
 QUOTED_INCLUDE_RE = re.compile(r"#\s*include\s*\"([^\"]+)\"")
 OPTOUT_RE = re.compile(r"\bVQLIB_NO_THREAD_SAFETY_ANALYSIS\b")
+
+# A label literal starts with {{" and each pair starts {"key", — the key is
+# always a string literal even when the value is computed.
+LABEL_LITERAL_MARKER = '{{"'
+LABEL_PAIR_RE = re.compile(r'\{\s*"([^"]*)"\s*,')
+LABEL_KEY_RE = re.compile(r"[a-z][a-z_]*")
+# Keys whose values are per-request/per-entity: every distinct value becomes
+# its own series, which is how a metrics registry melts down.
+HIGH_CARDINALITY_KEYS = {
+    "id", "request_id", "trace_id", "session_id", "connection_id", "uuid",
+    "query_id", "user_id",
+}
+
+# The wire layer may see the service API and the shared bottom layers, but
+# never the algorithm internals behind them.
+NET_ALLOWED_PREFIXES = ("common/", "obs/", "service/", "net/")
 
 
 def strip_line_comment(line):
@@ -106,6 +132,7 @@ class Linter:
         is_annotations_header = rel == "src/common/thread_annotations.h"
         in_tests = rel.startswith("tests/")
         in_common = rel.startswith("src/common/")
+        in_net = rel.startswith("src/net/")
         try:
             text = path.read_text(encoding="utf-8")
         except UnicodeDecodeError:
@@ -144,6 +171,24 @@ class Linter:
                             f"{what} makes tests nondeterministic; "
                             "use a seeded vqi::Rng")
 
+            if LABEL_LITERAL_MARKER in line:
+                for match in LABEL_PAIR_RE.finditer(line):
+                    key = match.group(1)
+                    if key.startswith("__"):
+                        self.report(
+                            "metric-label", path, lineno,
+                            f"label key '{key}' uses the __ prefix reserved "
+                            "by Prometheus")
+                    elif not LABEL_KEY_RE.fullmatch(key):
+                        self.report(
+                            "metric-label", path, lineno,
+                            f"label key '{key}' must match [a-z][a-z_]*")
+                    elif key in HIGH_CARDINALITY_KEYS:
+                        self.report(
+                            "metric-label", path, lineno,
+                            f"label key '{key}' names a per-request "
+                            "identifier: unbounded series cardinality")
+
             if in_common:
                 match = QUOTED_INCLUDE_RE.search(line)
                 if match and not match.group(1).startswith("common/"):
@@ -151,6 +196,15 @@ class Linter:
                         "common-layering", path, lineno,
                         f'src/common may not include "{match.group(1)}" — '
                         "common is the bottom layer")
+
+            if in_net:
+                match = QUOTED_INCLUDE_RE.search(line)
+                if match and not match.group(1).startswith(
+                        NET_ALLOWED_PREFIXES):
+                    self.report(
+                        "net-layering", path, lineno,
+                        f'src/net may not include "{match.group(1)}" — the '
+                        "wire layer sees only common/, obs/, service/, net/")
 
             if not is_mutex_header and not is_annotations_header:
                 if OPTOUT_RE.search(line):
@@ -182,8 +236,16 @@ def self_test():
          "int F() { return rand() % 7; }\n"),
         ("test-determinism", "tests/scratch_test.cc",
          "#include <random>\nstd::mt19937 gen{std::random_device{}()};\n"),
+        ("metric-label", "src/scratch.cc",
+         'obs::Labels labels{{"Pool", "http"}};\n'),
+        ("metric-label", "src/scratch.cc",
+         'obs::Labels labels{{"__name", "x"}};\n'),
+        ("metric-label", "src/scratch.cc",
+         'r.GetCounter("vqi_x_total", "", {{"kind", "a"}, {"request_id", id}});\n'),
         ("common-layering", "src/common/scratch.h",
          '#include "obs/metrics.h"\n'),
+        ("net-layering", "src/net/scratch.h",
+         '#include "graph/graph.h"\n'),
         ("no-analysis-optout", "src/service/scratch.h",
          "void F() VQLIB_NO_THREAD_SAFETY_ANALYSIS;\n"),
     ]
@@ -193,6 +255,9 @@ def self_test():
          '// std::mutex in a comment is fine\n'),
         ("tests/scratch_ok_test.cc",
          '#include "common/rng.h"\nvqi::Rng rng(42);\n'),
+        ("src/net/scratch_ok.h",
+         '#include "service/query_service.h"\n'
+         'obs::Labels labels{{"pool", "http"}};\n'),
     ]
     failures = []
     for rule, rel, content in cases:
