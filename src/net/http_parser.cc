@@ -79,6 +79,13 @@ bool HttpRequestParser::NextLine(std::string_view* line, size_t limit,
 
 HttpRequestParser::State HttpRequestParser::Consume(std::string_view data) {
   if (state_ == State::kComplete || state_ == State::kError) return state_;
+  // Compact before appending: everything below `consumed_` has been copied
+  // into request_ already, so dropping it keeps the buffer proportional to
+  // the unparsed remainder instead of every byte the connection ever sent.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
   buffer_.append(data.data(), data.size());
   return Advance();
 }
@@ -93,7 +100,16 @@ HttpRequestParser::State HttpRequestParser::Advance() {
           if (over) return Fail(414, "request line exceeds limit");
           return state_ = State::kNeedMore;
         }
-        if (line.empty()) continue;  // tolerate leading CRLFs (RFC 9112 §2.2)
+        if (line.empty()) {
+          // Tolerate leading CRLFs (RFC 9112 §2.2), but bounded: a peer
+          // streaming bare CRLFs must not keep the parser in kNeedMore
+          // (and its connection worker occupied) indefinitely.
+          leading_bytes_ += 2;
+          if (leading_bytes_ > limits_.max_request_line_bytes) {
+            return Fail(400, "excessive leading CRLFs before request line");
+          }
+          continue;
+        }
         size_t sp1 = line.find(' ');
         size_t sp2 = sp1 == std::string_view::npos
                          ? std::string_view::npos
@@ -189,6 +205,7 @@ HttpRequestParser::State HttpRequestParser::Advance() {
 HttpRequestParser::State HttpRequestParser::Reset() {
   buffer_.erase(0, consumed_);
   consumed_ = 0;
+  leading_bytes_ = 0;
   header_bytes_ = 0;
   body_expected_ = 0;
   has_content_length_ = false;
@@ -209,6 +226,10 @@ HttpResponseParser::State HttpResponseParser::Fail(std::string message) {
 
 HttpResponseParser::State HttpResponseParser::Consume(std::string_view data) {
   if (state_ == State::kComplete || state_ == State::kError) return state_;
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
   buffer_.append(data.data(), data.size());
   return Advance();
 }

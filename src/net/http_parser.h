@@ -68,6 +68,7 @@ class HttpRequestParser {
   HttpParserLimits limits_;
   std::string buffer_;
   size_t consumed_ = 0;     ///< bytes of buffer_ already parsed
+  size_t leading_bytes_ = 0;  ///< empty lines skipped before the request line
   size_t header_bytes_ = 0;
   size_t body_expected_ = 0;
   bool has_content_length_ = false;

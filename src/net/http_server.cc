@@ -219,10 +219,18 @@ void HttpServer::AcceptLoop() {
       if (connections_rejected_total_ != nullptr) {
         connections_rejected_total_->Increment();
       }
+      if (responses_total_5xx_ != nullptr) responses_total_5xx_->Increment();
+      // Best-effort single non-blocking send: the accept thread must never
+      // block on a peer — overload, when this path runs, is exactly when an
+      // unresponsive client would otherwise stall every accept. The small
+      // response fits the socket buffer of any live peer; a dead one just
+      // misses its 503.
       HttpResponse response;
       response.status = 503;
       response.body = ErrorBody("server overloaded, connection rejected");
-      WriteResponse(fd, response, /*close=*/true);
+      std::string wire = SerializeResponse(response, /*close=*/true);
+      (void)::send(fd, wire.data(), wire.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
       UnregisterConnection(fd);
       ::close(fd);
     }
@@ -237,15 +245,13 @@ void HttpServer::HandleConnection(int fd) {
   ::close(fd);
 }
 
-int HttpServer::PollReadable(int fd) {
+int HttpServer::PollReadable(int fd, double timeout_ms) {
   pollfd pfd{};
   pfd.fd = fd;
   pfd.events = POLLIN;
-  int timeout_ms = options_.read_timeout_ms >= 1
-                       ? static_cast<int>(options_.read_timeout_ms)
-                       : 1;
+  int timeout = timeout_ms >= 1 ? static_cast<int>(timeout_ms) : 1;
   for (;;) {
-    int ready = ::poll(&pfd, 1, timeout_ms);
+    int ready = ::poll(&pfd, 1, timeout);
     if (ready < 0 && errno == EINTR) continue;
     return ready;
   }
@@ -293,13 +299,25 @@ bool HttpServer::ServeOne(int fd, HttpRequestParser& parser, size_t served) {
   if (state != HttpRequestParser::State::kNeedMore && !fault_gate()) {
     return false;
   }
+  // The read deadline is cumulative per request: the clock starts at the
+  // request's first byte (immediately, when pipelining already buffered a
+  // partial one) and the poll budget shrinks as bytes trickle in, so a
+  // slowloris peer sending one byte per poll cannot hold the worker past
+  // read_timeout_ms. Before the first byte the connection is merely idle
+  // between keep-alive requests; each poll there gets the full timeout.
+  Stopwatch read_timer;
+  bool request_started = parser.buffered_bytes() > 0;
   while (state == HttpRequestParser::State::kNeedMore) {
-    int ready = PollReadable(fd);
+    double budget = options_.read_timeout_ms;
+    if (request_started) {
+      budget = options_.read_timeout_ms - read_timer.ElapsedMillis();
+    }
+    int ready = budget <= 0 ? 0 : PollReadable(fd, budget);
     if (ready == 0) {
       if (read_timeouts_total_ != nullptr) read_timeouts_total_->Increment();
-      if (parser.buffered_bytes() > 0) {
-        // Mid-request silence: answer 408 so the peer knows the deadline
-        // fired; an idle keep-alive connection just closes.
+      if (request_started) {
+        // Mid-request deadline: answer 408 so the peer knows it fired; an
+        // idle keep-alive connection just closes.
         HttpResponse response;
         response.status = 408;
         response.body = ErrorBody("read deadline exceeded");
@@ -311,7 +329,7 @@ bool HttpServer::ServeOne(int fd, HttpRequestParser& parser, size_t served) {
     char buf[4096];
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n == 0) {
-      if (parser.buffered_bytes() > 0 && torn_reads_total_ != nullptr) {
+      if (request_started && torn_reads_total_ != nullptr) {
         torn_reads_total_->Increment();
       }
       return false;
@@ -319,6 +337,10 @@ bool HttpServer::ServeOne(int fd, HttpRequestParser& parser, size_t served) {
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
+    }
+    if (!request_started) {
+      request_started = true;
+      read_timer.Restart();
     }
     // Real request bytes are in hand: this is the per-request fault draw.
     // A peer that merely disconnects (recv == 0 above) draws nothing, so

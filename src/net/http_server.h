@@ -31,9 +31,12 @@ struct HttpServerOptions {
   /// Accepted-but-unstarted connections held in the pool queue; beyond this
   /// the accept loop answers 503 and closes (admission control at the edge).
   size_t queue_capacity = 128;
-  /// Per-connection socket deadlines. A peer that stays silent longer than
-  /// read_timeout_ms mid-request gets 408 and is closed — the slowloris
-  /// bound. write_timeout_ms bounds a peer that stops draining responses.
+  /// Per-request socket deadlines. The read clock starts at a request's
+  /// first byte and is cumulative: a request that has not fully arrived
+  /// read_timeout_ms later gets 408 and the connection closes — the
+  /// slowloris bound (trickling bytes does not extend it). An idle
+  /// keep-alive connection closes after read_timeout_ms of silence.
+  /// write_timeout_ms bounds a peer that stops draining responses.
   double read_timeout_ms = 5000;
   double write_timeout_ms = 5000;
   /// Requests served over one connection before the server forces
@@ -105,9 +108,9 @@ class HttpServer {
   bool WriteResponse(int fd, const HttpResponse& response, bool close);
   /// Sends everything or gives up at the write deadline / a socket error.
   bool WriteAll(int fd, std::string_view data);
-  /// Waits for readability within the read deadline; 1 ready, 0 timeout,
+  /// Waits up to `timeout_ms` for readability; 1 ready, 0 timeout,
   /// -1 socket error.
-  int PollReadable(int fd);
+  int PollReadable(int fd, double timeout_ms);
 
   void RegisterConnection(int fd);
   void UnregisterConnection(int fd);

@@ -12,6 +12,13 @@ namespace net {
 namespace {
 
 constexpr size_t kMaxDepth = 64;
+// Container caps, enforced while parsing. Objects are capped hard because
+// duplicate-key detection (JsonValue::Set's linear scan) is quadratic in
+// member count — without the cap a 1MB body of ~100k tiny keys costs
+// billions of compares. Arrays append in O(1) but get a generous cap as the
+// same CPU-hygiene posture; both are far above anything the query API emits.
+constexpr size_t kMaxObjectMembers = 1024;
+constexpr size_t kMaxArrayElements = 1 << 16;
 
 }  // namespace
 
@@ -386,6 +393,9 @@ class Parser {
     SkipWhitespace();
     if (Consume(']')) return Status::OK();
     for (;;) {
+      if (out->array().size() >= kMaxArrayElements) {
+        return Error("array has too many elements");
+      }
       JsonValue element;
       VQI_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
       out->Append(std::move(element));
@@ -406,6 +416,9 @@ class Parser {
       VQI_RETURN_IF_ERROR(ParseString(&key));
       SkipWhitespace();
       if (!Consume(':')) return Error("expected ':' in object");
+      if (out->object_size() >= kMaxObjectMembers) {
+        return Error("object has too many members");
+      }
       JsonValue value;
       VQI_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
       out->Set(std::move(key), std::move(value));

@@ -20,6 +20,11 @@ bool AsInt64(const JsonValue& value, int64_t lo, int64_t hi, int64_t* out) {
   if (!value.is_number()) return false;
   double number = value.number_value();
   if (std::floor(number) != number) return false;
+  // double(INT64_MAX) rounds UP to 2^63, so a plain `> double(hi)` check
+  // with hi == INT64_MAX admits 2^63 and the cast below would be UB on
+  // untrusted input. Reject at the exact bound first (>= because 2^63 is
+  // itself representable; every in-range double below it casts safely).
+  if (number >= 9223372036854775808.0 /* 2^63 */) return false;
   if (number < static_cast<double>(lo) || number > static_cast<double>(hi)) {
     return false;
   }

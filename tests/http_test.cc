@@ -68,6 +68,25 @@ TEST(JsonTest, RejectsTrailingGarbageAndDeepNesting) {
   EXPECT_FALSE(ParseJson(deep).ok());
 }
 
+TEST(JsonTest, ContainerSizeCapsRejectAbusiveBodies) {
+  // Duplicate-key detection scans linearly, so member count is capped while
+  // parsing: a body packing ~100k keys must fail fast, not burn CPU.
+  std::string object = "{";
+  for (int i = 0; i < 1025; ++i) {
+    if (i > 0) object += ',';
+    object += "\"k" + std::to_string(i) + "\":0";
+  }
+  object += "}";
+  EXPECT_FALSE(ParseJson(object).ok());
+  std::string array = "[";
+  for (int i = 0; i < (1 << 16) + 1; ++i) {
+    if (i > 0) array += ',';
+    array += '0';
+  }
+  array += "]";
+  EXPECT_FALSE(ParseJson(array).ok());
+}
+
 TEST(JsonTest, ObjectFindAndUnknownKey) {
   auto parsed = ParseJson(R"({"x":1})");
   ASSERT_TRUE(parsed.ok());
@@ -163,6 +182,29 @@ TEST(HttpParserTest, RequestLineOverLimitIs414) {
   EXPECT_EQ(parser.error_status(), 414);
 }
 
+TEST(HttpParserTest, LeadingCrlfFloodIsBoundedAnd400) {
+  HttpParserLimits limits;
+  limits.max_request_line_bytes = 32;
+  // A few leading CRLFs are legal (RFC 9112 §2.2) and skipped.
+  HttpRequestParser tolerant(limits);
+  EXPECT_EQ(tolerant.Consume("\r\n\r\nGET / HTTP/1.1\r\n\r\n"),
+            HttpRequestParser::State::kComplete);
+  // A peer streaming bare CRLFs forever is cut off at the request-line
+  // budget instead of holding the parser in kNeedMore — and the parse
+  // buffer is compacted along the way, so it never accumulates the flood.
+  HttpRequestParser flooded(limits);
+  HttpRequestParser::State state = HttpRequestParser::State::kNeedMore;
+  size_t sent = 0;
+  while (state == HttpRequestParser::State::kNeedMore && sent < 1024) {
+    state = flooded.Consume("\r\n");
+    sent += 2;
+    EXPECT_LE(flooded.buffered_bytes(), 2u);
+  }
+  ASSERT_EQ(state, HttpRequestParser::State::kError);
+  EXPECT_EQ(flooded.error_status(), 400);
+  EXPECT_LE(sent, 2 * limits.max_request_line_bytes);
+}
+
 TEST(HttpParserTest, TransferEncodingIsRejected) {
   HttpRequestParser parser;
   EXPECT_EQ(parser.Consume("POST / HTTP/1.1\r\n"
@@ -229,6 +271,10 @@ TEST(ServingTest, RejectsBadRequests) {
            R"({"pattern":{"vertices":[0]},"priority":"urgent"})",
            R"({"pattern":{"vertices":[0]},"deadline_ms":-1})",
            R"({"pattern":{"vertices":[0,1]},"kind":"suggest","focus":9})",
+           // INT64_MAX is not double-representable: strtod yields exactly
+           // 2^63, which must be rejected, not cast (that would be UB).
+           R"({"pattern":{"vertices":[0]},)"
+           R"("max_embeddings":9223372036854775807})",
            R"([1,2,3])",                              // not an object
        }) {
     auto parsed = ParseJson(body);
@@ -478,6 +524,35 @@ TEST(HttpSocketTest, SilentMidRequestPeerGets408) {
   ASSERT_TRUE(client.SendRaw("GET /healthz HTT").ok());  // ...then silence
   std::string raw = client.ReadAvailable(3000);
   EXPECT_NE(raw.find("408 "), std::string::npos);
+}
+
+TEST(HttpSocketTest, TrickledBytesDoNotExtendTheReadDeadline) {
+  HttpServerOptions options;
+  options.read_timeout_ms = 200;
+  ServingHarness harness(options);
+  ASSERT_TRUE(harness.server.Start().ok());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server.port()).ok());
+  // A slowloris peer trickling one byte per poll: each byte keeps the
+  // socket "live", so only a cumulative per-request deadline ends it. The
+  // wire is long enough that a deadline which reset on every byte would
+  // keep the worker busy far past the elapsed bound asserted below.
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nX-Slow: " + std::string(100, 'a');
+  Stopwatch elapsed;
+  std::string raw;
+  size_t sent = 0;
+  while (raw.find("408 ") == std::string::npos && sent < wire.size() &&
+         elapsed.ElapsedMillis() < 10000) {
+    if (!client.SendRaw(wire.substr(sent, 1)).ok()) break;  // server closed
+    ++sent;
+    raw += client.ReadAvailable(50);
+  }
+  raw += client.ReadAvailable(500);
+  EXPECT_NE(raw.find("408 "), std::string::npos);
+  // The cumulative deadline fired after ~200ms, having accepted only a
+  // few trickled bytes — not the whole header.
+  EXPECT_LT(sent, wire.size());
 }
 
 TEST(HttpSocketTest, GracefulDrainFinishesInFlightRequest) {
