@@ -1,6 +1,7 @@
 #ifndef VQLIB_COMMON_MUTEX_H_
 #define VQLIB_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -73,6 +74,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed variant of Wait(): blocks for at most `timeout_ms` milliseconds.
+  /// Returns false on timeout, true otherwise (notification or spurious
+  /// wakeup — re-check the predicate either way). The mutex is held again
+  /// when WaitFor returns, in both cases.
+  bool WaitFor(Mutex& mu, double timeout_ms) VQLIB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(
+        native, std::chrono::duration<double, std::milli>(timeout_ms));
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kParseError,
   kUnavailable,
   kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -83,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

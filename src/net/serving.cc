@@ -9,6 +9,7 @@
 #include "net/http_server.h"
 #include "obs/export.h"
 #include "service/resilience/circuit_breaker.h"
+#include "shard/sharded_router.h"
 
 namespace vqi {
 namespace net {
@@ -250,6 +251,10 @@ int HttpStatusFor(const Status& status) {
       return 503;
     case StatusCode::kDeadlineExceeded:
       return 504;
+    case StatusCode::kCancelled:
+      // nginx's "client closed request" convention; a cancelled hedge loser
+      // normally never reaches the wire, but the mapping must exist.
+      return 499;
     default:
       return 500;
   }
@@ -269,6 +274,13 @@ HttpResponse JsonErrorResponse(const Status& status) {
 
 QueryServing::QueryServing(QueryService* service, Options options)
     : service_(service), options_(options) {}
+
+QueryServing::QueryServing(shard::ShardedRouter* router, Options options)
+    : router_(router), options_(options) {
+  // The router already wraps each shard in its own resilience client;
+  // layering another client in front would double-count retries.
+  options_.client = nullptr;
+}
 
 HttpResponse QueryServing::Handle(const HttpRequest& request) {
   const std::string path(request.path());
@@ -315,8 +327,12 @@ HttpResponse QueryServing::HandleMetrics() {
 
 HttpResponse QueryServing::HandleHealthz() {
   const bool draining = server_ != nullptr && server_->draining();
-  const size_t depth = service_->QueueDepth();
-  const size_t capacity = service_->queue_capacity();
+  const size_t depth =
+      router_ != nullptr ? router_->QueueDepth() : service_->QueueDepth();
+  const size_t capacity = router_ != nullptr ? router_->queue_capacity()
+                                             : service_->queue_capacity();
+  const size_t threads =
+      router_ != nullptr ? router_->num_threads() : service_->num_threads();
   const bool degraded =
       capacity > 0 && static_cast<double>(depth) >=
                           options_.degraded_queue_fraction *
@@ -328,9 +344,9 @@ HttpResponse QueryServing::HandleHealthz() {
                                                   : "ok"));
   json.Set("queue_depth", JsonValue::Number(static_cast<double>(depth)));
   json.Set("queue_capacity", JsonValue::Number(static_cast<double>(capacity)));
-  json.Set("threads",
-           JsonValue::Number(static_cast<double>(service_->num_threads())));
-  ServiceStats stats = service_->Snapshot();
+  json.Set("threads", JsonValue::Number(static_cast<double>(threads)));
+  ServiceStats stats = router_ != nullptr ? router_->AggregateSnapshot()
+                                          : service_->Snapshot();
   json.Set("admitted", JsonValue::Number(static_cast<double>(stats.admitted)));
   json.Set("shed", JsonValue::Number(static_cast<double>(stats.shed)));
   if (server_ != nullptr) {
@@ -338,7 +354,19 @@ HttpResponse QueryServing::HandleHealthz() {
              JsonValue::Number(
                  static_cast<double>(server_->active_connections())));
   }
-  if (options_.client != nullptr) {
+  if (router_ != nullptr) {
+    // Fleet view: a single dark shard shows up as one "open" entry here
+    // while the overall status stays "ok" — its slice degrades, the
+    // collection keeps serving.
+    json.Set("shards",
+             JsonValue::Number(static_cast<double>(router_->num_shards())));
+    JsonValue breakers = JsonValue::Array();
+    for (size_t i = 0; i < router_->num_shards(); ++i) {
+      breakers.Append(JsonValue::String(resilience::BreakerStateName(
+          router_->client(i).breaker_state())));
+    }
+    json.Set("shard_breakers", std::move(breakers));
+  } else if (options_.client != nullptr) {
     json.Set("breaker",
              JsonValue::String(resilience::BreakerStateName(
                  options_.client->breaker_state())));
@@ -362,7 +390,8 @@ HttpResponse QueryServing::HandleQuery(const HttpRequest& request) {
     return JsonErrorResponse(decoded.status());
   }
   QueryResult result =
-      options_.client != nullptr
+      router_ != nullptr ? router_->Execute(std::move(decoded).value())
+      : options_.client != nullptr
           ? options_.client->Execute(std::move(decoded).value())
           : service_->Execute(std::move(decoded).value());
   HttpResponse response;

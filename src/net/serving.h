@@ -10,6 +10,11 @@
 #include "service/resilience/service_client.h"
 
 namespace vqi {
+
+namespace shard {
+class ShardedRouter;
+}  // namespace shard
+
 namespace net {
 
 class HttpServer;
@@ -49,7 +54,8 @@ JsonValue QueryResultContentJson(const QueryResult& result);
 
 /// Maps an application Status onto an HTTP status code: OK→200,
 /// InvalidArgument/ParseError→400, NotFound→404, FailedPrecondition→409,
-/// ResourceExhausted/Unavailable→503, DeadlineExceeded→504, rest→500.
+/// Cancelled→499, ResourceExhausted/Unavailable→503, DeadlineExceeded→504,
+/// rest→500.
 int HttpStatusFor(const Status& status);
 
 /// Routes requests for the three served endpoints:
@@ -62,12 +68,20 @@ int HttpStatusFor(const Status& status);
 /// Unknown paths get 404, wrong methods on known paths 405. Handle() runs
 /// on server worker threads; QueryServing itself is stateless beyond the
 /// wired components, so it is thread-safe if they are.
+///
+/// Can front either one QueryService (optionally through a resilience
+/// client) or a shard::ShardedRouter. In router mode /query executes through
+/// the router (which already runs each shard behind its own client) and
+/// /healthz aggregates saturation across the fleet: summed queue depths and
+/// capacities, summed shard ServiceStats, a `shards` count, and every
+/// shard's breaker state.
 class QueryServing {
  public:
   struct Options {
     /// When set, /query executes through the resilience client (breaker +
     /// retry + budget) instead of calling the service directly, and /healthz
     /// reports the breaker state. Must wrap `service` and outlive this.
+    /// Ignored in router mode.
     resilience::ServiceClient* client = nullptr;
     /// Registry /metrics renders. Typically the same registry every wired
     /// component reports into. Must outlive this.
@@ -77,6 +91,8 @@ class QueryServing {
   };
 
   QueryServing(QueryService* service, Options options);
+  /// Router mode: fronts a sharded fleet instead of one service.
+  QueryServing(shard::ShardedRouter* router, Options options);
 
   /// Wires the server whose drain state and connection count /healthz
   /// reports. Call once between constructing the server and Start().
@@ -89,7 +105,8 @@ class QueryServing {
   HttpResponse HandleHealthz();
   HttpResponse HandleQuery(const HttpRequest& request);
 
-  QueryService* service_;
+  QueryService* service_ = nullptr;
+  shard::ShardedRouter* router_ = nullptr;
   Options options_;
   const HttpServer* server_ = nullptr;
 };

@@ -40,32 +40,37 @@ size_t InflightTable::InflightKeys() const {
   return entries_.size();
 }
 
-void InflightTable::RegisterMetrics(obs::MetricsRegistry& registry) {
+void InflightTable::RegisterMetrics(obs::MetricsRegistry& registry,
+                                    const obs::Labels& labels) {
   leaders_total_ = &registry.GetCounter(
       "vqi_coalesce_leaders_total",
-      "Requests that became the single-flight leader for their cache key.");
+      "Requests that became the single-flight leader for their cache key.",
+      labels);
   waiters_total_ = &registry.GetCounter(
       "vqi_coalesce_waiters_total",
-      "Requests attached as waiters to an in-flight leader.");
+      "Requests attached as waiters to an in-flight leader.", labels);
   fanout_total_ = &registry.GetCounter(
       "vqi_coalesce_fanout_total",
-      "Waiter responses resolved directly from a leader's result.");
+      "Waiter responses resolved directly from a leader's result.", labels);
   detach_total_ = &registry.GetCounter(
       "vqi_coalesce_detach_total",
       "Waiters detached at fan-out because their key was invalidated "
-      "mid-flight (epoch change); each re-executes against fresh data.");
+      "mid-flight (epoch change); each re-executes against fresh data.",
+      labels);
   reexec_total_ = &registry.GetCounter(
       "vqi_coalesce_reexec_total",
       "Independent waiter re-executions after a leader error, a rejected "
-      "partial, or a mid-flight invalidation.");
+      "partial, or a mid-flight invalidation.",
+      labels);
   reexec_denied_total_ = &registry.GetCounter(
       "vqi_coalesce_reexec_denied_total",
       "Waiter re-executions suppressed by the coalesce retry budget; the "
-      "leader's outcome was propagated instead.");
+      "leader's outcome was propagated instead.",
+      labels);
   waiter_wait_ms_ = &registry.GetHistogram(
       "vqi_coalesce_waiter_wait_ms",
       "Time a coalesced waiter spent attached before its leader fanned out.",
-      obs::Histogram::DefaultLatencyBoundsMs());
+      obs::Histogram::DefaultLatencyBoundsMs(), labels);
 }
 
 void InflightTable::RecordFanout(uint64_t count) {

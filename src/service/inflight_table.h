@@ -78,8 +78,10 @@ class InflightTable {
   /// histogram). Must be called before the table is used concurrently (the
   /// handles are unsynchronized init-time state); the registry must outlive
   /// the table. Without registration the table still works; events are
-  /// simply unmetered.
-  void RegisterMetrics(obs::MetricsRegistry& registry);
+  /// simply unmetered. `labels` is applied to every series so N tables can
+  /// share one registry (e.g. {shard="<i>"} under a sharded router).
+  void RegisterMetrics(obs::MetricsRegistry& registry,
+                       const obs::Labels& labels = {});
 
   // Metric hooks for the fan-out owner (the table cannot see fan-out policy).
   void RecordFanout(uint64_t count);

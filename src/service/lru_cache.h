@@ -117,15 +117,22 @@ class ShardedLruCache {
     return stats;
   }
 
-  /// Registers per-shard hit/miss/eviction counters (label shard="<i>") under
-  /// `prefix` and mirrors every future event into them; counts accumulated
-  /// before registration are carried over. The registry must outlive the
-  /// cache. Per-shard series expose skew a summed counter would hide — one
-  /// hot shard saturating its mutex looks healthy in aggregate.
+  /// Registers per-shard hit/miss/eviction counters (label cache_shard="<i>")
+  /// under `prefix` and mirrors every future event into them; counts
+  /// accumulated before registration are carried over. The registry must
+  /// outlive the cache. Per-shard series expose skew a summed counter would
+  /// hide — one hot shard saturating its mutex looks healthy in aggregate.
+  ///
+  /// `extra_labels` is prepended to every series (including the `_shards`
+  /// gauge). The label key is deliberately `cache_shard`, NOT `shard`: N
+  /// caches owned by N service shards share one registry and pass
+  /// {shard="<service shard>"} here, so the two dimensions must not collide.
   void RegisterMetrics(obs::MetricsRegistry& registry,
-                       const std::string& prefix = "vqi_cache") {
+                       const std::string& prefix = "vqi_cache",
+                       const obs::Labels& extra_labels = {}) {
     for (size_t i = 0; i < shards_.size(); ++i) {
-      obs::Labels labels{{"shard", std::to_string(i)}};
+      obs::Labels labels = extra_labels;
+      labels.emplace_back("cache_shard", std::to_string(i));
       obs::Counter& hits = registry.GetCounter(
           prefix + "_hits_total", "Result-cache hits.", labels);
       obs::Counter& misses = registry.GetCounter(
@@ -142,7 +149,7 @@ class ShardedLruCache {
       shard.evictions_metric = &evictions;
     }
     registry
-        .GetGauge(prefix + "_shards", "Number of cache shards.")
+        .GetGauge(prefix + "_shards", "Number of cache shards.", extra_labels)
         .Set(static_cast<double>(shards_.size()));
   }
 

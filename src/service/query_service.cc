@@ -32,6 +32,14 @@ bool DeadlinePassed(const QueryRequest& request, const Stopwatch& admitted) {
          admitted.ElapsedMillis() >= request.deadline_ms;
 }
 
+// Cooperative cancellation (hedged-request losers): checked at the same
+// boundaries as the deadline — between targets and between VF2 slices — so a
+// poisoned request stops within one slice, just like a deadline overshoot.
+bool CancelRequested(const QueryRequest& request) {
+  return request.cancel != nullptr &&
+         request.cancel->load(std::memory_order_relaxed);
+}
+
 const char* KindName(QueryKind kind) {
   return kind == QueryKind::kSuggest ? "suggest" : "match";
 }
@@ -53,6 +61,7 @@ const char* RequestPriorityName(RequestPriority priority) {
 QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
     : db_(db),
       options_(options),
+      registry_(options.metrics != nullptr ? options.metrics : &metrics_),
       traces_(options.trace_capacity),
       suggestions_(SuggestionIndex::Build(db)),
       cache_(std::max<size_t>(1, options.cache_capacity),
@@ -60,59 +69,74 @@ QueryService::QueryService(const GraphDatabase& db, QueryServiceOptions options)
       waiter_budget_(options.coalesce_retry_ratio,
                      options.coalesce_retry_capacity),
       pool_(ThreadPoolOptions{options.num_threads, options.queue_capacity,
-                              &metrics_, /*metric_labels=*/{}}) {
-  cache_.RegisterMetrics(metrics_);
-  inflight_.RegisterMetrics(metrics_);
-  admitted_total_ = &metrics_.GetCounter(
-      "vqi_requests_admitted_total", "Requests accepted past admission.");
-  completed_total_ = &metrics_.GetCounter(
-      "vqi_requests_completed_total", "Requests resolved (any status).");
-  rejected_total_ = &metrics_.GetCounter(
+                              options.metrics != nullptr ? options.metrics
+                                                         : &metrics_,
+                              options.metric_labels}) {
+  obs::MetricsRegistry& reg = *registry_;
+  const obs::Labels& base = options_.metric_labels;
+  // Instruments carrying their own label dimension append it to the
+  // service-wide base labels, so N shards in one registry never collide.
+  auto with = [&base](const char* key, const char* value) {
+    obs::Labels labels = base;
+    labels.emplace_back(key, value);
+    return labels;
+  };
+  cache_.RegisterMetrics(reg, "vqi_cache", base);
+  inflight_.RegisterMetrics(reg, base);
+  admitted_total_ = &reg.GetCounter(
+      "vqi_requests_admitted_total", "Requests accepted past admission.",
+      base);
+  completed_total_ = &reg.GetCounter(
+      "vqi_requests_completed_total", "Requests resolved (any status).", base);
+  rejected_total_ = &reg.GetCounter(
       "vqi_requests_rejected_total",
-      "Admission failures: full queue (backpressure) or priority shedding.");
-  shed_background_total_ = &metrics_.GetCounter(
+      "Admission failures: full queue (backpressure) or priority shedding.",
+      base);
+  shed_background_total_ = &reg.GetCounter(
       "vqi_requests_shed_total",
       "Requests shed by priority at the queue high-water mark.",
-      {{"priority", "background"}});
-  shed_normal_total_ = &metrics_.GetCounter(
+      with("priority", "background"));
+  shed_normal_total_ = &reg.GetCounter(
       "vqi_requests_shed_total",
       "Requests shed by priority at the queue high-water mark.",
-      {{"priority", "normal"}});
-  deadline_exceeded_total_ = &metrics_.GetCounter(
+      with("priority", "normal"));
+  deadline_exceeded_total_ = &reg.GetCounter(
       "vqi_requests_deadline_exceeded_total",
-      "Requests that completed with kDeadlineExceeded.");
-  truncated_total_ = &metrics_.GetCounter(
+      "Requests that completed with kDeadlineExceeded.", base);
+  truncated_total_ = &reg.GetCounter(
       "vqi_requests_truncated_total",
-      "Requests answered with a partial (truncated) result.");
-  cache_invalidations_total_ = &metrics_.GetCounter(
+      "Requests answered with a partial (truncated) result.", base);
+  cache_invalidations_total_ = &reg.GetCounter(
       "vqi_cache_invalidations_total",
-      "InvalidateCache() epoch bumps (e.g. maintenance batches).");
-  cache_key_invalidations_total_ = &metrics_.GetCounter(
+      "InvalidateCache() epoch bumps (e.g. maintenance batches).", base);
+  cache_key_invalidations_total_ = &reg.GetCounter(
       "vqi_cache_key_invalidations_total",
-      "InvalidateCacheKey() per-graph epoch bumps.");
-  cache_probe_faults_total_ = &metrics_.GetCounter(
+      "InvalidateCacheKey() per-graph epoch bumps.", base);
+  cache_probe_faults_total_ = &reg.GetCounter(
       "vqi_cache_probe_degraded_total",
-      "Cache probes degraded to a miss by an injected cache fault.");
-  backend_executions_total_ = &metrics_.GetCounter(
+      "Cache probes degraded to a miss by an injected cache fault.", base);
+  backend_executions_total_ = &reg.GetCounter(
       "vqi_backend_executions_total",
       "Requests that reached the matcher/suggestion backend; cache hits and "
       "coalesced fan-outs are excluded, so on duplicate-heavy traffic this "
-      "tracks the unique-query count rather than the request count.");
-  match_steps_total_ = &metrics_.GetCounter(
-      "vqi_match_steps_total", "VF2 recursion steps across all requests.");
-  match_slices_total_ = &metrics_.GetCounter(
+      "tracks the unique-query count rather than the request count.",
+      base);
+  match_steps_total_ = &reg.GetCounter(
+      "vqi_match_steps_total", "VF2 recursion steps across all requests.",
+      base);
+  match_slices_total_ = &reg.GetCounter(
       "vqi_match_slices_total",
-      "Cooperative deadline slices run across all requests.");
-  latency_ms_ = &metrics_.GetHistogram(
+      "Cooperative deadline slices run across all requests.", base);
+  latency_ms_ = &reg.GetHistogram(
       "vqi_request_latency_ms", "Admission-to-completion request latency.",
-      obs::Histogram::DefaultLatencyBoundsMs());
-  slices_per_request_ = &metrics_.GetHistogram(
+      obs::Histogram::DefaultLatencyBoundsMs(), base);
+  slices_per_request_ = &reg.GetHistogram(
       "vqi_match_slices_per_request",
       "VF2 invocations one match request needed: one per target graph, plus "
       "one per deadline-slice retry.",
-      obs::Histogram::ExponentialBounds(1, 2, 12));
+      obs::Histogram::ExponentialBounds(1, 2, 12), base);
   if (options_.fault_injector != nullptr) {
-    options_.fault_injector->RegisterMetrics(metrics_);
+    options_.fault_injector->RegisterMetrics(reg);
   }
 }
 
@@ -284,7 +308,11 @@ StatusOr<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> future = promise->get_future();
 
-  const bool coalesce = options_.enable_coalescing && !key.empty();
+  // A hedge never joins the in-flight table: its primary usually leads the
+  // entry for the same key, and a parked hedge would wait on the very
+  // execution it is racing (see docs/sharding.md).
+  const bool coalesce =
+      options_.enable_coalescing && !key.empty() && !request.hedge;
   if (coalesce) {
     InflightWaiter waiter{std::move(request), promise, admitted, Stopwatch(),
                           std::move(trace)};
@@ -544,6 +572,9 @@ QueryResult QueryService::RunMatch(const QueryRequest& request,
                                           : Status::DeadlineExceeded(why);
   };
   auto match_one = [&](const Graph& target) -> Status {
+    if (CancelRequested(request)) {
+      return Status::Cancelled("request cancelled between targets");
+    }
     if (DeadlinePassed(request, admitted)) {
       return Status::DeadlineExceeded("deadline expired between targets");
     }
@@ -624,6 +655,9 @@ Status QueryService::CountWithDeadline(const Graph& pattern,
   opts.max_embeddings = request.max_embeddings;
   if (request.deadline_ms <= 0) {
     opts.max_steps = 0;
+    if (CancelRequested(request)) {
+      return Status::Cancelled("request cancelled before matching");
+    }
     VQI_RETURN_IF_ERROR(slice_fault());
     SubgraphMatcher matcher(pattern, target, opts);
     *count = matcher.CountEmbeddings();
@@ -636,6 +670,11 @@ Status QueryService::CountWithDeadline(const Graph& pattern,
   // scratch at double the cap costs at most 2x the final successful run and
   // bounds how far past the deadline a worker can overshoot.
   for (uint64_t slice = kInitialStepSlice;; slice *= 2) {
+    // Max_steps poisoning: a cancelled request treats its remaining step
+    // budget as exhausted and abandons the count at this slice boundary.
+    if (CancelRequested(request)) {
+      return Status::Cancelled("request cancelled at slice boundary");
+    }
     VQI_RETURN_IF_ERROR(slice_fault());
     opts.max_steps = slice;
     SubgraphMatcher matcher(pattern, target, opts);

@@ -94,6 +94,17 @@ struct QueryServiceOptions {
   /// exempt: they are required for correctness, never load mitigation.
   double coalesce_retry_ratio = 0.5;
   double coalesce_retry_capacity = 8.0;
+  /// External metrics registry: when set, every instrument (service, pool,
+  /// cache, coalescing, faults) is registered here instead of the service's
+  /// own registry, so N shards can share one scrape. Must outlive the
+  /// service. Null = the service owns its registry (the default, and what
+  /// metrics() returns either way).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Labels applied to every instrument this service registers — e.g.
+  /// {{"shard", "2"}} under a sharded router, so same-named series from N
+  /// shards stay distinct in one registry. Instruments with their own label
+  /// dimension (shed priority, cache_shard, pool) append it to these.
+  obs::Labels metric_labels;
 };
 
 /// Concurrent serving layer over a GraphDatabase.
@@ -154,10 +165,12 @@ class QueryService {
   /// cold-starts the whole cache.
   void InvalidateCacheKey(GraphId graph_id);
 
-  /// The service's instrument registry (counters, gauges, histograms).
-  /// Exposition: obs::ToPrometheusText / obs::ToJson.
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The service's instrument registry (counters, gauges, histograms):
+  /// the external one when QueryServiceOptions::metrics was set, otherwise
+  /// the internally owned registry. Exposition: obs::ToPrometheusText /
+  /// obs::ToJson.
+  obs::MetricsRegistry& metrics() { return *registry_; }
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
 
   /// Ring buffer of recently completed request traces.
   const obs::TraceRecorder& traces() const { return traces_; }
@@ -233,6 +246,8 @@ class QueryService {
   // Declared before cache_/pool_: both register instruments here during
   // construction and hold references for their lifetime.
   obs::MetricsRegistry metrics_;
+  // The registry in use: options_.metrics when provided, else &metrics_.
+  obs::MetricsRegistry* registry_;
   obs::TraceRecorder traces_;
   SuggestionIndex suggestions_;
   ShardedLruCache<QueryResult> cache_;

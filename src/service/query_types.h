@@ -1,7 +1,9 @@
 #ifndef VQLIB_SERVICE_QUERY_TYPES_H_
 #define VQLIB_SERVICE_QUERY_TYPES_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -62,6 +64,17 @@ struct QueryRequest {
   /// with allow_partial also accepts a partial result fanned out by its
   /// leader (see docs/service.md).
   bool allow_partial = false;
+  /// Cooperative cancellation. When set and flipped to true, the matcher
+  /// abandons the request at the next VF2 slice boundary ("max_steps
+  /// poisoning": the remaining step budget is treated as exhausted) and the
+  /// request completes with kCancelled. Used by the sharded router to cancel
+  /// the loser of a hedged pair (see docs/sharding.md); nullptr means the
+  /// request is not cancellable.
+  std::shared_ptr<std::atomic<bool>> cancel;
+  /// True for a router-issued hedge of an in-flight request. A hedge bypasses
+  /// request coalescing — joining the in-flight table would park it behind
+  /// the very primary it is meant to race — but still probes the cache.
+  bool hedge = false;
 };
 
 /// Outcome of one request. `status` is OK, kDeadlineExceeded (budget ran out

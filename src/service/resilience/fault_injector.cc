@@ -145,6 +145,14 @@ uint64_t FaultInjector::InjectedTotal() const {
 }
 
 void FaultInjector::RegisterMetrics(obs::MetricsRegistry& registry) {
+  {
+    // A repeat call for the same registry would double-carry the accumulated
+    // counts below; shards sharing one injector register through here, so
+    // only the first call per registry does the work.
+    MutexLock lock(&register_mutex_);
+    if (registered_registry_ == &registry) return;
+    registered_registry_ = &registry;
+  }
   for (size_t i = 0; i < kNumFaultPoints; ++i) {
     PointState& state = states_[i];
     const std::string point = kPointNames[i];

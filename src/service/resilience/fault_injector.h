@@ -124,8 +124,11 @@ class FaultInjector {
   uint64_t InjectedTotal() const;
 
   /// Registers vqi_faults_injected_total{point=...,kind=...} counters and
-  /// mirrors every future injection into them. Call at most once per
-  /// registry; the registry must outlive the injector.
+  /// mirrors every future injection into them. Idempotent per registry: a
+  /// repeat call for the currently registered registry is a no-op, so N
+  /// service shards sharing one injector and one registry may each call it —
+  /// accumulated counts are carried over exactly once. The registry must
+  /// outlive the injector.
   void RegisterMetrics(obs::MetricsRegistry& registry);
 
   uint64_t seed() const { return seed_; }
@@ -162,6 +165,10 @@ class FaultInjector {
 
   uint64_t seed_;
   std::array<PointState, kNumFaultPoints> states_;
+  // RegisterMetrics idempotence (see its contract).
+  mutable Mutex register_mutex_;
+  obs::MetricsRegistry* registered_registry_ VQLIB_GUARDED_BY(register_mutex_) =
+      nullptr;
 };
 
 }  // namespace resilience

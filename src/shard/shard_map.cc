@@ -1,0 +1,43 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+
+namespace vqi {
+namespace shard {
+namespace {
+
+// splitmix64: a cheap, well-mixed 64-bit finalizer, so consecutive ids do not
+// all land on consecutive shards under kHashId.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* ShardPlacementName(ShardPlacement placement) {
+  return placement == ShardPlacement::kHashId ? "hash_id" : "round_robin";
+}
+
+ShardMap::ShardMap(const GraphDatabase& db, size_t num_shards,
+                   ShardPlacement placement)
+    : placement_(placement) {
+  num_shards = std::max<size_t>(1, num_shards);
+  members_.resize(num_shards);
+  size_t position = 0;
+  for (const Graph& graph : db.graphs()) {
+    size_t shard =
+        placement == ShardPlacement::kHashId
+            ? static_cast<size_t>(
+                  Mix64(static_cast<uint64_t>(graph.id())) % num_shards)
+            : position % num_shards;
+    owner_[graph.id()] = shard;
+    members_[shard].push_back(graph.id());
+    ++position;
+  }
+}
+
+}  // namespace shard
+}  // namespace vqi

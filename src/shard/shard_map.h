@@ -1,0 +1,73 @@
+#ifndef VQLIB_SHARD_SHARD_MAP_H_
+#define VQLIB_SHARD_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace vqi {
+namespace shard {
+
+/// How the graph collection is placed onto shards. Both modes are
+/// deterministic: the same database and shard count always produce the same
+/// map, which is what makes sharded results reproducible (EXPERIMENTS E18).
+enum class ShardPlacement {
+  /// Round-robin over the database's dense order: the i-th graph goes to
+  /// shard i % N. Balanced by graph count regardless of how ids were
+  /// assigned — the default.
+  kRoundRobin,
+  /// Owner derived from the graph id alone (a splitmix64 hash of the id,
+  /// mod N). Placement is stable under database reordering and across
+  /// databases sharing ids, at the cost of balance depending on the id
+  /// distribution.
+  kHashId,
+};
+
+/// "round_robin" or "hash_id".
+const char* ShardPlacementName(ShardPlacement placement);
+
+/// Immutable graph-id → shard assignment built once at router construction:
+/// the data-side split of the serving layer, in the spirit of the
+/// topology-driven graph partitioning the repo already applies within one
+/// large graph (src/graph/partition.*), lifted to the collection level.
+class ShardMap {
+ public:
+  /// Sentinel returned by OwnerOf for ids not in the collection.
+  static constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+  /// Builds the map over every graph in `db` (dense order). `num_shards` is
+  /// clamped to at least 1; shards may be empty when there are fewer graphs
+  /// than shards.
+  ShardMap(const GraphDatabase& db, size_t num_shards,
+           ShardPlacement placement = ShardPlacement::kRoundRobin);
+
+  size_t num_shards() const { return members_.size(); }
+  /// Graphs in the collection.
+  size_t size() const { return owner_.size(); }
+  ShardPlacement placement() const { return placement_; }
+
+  /// The shard owning `id`, or kNoShard when the id is not in the map.
+  size_t OwnerOf(GraphId id) const {
+    auto it = owner_.find(id);
+    return it == owner_.end() ? kNoShard : it->second;
+  }
+
+  /// Member graph ids of `shard`, in the source database's dense order.
+  const std::vector<GraphId>& Members(size_t shard) const {
+    return members_[shard];
+  }
+
+ private:
+  ShardPlacement placement_;
+  std::unordered_map<GraphId, size_t> owner_;
+  std::vector<std::vector<GraphId>> members_;
+};
+
+}  // namespace shard
+}  // namespace vqi
+
+#endif  // VQLIB_SHARD_SHARD_MAP_H_

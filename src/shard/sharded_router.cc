@@ -1,0 +1,563 @@
+#include "shard/sharded_router.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/mutex.h"
+#include "common/stopwatch.h"
+#include "common/thread_annotations.h"
+
+namespace vqi {
+namespace shard {
+
+/// Shared between the orchestrating caller and the pool tasks executing the
+/// legs of one scatter-gather. A leg is "resolved" when its winner (primary,
+/// hedge, or the orchestrator's timeout claim) has written `result`; losers
+/// observe `resolved` under the mutex and discard their response.
+struct ShardedRouter::GatherState {
+  struct Leg {
+    size_t shard = 0;
+    QueryRequest primary;  ///< kept for hedge construction
+    std::shared_ptr<std::atomic<bool>> primary_cancel;
+    std::shared_ptr<std::atomic<bool>> hedge_cancel;
+    QueryResult result;
+    bool resolved = false;
+    bool hedge_attempted = false;  ///< trigger reached (fired or denied)
+    bool hedge_fired = false;
+    bool hedge_won = false;
+    Stopwatch age;
+  };
+
+  Mutex mutex;
+  CondVar cv;
+  size_t unresolved VQLIB_GUARDED_BY(mutex) = 0;
+  std::vector<Leg> legs VQLIB_GUARDED_BY(mutex);
+};
+
+ShardedRouter::ShardedRouter(const GraphDatabase& db,
+                             ShardedRouterOptions options)
+    : options_(options),
+      map_(db, std::max<size_t>(1, options.num_shards), options.placement),
+      hedge_budget_(options.hedge_budget_ratio, options.hedge_budget_capacity),
+      pool_(ThreadPoolOptions{
+          options.router_threads > 0 ? options.router_threads
+                                     : 2 * map_.num_shards(),
+          options.router_queue, &metrics_, {{"pool", "router"}}}) {
+  const size_t n = map_.num_shards();
+  shard_dbs_.reserve(n);
+  shards_.reserve(n);
+  clients_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Each shard serves a private copy of its members. Graph ids are
+    // preserved (GraphDatabase::Add keeps non-negative ids), so shard
+    // results merge without any id translation.
+    auto shard_db = std::make_unique<GraphDatabase>();
+    for (GraphId id : map_.Members(i)) shard_db->Add(db.Get(id));
+    shard_dbs_.push_back(std::move(shard_db));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    QueryServiceOptions shard_options = options_.shard_options;
+    shard_options.metrics = &metrics_;
+    shard_options.metric_labels = {{"shard", std::to_string(i)}};
+    if (options_.chaos_injector != nullptr && options_.chaos_shard == i) {
+      shard_options.fault_injector = options_.chaos_injector;
+    }
+    shards_.push_back(
+        std::make_unique<QueryService>(*shard_dbs_[i], shard_options));
+    resilience::ServiceClientOptions client_options = options_.client_options;
+    client_options.metric_label = "shard-" + std::to_string(i);
+    clients_.push_back(std::make_unique<resilience::ServiceClient>(
+        *shards_[i], client_options));
+  }
+
+  requests_total_ = &metrics_.GetCounter("vqi_router_requests_total",
+                                         "Requests routed by the router.");
+  fanout_total_ = &metrics_.GetCounter(
+      "vqi_router_fanout_total",
+      "Requests scattered to more than one shard (kAllGraphs and "
+      "multi-shard target sets).");
+  hedges_fired_total_ = &metrics_.GetCounter(
+      "vqi_router_hedges_fired_total",
+      "Hedge legs dispatched after a shard exceeded its latency trigger.");
+  hedges_won_total_ = &metrics_.GetCounter(
+      "vqi_router_hedges_won_total",
+      "Legs resolved by the hedge instead of the primary.");
+  hedges_denied_total_ = &metrics_.GetCounter(
+      "vqi_router_hedges_denied_total",
+      "Hedges suppressed by the hedge budget or a full fan-out pool.");
+  partial_total_ = &metrics_.GetCounter(
+      "vqi_router_partial_total",
+      "Merged results returned truncated (failed, late, or partial legs).");
+  gather_timeout_total_ = &metrics_.GetCounter(
+      "vqi_router_gather_timeout_total",
+      "Legs abandoned because the shard missed the gather deadline.");
+  latency_ms_ = &metrics_.GetHistogram(
+      "vqi_router_latency_ms",
+      "End-to-end routed request latency (scatter, gather, merge).",
+      obs::Histogram::DefaultLatencyBoundsMs());
+  shard_requests_total_.reserve(n);
+  shard_errors_total_.reserve(n);
+  shard_latency_ms_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    obs::Labels labels{{"shard", std::to_string(i)}};
+    shard_requests_total_.push_back(&metrics_.GetCounter(
+        "vqi_router_shard_requests_total",
+        "Legs resolved by this shard (winner responses).", labels));
+    shard_errors_total_.push_back(&metrics_.GetCounter(
+        "vqi_router_shard_errors_total",
+        "Legs resolved with a non-OK status, including gather timeouts.",
+        labels));
+    shard_latency_ms_.push_back(&metrics_.GetHistogram(
+        "vqi_router_shard_latency_ms",
+        "Per-shard leg latency; drives the hedge trigger quantile.",
+        obs::Histogram::DefaultLatencyBoundsMs(), labels));
+  }
+  metrics_.GetGauge("vqi_router_shards", "Number of query-service shards.")
+      .Set(static_cast<double>(n));
+}
+
+ShardedRouter::~ShardedRouter() { Shutdown(); }
+
+void ShardedRouter::Shutdown() {
+  // Fan-out pool first: its tasks block on shard executions, so the shards
+  // must still be alive while it drains.
+  pool_.Shutdown();
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+void ShardedRouter::InvalidateCacheKey(GraphId graph_id) {
+  const size_t owner = map_.OwnerOf(graph_id);
+  if (owner == ShardMap::kNoShard) return;
+  // Per-shard collection epochs: only the owner's kAllGraphs / suggestion
+  // entries depend on this graph, so the other shards' caches stay warm.
+  shards_[owner]->InvalidateCacheKey(graph_id);
+}
+
+void ShardedRouter::InvalidateCache() {
+  for (auto& shard : shards_) shard->InvalidateCache();
+}
+
+size_t ShardedRouter::QueueDepth() const {
+  size_t depth = pool_.QueueDepth();
+  for (const auto& shard : shards_) depth += shard->QueueDepth();
+  return depth;
+}
+
+size_t ShardedRouter::queue_capacity() const {
+  size_t capacity = pool_.queue_capacity();
+  for (const auto& shard : shards_) capacity += shard->queue_capacity();
+  return capacity;
+}
+
+size_t ShardedRouter::num_threads() const {
+  size_t threads = pool_.num_threads();
+  for (const auto& shard : shards_) threads += shard->num_threads();
+  return threads;
+}
+
+double ShardedRouter::HedgeTriggerMs(size_t shard) const {
+  double trigger = options_.hedge_ms;
+  obs::HistogramSnapshot history = shard_latency_ms_[shard]->Snapshot();
+  // The quantile only raises the floor once there is enough history for it
+  // to mean something; a cold shard hedges at the configured floor.
+  if (history.count >= 16) {
+    trigger = std::max(trigger, history.Quantile(options_.hedge_quantile));
+  }
+  return trigger;
+}
+
+Status ShardedRouter::BuildSubRequests(
+    const QueryRequest& request,
+    std::vector<std::pair<size_t, QueryRequest>>* subs) {
+  auto broadcast = [&]() {
+    for (size_t i = 0; i < map_.num_shards(); ++i) {
+      QueryRequest sub = request;
+      sub.target = kAllGraphs;
+      sub.targets.clear();
+      subs->emplace_back(i, std::move(sub));
+    }
+  };
+  if (request.kind == QueryKind::kSuggest) {
+    // Suggestions are collection-scoped; every shard ranks its slice and the
+    // merge re-ranks by summed support (see docs/sharding.md for the top_k
+    // approximation this implies).
+    broadcast();
+    return Status::OK();
+  }
+  if (!request.targets.empty()) {
+    // Mirror service admission: sorted + deduplicated, so equal sets shard
+    // identically and each shard receives a canonical subset.
+    std::vector<GraphId> targets = request.targets;
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    std::vector<std::vector<GraphId>> grouped(map_.num_shards());
+    for (GraphId id : targets) {
+      const size_t owner = map_.OwnerOf(id);
+      if (owner == ShardMap::kNoShard) {
+        return Status::NotFound("unknown target graph id " +
+                                std::to_string(id));
+      }
+      grouped[owner].push_back(id);
+    }
+    for (size_t i = 0; i < grouped.size(); ++i) {
+      if (grouped[i].empty()) continue;
+      QueryRequest sub = request;
+      sub.target = kAllGraphs;
+      sub.targets = std::move(grouped[i]);
+      subs->emplace_back(i, std::move(sub));
+    }
+    return Status::OK();
+  }
+  if (request.target == kAllGraphs) {
+    broadcast();
+    return Status::OK();
+  }
+  const size_t owner = map_.OwnerOf(request.target);
+  if (owner == ShardMap::kNoShard) {
+    return Status::NotFound("unknown target graph id " +
+                            std::to_string(request.target));
+  }
+  subs->emplace_back(owner, request);
+  return Status::OK();
+}
+
+QueryResult ShardedRouter::Merge(const QueryRequest& request,
+                                 std::vector<QueryResult> legs,
+                                 const std::vector<size_t>& leg_shards) {
+  QueryResult merged;
+  bool any_ok = false;
+  bool all_cached = true;
+  Status severe;
+  auto severity = [](StatusCode code) {
+    switch (code) {
+      case StatusCode::kInternal:
+        return 5;
+      case StatusCode::kUnavailable:
+        return 4;
+      case StatusCode::kCancelled:
+        return 3;
+      case StatusCode::kDeadlineExceeded:
+        return 2;
+      default:
+        return 1;
+    }
+  };
+  for (size_t i = 0; i < legs.size(); ++i) {
+    QueryResult& leg = legs[i];
+    // Deadline-exceeded legs still carry a valid partial lower bound (the
+    // service's subset guarantee), so their counts merge like OK partials.
+    const bool usable = leg.status.ok() ||
+                        leg.status.code() == StatusCode::kDeadlineExceeded;
+    if (usable) {
+      merged.embedding_count += leg.embedding_count;
+      merged.matched_graphs.insert(merged.matched_graphs.end(),
+                                   leg.matched_graphs.begin(),
+                                   leg.matched_graphs.end());
+      merged.suggestions.insert(merged.suggestions.end(),
+                                leg.suggestions.begin(),
+                                leg.suggestions.end());
+      merged.truncated = merged.truncated || leg.truncated;
+      merged.match_steps += leg.match_steps;
+      merged.match_slices += leg.match_slices;
+      merged.coalesced = merged.coalesced || leg.coalesced;
+    }
+    if (leg.status.ok()) {
+      any_ok = true;
+      all_cached = all_cached && leg.from_cache;
+    } else {
+      // A failed or missed leg means the merged answer is missing that
+      // shard's slice of the collection.
+      merged.truncated = true;
+      if (severe.ok() ||
+          severity(leg.status.code()) > severity(severe.code())) {
+        severe = Status(leg.status.code(),
+                        "shard " + std::to_string(leg_shards[i]) + ": " +
+                            leg.status.message());
+      }
+    }
+  }
+  if (!severe.ok()) {
+    // Graceful degradation, extended across shards: when the request opted
+    // into partials and at least one shard answered, the healthy shards'
+    // subset is returned OK + truncated. With nothing at all (or a strict
+    // request) the most severe shard failure propagates, partial counts
+    // attached.
+    const bool degrade = request.allow_partial && any_ok;
+    if (!degrade) merged.status = severe;
+  }
+  merged.from_cache = severe.ok() && !legs.empty() && all_cached;
+  // Deterministic merge order regardless of which shard answered first.
+  std::sort(merged.matched_graphs.begin(), merged.matched_graphs.end());
+  merged.matched_graphs.erase(
+      std::unique(merged.matched_graphs.begin(), merged.matched_graphs.end()),
+      merged.matched_graphs.end());
+  if (request.kind == QueryKind::kSuggest && !merged.suggestions.empty()) {
+    // Shards partition the collection, so summing per-shard supports yields
+    // the exact global support of every suggestion that survived a shard's
+    // local top_k cut; the re-rank below restores a deterministic order.
+    std::map<std::tuple<Label, Label, Label>, size_t> support;
+    for (const EdgeSuggestion& s : merged.suggestions) {
+      support[{s.from_label, s.edge_label, s.to_label}] += s.support;
+    }
+    std::vector<EdgeSuggestion> ranked;
+    ranked.reserve(support.size());
+    for (const auto& [labels, sum] : support) {
+      ranked.push_back(EdgeSuggestion{std::get<0>(labels),
+                                      std::get<1>(labels),
+                                      std::get<2>(labels), sum});
+    }
+    // Ties keep the map's (from, edge, to) ascending order.
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const EdgeSuggestion& a, const EdgeSuggestion& b) {
+                       return a.support > b.support;
+                     });
+    if (ranked.size() > request.top_k) ranked.resize(request.top_k);
+    merged.suggestions = std::move(ranked);
+  }
+  return merged;
+}
+
+QueryResult ShardedRouter::Execute(QueryRequest request) {
+  Stopwatch started;
+  requests_total_->Increment();
+  auto reject = [&](Status status) {
+    QueryResult result;
+    result.status = std::move(status);
+    result.latency_ms = started.ElapsedMillis();
+    latency_ms_->Observe(result.latency_ms);
+    return result;
+  };
+  // Light admission mirror so obvious rejections never fan out.
+  if (request.pattern.Empty()) {
+    return reject(Status::InvalidArgument("query pattern is empty"));
+  }
+  if (request.kind == QueryKind::kSuggest &&
+      request.focus >= request.pattern.NumVertices()) {
+    return reject(Status::InvalidArgument("focus vertex out of range"));
+  }
+  std::vector<std::pair<size_t, QueryRequest>> subs;
+  if (Status routed = BuildSubRequests(request, &subs); !routed.ok()) {
+    return reject(std::move(routed));
+  }
+  if (subs.size() > 1) fanout_total_->Increment();
+  const bool hedging = options_.hedge_ms > 0;
+
+  auto finish = [&](QueryResult merged) {
+    merged.latency_ms = started.ElapsedMillis();
+    latency_ms_->Observe(merged.latency_ms);
+    if (merged.truncated) partial_total_->Increment();
+    return merged;
+  };
+
+  // Single-shard, no hedging: execute on the caller's thread, skipping the
+  // fan-out pool hop entirely (the common explicit-target fast path).
+  if (subs.size() == 1 && !hedging) {
+    const size_t target_shard = subs[0].first;
+    Stopwatch leg_clock;
+    QueryResult leg = clients_[target_shard]->Execute(std::move(subs[0].second));
+    shard_requests_total_[target_shard]->Increment();
+    if (!leg.status.ok()) shard_errors_total_[target_shard]->Increment();
+    shard_latency_ms_[target_shard]->Observe(leg_clock.ElapsedMillis());
+    std::vector<QueryResult> legs;
+    legs.push_back(std::move(leg));
+    return finish(Merge(request, std::move(legs), {target_shard}));
+  }
+
+  auto state = std::make_shared<GatherState>();
+
+  // Executes one leg attempt (primary or hedge) on a pool thread. The first
+  // attempt to finish wins the leg and poisons the loser's cancel token; a
+  // loser finds the leg resolved and discards its response.
+  auto run_leg = [this, state](size_t index, size_t leg_shard,
+                               QueryRequest sub, bool is_hedge) {
+    QueryResult response = clients_[leg_shard]->Execute(std::move(sub));
+    bool winner = false;
+    bool error = false;
+    double leg_ms = 0;
+    {
+      MutexLock lock(&state->mutex);
+      GatherState::Leg& leg = state->legs[index];
+      if (!leg.resolved) {
+        leg.resolved = true;
+        leg.hedge_won = is_hedge;
+        error = !response.status.ok();
+        leg.result = std::move(response);
+        leg_ms = leg.age.ElapsedMillis();
+        if (is_hedge) {
+          if (leg.primary_cancel != nullptr) leg.primary_cancel->store(true);
+        } else if (leg.hedge_cancel != nullptr) {
+          leg.hedge_cancel->store(true);
+        }
+        --state->unresolved;
+        winner = true;
+        state->cv.NotifyAll();
+      }
+    }
+    if (winner) {
+      shard_requests_total_[leg_shard]->Increment();
+      if (error) shard_errors_total_[leg_shard]->Increment();
+      shard_latency_ms_[leg_shard]->Observe(leg_ms);
+      if (is_hedge) hedges_won_total_->Increment();
+    }
+  };
+  auto submit_leg = [this, &run_leg](size_t index, size_t leg_shard,
+                                     QueryRequest sub,
+                                     bool is_hedge) -> Status {
+    return pool_.Submit([run_leg, index, leg_shard, sub = std::move(sub),
+                         is_hedge]() mutable {
+      run_leg(index, leg_shard, std::move(sub), is_hedge);
+    });
+  };
+
+  // Scatter-gather with an inline hedging clock. The shards enforce the
+  // request deadline themselves (returning partials where allowed); the
+  // gather deadline adds slack on top so late shard partials still merge,
+  // and only a shard stuck well past its budget is abandoned.
+  const double gather_deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms + options_.gather_slack_ms
+                              : 0;
+  std::vector<QueryResult> results;
+  std::vector<size_t> leg_shards;
+  {
+    MutexLock lock(&state->mutex);
+    state->legs.reserve(subs.size());
+    for (auto& [sub_shard, sub] : subs) {
+      GatherState::Leg leg;
+      leg.shard = sub_shard;
+      sub.cancel = std::make_shared<std::atomic<bool>>(false);
+      leg.primary_cancel = sub.cancel;
+      leg.primary = std::move(sub);
+      state->legs.push_back(std::move(leg));
+    }
+    state->unresolved = state->legs.size();
+    for (size_t i = 0; i < state->legs.size(); ++i) {
+      GatherState::Leg& leg = state->legs[i];
+      // Every primary leg deposits into the hedge budget; each fired hedge
+      // withdraws one full token, bounding hedges to ~ratio of leg traffic.
+      hedge_budget_.OnRequest();
+      Status submitted = submit_leg(i, leg.shard, leg.primary, false);
+      if (!submitted.ok()) {
+        // Fan-out pool saturated: the leg resolves immediately as
+        // unavailable and the merge degrades per the partial contract.
+        leg.resolved = true;
+        leg.result.status = submitted;
+        --state->unresolved;
+        shard_errors_total_[leg.shard]->Increment();
+      }
+    }
+    while (state->unresolved > 0) {
+      double wait_ms = -1;
+      if (hedging) {
+        for (size_t i = 0; i < state->legs.size(); ++i) {
+          GatherState::Leg& leg = state->legs[i];
+          if (leg.resolved || leg.hedge_attempted) continue;
+          const double trigger = HedgeTriggerMs(leg.shard);
+          const double age = leg.age.ElapsedMillis();
+          if (age < trigger) {
+            const double until = trigger - age;
+            wait_ms = wait_ms < 0 ? until : std::min(wait_ms, until);
+            continue;
+          }
+          leg.hedge_attempted = true;
+          if (!hedge_budget_.TryConsumeRetry()) {
+            hedges_denied_total_->Increment();
+            continue;
+          }
+          QueryRequest hedge = leg.primary;
+          hedge.hedge = true;
+          hedge.cancel = std::make_shared<std::atomic<bool>>(false);
+          leg.hedge_cancel = hedge.cancel;
+          Status submitted =
+              submit_leg(i, leg.shard, std::move(hedge), true);
+          if (!submitted.ok()) {
+            leg.hedge_cancel = nullptr;
+            hedges_denied_total_->Increment();
+            continue;
+          }
+          leg.hedge_fired = true;
+          hedges_fired_total_->Increment();
+        }
+      }
+      if (gather_deadline_ms > 0) {
+        const double remaining = gather_deadline_ms - started.ElapsedMillis();
+        if (remaining <= 0) break;
+        wait_ms = wait_ms < 0 ? remaining : std::min(wait_ms, remaining);
+      }
+      if (wait_ms < 0) {
+        state->cv.Wait(state->mutex);
+      } else {
+        (void)state->cv.WaitFor(state->mutex, std::max(wait_ms, 0.05));
+      }
+    }
+    // Gather deadline expired: claim every still-outstanding leg as timed
+    // out and poison its attempts so they stop burning shard budget.
+    for (GatherState::Leg& leg : state->legs) {
+      if (leg.resolved) continue;
+      leg.resolved = true;
+      leg.result = QueryResult{};
+      leg.result.status =
+          Status::DeadlineExceeded("shard missed the gather deadline");
+      if (leg.primary_cancel != nullptr) leg.primary_cancel->store(true);
+      if (leg.hedge_cancel != nullptr) leg.hedge_cancel->store(true);
+      --state->unresolved;
+      gather_timeout_total_->Increment();
+      shard_errors_total_[leg.shard]->Increment();
+    }
+    results.reserve(state->legs.size());
+    leg_shards.reserve(state->legs.size());
+    for (GatherState::Leg& leg : state->legs) {
+      results.push_back(std::move(leg.result));
+      leg_shards.push_back(leg.shard);
+    }
+  }
+  return finish(Merge(request, std::move(results), leg_shards));
+}
+
+RouterStats ShardedRouter::Snapshot() const {
+  RouterStats stats;
+  stats.requests = requests_total_->Value();
+  stats.fanouts = fanout_total_->Value();
+  stats.hedges_fired = hedges_fired_total_->Value();
+  stats.hedges_won = hedges_won_total_->Value();
+  stats.hedges_denied = hedges_denied_total_->Value();
+  stats.partials = partial_total_->Value();
+  stats.gather_timeouts = gather_timeout_total_->Value();
+  stats.shards.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    stats.shards[i].requests = shard_requests_total_[i]->Value();
+    stats.shards[i].errors = shard_errors_total_[i]->Value();
+  }
+  obs::HistogramSnapshot latency = latency_ms_->Snapshot();
+  stats.p50_latency_ms = latency.Quantile(0.50);
+  stats.p99_latency_ms = latency.Quantile(0.99);
+  return stats;
+}
+
+ServiceStats ShardedRouter::AggregateSnapshot() const {
+  ServiceStats total;
+  for (const auto& shard : shards_) {
+    ServiceStats s = shard->Snapshot();
+    total.admitted += s.admitted;
+    total.completed += s.completed;
+    total.rejected += s.rejected;
+    total.shed += s.shed;
+    total.deadline_exceeded += s.deadline_exceeded;
+    total.truncated += s.truncated;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_evictions += s.cache_evictions;
+    total.backend_executions += s.backend_executions;
+    total.coalesce_leaders += s.coalesce_leaders;
+    total.coalesce_waiters += s.coalesce_waiters;
+    total.coalesce_fanout += s.coalesce_fanout;
+    total.coalesce_detached += s.coalesce_detached;
+  }
+  obs::HistogramSnapshot latency = latency_ms_->Snapshot();
+  total.p50_latency_ms = latency.Quantile(0.50);
+  total.p99_latency_ms = latency.Quantile(0.99);
+  return total;
+}
+
+}  // namespace shard
+}  // namespace vqi

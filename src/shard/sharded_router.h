@@ -1,0 +1,202 @@
+#ifndef VQLIB_SHARD_SHARDED_ROUTER_H_
+#define VQLIB_SHARD_SHARDED_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "service/query_types.h"
+#include "service/resilience/fault_injector.h"
+#include "service/resilience/retry.h"
+#include "service/resilience/service_client.h"
+#include "service/thread_pool.h"
+#include "shard/shard_map.h"
+
+namespace vqi {
+namespace shard {
+
+/// Sizing and policy knobs for a ShardedRouter.
+struct ShardedRouterOptions {
+  /// Number of QueryService shards; clamped to at least 1.
+  size_t num_shards = 2;
+  ShardPlacement placement = ShardPlacement::kRoundRobin;
+  /// Template for every shard's QueryService. The router overwrites
+  /// `metrics` (all shards share the router's registry) and `metric_labels`
+  /// ({shard="<i>"}); everything else applies per shard — so e.g.
+  /// cache_capacity is PER SHARD, not a collection-wide budget.
+  QueryServiceOptions shard_options;
+  /// Template for every shard's resilience::ServiceClient (retry policy,
+  /// budget, breaker). The router overwrites `metric_label` with
+  /// "shard-<i>", giving each shard an independent circuit breaker and
+  /// retry budget.
+  resilience::ServiceClientOptions client_options;
+  /// Hedged requests: when a leg has been outstanding longer than
+  /// max(hedge_ms, per-shard latency quantile), a budgeted duplicate fires
+  /// against the same shard and the first response wins (the loser is
+  /// cancelled via max_steps poisoning — see docs/sharding.md). <= 0
+  /// disables hedging.
+  double hedge_ms = 0;
+  /// Latency quantile of the per-shard history that can raise the trigger
+  /// above the hedge_ms floor (only once >= 16 observations exist).
+  double hedge_quantile = 0.95;
+  /// Token-bucket hedge budget: each leg deposits `ratio` tokens, each hedge
+  /// withdraws one — bounding hedges to ~ratio of traffic, so hedging can
+  /// never double the load of an already-slow fleet.
+  double hedge_budget_ratio = 0.1;
+  double hedge_budget_capacity = 5.0;
+  /// Grace past the request deadline before scatter-gather stops waiting for
+  /// a shard and merges without it (the shard enforces the deadline itself;
+  /// the slack covers queueing and fan-out overhead).
+  double gather_slack_ms = 25.0;
+  /// Fan-out pool: legs execute on these threads (each leg blocks one thread
+  /// for the duration of its shard call). 0 = 2 * num_shards.
+  size_t router_threads = 0;
+  size_t router_queue = 1024;
+  /// Chaos targeted at ONE shard (the one-slow-shard / one-dark-shard
+  /// scenarios of EXPERIMENTS E18): when set, this injector is wired into
+  /// shard `chaos_shard` only. For fleet-wide chaos set
+  /// shard_options.fault_injector instead (all shards share that injector;
+  /// its metric registration is idempotent). Must outlive the router.
+  resilience::FaultInjector* chaos_injector = nullptr;
+  size_t chaos_shard = 0;
+};
+
+/// Per-shard outcome tallies (winner results of routed legs).
+struct RouterShardStats {
+  uint64_t requests = 0;  ///< legs resolved by this shard
+  uint64_t errors = 0;    ///< legs resolved with a non-OK status
+};
+
+/// Point-in-time counters of a ShardedRouter.
+struct RouterStats {
+  uint64_t requests = 0;         ///< Execute() calls
+  uint64_t fanouts = 0;          ///< requests scattered to > 1 shard
+  uint64_t hedges_fired = 0;     ///< hedge legs actually dispatched
+  uint64_t hedges_won = 0;       ///< legs resolved by the hedge, not primary
+  uint64_t hedges_denied = 0;    ///< hedges suppressed by budget / full pool
+  uint64_t partials = 0;         ///< merged results returned truncated
+  uint64_t gather_timeouts = 0;  ///< legs abandoned at the gather deadline
+  std::vector<RouterShardStats> shards;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+};
+
+/// Scatter-gather router over N independent QueryService shards — the
+/// "millions of users" step: throughput scales with shards instead of one
+/// mutex domain, and every shard owns the cache epochs of its member graphs.
+///
+/// Construction partitions the graph collection deterministically (ShardMap)
+/// into N per-shard databases; each shard gets its own QueryService (thread
+/// pool, result cache, coalescing) labeled {shard="<i>"} in the shared
+/// registry, behind its own resilience::ServiceClient (independent circuit
+/// breaker and retry budget), so a dark shard degrades only its slice of the
+/// collection.
+///
+/// Routing: explicit-target requests go to their owning shard(s); kAllGraphs
+/// matches and suggestions fan out to every shard. Per-shard results merge
+/// under the request deadline; failed or missed legs degrade to a partial
+/// (truncated) result per the service's graceful-degradation contract when
+/// the request allows it. Hedged requests cut tail latency: a leg
+/// outstanding past its trigger fires one budgeted duplicate at the same
+/// shard, first response wins, and the loser is cancelled via max_steps
+/// poisoning. See docs/sharding.md for the full state machine.
+///
+/// Thread-safe. The source database is only read during construction (each
+/// shard serves its own copy), so it does not need to outlive the router.
+class ShardedRouter {
+ public:
+  ShardedRouter(const GraphDatabase& db, ShardedRouterOptions options = {});
+  ~ShardedRouter();
+
+  ShardedRouter(const ShardedRouter&) = delete;
+  ShardedRouter& operator=(const ShardedRouter&) = delete;
+
+  /// Routes, scatters, gathers, and merges. Blocking; call from any thread.
+  QueryResult Execute(QueryRequest request);
+
+  /// Routes the per-graph invalidation to the owning shard only: the other
+  /// shards' whole-collection (kAllGraphs) cache entries survive, closing
+  /// the single-service limitation where any graph update evicted every
+  /// collection-scoped entry. Unknown ids are a no-op.
+  void InvalidateCacheKey(GraphId graph_id);
+  /// Full epoch bump on every shard.
+  void InvalidateCache();
+
+  RouterStats Snapshot() const;
+  /// Shard ServiceStats summed across shards (latency percentiles are the
+  /// router's own, end-to-end).
+  ServiceStats AggregateSnapshot() const;
+
+  /// Registry shared by the router and every shard (exposition: /metrics).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  const ShardMap& shard_map() const { return map_; }
+  size_t num_shards() const { return shards_.size(); }
+  QueryService& shard(size_t i) { return *shards_[i]; }
+  resilience::ServiceClient& client(size_t i) { return *clients_[i]; }
+
+  // Aggregate saturation signals for /healthz (sums across shards).
+  size_t QueueDepth() const;
+  size_t queue_capacity() const;
+  size_t num_threads() const;
+
+  /// Graceful shutdown: the fan-out pool drains, then every shard shuts
+  /// down. Requests admitted before the call complete.
+  void Shutdown();
+
+ private:
+  struct GatherState;
+
+  /// Expands `request` into per-shard legs. NotFound when an explicit target
+  /// is not in the shard map.
+  Status BuildSubRequests(const QueryRequest& request,
+                          std::vector<std::pair<size_t, QueryRequest>>* subs);
+  /// Merges resolved leg results per docs/sharding.md (deterministic order:
+  /// matched_graphs ascending, suggestions by summed support).
+  QueryResult Merge(const QueryRequest& request,
+                    std::vector<QueryResult> legs,
+                    const std::vector<size_t>& leg_shards);
+  /// Hedge trigger for `shard`: max of the hedge_ms floor and the shard's
+  /// observed latency quantile.
+  double HedgeTriggerMs(size_t shard) const;
+
+  ShardedRouterOptions options_;
+  // Declared first: every shard, client, and pool registers instruments here.
+  obs::MetricsRegistry metrics_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<GraphDatabase>> shard_dbs_;
+  std::vector<std::unique_ptr<QueryService>> shards_;
+  std::vector<std::unique_ptr<resilience::ServiceClient>> clients_;
+  resilience::RetryBudget hedge_budget_;
+
+  // Instrument handles resolved once in the constructor.
+  obs::Counter* requests_total_;
+  obs::Counter* fanout_total_;
+  obs::Counter* hedges_fired_total_;
+  obs::Counter* hedges_won_total_;
+  obs::Counter* hedges_denied_total_;
+  obs::Counter* partial_total_;
+  obs::Counter* gather_timeout_total_;
+  obs::Histogram* latency_ms_;
+  std::vector<obs::Counter*> shard_requests_total_;
+  std::vector<obs::Counter*> shard_errors_total_;
+  std::vector<obs::Histogram*> shard_latency_ms_;
+
+  // Declared last so it is destroyed (and drained) first: in-flight leg
+  // tasks reference the shards and clients above.
+  ThreadPool pool_;
+};
+
+}  // namespace shard
+}  // namespace vqi
+
+#endif  // VQLIB_SHARD_SHARDED_ROUTER_H_

@@ -16,6 +16,7 @@
 #include "service/lru_cache.h"
 #include "service/query_service.h"
 #include "service/thread_pool.h"
+#include "shard/sharded_router.h"
 #include "vqi/builder.h"
 #include "vqi/maintainer.h"
 
@@ -506,6 +507,43 @@ TEST(QueryServiceTest, InvalidateCacheKeyEvictsOnlyTargetSetsContainingGraph) {
   EXPECT_TRUE(service.Execute(collection_request({0, 1})).from_cache);
 }
 
+// Sharded counterpart of the selective-eviction tests above: each shard owns
+// the cache epochs of its member graphs, so invalidating one graph evicts
+// only the owner shard's whole-collection entry — the other shard keeps
+// serving its (unchanged) slice from cache. A single service would have had
+// to recompute the entire collection.
+TEST(QueryServiceTest, ShardedInvalidationIsScopedToTheOwnerShard) {
+  GraphDatabase db = MakeDatabase();  // 3 graphs -> round-robin 2/1
+  shard::ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.shard_options = QueryServiceOptions{2, 32, 64, 4, {}};
+  shard::ShardedRouter router(db, options);
+
+  QueryRequest all_graphs;
+  all_graphs.pattern = EdgePattern();
+  ASSERT_TRUE(router.Execute(all_graphs).status.ok());
+  // Both shards' legs now serve from cache, so the merge is from_cache.
+  ASSERT_TRUE(router.Execute(all_graphs).from_cache);
+
+  // Graph 1 lives on shard 1 under round-robin placement.
+  ASSERT_EQ(router.shard_map().OwnerOf(1), 1u);
+  router.InvalidateCacheKey(1);
+
+  // The merged result recomputes (shard 1's leg missed)...
+  EXPECT_FALSE(router.Execute(all_graphs).from_cache);
+  EXPECT_TRUE(router.Execute(all_graphs).from_cache);
+  // ...but shard 0 never saw an invalidation and kept its entry: it served
+  // every one of the three fan-outs after the first from cache. (A computed
+  // request counts two misses — the double-checked probe at admission and in
+  // the worker both miss.)
+  router.Shutdown();
+  EXPECT_EQ(router.shard(0).Snapshot().cache_hits, 3u);
+  EXPECT_EQ(router.shard(0).Snapshot().cache_misses, 2u);
+  // Shard 1 recomputed once after the eviction.
+  EXPECT_EQ(router.shard(1).Snapshot().cache_misses, 4u);
+  EXPECT_EQ(router.shard(1).Snapshot().cache_hits, 2u);
+}
+
 TEST(QueryServiceTest, MaintainerBatchListenerInvalidatesCache) {
   GraphDatabase db = gen::MoleculeDatabase(50, gen::MoleculeConfig{}, 45);
   CatapultConfig config;
@@ -593,7 +631,7 @@ TEST(QueryServiceTest, MetricsAndTracesCoverRequestLifecycle) {
   // The exposition contains the service's key series.
   std::string text = obs::ToPrometheusText(metrics);
   EXPECT_NE(text.find("vqi_pool_queue_wait_ms_bucket"), std::string::npos);
-  EXPECT_NE(text.find("vqi_cache_hits_total{shard="), std::string::npos);
+  EXPECT_NE(text.find("vqi_cache_hits_total{cache_shard="), std::string::npos);
   EXPECT_NE(text.find("vqi_request_latency_ms_count 2"), std::string::npos);
 }
 

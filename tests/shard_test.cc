@@ -1,0 +1,377 @@
+// Tests for the sharded serving layer: deterministic shard maps, routing
+// correctness against a single-service ground truth, scatter-gather merge
+// under deadlines, blast-radius containment when one shard goes dark, and
+// hedged requests. Every test fixes seeds (database generation and fault
+// injection), so the suite is deterministic and safe under TSan/ASan.
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "service/query_service.h"
+#include "service/resilience/circuit_breaker.h"
+#include "service/resilience/fault_injector.h"
+#include "service/resilience/service_client.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_router.h"
+
+namespace vqi {
+namespace {
+
+using resilience::BreakerState;
+using resilience::FaultDecision;
+using resilience::FaultInjector;
+using resilience::FaultPlan;
+using resilience::FaultPoint;
+using shard::ShardedRouter;
+using shard::ShardedRouterOptions;
+using shard::ShardMap;
+using shard::ShardPlacement;
+
+GraphDatabase MakeMolecules(size_t count) {
+  return gen::MoleculeDatabase(count, gen::MoleculeConfig{}, /*seed=*/7);
+}
+
+Graph SingleVertexPattern(Label label) {
+  Graph pattern;
+  pattern.AddVertex(label);
+  return pattern;
+}
+
+Graph EdgePattern(Label from, Label to) {
+  Graph pattern;
+  pattern.AddVertex(from);
+  pattern.AddVertex(to);
+  pattern.AddEdge(0, 1);
+  return pattern;
+}
+
+QueryRequest MatchAll(const Graph& pattern) {
+  QueryRequest request;
+  request.pattern = pattern;
+  request.max_embeddings = 100000;
+  return request;
+}
+
+// Suggestions compared as a support map, not a ranked list: the single
+// service and the merge may order equal-support ties differently.
+std::map<std::tuple<Label, Label, Label>, size_t> SupportMap(
+    const std::vector<EdgeSuggestion>& suggestions) {
+  std::map<std::tuple<Label, Label, Label>, size_t> support;
+  for (const EdgeSuggestion& s : suggestions) {
+    support[{s.from_label, s.edge_label, s.to_label}] += s.support;
+  }
+  return support;
+}
+
+// ---------------------------------------------------------------------------
+// ShardMap
+
+TEST(ShardMapTest, RoundRobinCoversEveryGraphDeterministically) {
+  GraphDatabase db = MakeMolecules(23);
+  ShardMap map(db, 4, ShardPlacement::kRoundRobin);
+  ShardMap again(db, 4, ShardPlacement::kRoundRobin);
+  EXPECT_EQ(map.num_shards(), 4u);
+  EXPECT_EQ(map.size(), db.size());
+  size_t members = 0;
+  for (size_t i = 0; i < map.num_shards(); ++i) {
+    for (GraphId id : map.Members(i)) {
+      EXPECT_EQ(map.OwnerOf(id), i);
+      EXPECT_EQ(again.OwnerOf(id), i);
+      ++members;
+    }
+    // Round-robin balances by count: shard sizes differ by at most one.
+    EXPECT_LE(map.Members(i).size(), (db.size() + 3) / 4);
+  }
+  EXPECT_EQ(members, db.size());
+  EXPECT_EQ(map.OwnerOf(999999), ShardMap::kNoShard);
+}
+
+TEST(ShardMapTest, HashPlacementDependsOnlyOnTheGraphId) {
+  GraphDatabase db = MakeMolecules(23);
+  ShardMap map(db, 3, ShardPlacement::kHashId);
+  // Rebuild a database holding the same ids; owners must not change even
+  // though this database has fewer graphs in a different dense order.
+  GraphDatabase partial;
+  for (GraphId id : {GraphId{20}, GraphId{3}, GraphId{11}}) {
+    partial.Add(db.Get(id));
+  }
+  ShardMap remap(partial, 3, ShardPlacement::kHashId);
+  for (GraphId id : {GraphId{20}, GraphId{3}, GraphId{11}}) {
+    EXPECT_EQ(map.OwnerOf(id), remap.OwnerOf(id)) << "graph " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing correctness vs a single-service ground truth
+
+TEST(ShardedRouterTest, AllGraphsMatchIsIdenticalToSingleService) {
+  GraphDatabase db = MakeMolecules(24);
+  QueryService reference(db, QueryServiceOptions{});
+  for (size_t shards : {2u, 3u, 5u}) {
+    ShardedRouterOptions options;
+    options.num_shards = shards;
+    ShardedRouter router(db, options);
+    for (const Graph& pattern :
+         {SingleVertexPattern(0), SingleVertexPattern(1), EdgePattern(0, 1),
+          EdgePattern(1, 1)}) {
+      QueryResult expected = reference.Execute(MatchAll(pattern));
+      QueryResult merged = router.Execute(MatchAll(pattern));
+      ASSERT_TRUE(merged.status.ok()) << merged.status.ToString();
+      EXPECT_EQ(merged.embedding_count, expected.embedding_count);
+      // Sequential ids in dense order: the reference's matched list is
+      // already ascending, so the sorted merge must be byte-identical.
+      EXPECT_EQ(merged.matched_graphs, expected.matched_graphs);
+      EXPECT_FALSE(merged.truncated);
+    }
+  }
+}
+
+TEST(ShardedRouterTest, ExplicitTargetsReachOnlyOwningShards) {
+  GraphDatabase db = MakeMolecules(24);
+  QueryService reference(db, QueryServiceOptions{});
+  ShardedRouterOptions options;
+  options.num_shards = 3;
+  ShardedRouter router(db, options);
+  const Graph pattern = SingleVertexPattern(0);
+
+  // Single explicit target: resolved by exactly one shard, the owner.
+  QueryRequest one = MatchAll(pattern);
+  one.target = 4;
+  QueryResult expected = reference.Execute(one);
+  QueryResult routed = router.Execute(one);
+  ASSERT_TRUE(routed.status.ok());
+  EXPECT_EQ(routed.embedding_count, expected.embedding_count);
+  EXPECT_EQ(routed.matched_graphs, expected.matched_graphs);
+  router.Shutdown();  // drain leg bookkeeping so tallies are exact
+  shard::RouterStats stats = router.Snapshot();
+  const size_t owner = router.shard_map().OwnerOf(4);
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    EXPECT_EQ(stats.shards[i].requests, i == owner ? 1u : 0u) << "shard " << i;
+  }
+  EXPECT_EQ(stats.fanouts, 0u);
+}
+
+TEST(ShardedRouterTest, TargetSetsSpanningShardsMergeLikeSingleService) {
+  GraphDatabase db = MakeMolecules(24);
+  QueryService reference(db, QueryServiceOptions{});
+  ShardedRouterOptions options;
+  options.num_shards = 4;
+  ShardedRouter router(db, options);
+  QueryRequest request = MatchAll(EdgePattern(0, 1));
+  request.targets = {2, 5, 9, 14, 21};  // spans several round-robin shards
+  QueryResult expected = reference.Execute(request);
+  QueryResult merged = router.Execute(request);
+  ASSERT_TRUE(merged.status.ok());
+  EXPECT_EQ(merged.embedding_count, expected.embedding_count);
+  std::vector<GraphId> expected_sorted = expected.matched_graphs;
+  std::sort(expected_sorted.begin(), expected_sorted.end());
+  EXPECT_EQ(merged.matched_graphs, expected_sorted);
+}
+
+TEST(ShardedRouterTest, SuggestSumsSupportAcrossShards) {
+  GraphDatabase db = MakeMolecules(24);
+  QueryService reference(db, QueryServiceOptions{});
+  ShardedRouterOptions options;
+  options.num_shards = 3;
+  ShardedRouter router(db, options);
+  QueryRequest request;
+  request.kind = QueryKind::kSuggest;
+  request.pattern = SingleVertexPattern(0);
+  request.focus = 0;
+  // Generous top_k: no shard truncates its local ranking, so the merged
+  // supports are exact global counts and must match the single service.
+  request.top_k = 64;
+  QueryResult expected = reference.Execute(request);
+  QueryResult merged = router.Execute(request);
+  ASSERT_TRUE(expected.status.ok());
+  ASSERT_TRUE(merged.status.ok());
+  EXPECT_FALSE(merged.suggestions.empty());
+  EXPECT_EQ(SupportMap(merged.suggestions), SupportMap(expected.suggestions));
+}
+
+TEST(ShardedRouterTest, UnknownTargetIsNotFound) {
+  GraphDatabase db = MakeMolecules(6);
+  ShardedRouter router(db, ShardedRouterOptions{});
+  QueryRequest request = MatchAll(SingleVertexPattern(0));
+  request.target = 12345;
+  EXPECT_EQ(router.Execute(request).status.code(), StatusCode::kNotFound);
+  QueryRequest set = MatchAll(SingleVertexPattern(0));
+  set.targets = {0, 12345};
+  EXPECT_EQ(router.Execute(set).status.code(), StatusCode::kNotFound);
+  // Invalidating an unknown id is a no-op, not a crash.
+  router.InvalidateCacheKey(12345);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather under deadlines and a dark shard
+
+// One shard stalls far past the request deadline; the gather merges without
+// it. With allow_partial the healthy shards' subset comes back OK+truncated;
+// without it the deadline failure propagates.
+TEST(ShardedRouterTest, GatherDeadlineYieldsPartialFromHealthyShards) {
+  GraphDatabase db = MakeMolecules(12);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.At(FaultPoint::kVf2Slice).latency_p = 1.0;
+  plan.At(FaultPoint::kVf2Slice).latency_ms = 300;
+  FaultInjector injector(plan);
+  ShardedRouterOptions options;
+  options.num_shards = 3;
+  options.chaos_injector = &injector;
+  options.chaos_shard = 1;
+  options.gather_slack_ms = 25;
+  ShardedRouter router(db, options);
+
+  QueryRequest partial = MatchAll(SingleVertexPattern(0));
+  partial.deadline_ms = 40;
+  partial.allow_partial = true;
+  QueryResult merged = router.Execute(partial);
+  ASSERT_TRUE(merged.status.ok()) << merged.status.ToString();
+  EXPECT_TRUE(merged.truncated);
+  // The healthy shards' members all contain label 0 (molecule generator
+  // always emits carbons); the dark shard's slice is missing.
+  for (GraphId id : merged.matched_graphs) {
+    EXPECT_NE(router.shard_map().OwnerOf(id), 1u) << "graph " << id;
+  }
+  EXPECT_FALSE(merged.matched_graphs.empty());
+
+  QueryRequest strict = MatchAll(SingleVertexPattern(0));
+  strict.deadline_ms = 40;
+  QueryResult failed = router.Execute(strict);
+  EXPECT_EQ(failed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(failed.truncated);
+
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_GE(stats.gather_timeouts, 1u);
+  EXPECT_GE(stats.partials, 2u);
+  EXPECT_EQ(stats.shards[0].errors, 0u);
+  EXPECT_EQ(stats.shards[2].errors, 0u);
+  EXPECT_GE(stats.shards[1].errors, 2u);
+}
+
+// A shard failing 100% of requests opens its own breaker and costs its slice
+// of the collection — the other shards' breakers stay closed and their
+// results keep flowing.
+TEST(ShardedRouterTest, DarkShardOpensOnlyItsOwnBreaker) {
+  GraphDatabase db = MakeMolecules(12);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.At(FaultPoint::kExecutor).error_p = 1.0;
+  plan.At(FaultPoint::kExecutor).error_code = StatusCode::kUnavailable;
+  FaultInjector injector(plan);
+  ShardedRouterOptions options;
+  options.num_shards = 3;
+  options.chaos_injector = &injector;
+  options.chaos_shard = 2;
+  options.client_options.sleep_on_backoff = false;
+  options.client_options.breaker.min_samples = 4;
+  ShardedRouter router(db, options);
+
+  size_t ok_partials = 0;
+  for (int i = 0; i < 10; ++i) {
+    QueryRequest request = MatchAll(SingleVertexPattern(0));
+    request.allow_partial = true;
+    QueryResult merged = router.Execute(request);
+    if (merged.status.ok()) {
+      EXPECT_TRUE(merged.truncated);
+      for (GraphId id : merged.matched_graphs) {
+        EXPECT_NE(router.shard_map().OwnerOf(id), 2u);
+      }
+      ++ok_partials;
+    }
+  }
+  // Graceful degradation held for the healthy slices...
+  EXPECT_GT(ok_partials, 0u);
+  // ...and the blast radius stayed contained: only the dark shard's breaker
+  // opened.
+  EXPECT_EQ(router.client(2).breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(router.client(0).breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(router.client(1).breaker_state(), BreakerState::kClosed);
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_EQ(stats.shards[0].errors, 0u);
+  EXPECT_EQ(stats.shards[1].errors, 0u);
+  EXPECT_GE(stats.shards[2].errors, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Hedged requests
+
+// Seed-searched injector: the first vf2_slice decision stalls (the primary
+// leg) and the next few are clean (the hedge leg), so the hedge reliably
+// finishes first and wins the leg.
+TEST(ShardedRouterTest, HedgeFiresAndWinsAgainstAStalledPrimary) {
+  FaultPlan plan;
+  plan.At(FaultPoint::kVf2Slice).latency_p = 0.5;
+  plan.At(FaultPoint::kVf2Slice).latency_ms = 400;
+  uint64_t seed = 0;
+  bool found = false;
+  for (uint64_t candidate = 1; candidate < 512 && !found; ++candidate) {
+    plan.seed = candidate;
+    FaultInjector trial(plan);
+    FaultDecision first = trial.Decide(FaultPoint::kVf2Slice);
+    if (first.latency_ms == 0) continue;
+    bool clean_tail = true;
+    for (int i = 0; i < 6; ++i) {
+      if (!trial.Decide(FaultPoint::kVf2Slice).ok()) clean_tail = false;
+    }
+    if (clean_tail) {
+      seed = candidate;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed gives stall-then-clean in 512 tries";
+
+  GraphDatabase db = MakeMolecules(3);
+  plan.seed = seed;
+  FaultInjector injector(plan);
+  ShardedRouterOptions options;
+  options.num_shards = 1;
+  options.chaos_injector = &injector;
+  options.chaos_shard = 0;
+  options.hedge_ms = 75;  // floor fires long before the 400ms stall resolves
+  ShardedRouter router(db, options);
+
+  QueryRequest request = MatchAll(SingleVertexPattern(0));
+  request.deadline_ms = 5000;  // slice path (where vf2_slice draws), no expiry
+  QueryResult merged = router.Execute(request);
+  ASSERT_TRUE(merged.status.ok()) << merged.status.ToString();
+  EXPECT_FALSE(merged.truncated);
+  // The hedge won well before the primary's 400ms stall ended.
+  EXPECT_LT(merged.latency_ms, 390.0);
+
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_EQ(stats.hedges_fired, 1u);
+  EXPECT_EQ(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.hedges_denied, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared metrics registry
+
+TEST(ShardedRouterTest, ShardsShareOneRegistryWithoutColliding) {
+  GraphDatabase db = MakeMolecules(8);
+  ShardedRouterOptions options;
+  options.num_shards = 2;
+  ShardedRouter router(db, options);
+  router.Execute(MatchAll(SingleVertexPattern(0)));
+  // Same-named instruments from every shard's pool/cache/service coexist as
+  // distinct labeled series in the one registry.
+  auto& registry = router.metrics();
+  auto& shard0 = registry.GetCounter("vqi_requests_admitted_total", "",
+                                     {{"shard", "0"}});
+  auto& shard1 = registry.GetCounter("vqi_requests_admitted_total", "",
+                                     {{"shard", "1"}});
+  EXPECT_NE(&shard0, &shard1);
+  EXPECT_EQ(shard0.Value(), 1u);
+  EXPECT_EQ(shard1.Value(), 1u);
+}
+
+}  // namespace
+}  // namespace vqi

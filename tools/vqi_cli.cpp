@@ -31,11 +31,17 @@
 //                         observability surface: Prometheus text, JSON,
 //                         recent request traces)
 //   vqi_cli serve         <in.lg> [--port=N] [--threads=N] [--cache=N]
+//                         [--shards=N] [--hedge-ms=X] [--chaos-shard=K]
 //                         [--chaos=<spec>] [--smoke]
 //                         (serve the collection over HTTP: GET /metrics,
 //                         GET /healthz, POST /query; SIGINT/SIGTERM drains
-//                         gracefully. --chaos arms the http_read fault point
-//                         for slowloris/torn-read injection; --smoke drives
+//                         gracefully. --shards=N fronts a ShardedRouter over
+//                         N QueryService shards — /metrics then carries
+//                         per-shard series and /healthz the fleet view —
+//                         and --hedge-ms arms hedged requests; --chaos arms
+//                         the http_read fault point for slowloris/torn-read
+//                         injection (with --shards, service-level chaos
+//                         lands on shard --chaos-shard only); --smoke drives
 //                         one request through each endpoint over a real
 //                         loopback socket and exits — the hermetic CI check)
 //
@@ -45,6 +51,11 @@
 // plus a byte-identity check of the result content (EXPERIMENTS.md E17).
 // With --chaos the injector arms only the server's http_read point and the
 // report becomes availability under slowloris-style faults.
+// With --shards=N it instead replays the workload through a ShardedRouter
+// (EXPERIMENTS.md E18): merged results are checked byte-identical against a
+// single-service reference, --hedge-ms reports hedging effectiveness, and
+// --chaos targets shard --chaos-shard only, showing per-shard blast-radius
+// containment.
 
 #include <algorithm>
 #include <atomic>
@@ -74,6 +85,7 @@
 #include "service/query_service.h"
 #include "service/resilience/fault_injector.h"
 #include "service/resilience/service_client.h"
+#include "shard/sharded_router.h"
 #include "sim/usability.h"
 #include "sim/workload.h"
 #include "vqi/builder.h"
@@ -103,8 +115,10 @@ int Usage() {
                "                [--clients=N] [--threads=N] [--deadline-ms=X]\n"
                "                [--dup-ratio=X] [--coalesce] [--cache=N]\n"
                "                [--chaos=<spec>] [--metrics-out=<file>]\n"
-               "                [--http]\n"
+               "                [--http] [--shards=N] [--hedge-ms=X]\n"
+               "                [--chaos-shard=K]\n"
                "  serve         <in.lg> [--port=N] [--threads=N] [--cache=N]\n"
+               "                [--shards=N] [--hedge-ms=X] [--chaos-shard=K]\n"
                "                [--chaos=<spec>] [--smoke]\n"
                "  metrics-demo\n");
   return 2;
@@ -119,6 +133,21 @@ Status ParseCount(const std::string& text, const char* name, int64_t min_value,
                                    "' is not an integer");
   }
   if (*out < min_value || *out > max_value) {
+    return Status::InvalidArgument(std::string(name) + " must be between " +
+                                   std::to_string(min_value) + " and " +
+                                   std::to_string(max_value) + ", got " + text);
+  }
+  return Status::OK();
+}
+
+// ParseCount's floating-point sibling, for millisecond and ratio flags.
+Status ParseDoubleArg(const std::string& text, const char* name,
+                      double min_value, double max_value, double* out) {
+  if (!ParseDouble(text, out)) {
+    return Status::InvalidArgument(std::string(name) + ": '" + text +
+                                   "' is not a number");
+  }
+  if (!(*out >= min_value && *out <= max_value)) {
     return Status::InvalidArgument(std::string(name) + " must be between " +
                                    std::to_string(min_value) + " and " +
                                    std::to_string(max_value) + ", got " + text);
@@ -758,6 +787,218 @@ int RunHttpBench(const GraphDatabase& db, const std::vector<Graph>& queries,
   return 0;
 }
 
+// serve-bench --shards: the sharded scatter-gather path (EXPERIMENTS.md E18).
+// Phase A computes reference results on one unsharded QueryService; phase B
+// replays the same workload through a ShardedRouter over N shards and checks
+// the merged content is byte-identical to the reference. With --chaos the
+// injector is wired into shard --chaos-shard only, so the report shows
+// whether the damage stayed contained to that shard's slice.
+int RunShardBench(const GraphDatabase& db, const std::vector<Graph>& queries,
+                  size_t distinct_queries, size_t repeat, size_t clients,
+                  size_t threads, double deadline_ms, int64_t cache_arg,
+                  bool coalesce, const std::string& chaos_spec,
+                  const std::string& metrics_out, size_t shards,
+                  double hedge_ms, size_t chaos_shard) {
+  QueryServiceOptions shard_options;
+  shard_options.num_threads = threads;
+  shard_options.queue_capacity = 512;
+  shard_options.cache_capacity = static_cast<size_t>(cache_arg);
+  shard_options.enable_coalescing = coalesce;
+
+  std::optional<resilience::FaultInjector> injector;
+  if (!chaos_spec.empty()) {
+    auto plan = resilience::FaultInjector::ParseChaosSpec(chaos_spec);
+    if (!plan.ok()) return Fail(plan.status());
+    injector.emplace(plan.value());
+  }
+
+  auto bench_request = [&](size_t qi) {
+    QueryRequest request;
+    request.pattern = queries[qi];
+    request.max_embeddings = 2000;
+    request.deadline_ms = deadline_ms;
+    // Chaos runs opt into graceful degradation: a dark shard then costs its
+    // slice of the collection, not the whole answer.
+    request.allow_partial = injector.has_value();
+    return request;
+  };
+
+  // Reference content per distinct query from one unsharded service — the
+  // ground truth the merged sharded results must reproduce byte-for-byte.
+  // Skipped under chaos or deadlines, where divergence is the experiment.
+  const bool verify_content = !injector.has_value() && deadline_ms == 0;
+  std::vector<std::string> expected(distinct_queries);
+  if (verify_content) {
+    QueryService reference(db, shard_options);
+    for (size_t qi = 0; qi < distinct_queries; ++qi) {
+      QueryResult result = reference.Execute(bench_request(qi));
+      expected[qi] = net::QueryResultContentJson(result).Dump();
+    }
+  }
+
+  shard::ShardedRouterOptions router_options;
+  router_options.num_shards = shards;
+  router_options.shard_options = shard_options;
+  router_options.hedge_ms = hedge_ms;
+  if (injector.has_value()) {
+    router_options.chaos_injector = &*injector;
+    router_options.chaos_shard = chaos_shard;
+  }
+  shard::ShardedRouter router(db, router_options);
+
+  struct ShardBenchOutcome {
+    ChaosOutcome statuses;
+    uint64_t content_matches = 0;
+    uint64_t content_mismatches = 0;
+  };
+  std::vector<ShardBenchOutcome> outcomes(clients);
+  auto run_client = [&](size_t c) {
+    ShardBenchOutcome& outcome = outcomes[c];
+    for (size_t round = 0; round < repeat; ++round) {
+      for (size_t qi = c; qi < queries.size(); qi += clients) {
+        QueryResult result = router.Execute(bench_request(qi));
+        if (result.truncated) ++outcome.statuses.truncated;
+        switch (result.status.code()) {
+          case StatusCode::kOk:
+            ++outcome.statuses.ok;
+            break;
+          case StatusCode::kUnavailable:
+            ++outcome.statuses.unavailable;
+            break;
+          case StatusCode::kInternal:
+            ++outcome.statuses.internal_error;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++outcome.statuses.deadline_exceeded;
+            break;
+          default:
+            ++outcome.statuses.other;
+            break;
+        }
+        if (verify_content) {
+          std::string content = net::QueryResultContentJson(result).Dump();
+          if (content == expected[qi % distinct_queries]) {
+            ++outcome.content_matches;
+          } else {
+            ++outcome.content_mismatches;
+          }
+        }
+      }
+    }
+  };
+
+  Stopwatch timer;
+  if (clients == 1) {
+    run_client(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&run_client, c] { run_client(c); });
+    }
+    for (auto& w : workers) w.join();
+  }
+  double seconds = timer.ElapsedSeconds();
+  // Drain before snapshotting: leg bookkeeping runs on pool threads after
+  // the gather resolves, so counters are only exact once the pool is idle.
+  router.Shutdown();
+
+  ShardBenchOutcome tally;
+  for (const ShardBenchOutcome& o : outcomes) {
+    tally.statuses.ok += o.statuses.ok;
+    tally.statuses.truncated += o.statuses.truncated;
+    tally.statuses.unavailable += o.statuses.unavailable;
+    tally.statuses.internal_error += o.statuses.internal_error;
+    tally.statuses.deadline_exceeded += o.statuses.deadline_exceeded;
+    tally.statuses.other += o.statuses.other;
+    tally.content_matches += o.content_matches;
+    tally.content_mismatches += o.content_mismatches;
+  }
+  shard::RouterStats stats = router.Snapshot();
+
+  std::printf("shard bench: %zu distinct queries x %zu rounds, %zu clients, "
+              "%zu shards x %zu threads\n",
+              distinct_queries, repeat, clients, shards, threads);
+  std::printf("placement:   %s (",
+              shard::ShardPlacementName(router.shard_map().placement()));
+  for (size_t i = 0; i < shards; ++i) {
+    std::printf("%s%zu", i == 0 ? "" : "/", router.shard_map().Members(i).size());
+  }
+  std::printf(" graphs per shard)\n");
+  std::printf("throughput:  %.0f queries/s  (%llu routed, %llu fanned out)\n",
+              static_cast<double>(stats.requests) / seconds,
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.fanouts));
+  std::printf("latency:     p50 %.3fms  p99 %.3fms\n", stats.p50_latency_ms,
+              stats.p99_latency_ms);
+  if (verify_content) {
+    std::printf("content:     %llu/%llu merged results byte-identical to the "
+                "single-service reference\n",
+                static_cast<unsigned long long>(tally.content_matches),
+                static_cast<unsigned long long>(tally.content_matches +
+                                                tally.content_mismatches));
+  }
+  if (hedge_ms > 0) {
+    std::printf("hedging:     %llu fired, %llu won, %llu denied "
+                "(trigger max(%.1fms, p%.0f))\n",
+                static_cast<unsigned long long>(stats.hedges_fired),
+                static_cast<unsigned long long>(stats.hedges_won),
+                static_cast<unsigned long long>(stats.hedges_denied),
+                hedge_ms, 100 * router_options.hedge_quantile);
+  }
+  std::printf("per-shard leg tallies:\n");
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    std::printf("  shard %zu: %llu legs, %llu errors, breaker %s%s\n", i,
+                static_cast<unsigned long long>(stats.shards[i].requests),
+                static_cast<unsigned long long>(stats.shards[i].errors),
+                resilience::BreakerStateName(router.client(i).breaker_state()),
+                injector.has_value() && i == chaos_shard ? "  <- chaos" : "");
+  }
+  if (injector.has_value()) {
+    std::printf("chaos:       spec '%s' (seed %llu) on shard %zu only\n",
+                chaos_spec.c_str(),
+                static_cast<unsigned long long>(injector->seed()), chaos_shard);
+    for (size_t p = 0; p < resilience::kNumFaultPoints; ++p) {
+      auto point = static_cast<resilience::FaultPoint>(p);
+      uint64_t errors = injector->InjectedErrors(point);
+      uint64_t latencies = injector->InjectedLatencies(point);
+      uint64_t drops = injector->InjectedDrops(point);
+      if (errors + latencies + drops == 0) continue;
+      std::printf("  %-11s %llu errors, %llu latencies, %llu drops\n",
+                  resilience::FaultPointName(point),
+                  static_cast<unsigned long long>(errors),
+                  static_cast<unsigned long long>(latencies),
+                  static_cast<unsigned long long>(drops));
+    }
+    double availability =
+        tally.statuses.total() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(tally.statuses.ok) /
+                  static_cast<double>(tally.statuses.total());
+    std::printf("availability: %.1f%% ok (%llu truncated partials; "
+                "%llu unavailable, %llu internal, %llu deadline-exceeded)\n",
+                availability,
+                static_cast<unsigned long long>(tally.statuses.truncated),
+                static_cast<unsigned long long>(tally.statuses.unavailable),
+                static_cast<unsigned long long>(tally.statuses.internal_error),
+                static_cast<unsigned long long>(
+                    tally.statuses.deadline_exceeded));
+    std::printf("degradation: %llu merged partials, %llu gather timeouts\n",
+                static_cast<unsigned long long>(stats.partials),
+                static_cast<unsigned long long>(stats.gather_timeouts));
+  }
+  if (!metrics_out.empty()) {
+    if (Status s = obs::WritePrometheusFile(router.metrics(), metrics_out);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("metrics:     wrote Prometheus snapshot to %s\n",
+                metrics_out.c_str());
+  }
+  if (verify_content && tally.content_mismatches > 0) return 1;
+  return 0;
+}
+
 // SIGINT/SIGTERM flip this; the serve loop polls it and drains. Signal-safe:
 // handlers may only touch lock-free atomics.
 std::atomic<bool> g_serve_stop{false};
@@ -768,6 +1009,9 @@ int Serve(int argc, char** argv) {
   int64_t port_arg = 8080;
   int64_t threads_arg = 4;
   int64_t cache_arg = 1024;
+  int64_t shards_arg = 1;
+  int64_t chaos_shard_arg = 0;
+  double hedge_ms = 0;
   std::string chaos_spec;
   bool smoke = false;
   std::vector<char*> positional;
@@ -790,6 +1034,23 @@ int Serve(int argc, char** argv) {
           !s.ok()) {
         return Fail(s);
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(9), "--shards", 1, 64, &shards_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--hedge-ms=", 0) == 0) {
+      if (Status s = ParseDoubleArg(arg.substr(11), "--hedge-ms", 0, 1e6,
+                                    &hedge_ms);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--chaos-shard=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(14), "--chaos-shard", 0, 63,
+                                &chaos_shard_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
     } else if (arg.rfind("--chaos=", 0) == 0) {
       chaos_spec = arg.substr(8);
       if (chaos_spec.empty()) {
@@ -806,6 +1067,10 @@ int Serve(int argc, char** argv) {
     }
   }
   if (positional.size() != 1) return Usage();
+  if (chaos_shard_arg >= shards_arg) {
+    return Fail(Status::InvalidArgument(
+        "--chaos-shard must name one of the --shards shards"));
+  }
   auto db = io::LoadDatabase(positional[0]);
   if (!db.ok()) return Fail(db.status());
   if (db->empty()) return Fail(Status::InvalidArgument("input has no graphs"));
@@ -821,26 +1086,60 @@ int Serve(int argc, char** argv) {
   options.num_threads = static_cast<size_t>(threads_arg);
   options.queue_capacity = 256;
   options.cache_capacity = static_cast<size_t>(cache_arg);
-  if (injector.has_value()) options.fault_injector = &*injector;
-  QueryService service(*db, options);
 
+  // Either one QueryService or a sharded fleet behind a router; the serving
+  // layer and the HTTP server are identical from here on.
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<shard::ShardedRouter> router;
+  std::unique_ptr<net::QueryServing> serving;
+  obs::MetricsRegistry* registry = nullptr;
   net::QueryServing::Options serving_options;
-  serving_options.metrics = &service.metrics();
-  net::QueryServing serving(&service, serving_options);
+  if (shards_arg > 1) {
+    shard::ShardedRouterOptions router_options;
+    router_options.num_shards = static_cast<size_t>(shards_arg);
+    router_options.shard_options = options;
+    router_options.hedge_ms = hedge_ms;
+    if (injector.has_value()) {
+      // Service-level chaos lands on one shard; wire faults (http_read) are
+      // armed on the server below regardless.
+      router_options.chaos_injector = &*injector;
+      router_options.chaos_shard = static_cast<size_t>(chaos_shard_arg);
+    }
+    router = std::make_unique<shard::ShardedRouter>(*db, router_options);
+    registry = &router->metrics();
+    serving_options.metrics = registry;
+    serving = std::make_unique<net::QueryServing>(router.get(),
+                                                  serving_options);
+  } else {
+    if (injector.has_value()) options.fault_injector = &*injector;
+    service = std::make_unique<QueryService>(*db, options);
+    registry = &service->metrics();
+    serving_options.metrics = registry;
+    serving = std::make_unique<net::QueryServing>(service.get(),
+                                                  serving_options);
+  }
+
   net::HttpServerOptions server_options;
   // --smoke binds an ephemeral port so CI runs never collide.
   server_options.port = smoke ? 0 : static_cast<uint16_t>(port_arg);
   server_options.num_threads = static_cast<size_t>(threads_arg);
-  server_options.metrics = &service.metrics();
+  server_options.metrics = registry;
   if (injector.has_value()) server_options.fault_injector = &*injector;
   net::HttpServer server(
-      [&serving](const net::HttpRequest& r) { return serving.Handle(r); },
+      [&serving](const net::HttpRequest& r) { return serving->Handle(r); },
       server_options);
-  serving.set_server(&server);
+  serving->set_server(&server);
   if (Status s = server.Start(); !s.ok()) return Fail(s);
-  std::printf("serving %zu graphs on http://127.0.0.1:%u  "
-              "(GET /metrics, GET /healthz, POST /query)\n",
-              db->size(), server.port());
+  if (router != nullptr) {
+    std::printf("serving %zu graphs on http://127.0.0.1:%u across %zu shards"
+                "%s  (GET /metrics, GET /healthz, POST /query)\n",
+                db->size(), server.port(), router->num_shards(),
+                hedge_ms > 0 ? " with hedging" : "");
+  } else {
+    std::printf("serving %zu graphs on http://127.0.0.1:%u  "
+                "(GET /metrics, GET /healthz, POST /query)\n",
+                db->size(), server.port());
+  }
 
   if (smoke) {
     // Hermetic self-drive: one request through each endpoint over a real
@@ -868,11 +1167,31 @@ int Serve(int argc, char** argv) {
     std::printf("smoke /metrics: %d (%zu bytes, vqi_http_requests_total %s)\n",
                 metrics.value().status, metrics.value().body.size(),
                 instrumented ? "present" : "MISSING");
+    bool sharded_ok = true;
+    if (router != nullptr) {
+      // Router mode must expose one labeled series per shard plus the
+      // router's own instruments, and /healthz must report the fleet.
+      const std::string last_shard_series =
+          "vqi_requests_admitted_total{shard=\"" +
+          std::to_string(router->num_shards() - 1) + "\"}";
+      sharded_ok =
+          metrics.value().body.find(last_shard_series) != std::string::npos &&
+          metrics.value().body.find("vqi_router_requests_total") !=
+              std::string::npos &&
+          healthz.value().body.find("shard_breakers") != std::string::npos;
+      std::printf("smoke shards: per-shard series + router instruments + "
+                  "fleet health %s\n",
+                  sharded_ok ? "present" : "MISSING");
+    }
     server.Shutdown();
-    service.Shutdown();
+    if (router != nullptr) {
+      router->Shutdown();
+    } else {
+      service->Shutdown();
+    }
     bool pass = healthz.value().status == 200 &&
                 query.value().status == 200 && metrics.value().status == 200 &&
-                instrumented;
+                instrumented && sharded_ok;
     std::printf("smoke: %s\n", pass ? "ok" : "FAILED");
     return pass ? 0 : 1;
   }
@@ -886,8 +1205,14 @@ int Serve(int argc, char** argv) {
   std::printf("\nsignal received; draining (grace %.0fms)...\n",
               server_options.drain_grace_ms);
   server.Shutdown();
-  service.Shutdown();
-  ServiceStats stats = service.Snapshot();
+  ServiceStats stats;
+  if (router != nullptr) {
+    router->Shutdown();
+    stats = router->AggregateSnapshot();
+  } else {
+    service->Shutdown();
+    stats = service->Snapshot();
+  }
   std::printf("served %llu connections, %llu requests admitted, %llu shed\n",
               static_cast<unsigned long long>(server.connections_accepted()),
               static_cast<unsigned long long>(stats.admitted),
@@ -904,9 +1229,12 @@ int ServeBench(int argc, char** argv) {
   int64_t clients_arg = 1;
   int64_t threads_arg = 4;
   int64_t cache_arg = 1024;
+  int64_t shards_arg = 1;
+  int64_t chaos_shard_arg = 0;
   bool threads_flag_set = false;
   double deadline_ms = 0;
   double dup_ratio = 0;
+  double hedge_ms = 0;
   bool coalesce = false;
   bool http_mode = false;
   std::vector<char*> positional;
@@ -919,12 +1247,10 @@ int ServeBench(int argc, char** argv) {
     } else if (arg == "--coalesce") {
       coalesce = true;
     } else if (arg.rfind("--dup-ratio=", 0) == 0) {
-      std::string value = arg.substr(12);
-      if (!ParseDouble(value, &dup_ratio) || dup_ratio < 0 ||
-          dup_ratio > 0.99) {
-        return Fail(Status::InvalidArgument(
-            "--dup-ratio: '" + value +
-            "' must be a duplicate fraction in [0, 0.99]"));
+      if (Status s = ParseDoubleArg(arg.substr(12), "--dup-ratio", 0, 0.99,
+                                    &dup_ratio);
+          !s.ok()) {
+        return Fail(s);
       }
     } else if (arg.rfind("--cache=", 0) == 0) {
       if (Status s = ParseCount(arg.substr(8), "--cache", 0, 1 << 20,
@@ -946,12 +1272,27 @@ int ServeBench(int argc, char** argv) {
       }
       threads_flag_set = true;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
-      std::string value = arg.substr(14);
-      if (!ParseDouble(value, &deadline_ms) || deadline_ms < 0 ||
-          deadline_ms > 1e9) {
-        return Fail(Status::InvalidArgument(
-            "--deadline-ms: '" + value +
-            "' must be a number of milliseconds in [0, 1e9]"));
+      if (Status s = ParseDoubleArg(arg.substr(14), "--deadline-ms", 0, 1e9,
+                                    &deadline_ms);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(9), "--shards", 1, 64, &shards_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--hedge-ms=", 0) == 0) {
+      if (Status s = ParseDoubleArg(arg.substr(11), "--hedge-ms", 0, 1e6,
+                                    &hedge_ms);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--chaos-shard=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(14), "--chaos-shard", 0, 63,
+                                &chaos_shard_arg);
+          !s.ok()) {
+        return Fail(s);
       }
     } else if (arg.rfind("--chaos=", 0) == 0) {
       chaos_spec = arg.substr(8);
@@ -1016,6 +1357,22 @@ int ServeBench(int argc, char** argv) {
       expanded.push_back(queries[i % distinct_queries]);
     }
     queries = std::move(expanded);
+  }
+
+  if (shards_arg > 1) {
+    if (http_mode) {
+      return Fail(Status::InvalidArgument(
+          "--shards and --http are mutually exclusive; bench one serving "
+          "stack at a time"));
+    }
+    if (chaos_shard_arg >= shards_arg) {
+      return Fail(Status::InvalidArgument(
+          "--chaos-shard must name one of the --shards shards"));
+    }
+    return RunShardBench(*db, queries, distinct_queries, repeat, clients,
+                         threads, deadline_ms, cache_arg, coalesce, chaos_spec,
+                         metrics_out, static_cast<size_t>(shards_arg),
+                         hedge_ms, static_cast<size_t>(chaos_shard_arg));
   }
 
   if (http_mode) {

@@ -26,9 +26,14 @@ Rules (each has a stable id used in messages and the self-test):
   common-layering  Files in src/common/ may only #include "common/..." quoted
                    headers — common is the bottom layer and must not reach up.
   net-layering     Files in src/net/ may only #include quoted headers from
-                   common/, obs/, service/, or net/ — the wire layer sits on
-                   the service layer and must not reach into algorithm
-                   internals (graph/, match/, ...).
+                   common/, obs/, service/, shard/, or net/ — the wire layer
+                   sits on the service and sharding layers and must not reach
+                   into algorithm internals (graph/, match/, ...).
+  shard-layering   Files in src/shard/ may only #include quoted headers from
+                   common/, obs/, graph/, service/ (incl. resilience), or
+                   shard/ — the router composes QueryServices over a
+                   partitioned collection; it never reaches into the matcher
+                   (match/, vqi/, ...) behind the service API.
   no-analysis-optout
                    VQLIB_NO_THREAD_SAFETY_ANALYSIS may appear only in
                    src/common/mutex.h (and its definition in
@@ -84,9 +89,14 @@ HIGH_CARDINALITY_KEYS = {
     "query_id", "user_id",
 }
 
-# The wire layer may see the service API and the shared bottom layers, but
-# never the algorithm internals behind them.
-NET_ALLOWED_PREFIXES = ("common/", "obs/", "service/", "net/")
+# The wire layer may see the service API, the sharding layer, and the shared
+# bottom layers, but never the algorithm internals behind them.
+NET_ALLOWED_PREFIXES = ("common/", "obs/", "service/", "shard/", "net/")
+
+# The sharding layer partitions the graph collection (graph/) and composes
+# QueryServices + resilience clients (service/); the matcher stays behind
+# that API.
+SHARD_ALLOWED_PREFIXES = ("common/", "obs/", "graph/", "service/", "shard/")
 
 
 def strip_line_comment(line):
@@ -133,6 +143,7 @@ class Linter:
         in_tests = rel.startswith("tests/")
         in_common = rel.startswith("src/common/")
         in_net = rel.startswith("src/net/")
+        in_shard = rel.startswith("src/shard/")
         try:
             text = path.read_text(encoding="utf-8")
         except UnicodeDecodeError:
@@ -204,7 +215,18 @@ class Linter:
                     self.report(
                         "net-layering", path, lineno,
                         f'src/net may not include "{match.group(1)}" — the '
-                        "wire layer sees only common/, obs/, service/, net/")
+                        "wire layer sees only common/, obs/, service/, "
+                        "shard/, net/")
+
+            if in_shard:
+                match = QUOTED_INCLUDE_RE.search(line)
+                if match and not match.group(1).startswith(
+                        SHARD_ALLOWED_PREFIXES):
+                    self.report(
+                        "shard-layering", path, lineno,
+                        f'src/shard may not include "{match.group(1)}" — the '
+                        "router composes the service API over common/, obs/, "
+                        "graph/, service/, shard/")
 
             if not is_mutex_header and not is_annotations_header:
                 if OPTOUT_RE.search(line):
@@ -246,6 +268,8 @@ def self_test():
          '#include "obs/metrics.h"\n'),
         ("net-layering", "src/net/scratch.h",
          '#include "graph/graph.h"\n'),
+        ("shard-layering", "src/shard/scratch.h",
+         '#include "match/vf2.h"\n'),
         ("no-analysis-optout", "src/service/scratch.h",
          "void F() VQLIB_NO_THREAD_SAFETY_ANALYSIS;\n"),
     ]
@@ -257,7 +281,11 @@ def self_test():
          '#include "common/rng.h"\nvqi::Rng rng(42);\n'),
         ("src/net/scratch_ok.h",
          '#include "service/query_service.h"\n'
+         '#include "shard/sharded_router.h"\n'
          'obs::Labels labels{{"pool", "http"}};\n'),
+        ("src/shard/scratch_ok.h",
+         '#include "graph/graph_database.h"\n'
+         '#include "service/resilience/service_client.h"\n'),
     ]
     failures = []
     for rule, rel, content in cases:
