@@ -355,15 +355,28 @@ HttpResponse QueryServing::HandleHealthz() {
                  static_cast<double>(server_->active_connections())));
   }
   if (router_ != nullptr) {
-    // Fleet view: a single dark shard shows up as one "open" entry here
-    // while the overall status stays "ok" — its slice degrades, the
-    // collection keeps serving.
+    // Fleet view: a single dark replica shows up as one "open" entry here
+    // while the overall status stays "ok" — its siblings absorb the reads,
+    // the collection keeps serving. Unreplicated fleets (R = 1) keep the
+    // original flat shard_breakers array; replicated fleets nest one array
+    // per shard so the entry at [shard][replica] is that replica's breaker.
     json.Set("shards",
              JsonValue::Number(static_cast<double>(router_->num_shards())));
+    json.Set("replicas",
+             JsonValue::Number(static_cast<double>(router_->num_replicas())));
     JsonValue breakers = JsonValue::Array();
     for (size_t i = 0; i < router_->num_shards(); ++i) {
-      breakers.Append(JsonValue::String(resilience::BreakerStateName(
-          router_->client(i).breaker_state())));
+      if (router_->num_replicas() == 1) {
+        breakers.Append(JsonValue::String(resilience::BreakerStateName(
+            router_->client(i).breaker_state())));
+        continue;
+      }
+      JsonValue replica_breakers = JsonValue::Array();
+      for (size_t r = 0; r < router_->num_replicas(); ++r) {
+        replica_breakers.Append(JsonValue::String(resilience::BreakerStateName(
+            router_->client(i, r).breaker_state())));
+      }
+      breakers.Append(std::move(replica_breakers));
     }
     json.Set("shard_breakers", std::move(breakers));
   } else if (options_.client != nullptr) {

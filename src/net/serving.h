@@ -73,8 +73,9 @@ int HttpStatusFor(const Status& status);
 /// client) or a shard::ShardedRouter. In router mode /query executes through
 /// the router (which already runs each shard behind its own client) and
 /// /healthz aggregates saturation across the fleet: summed queue depths and
-/// capacities, summed shard ServiceStats, a `shards` count, and every
-/// shard's breaker state.
+/// capacities, summed shard ServiceStats, `shards` and `replicas` counts,
+/// and every replica's breaker state (`shard_breakers`: a flat array when
+/// R = 1, one nested array per shard when the fleet is replicated).
 class QueryServing {
  public:
   struct Options {

@@ -104,6 +104,15 @@ BreakerState CircuitBreaker::state() const {
   return state_;
 }
 
+BreakerState CircuitBreaker::EffectiveState() const {
+  MutexLock lock(&mutex_);
+  if (state_ == BreakerState::kOpen &&
+      opened_at_.ElapsedMillis() >= options_.open_cooldown_ms) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
 double CircuitBreaker::FailureRate() const {
   MutexLock lock(&mutex_);
   return WindowFailureRateLocked();

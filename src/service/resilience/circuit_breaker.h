@@ -57,6 +57,12 @@ class CircuitBreaker {
   void RecordFailure();
 
   BreakerState state() const;
+  /// The state a probe would encounter right now, without mutating anything:
+  /// an open breaker whose cooldown has expired reports kHalfOpen (the next
+  /// Allow() would admit a probe). Load balancers rank replicas by this so a
+  /// recovering replica is eligible for probe traffic even though state()
+  /// still says kOpen until someone actually calls Allow().
+  BreakerState EffectiveState() const;
   /// Failure fraction over the current window (0 when empty).
   double FailureRate() const;
   /// Times the breaker transitioned closed/half-open -> open.

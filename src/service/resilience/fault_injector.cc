@@ -206,8 +206,14 @@ StatusOr<FaultPlan> FaultInjector::ParseChaosSpec(const std::string& spec) {
     FaultPoint point;
     std::string point_name(StripWhitespace(clause.substr(0, colon)));
     if (!FaultPointFromName(point_name, &point)) {
+      std::string valid;
+      for (size_t p = 0; p < kNumFaultPoints; ++p) {
+        if (!valid.empty()) valid += ", ";
+        valid += FaultPointName(static_cast<FaultPoint>(p));
+      }
       return Status::InvalidArgument("chaos spec: unknown fault point '" +
-                                     point_name + "'");
+                                     point_name + "' (valid points: " + valid +
+                                     ")");
     }
     FaultPointSpec& ps = plan.At(point);
     for (std::string_view setting_view :

@@ -145,6 +145,10 @@ class FaultInjector {
   ///            | 'drop' '=' prob
   ///
   /// e.g. "seed=7;executor:error=0.2,code=internal;vf2_slice:latency_ms=5,latency_p=0.5"
+  ///
+  /// Malformed specs come back as kInvalidArgument; an unknown point name is
+  /// rejected with a message enumerating the valid points, so a typoed
+  /// `--chaos` flag fails loudly instead of silently arming nothing.
   static StatusOr<FaultPlan> ParseChaosSpec(const std::string& spec);
 
  private:

@@ -22,8 +22,9 @@ const char* ShardPlacementName(ShardPlacement placement) {
 }
 
 ShardMap::ShardMap(const GraphDatabase& db, size_t num_shards,
-                   ShardPlacement placement)
-    : placement_(placement) {
+                   ShardPlacement placement, size_t num_replicas)
+    : placement_(placement),
+      num_replicas_(std::min<size_t>(64, std::max<size_t>(1, num_replicas))) {
   num_shards = std::max<size_t>(1, num_shards);
   members_.resize(num_shards);
   size_t position = 0;
@@ -37,6 +38,15 @@ ShardMap::ShardMap(const GraphDatabase& db, size_t num_shards,
     members_[shard].push_back(graph.id());
     ++position;
   }
+}
+
+ShardMap::ReplicaSet ShardMap::ReplicasOf(GraphId id) const {
+  ReplicaSet set;
+  set.shard = OwnerOf(id);
+  if (set.shard == kNoShard) return set;
+  set.replicas.reserve(num_replicas_);
+  for (size_t r = 0; r < num_replicas_; ++r) set.replicas.push_back(r);
+  return set;
 }
 
 }  // namespace shard

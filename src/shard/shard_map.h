@@ -41,14 +41,31 @@ class ShardMap {
 
   /// Builds the map over every graph in `db` (dense order). `num_shards` is
   /// clamped to at least 1; shards may be empty when there are fewer graphs
-  /// than shards.
+  /// than shards. `num_replicas` is the R of R-way replication: every shard's
+  /// slice exists as R full, independent copies (replicas 0..R-1). Clamped to
+  /// [1, 64] — the router tracks replica sets in a 64-bit mask. The map is
+  /// deterministic in all three inputs: the same database, shard count, and
+  /// replica count always produce the same placement.
   ShardMap(const GraphDatabase& db, size_t num_shards,
-           ShardPlacement placement = ShardPlacement::kRoundRobin);
+           ShardPlacement placement = ShardPlacement::kRoundRobin,
+           size_t num_replicas = 1);
 
   size_t num_shards() const { return members_.size(); }
+  size_t num_replicas() const { return num_replicas_; }
   /// Graphs in the collection.
   size_t size() const { return owner_.size(); }
   ShardPlacement placement() const { return placement_; }
+
+  /// Replica placement of one graph: the owning shard plus the replica ids
+  /// that each hold a full copy of that shard's slice.
+  struct ReplicaSet {
+    size_t shard = kNoShard;
+    std::vector<size_t> replicas;  ///< empty when shard == kNoShard
+  };
+
+  /// The (shard, replicas[R]) placement of `id`; shard == kNoShard (and an
+  /// empty replica list) when the id is not in the map.
+  ReplicaSet ReplicasOf(GraphId id) const;
 
   /// The shard owning `id`, or kNoShard when the id is not in the map.
   size_t OwnerOf(GraphId id) const {
@@ -63,6 +80,7 @@ class ShardMap {
 
  private:
   ShardPlacement placement_;
+  size_t num_replicas_;
   std::unordered_map<GraphId, size_t> owner_;
   std::vector<std::vector<GraphId>> members_;
 };

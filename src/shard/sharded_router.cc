@@ -21,6 +21,9 @@ struct ShardedRouter::GatherState {
     QueryRequest primary;  ///< kept for hedge construction
     std::shared_ptr<std::atomic<bool>> primary_cancel;
     std::shared_ptr<std::atomic<bool>> hedge_cancel;
+    /// Replica the primary chain is currently executing on; the hedge
+    /// excludes it so the duplicate lands on a sibling.
+    size_t primary_replica = 0;
     QueryResult result;
     bool resolved = false;
     bool hedge_attempted = false;  ///< trigger reached (fired or denied)
@@ -38,38 +41,59 @@ struct ShardedRouter::GatherState {
 ShardedRouter::ShardedRouter(const GraphDatabase& db,
                              ShardedRouterOptions options)
     : options_(options),
-      map_(db, std::max<size_t>(1, options.num_shards), options.placement),
+      map_(db, std::max<size_t>(1, options.num_shards), options.placement,
+           options.num_replicas),
       hedge_budget_(options.hedge_budget_ratio, options.hedge_budget_capacity),
+      failover_budget_(options.failover_budget_ratio,
+                       options.failover_budget_capacity),
       pool_(ThreadPoolOptions{
           options.router_threads > 0 ? options.router_threads
                                      : 2 * map_.num_shards(),
           options.router_queue, &metrics_, {{"pool", "router"}}}) {
   const size_t n = map_.num_shards();
-  shard_dbs_.reserve(n);
-  shards_.reserve(n);
-  clients_.reserve(n);
+  const size_t r_count = map_.num_replicas();
+  shard_dbs_.reserve(n * r_count);
+  shards_.reserve(n * r_count);
+  clients_.reserve(n * r_count);
   for (size_t i = 0; i < n; ++i) {
-    // Each shard serves a private copy of its members. Graph ids are
-    // preserved (GraphDatabase::Add keeps non-negative ids), so shard
-    // results merge without any id translation.
-    auto shard_db = std::make_unique<GraphDatabase>();
-    for (GraphId id : map_.Members(i)) shard_db->Add(db.Get(id));
-    shard_dbs_.push_back(std::move(shard_db));
-  }
-  for (size_t i = 0; i < n; ++i) {
-    QueryServiceOptions shard_options = options_.shard_options;
-    shard_options.metrics = &metrics_;
-    shard_options.metric_labels = {{"shard", std::to_string(i)}};
-    if (options_.chaos_injector != nullptr && options_.chaos_shard == i) {
-      shard_options.fault_injector = options_.chaos_injector;
+    for (size_t r = 0; r < r_count; ++r) {
+      // Each replica serves a private, full copy of its shard's members.
+      // Graph ids are preserved (GraphDatabase::Add keeps non-negative ids),
+      // so replica results merge without any id translation.
+      auto shard_db = std::make_unique<GraphDatabase>();
+      for (GraphId id : map_.Members(i)) shard_db->Add(db.Get(id));
+      shard_dbs_.push_back(std::move(shard_db));
     }
-    shards_.push_back(
-        std::make_unique<QueryService>(*shard_dbs_[i], shard_options));
-    resilience::ServiceClientOptions client_options = options_.client_options;
-    client_options.metric_label = "shard-" + std::to_string(i);
-    clients_.push_back(std::make_unique<resilience::ServiceClient>(
-        *shards_[i], client_options));
   }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < r_count; ++r) {
+      QueryServiceOptions shard_options = options_.shard_options;
+      shard_options.metrics = &metrics_;
+      shard_options.metric_labels = {{"shard", std::to_string(i)}};
+      // A replicated fleet labels every series {shard,replica}; the R = 1
+      // fleet keeps the original single-copy label shape so existing
+      // dashboards and scrapes stay stable.
+      if (r_count > 1) {
+        shard_options.metric_labels.push_back({"replica", std::to_string(r)});
+      }
+      if (options_.chaos_injector != nullptr && options_.chaos_shard == i &&
+          options_.chaos_replica == r) {
+        shard_options.fault_injector = options_.chaos_injector;
+      }
+      shards_.push_back(
+          std::make_unique<QueryService>(*shard_dbs_[Slot(i, r)],
+                                         shard_options));
+      resilience::ServiceClientOptions client_options =
+          options_.client_options;
+      client_options.metric_label =
+          "shard-" + std::to_string(i) +
+          (r_count > 1 ? "-replica-" + std::to_string(r) : "");
+      clients_.push_back(std::make_unique<resilience::ServiceClient>(
+          *shards_[Slot(i, r)], client_options));
+    }
+  }
+  inflight_ = std::make_unique<std::atomic<int>[]>(n * r_count);
+  for (size_t s = 0; s < n * r_count; ++s) inflight_[s].store(0);
 
   requests_total_ = &metrics_.GetCounter("vqi_router_requests_total",
                                          "Requests routed by the router.");
@@ -92,6 +116,20 @@ ShardedRouter::ShardedRouter(const GraphDatabase& db,
   gather_timeout_total_ = &metrics_.GetCounter(
       "vqi_router_gather_timeout_total",
       "Legs abandoned because the shard missed the gather deadline.");
+  failover_total_ = &metrics_.GetCounter(
+      "vqi_replica_failovers_total",
+      "Dispatches that escaped a sick replica: picks that skipped an "
+      "open-breaker replica plus post-failure re-dispatches to a sibling.");
+  cross_hedges_fired_total_ = &metrics_.GetCounter(
+      "vqi_replica_cross_hedges_fired_total",
+      "Hedge legs dispatched to a sibling replica of the primary's.");
+  cross_hedges_won_total_ = &metrics_.GetCounter(
+      "vqi_replica_cross_hedges_won_total",
+      "Legs resolved by a cross-replica hedge instead of the primary.");
+  all_down_total_ = &metrics_.GetCounter(
+      "vqi_replica_all_down_total",
+      "Dispatches that found every replica of the owner shard "
+      "breaker-open.");
   latency_ms_ = &metrics_.GetHistogram(
       "vqi_router_latency_ms",
       "End-to-end routed request latency (scatter, gather, merge).",
@@ -113,15 +151,34 @@ ShardedRouter::ShardedRouter(const GraphDatabase& db,
         "Per-shard leg latency; drives the hedge trigger quantile.",
         obs::Histogram::DefaultLatencyBoundsMs(), labels));
   }
+  replica_picks_total_.reserve(n * r_count);
+  replica_errors_total_.reserve(n * r_count);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < r_count; ++r) {
+      obs::Labels labels{{"shard", std::to_string(i)},
+                         {"replica", std::to_string(r)}};
+      replica_picks_total_.push_back(&metrics_.GetCounter(
+          "vqi_replica_picks_total",
+          "Attempts dispatched to this replica (primary, failover, hedge).",
+          labels));
+      replica_errors_total_.push_back(&metrics_.GetCounter(
+          "vqi_replica_errors_total",
+          "Attempts this replica answered with a non-OK status.", labels));
+    }
+  }
   metrics_.GetGauge("vqi_router_shards", "Number of query-service shards.")
       .Set(static_cast<double>(n));
+  metrics_
+      .GetGauge("vqi_router_replicas",
+                "Independent replicas per shard (R-way replication).")
+      .Set(static_cast<double>(r_count));
 }
 
 ShardedRouter::~ShardedRouter() { Shutdown(); }
 
 void ShardedRouter::Shutdown() {
-  // Fan-out pool first: its tasks block on shard executions, so the shards
-  // must still be alive while it drains.
+  // Fan-out pool first: its tasks block on replica executions, so the
+  // replicas must still be alive while it drains.
   pool_.Shutdown();
   for (auto& shard : shards_) shard->Shutdown();
 }
@@ -130,8 +187,13 @@ void ShardedRouter::InvalidateCacheKey(GraphId graph_id) {
   const size_t owner = map_.OwnerOf(graph_id);
   if (owner == ShardMap::kNoShard) return;
   // Per-shard collection epochs: only the owner's kAllGraphs / suggestion
-  // entries depend on this graph, so the other shards' caches stay warm.
-  shards_[owner]->InvalidateCacheKey(graph_id);
+  // entries depend on this graph, so the other shards' caches stay warm —
+  // but EVERY replica of the owner must drop the stale epoch, or a
+  // subsequent read balanced onto an unbumped sibling would serve stale
+  // data.
+  for (size_t r = 0; r < map_.num_replicas(); ++r) {
+    shards_[Slot(owner, r)]->InvalidateCacheKey(graph_id);
+  }
 }
 
 void ShardedRouter::InvalidateCache() {
@@ -165,6 +227,103 @@ double ShardedRouter::HedgeTriggerMs(size_t shard) const {
     trigger = std::max(trigger, history.Quantile(options_.hedge_quantile));
   }
   return trigger;
+}
+
+ShardedRouter::ReplicaPick ShardedRouter::PickReplica(
+    size_t shard, uint64_t exclude_mask) const {
+  ReplicaPick pick;
+  bool saw_open = false;
+  // key = (breaker open, in-flight attempts, not-closed, replica index),
+  // minimum wins. Open breakers are a hard last resort — an open replica is
+  // only picked when every candidate is open, per the skip-at-dispatch
+  // failover rule. Among available replicas load leads and health breaks
+  // ties: a cooldown-expired breaker ranks half-open (EffectiveState), so a
+  // recovering replica draws probe traffic as soon as its siblings are
+  // busier than it, while a lone idle tie always resolves to the healthy,
+  // lowest-index copy — deterministic for single-threaded replay.
+  std::tuple<int, int, int, size_t> best_key;
+  for (size_t r = 0; r < map_.num_replicas(); ++r) {
+    if ((exclude_mask >> r) & 1) continue;
+    const resilience::BreakerState state =
+        clients_[Slot(shard, r)]->breaker().EffectiveState();
+    const int open = state == resilience::BreakerState::kOpen ? 1 : 0;
+    const int degraded = state == resilience::BreakerState::kClosed ? 0 : 1;
+    if (open != 0) saw_open = true;
+    const int inflight =
+        inflight_[Slot(shard, r)].load(std::memory_order_relaxed);
+    const std::tuple<int, int, int, size_t> key{open, inflight, degraded, r};
+    if (pick.replica == ShardMap::kNoShard || key < best_key) {
+      pick.replica = r;
+      best_key = key;
+    }
+  }
+  pick.picked_open =
+      pick.replica != ShardMap::kNoShard && std::get<0>(best_key) != 0;
+  pick.skipped_open = saw_open && !pick.picked_open;
+  return pick;
+}
+
+QueryResult ShardedRouter::RunPrimaryChain(size_t leg_shard, QueryRequest sub,
+                                           GatherState* state,
+                                           size_t leg_index) {
+  // Every primary leg deposits into the failover budget (mirroring the
+  // hedge budget), bounding failovers to ~ratio of leg traffic plus a
+  // burst.
+  failover_budget_.OnRequest();
+  uint64_t tried = 0;
+  ReplicaPick pick = PickReplica(leg_shard, tried);
+  {
+    MutexLock lock(&stats_mutex_);
+    if (pick.skipped_open) failover_total_->Increment();
+    if (pick.picked_open) all_down_total_->Increment();
+  }
+  QueryResult response;
+  for (;;) {
+    tried |= uint64_t{1} << pick.replica;
+    const size_t slot = Slot(leg_shard, pick.replica);
+    if (state != nullptr) {
+      MutexLock lock(&state->mutex);
+      state->legs[leg_index].primary_replica = pick.replica;
+    }
+    {
+      MutexLock lock(&stats_mutex_);
+      replica_picks_total_[slot]->Increment();
+    }
+    inflight_[slot].fetch_add(1, std::memory_order_relaxed);
+    response = clients_[slot]->Execute(sub);
+    inflight_[slot].fetch_sub(1, std::memory_order_relaxed);
+    if (response.status.ok()) break;
+    {
+      MutexLock lock(&stats_mutex_);
+      replica_errors_total_[slot]->Increment();
+    }
+    if (!resilience::IsRetryable(response.status.code())) break;
+    if (map_.num_replicas() == 1) break;
+    // Replica failover: the attempt failed retryably, so re-dispatch to an
+    // untried sibling whose breaker is not open — this is what turns a dark
+    // replica into zero availability loss instead of a partial. Another
+    // open breaker would just fast-fail, so it is not worth a budget token.
+    ReplicaPick next = PickReplica(leg_shard, tried);
+    if (next.replica == ShardMap::kNoShard || next.picked_open) break;
+    if (!failover_budget_.TryConsumeRetry()) break;
+    if (state != nullptr) {
+      MutexLock lock(&state->mutex);
+      GatherState::Leg& leg = state->legs[leg_index];
+      // A hedge or the gather timeout already claimed the leg; this
+      // response will be discarded, so stop burning replica time.
+      if (leg.resolved) break;
+      // Fresh token per attempt: poison aimed at the failed attempt must
+      // not cancel the sibling's.
+      sub.cancel = std::make_shared<std::atomic<bool>>(false);
+      leg.primary_cancel = sub.cancel;
+    }
+    {
+      MutexLock lock(&stats_mutex_);
+      failover_total_->Increment();
+    }
+    pick = next;
+  }
+  return response;
 }
 
 Status ShardedRouter::BuildSubRequests(
@@ -267,7 +426,9 @@ QueryResult ShardedRouter::Merge(const QueryRequest& request,
       all_cached = all_cached && leg.from_cache;
     } else {
       // A failed or missed leg means the merged answer is missing that
-      // shard's slice of the collection.
+      // shard's slice of the collection. With replication a leg only gets
+      // here after the primary chain exhausted the shard's healthy
+      // replicas, so "shard down" really means all of its copies were.
       merged.truncated = true;
       if (severe.ok() ||
           severity(leg.status.code()) > severity(severe.code())) {
@@ -351,14 +512,19 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
   };
 
   // Single-shard, no hedging: execute on the caller's thread, skipping the
-  // fan-out pool hop entirely (the common explicit-target fast path).
+  // fan-out pool hop entirely (the common explicit-target fast path). The
+  // replica pick and failover chain still apply.
   if (subs.size() == 1 && !hedging) {
     const size_t target_shard = subs[0].first;
     Stopwatch leg_clock;
-    QueryResult leg = clients_[target_shard]->Execute(std::move(subs[0].second));
-    shard_requests_total_[target_shard]->Increment();
-    if (!leg.status.ok()) shard_errors_total_[target_shard]->Increment();
-    shard_latency_ms_[target_shard]->Observe(leg_clock.ElapsedMillis());
+    QueryResult leg = RunPrimaryChain(target_shard, std::move(subs[0].second),
+                                      /*state=*/nullptr, /*leg_index=*/0);
+    {
+      MutexLock lock(&stats_mutex_);
+      shard_requests_total_[target_shard]->Increment();
+      if (!leg.status.ok()) shard_errors_total_[target_shard]->Increment();
+      shard_latency_ms_[target_shard]->Observe(leg_clock.ElapsedMillis());
+    }
     std::vector<QueryResult> legs;
     legs.push_back(std::move(leg));
     return finish(Merge(request, std::move(legs), {target_shard}));
@@ -366,12 +532,31 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
 
   auto state = std::make_shared<GatherState>();
 
-  // Executes one leg attempt (primary or hedge) on a pool thread. The first
-  // attempt to finish wins the leg and poisons the loser's cancel token; a
-  // loser finds the leg resolved and discards its response.
+  // Executes one leg attempt chain (primary + failovers, or a hedge) on a
+  // pool thread. The first attempt to finish wins the leg and poisons the
+  // loser's cancel token; a loser finds the leg resolved and discards its
+  // response.
   auto run_leg = [this, state](size_t index, size_t leg_shard,
-                               QueryRequest sub, bool is_hedge) {
-    QueryResult response = clients_[leg_shard]->Execute(std::move(sub));
+                               QueryRequest sub, bool is_hedge,
+                               size_t hedge_replica, bool hedge_cross) {
+    QueryResult response;
+    if (is_hedge) {
+      const size_t slot = Slot(leg_shard, hedge_replica);
+      {
+        MutexLock lock(&stats_mutex_);
+        replica_picks_total_[slot]->Increment();
+      }
+      inflight_[slot].fetch_add(1, std::memory_order_relaxed);
+      response = clients_[slot]->Execute(std::move(sub));
+      inflight_[slot].fetch_sub(1, std::memory_order_relaxed);
+      if (!response.status.ok()) {
+        MutexLock lock(&stats_mutex_);
+        replica_errors_total_[slot]->Increment();
+      }
+    } else {
+      response = RunPrimaryChain(leg_shard, std::move(sub), state.get(),
+                                 index);
+    }
     bool winner = false;
     bool error = false;
     double leg_ms = 0;
@@ -395,18 +580,24 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
       }
     }
     if (winner) {
+      MutexLock lock(&stats_mutex_);
       shard_requests_total_[leg_shard]->Increment();
       if (error) shard_errors_total_[leg_shard]->Increment();
       shard_latency_ms_[leg_shard]->Observe(leg_ms);
-      if (is_hedge) hedges_won_total_->Increment();
+      if (is_hedge) {
+        hedges_won_total_->Increment();
+        if (hedge_cross) cross_hedges_won_total_->Increment();
+      }
     }
   };
   auto submit_leg = [this, &run_leg](size_t index, size_t leg_shard,
-                                     QueryRequest sub,
-                                     bool is_hedge) -> Status {
+                                     QueryRequest sub, bool is_hedge,
+                                     size_t hedge_replica,
+                                     bool hedge_cross) -> Status {
     return pool_.Submit([run_leg, index, leg_shard, sub = std::move(sub),
-                         is_hedge]() mutable {
-      run_leg(index, leg_shard, std::move(sub), is_hedge);
+                         is_hedge, hedge_replica, hedge_cross]() mutable {
+      run_leg(index, leg_shard, std::move(sub), is_hedge, hedge_replica,
+              hedge_cross);
     });
   };
 
@@ -436,13 +627,15 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
       // Every primary leg deposits into the hedge budget; each fired hedge
       // withdraws one full token, bounding hedges to ~ratio of leg traffic.
       hedge_budget_.OnRequest();
-      Status submitted = submit_leg(i, leg.shard, leg.primary, false);
+      Status submitted = submit_leg(i, leg.shard, leg.primary, false, 0,
+                                    false);
       if (!submitted.ok()) {
         // Fan-out pool saturated: the leg resolves immediately as
         // unavailable and the merge degrades per the partial contract.
         leg.resolved = true;
         leg.result.status = submitted;
         --state->unresolved;
+        MutexLock stats_lock(&stats_mutex_);
         shard_errors_total_[leg.shard]->Increment();
       }
     }
@@ -461,6 +654,7 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
           }
           leg.hedge_attempted = true;
           if (!hedge_budget_.TryConsumeRetry()) {
+            MutexLock stats_lock(&stats_mutex_);
             hedges_denied_total_->Increment();
             continue;
           }
@@ -468,15 +662,33 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
           hedge.hedge = true;
           hedge.cancel = std::make_shared<std::atomic<bool>>(false);
           leg.hedge_cancel = hedge.cancel;
-          Status submitted =
-              submit_leg(i, leg.shard, std::move(hedge), true);
+          // Cross-replica hedge: the duplicate goes to the best healthy
+          // replica that is NOT the one the primary chain is on — when a
+          // replica (not the data) is slow, redrawing the same replica buys
+          // nothing. Same-replica fallback when unreplicated or no healthy
+          // sibling exists.
+          size_t hedge_replica = leg.primary_replica;
+          bool cross = false;
+          if (map_.num_replicas() > 1) {
+            ReplicaPick pick = PickReplica(
+                leg.shard, uint64_t{1} << leg.primary_replica);
+            if (pick.replica != ShardMap::kNoShard && !pick.picked_open) {
+              hedge_replica = pick.replica;
+              cross = true;
+            }
+          }
+          Status submitted = submit_leg(i, leg.shard, std::move(hedge), true,
+                                        hedge_replica, cross);
           if (!submitted.ok()) {
             leg.hedge_cancel = nullptr;
+            MutexLock stats_lock(&stats_mutex_);
             hedges_denied_total_->Increment();
             continue;
           }
           leg.hedge_fired = true;
+          MutexLock stats_lock(&stats_mutex_);
           hedges_fired_total_->Increment();
+          if (cross) cross_hedges_fired_total_->Increment();
         }
       }
       if (gather_deadline_ms > 0) {
@@ -501,6 +713,7 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
       if (leg.primary_cancel != nullptr) leg.primary_cancel->store(true);
       if (leg.hedge_cancel != nullptr) leg.hedge_cancel->store(true);
       --state->unresolved;
+      MutexLock stats_lock(&stats_mutex_);
       gather_timeout_total_->Increment();
       shard_errors_total_[leg.shard]->Increment();
     }
@@ -515,7 +728,10 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
 }
 
 RouterStats ShardedRouter::Snapshot() const {
+  const size_t n = map_.num_shards();
+  const size_t r_count = map_.num_replicas();
   RouterStats stats;
+  MutexLock lock(&stats_mutex_);
   stats.requests = requests_total_->Value();
   stats.fanouts = fanout_total_->Value();
   stats.hedges_fired = hedges_fired_total_->Value();
@@ -523,10 +739,22 @@ RouterStats ShardedRouter::Snapshot() const {
   stats.hedges_denied = hedges_denied_total_->Value();
   stats.partials = partial_total_->Value();
   stats.gather_timeouts = gather_timeout_total_->Value();
-  stats.shards.resize(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  stats.failovers = failover_total_->Value();
+  stats.cross_hedges_fired = cross_hedges_fired_total_->Value();
+  stats.cross_hedges_won = cross_hedges_won_total_->Value();
+  stats.all_replicas_down = all_down_total_->Value();
+  stats.shards.resize(n);
+  for (size_t i = 0; i < n; ++i) {
     stats.shards[i].requests = shard_requests_total_[i]->Value();
     stats.shards[i].errors = shard_errors_total_[i]->Value();
+  }
+  stats.replica_picks.assign(n, std::vector<uint64_t>(r_count, 0));
+  stats.replica_errors.assign(n, std::vector<uint64_t>(r_count, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < r_count; ++r) {
+      stats.replica_picks[i][r] = replica_picks_total_[Slot(i, r)]->Value();
+      stats.replica_errors[i][r] = replica_errors_total_[Slot(i, r)]->Value();
+    }
   }
   obs::HistogramSnapshot latency = latency_ms_->Snapshot();
   stats.p50_latency_ms = latency.Quantile(0.50);

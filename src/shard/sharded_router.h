@@ -1,6 +1,7 @@
 #ifndef VQLIB_SHARD_SHARDED_ROUTER_H_
 #define VQLIB_SHARD_SHARDED_ROUTER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -8,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "graph/graph_database.h"
 #include "obs/metrics.h"
@@ -27,22 +30,33 @@ namespace shard {
 struct ShardedRouterOptions {
   /// Number of QueryService shards; clamped to at least 1.
   size_t num_shards = 2;
+  /// Independent full copies of every shard (R-way replication). Each
+  /// replica is its own QueryService over its own copy of the shard's slice
+  /// (own thread pool, cache, coalescing) behind its own ServiceClient
+  /// (independent breaker and retry budget). 1 = unreplicated; clamped to
+  /// [1, 64]. With R > 1 reads balance across healthy replicas, hedges and
+  /// failover retries go to a sibling replica, and a shard only degrades to
+  /// a partial when ALL of its replicas are unavailable.
+  size_t num_replicas = 1;
   ShardPlacement placement = ShardPlacement::kRoundRobin;
-  /// Template for every shard's QueryService. The router overwrites
-  /// `metrics` (all shards share the router's registry) and `metric_labels`
-  /// ({shard="<i>"}); everything else applies per shard — so e.g.
-  /// cache_capacity is PER SHARD, not a collection-wide budget.
+  /// Template for every replica's QueryService. The router overwrites
+  /// `metrics` (the whole fleet shares the router's registry) and
+  /// `metric_labels` ({shard="<i>"}, plus replica="<r>" when num_replicas >
+  /// 1 — the unreplicated fleet keeps its original label shape); everything
+  /// else applies per replica — so e.g. cache_capacity is PER REPLICA, not a
+  /// collection-wide budget.
   QueryServiceOptions shard_options;
-  /// Template for every shard's resilience::ServiceClient (retry policy,
+  /// Template for every replica's resilience::ServiceClient (retry policy,
   /// budget, breaker). The router overwrites `metric_label` with
-  /// "shard-<i>", giving each shard an independent circuit breaker and
-  /// retry budget.
+  /// "shard-<i>" (or "shard-<i>-replica-<r>" when replicated), giving each
+  /// replica an independent circuit breaker and retry budget.
   resilience::ServiceClientOptions client_options;
   /// Hedged requests: when a leg has been outstanding longer than
-  /// max(hedge_ms, per-shard latency quantile), a budgeted duplicate fires
-  /// against the same shard and the first response wins (the loser is
-  /// cancelled via max_steps poisoning — see docs/sharding.md). <= 0
-  /// disables hedging.
+  /// max(hedge_ms, per-shard latency quantile), a budgeted duplicate fires —
+  /// against a healthy sibling replica when one exists (true tail-cutting
+  /// when a replica, not the data, is slow), else against the same replica —
+  /// and the first response wins (the loser is cancelled via max_steps
+  /// poisoning — see docs/sharding.md). <= 0 disables hedging.
   double hedge_ms = 0;
   /// Latency quantile of the per-shard history that can raise the trigger
   /// above the hedge_ms floor (only once >= 16 observations exist).
@@ -52,6 +66,13 @@ struct ShardedRouterOptions {
   /// never double the load of an already-slow fleet.
   double hedge_budget_ratio = 0.1;
   double hedge_budget_capacity = 5.0;
+  /// Token-bucket budget for replica failover: when a primary attempt fails
+  /// with a retryable code, the leg re-dispatches to an untried healthy
+  /// sibling while tokens last. More generous than the hedge budget because
+  /// failover work lands only on healthy siblings, never on the sick
+  /// replica it is escaping.
+  double failover_budget_ratio = 0.25;
+  double failover_budget_capacity = 16.0;
   /// Grace past the request deadline before scatter-gather stops waiting for
   /// a shard and merges without it (the shard enforces the deadline itself;
   /// the slack covers queueing and fan-out overhead).
@@ -60,13 +81,15 @@ struct ShardedRouterOptions {
   /// for the duration of its shard call). 0 = 2 * num_shards.
   size_t router_threads = 0;
   size_t router_queue = 1024;
-  /// Chaos targeted at ONE shard (the one-slow-shard / one-dark-shard
-  /// scenarios of EXPERIMENTS E18): when set, this injector is wired into
-  /// shard `chaos_shard` only. For fleet-wide chaos set
-  /// shard_options.fault_injector instead (all shards share that injector;
-  /// its metric registration is idempotent). Must outlive the router.
+  /// Chaos targeted at ONE replica (the dark-replica / slow-replica
+  /// scenarios of EXPERIMENTS E18/E19): when set, this injector is wired
+  /// into replica (chaos_shard, chaos_replica) only. For fleet-wide chaos
+  /// set shard_options.fault_injector instead (all replicas share that
+  /// injector; its metric registration is idempotent). Must outlive the
+  /// router.
   resilience::FaultInjector* chaos_injector = nullptr;
   size_t chaos_shard = 0;
+  size_t chaos_replica = 0;
 };
 
 /// Per-shard outcome tallies (winner results of routed legs).
@@ -84,33 +107,48 @@ struct RouterStats {
   uint64_t hedges_denied = 0;    ///< hedges suppressed by budget / full pool
   uint64_t partials = 0;         ///< merged results returned truncated
   uint64_t gather_timeouts = 0;  ///< legs abandoned at the gather deadline
+  // Replica-layer tallies (all zero when num_replicas == 1 except picks,
+  // which count every dispatch regardless of R).
+  uint64_t failovers = 0;          ///< dispatches that escaped a sick replica
+  uint64_t cross_hedges_fired = 0; ///< hedges sent to a sibling replica
+  uint64_t cross_hedges_won = 0;   ///< legs won by a cross-replica hedge
+  uint64_t all_replicas_down = 0;  ///< dispatches finding every replica open
   std::vector<RouterShardStats> shards;
+  std::vector<std::vector<uint64_t>> replica_picks;   ///< [shard][replica]
+  std::vector<std::vector<uint64_t>> replica_errors;  ///< [shard][replica]
   double p50_latency_ms = 0;
   double p99_latency_ms = 0;
 };
 
-/// Scatter-gather router over N independent QueryService shards — the
-/// "millions of users" step: throughput scales with shards instead of one
-/// mutex domain, and every shard owns the cache epochs of its member graphs.
+/// Scatter-gather router over N shards x R replicas of independent
+/// QueryServices — the "millions of users" step: throughput scales with
+/// shards instead of one mutex domain, every shard owns the cache epochs of
+/// its member graphs, and with R > 1 a sick *replica* is distinguishable
+/// from sick *data*: reads balance across healthy replicas and fail over off
+/// a dark one instead of degrading the answer.
 ///
 /// Construction partitions the graph collection deterministically (ShardMap)
-/// into N per-shard databases; each shard gets its own QueryService (thread
-/// pool, result cache, coalescing) labeled {shard="<i>"} in the shared
-/// registry, behind its own resilience::ServiceClient (independent circuit
-/// breaker and retry budget), so a dark shard degrades only its slice of the
-/// collection.
+/// and builds R full copies of each shard's slice; each replica gets its own
+/// QueryService (thread pool, result cache, coalescing) labeled
+/// {shard="<i>",replica="<r>"} in the shared registry, behind its own
+/// resilience::ServiceClient (independent circuit breaker and retry budget).
 ///
 /// Routing: explicit-target requests go to their owning shard(s); kAllGraphs
-/// matches and suggestions fan out to every shard. Per-shard results merge
-/// under the request deadline; failed or missed legs degrade to a partial
-/// (truncated) result per the service's graceful-degradation contract when
-/// the request allows it. Hedged requests cut tail latency: a leg
-/// outstanding past its trigger fires one budgeted duplicate at the same
-/// shard, first response wins, and the loser is cancelled via max_steps
-/// poisoning. See docs/sharding.md for the full state machine.
+/// matches and suggestions fan out to every shard. Within a shard the
+/// replica is picked by (effective breaker state, in-flight attempts,
+/// replica index) — deterministic for replay, skipping open breakers
+/// (failover) and preferring idle healthy copies. A retryable primary
+/// failure re-dispatches to an untried healthy sibling under the failover
+/// budget, so a request only degrades to a partial when ALL R replicas of a
+/// shard are unavailable. Hedged requests cut tail latency: a leg
+/// outstanding past its trigger fires one budgeted duplicate at a sibling
+/// replica (same replica when R == 1 or no sibling is healthy), first
+/// response wins, and the loser is cancelled via max_steps poisoning. See
+/// docs/sharding.md for the full state machine.
 ///
-/// Thread-safe. The source database is only read during construction (each
-/// shard serves its own copy), so it does not need to outlive the router.
+/// Thread-safe, including Snapshot() at any time during traffic. The source
+/// database is only read during construction (each replica serves its own
+/// copy), so it does not need to outlive the router.
 class ShardedRouter {
  public:
   ShardedRouter(const GraphDatabase& db, ShardedRouterOptions options = {});
@@ -122,39 +160,78 @@ class ShardedRouter {
   /// Routes, scatters, gathers, and merges. Blocking; call from any thread.
   QueryResult Execute(QueryRequest request);
 
-  /// Routes the per-graph invalidation to the owning shard only: the other
-  /// shards' whole-collection (kAllGraphs) cache entries survive, closing
-  /// the single-service limitation where any graph update evicted every
+  /// Routes the per-graph invalidation to every replica of the owning shard
+  /// (no replica may serve a stale epoch); the other shards'
+  /// whole-collection (kAllGraphs) cache entries survive, closing the
+  /// single-service limitation where any graph update evicted every
   /// collection-scoped entry. Unknown ids are a no-op.
   void InvalidateCacheKey(GraphId graph_id);
-  /// Full epoch bump on every shard.
+  /// Full epoch bump on every replica of every shard.
   void InvalidateCache();
 
+  /// Safe to call at any time, including concurrently with Execute():
+  /// per-leg bookkeeping and the snapshot read are ordered by a stats mutex,
+  /// so a snapshot never observes a leg half-tallied. Counters include only
+  /// legs fully resolved at the time of the call; Shutdown() first for
+  /// final, exact totals.
   RouterStats Snapshot() const;
-  /// Shard ServiceStats summed across shards (latency percentiles are the
-  /// router's own, end-to-end).
+  /// Shard ServiceStats summed across all replicas (latency percentiles are
+  /// the router's own, end-to-end).
   ServiceStats AggregateSnapshot() const;
 
-  /// Registry shared by the router and every shard (exposition: /metrics).
+  /// Registry shared by the router and every replica (exposition: /metrics).
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   const ShardMap& shard_map() const { return map_; }
-  size_t num_shards() const { return shards_.size(); }
-  QueryService& shard(size_t i) { return *shards_[i]; }
-  resilience::ServiceClient& client(size_t i) { return *clients_[i]; }
+  size_t num_shards() const { return map_.num_shards(); }
+  size_t num_replicas() const { return map_.num_replicas(); }
+  QueryService& shard(size_t i, size_t r = 0) { return *shards_[Slot(i, r)]; }
+  resilience::ServiceClient& client(size_t i, size_t r = 0) {
+    return *clients_[Slot(i, r)];
+  }
 
-  // Aggregate saturation signals for /healthz (sums across shards).
+  // Aggregate saturation signals for /healthz (sums across all replicas).
   size_t QueueDepth() const;
   size_t queue_capacity() const;
   size_t num_threads() const;
 
-  /// Graceful shutdown: the fan-out pool drains, then every shard shuts
+  /// Graceful shutdown: the fan-out pool drains, then every replica shuts
   /// down. Requests admitted before the call complete.
   void Shutdown();
 
  private:
   struct GatherState;
+
+  /// Outcome of one health-gated replica pick (see PickReplica).
+  struct ReplicaPick {
+    size_t replica = ShardMap::kNoShard;  ///< kNoShard: mask excluded all
+    bool picked_open = false;   ///< chosen replica's breaker is open
+    bool skipped_open = false;  ///< an open-breaker candidate was passed over
+  };
+
+  size_t Slot(size_t shard, size_t replica) const {
+    return shard * map_.num_replicas() + replica;
+  }
+
+  /// Deterministic health- and load-gated replica pick: candidates (replicas
+  /// whose bit is clear in `exclude_mask`) rank by (effective breaker state:
+  /// closed < half-open < open, in-flight attempts, replica index) and the
+  /// minimum wins. Open breakers rank last, so an open replica is only
+  /// picked when every candidate is open (the all-replicas-down case);
+  /// cooldown-expired open breakers rank as half-open so probe traffic can
+  /// discover recovery. The index tiebreak makes single-threaded runs fully
+  /// replayable.
+  ReplicaPick PickReplica(size_t shard, uint64_t exclude_mask) const;
+
+  /// Runs the primary attempt chain of one leg on the calling thread:
+  /// replica pick, execute, and budgeted failover to untried healthy
+  /// siblings on retryable failure. With `state` set (pool legs) the chain
+  /// publishes the current replica and a fresh cancel token per attempt
+  /// under the gather mutex and stops when the leg resolves elsewhere;
+  /// nullptr = the single-leg fast path. Returns the final response.
+  QueryResult RunPrimaryChain(size_t leg_shard, QueryRequest sub,
+                              GatherState* state, size_t leg_index);
 
   /// Expands `request` into per-shard legs. NotFound when an explicit target
   /// is not in the shard map.
@@ -170,13 +247,26 @@ class ShardedRouter {
   double HedgeTriggerMs(size_t shard) const;
 
   ShardedRouterOptions options_;
-  // Declared first: every shard, client, and pool registers instruments here.
+  // Declared first: every replica, client, and pool registers instruments
+  // here.
   obs::MetricsRegistry metrics_;
   ShardMap map_;
+  // Slot-indexed (shard * R + replica): each replica owns a full copy of its
+  // shard's slice.
   std::vector<std::unique_ptr<GraphDatabase>> shard_dbs_;
   std::vector<std::unique_ptr<QueryService>> shards_;
   std::vector<std::unique_ptr<resilience::ServiceClient>> clients_;
   resilience::RetryBudget hedge_budget_;
+  resilience::RetryBudget failover_budget_;
+  // Attempts currently executing per slot — the load half of the replica
+  // pick. Plain atomics: reads tolerate slight staleness.
+  std::unique_ptr<std::atomic<int>[]> inflight_;
+
+  // Orders multi-counter leg bookkeeping against Snapshot() so a snapshot
+  // taken mid-traffic never sees a leg half-tallied (e.g. its request
+  // counted but its error not). Never held across a shard call; nests
+  // inside GatherState::mutex only, never the reverse.
+  mutable Mutex stats_mutex_;
 
   // Instrument handles resolved once in the constructor.
   obs::Counter* requests_total_;
@@ -186,10 +276,16 @@ class ShardedRouter {
   obs::Counter* hedges_denied_total_;
   obs::Counter* partial_total_;
   obs::Counter* gather_timeout_total_;
+  obs::Counter* failover_total_;
+  obs::Counter* cross_hedges_fired_total_;
+  obs::Counter* cross_hedges_won_total_;
+  obs::Counter* all_down_total_;
   obs::Histogram* latency_ms_;
-  std::vector<obs::Counter*> shard_requests_total_;
-  std::vector<obs::Counter*> shard_errors_total_;
-  std::vector<obs::Histogram*> shard_latency_ms_;
+  std::vector<obs::Counter*> shard_requests_total_;   // shard-indexed
+  std::vector<obs::Counter*> shard_errors_total_;     // shard-indexed
+  std::vector<obs::Histogram*> shard_latency_ms_;     // shard-indexed
+  std::vector<obs::Counter*> replica_picks_total_;    // slot-indexed
+  std::vector<obs::Counter*> replica_errors_total_;   // slot-indexed
 
   // Declared last so it is destroyed (and drained) first: in-flight leg
   // tasks reference the shards and clients above.

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -37,6 +38,7 @@ using resilience::FaultDecision;
 using resilience::FaultInjector;
 using resilience::FaultPlan;
 using resilience::FaultPoint;
+using resilience::FaultPointName;
 using resilience::FaultPointSpec;
 using resilience::IsRetryable;
 using resilience::kNumFaultPoints;
@@ -211,6 +213,25 @@ TEST(CircuitBreakerTest, HalfOpenAdmitsBoundedProbes) {
   EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
 }
 
+// EffectiveState is the non-mutating view replica balancers rank by: an open
+// breaker whose cooldown has expired reports kHalfOpen (the next Allow would
+// admit a probe) while state() still says kOpen — so a recovering replica
+// becomes eligible for probe traffic without anyone poking the breaker.
+TEST(CircuitBreakerTest, EffectiveStateReportsExpiredCooldownAsHalfOpen) {
+  CircuitBreaker breaker(FastBreaker());
+  EXPECT_EQ(breaker.EffectiveState(), BreakerState::kClosed);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.EffectiveState(), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Cooldown elapsed: the effective view flips, the real state does not.
+  EXPECT_EQ(breaker.EffectiveState(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  ASSERT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.EffectiveState(), BreakerState::kHalfOpen);
+}
+
 // ---------------------------------------------------------------------------
 // Fault injector: determinism and the chaos-spec grammar
 
@@ -332,6 +353,21 @@ TEST(ChaosSpecTest, RejectsMalformedSpecs) {
     auto parsed = FaultInjector::ParseChaosSpec(spec);
     EXPECT_FALSE(parsed.ok()) << "accepted: " << spec;
     EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// A typoed point name must fail with a message that teaches the fix: the
+// offending name plus the full list of valid points.
+TEST(ChaosSpecTest, UnknownPointErrorEnumeratesValidPoints) {
+  auto parsed = FaultInjector::ParseChaosSpec("exectuor:error=1");
+  ASSERT_FALSE(parsed.ok());
+  const std::string message = parsed.status().message();
+  EXPECT_NE(message.find("exectuor"), std::string::npos) << message;
+  EXPECT_NE(message.find("valid points"), std::string::npos) << message;
+  for (size_t p = 0; p < kNumFaultPoints; ++p) {
+    const char* name = FaultPointName(static_cast<FaultPoint>(p));
+    EXPECT_NE(message.find(name), std::string::npos)
+        << "missing '" << name << "' in: " << message;
   }
 }
 

@@ -1,11 +1,16 @@
 // Tests for the sharded serving layer: deterministic shard maps, routing
 // correctness against a single-service ground truth, scatter-gather merge
-// under deadlines, blast-radius containment when one shard goes dark, and
-// hedged requests. Every test fixes seeds (database generation and fault
-// injection), so the suite is deterministic and safe under TSan/ASan.
+// under deadlines, blast-radius containment when one shard goes dark, hedged
+// requests, and R-way replication (replica-aware failover, cross-replica
+// hedging, health-gated balancing). Every test fixes seeds (database
+// generation and fault injection), so the suite is deterministic and safe
+// under TSan/ASan.
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -350,6 +355,279 @@ TEST(ShardedRouterTest, HedgeFiresAndWinsAgainstAStalledPrimary) {
   EXPECT_EQ(stats.hedges_fired, 1u);
   EXPECT_EQ(stats.hedges_won, 1u);
   EXPECT_EQ(stats.hedges_denied, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// R-way replication
+
+TEST(ShardMapTest, ReplicaSetsAreDeterministicAndClamped) {
+  GraphDatabase db = MakeMolecules(10);
+  ShardMap map(db, 3, ShardPlacement::kRoundRobin, 2);
+  ShardMap again(db, 3, ShardPlacement::kRoundRobin, 2);
+  EXPECT_EQ(map.num_replicas(), 2u);
+  for (const Graph& graph : db.graphs()) {
+    ShardMap::ReplicaSet set = map.ReplicasOf(graph.id());
+    EXPECT_EQ(set.shard, map.OwnerOf(graph.id()));
+    EXPECT_EQ(set.shard, again.ReplicasOf(graph.id()).shard);
+    EXPECT_EQ(set.replicas, (std::vector<size_t>{0, 1}));
+  }
+  ShardMap::ReplicaSet unknown = map.ReplicasOf(999999);
+  EXPECT_EQ(unknown.shard, ShardMap::kNoShard);
+  EXPECT_TRUE(unknown.replicas.empty());
+  // R clamps into [1, 64] — the router tracks replica sets in a 64-bit mask.
+  EXPECT_EQ(ShardMap(db, 2, ShardPlacement::kRoundRobin, 0).num_replicas(),
+            1u);
+  EXPECT_EQ(ShardMap(db, 2, ShardPlacement::kRoundRobin, 900).num_replicas(),
+            64u);
+}
+
+// A replicated fleet must answer exactly like the unreplicated reference, and
+// at idle the deterministic tiebreak routes every pick to replica 0.
+TEST(ReplicatedRouterTest, ReplicatedFleetMatchesSingleService) {
+  GraphDatabase db = MakeMolecules(24);
+  QueryService reference(db, QueryServiceOptions{});
+  ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.num_replicas = 2;
+  ShardedRouter router(db, options);
+  EXPECT_EQ(router.num_replicas(), 2u);
+  for (const Graph& pattern :
+       {SingleVertexPattern(0), EdgePattern(0, 1), EdgePattern(1, 1)}) {
+    QueryResult expected = reference.Execute(MatchAll(pattern));
+    QueryResult merged = router.Execute(MatchAll(pattern));
+    ASSERT_TRUE(merged.status.ok()) << merged.status.ToString();
+    EXPECT_EQ(merged.embedding_count, expected.embedding_count);
+    EXPECT_EQ(merged.matched_graphs, expected.matched_graphs);
+  }
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(stats.replica_picks[i][0], 3u) << "shard " << i;
+    EXPECT_EQ(stats.replica_picks[i][1], 0u) << "shard " << i;
+  }
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(stats.all_replicas_down, 0u);
+}
+
+// The E19 headline: one replica of one shard fails 100% of requests, and the
+// fleet loses NOTHING — every request fails over to the healthy sibling, so
+// results stay complete (no partials) and only the dark replica's breaker
+// opens.
+TEST(ReplicatedRouterTest, DarkReplicaFailsOverWithZeroAvailabilityLoss) {
+  GraphDatabase db = MakeMolecules(12);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.At(FaultPoint::kExecutor).error_p = 1.0;
+  plan.At(FaultPoint::kExecutor).error_code = StatusCode::kUnavailable;
+  FaultInjector injector(plan);
+  ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.num_replicas = 2;
+  options.chaos_injector = &injector;
+  options.chaos_shard = 1;
+  options.chaos_replica = 0;
+  options.client_options.sleep_on_backoff = false;
+  options.client_options.breaker.min_samples = 4;
+  ShardedRouter router(db, options);
+
+  for (int i = 0; i < 10; ++i) {
+    // Strict requests, no allow_partial: with replication there is nothing
+    // to degrade — the sibling replica serves the dark replica's slice.
+    QueryResult merged = router.Execute(MatchAll(SingleVertexPattern(0)));
+    ASSERT_TRUE(merged.status.ok()) << "request " << i << ": "
+                                    << merged.status.ToString();
+    EXPECT_FALSE(merged.truncated) << "request " << i;
+  }
+  // Blast radius: only the dark replica's breaker opened.
+  EXPECT_EQ(router.client(1, 0).breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(router.client(1, 1).breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(router.client(0, 0).breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(router.client(0, 1).breaker_state(), BreakerState::kClosed);
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_GT(stats.failovers, 0u);
+  EXPECT_EQ(stats.all_replicas_down, 0u);
+  EXPECT_EQ(stats.partials, 0u);
+  // The sibling absorbed shard 1's reads once the dark replica was skipped
+  // at dispatch.
+  EXPECT_EQ(stats.replica_picks[1][1], 10u);
+  EXPECT_GT(stats.replica_errors[1][0], 0u);
+  EXPECT_EQ(stats.replica_errors[1][1], 0u);
+  // The legs themselves never erred — failover resolved them all OK.
+  EXPECT_EQ(stats.shards[1].errors, 0u);
+}
+
+// A slow (not failing) replica: the primary leg lands on the stalled replica
+// and the hedge goes to its healthy sibling, which answers long before the
+// stall resolves. No seed search needed — only replica (0,0) carries the
+// injector, so the sibling is deterministically clean.
+TEST(ReplicatedRouterTest, CrossReplicaHedgeRescuesASlowReplica) {
+  GraphDatabase db = MakeMolecules(3);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.At(FaultPoint::kVf2Slice).latency_p = 1.0;
+  plan.At(FaultPoint::kVf2Slice).latency_ms = 400;
+  FaultInjector injector(plan);
+  ShardedRouterOptions options;
+  options.num_shards = 1;
+  options.num_replicas = 2;
+  options.chaos_injector = &injector;
+  options.chaos_shard = 0;
+  options.chaos_replica = 0;
+  options.hedge_ms = 75;
+  ShardedRouter router(db, options);
+
+  QueryRequest request = MatchAll(SingleVertexPattern(0));
+  request.deadline_ms = 5000;  // slice path (where vf2_slice draws), no expiry
+  QueryResult merged = router.Execute(request);
+  ASSERT_TRUE(merged.status.ok()) << merged.status.ToString();
+  EXPECT_FALSE(merged.truncated);
+  // The cross-replica hedge won well before the primary's 400ms stall ended.
+  EXPECT_LT(merged.latency_ms, 390.0);
+
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_EQ(stats.hedges_fired, 1u);
+  EXPECT_EQ(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.cross_hedges_fired, 1u);
+  EXPECT_EQ(stats.cross_hedges_won, 1u);
+  EXPECT_EQ(stats.replica_picks[0][1], 1u);  // the hedge's sibling dispatch
+}
+
+// Fleet-wide failure: when EVERY replica of a shard is breaker-open the
+// router still dispatches (the breaker fast-fails) but counts the
+// all-replicas-down event — the signal that replication has run out of
+// copies and the shard's slice is genuinely gone.
+TEST(ReplicatedRouterTest, AllReplicasDownIsCountedAndFails) {
+  GraphDatabase db = MakeMolecules(8);
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.At(FaultPoint::kExecutor).error_p = 1.0;
+  plan.At(FaultPoint::kExecutor).error_code = StatusCode::kUnavailable;
+  FaultInjector injector(plan);
+  ShardedRouterOptions options;
+  options.num_shards = 1;
+  options.num_replicas = 2;
+  // Fleet-wide chaos: every replica is built with the injector, so no
+  // sibling is healthy and failover has nowhere to go.
+  options.shard_options.fault_injector = &injector;
+  options.client_options.sleep_on_backoff = false;
+  options.client_options.breaker.min_samples = 4;
+  ShardedRouter router(db, options);
+
+  QueryResult last;
+  for (int i = 0; i < 12; ++i) {
+    last = router.Execute(MatchAll(SingleVertexPattern(0)));
+    EXPECT_FALSE(last.status.ok()) << "request " << i;
+  }
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_GE(stats.all_replicas_down, 1u);
+  EXPECT_GT(stats.replica_errors[0][0], 0u);
+  EXPECT_GT(stats.replica_errors[0][1], 0u);
+}
+
+// InvalidateCacheKey must reach EVERY replica of the owner shard: a read
+// balanced onto an unbumped sibling would otherwise serve stale results.
+TEST(ReplicatedRouterTest, InvalidateCacheKeyFansOutToAllReplicas) {
+  GraphDatabase db = MakeMolecules(8);
+  ShardedRouterOptions options;
+  options.num_shards = 1;
+  options.num_replicas = 2;
+  options.shard_options.cache_capacity = 64;
+  ShardedRouter router(db, options);
+  QueryRequest request = MatchAll(SingleVertexPattern(0));
+  for (size_t r = 0; r < 2; ++r) {
+    ASSERT_TRUE(router.shard(0, r).Execute(request).status.ok());
+    EXPECT_TRUE(router.shard(0, r).Execute(request).from_cache)
+        << "replica " << r;
+  }
+  router.InvalidateCacheKey(0);
+  for (size_t r = 0; r < 2; ++r) {
+    QueryResult after = router.shard(0, r).Execute(request);
+    ASSERT_TRUE(after.status.ok());
+    EXPECT_FALSE(after.from_cache) << "replica " << r << " served stale";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge severity and gather-timeout accounting
+
+// Two shards fail differently in one gather: shard 0 answers kInternal (the
+// chaos injector replaces the fleet-wide stall there) and shard 1 stalls
+// past the gather deadline (kDeadlineExceeded). A strict merge must surface
+// the most severe failure — internal — with the owning shard named, and the
+// abandoned leg must tick vqi_router_gather_timeout_total.
+TEST(ShardedRouterTest, MergeSurfacesMostSevereFailureAcrossShards) {
+  GraphDatabase db = MakeMolecules(12);
+  FaultPlan stall_plan;
+  stall_plan.seed = 5;
+  stall_plan.At(FaultPoint::kVf2Slice).latency_p = 1.0;
+  stall_plan.At(FaultPoint::kVf2Slice).latency_ms = 300;
+  FaultInjector stall(stall_plan);
+  FaultPlan error_plan;
+  error_plan.seed = 5;
+  error_plan.At(FaultPoint::kExecutor).error_p = 1.0;
+  error_plan.At(FaultPoint::kExecutor).error_code = StatusCode::kInternal;
+  FaultInjector internal_error(error_plan);
+  ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.shard_options.fault_injector = &stall;  // fleet-wide stall...
+  options.chaos_injector = &internal_error;       // ...replaced on shard 0
+  options.chaos_shard = 0;
+  options.gather_slack_ms = 25;
+  options.client_options.sleep_on_backoff = false;
+  ShardedRouter router(db, options);
+
+  QueryRequest strict = MatchAll(SingleVertexPattern(0));
+  strict.deadline_ms = 40;
+  QueryResult merged = router.Execute(strict);
+  EXPECT_EQ(merged.status.code(), StatusCode::kInternal)
+      << merged.status.ToString();
+  EXPECT_NE(merged.status.message().find("shard 0"), std::string::npos)
+      << merged.status.ToString();
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_GE(stats.gather_timeouts, 1u);
+  EXPECT_GE(stats.shards[1].errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot under concurrency (it must be safe to call at any time)
+
+TEST(ShardedRouterTest, SnapshotIsSafeDuringConcurrentTraffic) {
+  GraphDatabase db = MakeMolecules(8);
+  ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.num_replicas = 2;
+  options.hedge_ms = 1;  // exercise the hedge bookkeeping too
+  ShardedRouter router(db, options);
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&router, &done] {
+    while (!done.load()) {
+      shard::RouterStats stats = router.Snapshot();
+      // Basic shape invariants while traffic is in flight.
+      ASSERT_EQ(stats.replica_picks.size(), 2u);
+      ASSERT_EQ(stats.replica_picks[0].size(), 2u);
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&router] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        QueryResult result = router.Execute(MatchAll(SingleVertexPattern(0)));
+        ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true);
+  snapshotter.join();
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  EXPECT_EQ(stats.requests, uint64_t{kClients} * kRequestsPerClient);
 }
 
 // ---------------------------------------------------------------------------

@@ -115,11 +115,13 @@ int Usage() {
                "                [--clients=N] [--threads=N] [--deadline-ms=X]\n"
                "                [--dup-ratio=X] [--coalesce] [--cache=N]\n"
                "                [--chaos=<spec>] [--metrics-out=<file>]\n"
-               "                [--http] [--shards=N] [--hedge-ms=X]\n"
-               "                [--chaos-shard=K]\n"
+               "                [--http] [--shards=N] [--replicas=R]\n"
+               "                [--hedge-ms=X] [--gather-slack-ms=X]\n"
+               "                [--chaos-shard=K] [--chaos-replica=K]\n"
                "  serve         <in.lg> [--port=N] [--threads=N] [--cache=N]\n"
-               "                [--shards=N] [--hedge-ms=X] [--chaos-shard=K]\n"
-               "                [--chaos=<spec>] [--smoke]\n"
+               "                [--shards=N] [--replicas=R] [--hedge-ms=X]\n"
+               "                [--gather-slack-ms=X] [--chaos-shard=K]\n"
+               "                [--chaos-replica=K] [--chaos=<spec>] [--smoke]\n"
                "  metrics-demo\n");
   return 2;
 }
@@ -787,18 +789,21 @@ int RunHttpBench(const GraphDatabase& db, const std::vector<Graph>& queries,
   return 0;
 }
 
-// serve-bench --shards: the sharded scatter-gather path (EXPERIMENTS.md E18).
-// Phase A computes reference results on one unsharded QueryService; phase B
-// replays the same workload through a ShardedRouter over N shards and checks
-// the merged content is byte-identical to the reference. With --chaos the
-// injector is wired into shard --chaos-shard only, so the report shows
-// whether the damage stayed contained to that shard's slice.
+// serve-bench --shards: the sharded scatter-gather path (EXPERIMENTS.md E18,
+// and E19 with --replicas). Phase A computes reference results on one
+// unsharded QueryService; phase B replays the same workload through a
+// ShardedRouter over N shards x R replicas and checks the merged content is
+// byte-identical to the reference. With --chaos the injector is wired into
+// replica (--chaos-shard, --chaos-replica) only, so the report shows whether
+// the damage stayed contained — and with R > 1, whether the sibling replicas
+// absorbed it entirely.
 int RunShardBench(const GraphDatabase& db, const std::vector<Graph>& queries,
                   size_t distinct_queries, size_t repeat, size_t clients,
                   size_t threads, double deadline_ms, int64_t cache_arg,
                   bool coalesce, const std::string& chaos_spec,
                   const std::string& metrics_out, size_t shards,
-                  double hedge_ms, size_t chaos_shard) {
+                  size_t replicas, double hedge_ms, double gather_slack_ms,
+                  size_t chaos_shard, size_t chaos_replica) {
   QueryServiceOptions shard_options;
   shard_options.num_threads = threads;
   shard_options.queue_capacity = 512;
@@ -838,11 +843,14 @@ int RunShardBench(const GraphDatabase& db, const std::vector<Graph>& queries,
 
   shard::ShardedRouterOptions router_options;
   router_options.num_shards = shards;
+  router_options.num_replicas = replicas;
   router_options.shard_options = shard_options;
   router_options.hedge_ms = hedge_ms;
+  if (gather_slack_ms >= 0) router_options.gather_slack_ms = gather_slack_ms;
   if (injector.has_value()) {
     router_options.chaos_injector = &*injector;
     router_options.chaos_shard = chaos_shard;
+    router_options.chaos_replica = chaos_replica;
   }
   shard::ShardedRouter router(db, router_options);
 
@@ -917,8 +925,8 @@ int RunShardBench(const GraphDatabase& db, const std::vector<Graph>& queries,
   shard::RouterStats stats = router.Snapshot();
 
   std::printf("shard bench: %zu distinct queries x %zu rounds, %zu clients, "
-              "%zu shards x %zu threads\n",
-              distinct_queries, repeat, clients, shards, threads);
+              "%zu shards x %zu replicas x %zu threads\n",
+              distinct_queries, repeat, clients, shards, replicas, threads);
   std::printf("placement:   %s (",
               shard::ShardPlacementName(router.shard_map().placement()));
   for (size_t i = 0; i < shards; ++i) {
@@ -945,19 +953,51 @@ int RunShardBench(const GraphDatabase& db, const std::vector<Graph>& queries,
                 static_cast<unsigned long long>(stats.hedges_won),
                 static_cast<unsigned long long>(stats.hedges_denied),
                 hedge_ms, 100 * router_options.hedge_quantile);
+    if (replicas > 1) {
+      std::printf("             %llu cross-replica fired, %llu won\n",
+                  static_cast<unsigned long long>(stats.cross_hedges_fired),
+                  static_cast<unsigned long long>(stats.cross_hedges_won));
+    }
+  }
+  if (replicas > 1) {
+    std::printf("replication: %llu failovers, %llu all-replicas-down "
+                "dispatches\n",
+                static_cast<unsigned long long>(stats.failovers),
+                static_cast<unsigned long long>(stats.all_replicas_down));
   }
   std::printf("per-shard leg tallies:\n");
   for (size_t i = 0; i < stats.shards.size(); ++i) {
-    std::printf("  shard %zu: %llu legs, %llu errors, breaker %s%s\n", i,
+    std::printf("  shard %zu: %llu legs, %llu errors%s%s\n", i,
                 static_cast<unsigned long long>(stats.shards[i].requests),
                 static_cast<unsigned long long>(stats.shards[i].errors),
-                resilience::BreakerStateName(router.client(i).breaker_state()),
-                injector.has_value() && i == chaos_shard ? "  <- chaos" : "");
+                replicas > 1
+                    ? ""
+                    : (std::string(", breaker ") +
+                       resilience::BreakerStateName(
+                           router.client(i).breaker_state()))
+                          .c_str(),
+                injector.has_value() && i == chaos_shard && replicas == 1
+                    ? "  <- chaos"
+                    : "");
+    for (size_t r = 0; r < replicas && replicas > 1; ++r) {
+      std::printf("    replica %zu: %llu picks, %llu errors, breaker %s%s\n",
+                  r,
+                  static_cast<unsigned long long>(stats.replica_picks[i][r]),
+                  static_cast<unsigned long long>(stats.replica_errors[i][r]),
+                  resilience::BreakerStateName(
+                      router.client(i, r).breaker_state()),
+                  injector.has_value() && i == chaos_shard &&
+                          r == chaos_replica
+                      ? "  <- chaos"
+                      : "");
+    }
   }
   if (injector.has_value()) {
-    std::printf("chaos:       spec '%s' (seed %llu) on shard %zu only\n",
+    std::printf("chaos:       spec '%s' (seed %llu) on shard %zu replica %zu "
+                "only\n",
                 chaos_spec.c_str(),
-                static_cast<unsigned long long>(injector->seed()), chaos_shard);
+                static_cast<unsigned long long>(injector->seed()), chaos_shard,
+                chaos_replica);
     for (size_t p = 0; p < resilience::kNumFaultPoints; ++p) {
       auto point = static_cast<resilience::FaultPoint>(p);
       uint64_t errors = injector->InjectedErrors(point);
@@ -1010,8 +1050,12 @@ int Serve(int argc, char** argv) {
   int64_t threads_arg = 4;
   int64_t cache_arg = 1024;
   int64_t shards_arg = 1;
+  int64_t replicas_arg = 1;
   int64_t chaos_shard_arg = 0;
+  int64_t chaos_replica_arg = 0;
   double hedge_ms = 0;
+  // Negative sentinel: "flag absent, keep the router's default slack".
+  double gather_slack_ms = -1;
   std::string chaos_spec;
   bool smoke = false;
   std::vector<char*> positional;
@@ -1039,15 +1083,33 @@ int Serve(int argc, char** argv) {
           !s.ok()) {
         return Fail(s);
       }
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(11), "--replicas", 1, 64,
+                                &replicas_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
     } else if (arg.rfind("--hedge-ms=", 0) == 0) {
       if (Status s = ParseDoubleArg(arg.substr(11), "--hedge-ms", 0, 1e6,
                                     &hedge_ms);
           !s.ok()) {
         return Fail(s);
       }
+    } else if (arg.rfind("--gather-slack-ms=", 0) == 0) {
+      if (Status s = ParseDoubleArg(arg.substr(18), "--gather-slack-ms", 0,
+                                    1e6, &gather_slack_ms);
+          !s.ok()) {
+        return Fail(s);
+      }
     } else if (arg.rfind("--chaos-shard=", 0) == 0) {
       if (Status s = ParseCount(arg.substr(14), "--chaos-shard", 0, 63,
                                 &chaos_shard_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--chaos-replica=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(16), "--chaos-replica", 0, 63,
+                                &chaos_replica_arg);
           !s.ok()) {
         return Fail(s);
       }
@@ -1070,6 +1132,10 @@ int Serve(int argc, char** argv) {
   if (chaos_shard_arg >= shards_arg) {
     return Fail(Status::InvalidArgument(
         "--chaos-shard must name one of the --shards shards"));
+  }
+  if (chaos_replica_arg >= replicas_arg) {
+    return Fail(Status::InvalidArgument(
+        "--chaos-replica must name one of the --replicas replicas"));
   }
   auto db = io::LoadDatabase(positional[0]);
   if (!db.ok()) return Fail(db.status());
@@ -1094,16 +1160,19 @@ int Serve(int argc, char** argv) {
   std::unique_ptr<net::QueryServing> serving;
   obs::MetricsRegistry* registry = nullptr;
   net::QueryServing::Options serving_options;
-  if (shards_arg > 1) {
+  if (shards_arg > 1 || replicas_arg > 1) {
     shard::ShardedRouterOptions router_options;
     router_options.num_shards = static_cast<size_t>(shards_arg);
+    router_options.num_replicas = static_cast<size_t>(replicas_arg);
     router_options.shard_options = options;
     router_options.hedge_ms = hedge_ms;
+    if (gather_slack_ms >= 0) router_options.gather_slack_ms = gather_slack_ms;
     if (injector.has_value()) {
-      // Service-level chaos lands on one shard; wire faults (http_read) are
-      // armed on the server below regardless.
+      // Service-level chaos lands on one replica; wire faults (http_read)
+      // are armed on the server below regardless.
       router_options.chaos_injector = &*injector;
       router_options.chaos_shard = static_cast<size_t>(chaos_shard_arg);
+      router_options.chaos_replica = static_cast<size_t>(chaos_replica_arg);
     }
     router = std::make_unique<shard::ShardedRouter>(*db, router_options);
     registry = &router->metrics();
@@ -1132,9 +1201,10 @@ int Serve(int argc, char** argv) {
   if (Status s = server.Start(); !s.ok()) return Fail(s);
   if (router != nullptr) {
     std::printf("serving %zu graphs on http://127.0.0.1:%u across %zu shards"
-                "%s  (GET /metrics, GET /healthz, POST /query)\n",
+                " x %zu replicas%s  (GET /metrics, GET /healthz, POST "
+                "/query)\n",
                 db->size(), server.port(), router->num_shards(),
-                hedge_ms > 0 ? " with hedging" : "");
+                router->num_replicas(), hedge_ms > 0 ? " with hedging" : "");
   } else {
     std::printf("serving %zu graphs on http://127.0.0.1:%u  "
                 "(GET /metrics, GET /healthz, POST /query)\n",
@@ -1170,10 +1240,16 @@ int Serve(int argc, char** argv) {
     bool sharded_ok = true;
     if (router != nullptr) {
       // Router mode must expose one labeled series per shard plus the
-      // router's own instruments, and /healthz must report the fleet.
+      // router's own instruments, and /healthz must report the fleet. An
+      // unreplicated fleet keeps the bare {shard="i"} label shape.
       const std::string last_shard_series =
-          "vqi_requests_admitted_total{shard=\"" +
-          std::to_string(router->num_shards() - 1) + "\"}";
+          router->num_replicas() == 1
+              ? "vqi_requests_admitted_total{shard=\"" +
+                    std::to_string(router->num_shards() - 1) + "\"}"
+              : "vqi_requests_admitted_total{shard=\"" +
+                    std::to_string(router->num_shards() - 1) +
+                    "\",replica=\"" +
+                    std::to_string(router->num_replicas() - 1) + "\"}";
       sharded_ok =
           metrics.value().body.find(last_shard_series) != std::string::npos &&
           metrics.value().body.find("vqi_router_requests_total") !=
@@ -1182,6 +1258,21 @@ int Serve(int argc, char** argv) {
       std::printf("smoke shards: per-shard series + router instruments + "
                   "fleet health %s\n",
                   sharded_ok ? "present" : "MISSING");
+      if (router->num_replicas() > 1) {
+        // Replicated fleet: every replica gets its own pick counter and its
+        // own breaker entry in the fleet health view.
+        const std::string last_replica_series =
+            "vqi_replica_picks_total{shard=\"" +
+            std::to_string(router->num_shards() - 1) + "\",replica=\"" +
+            std::to_string(router->num_replicas() - 1) + "\"}";
+        const bool replicas_ok =
+            metrics.value().body.find(last_replica_series) !=
+                std::string::npos &&
+            healthz.value().body.find("\"replicas\"") != std::string::npos;
+        std::printf("smoke replicas: per-replica series + replica health %s\n",
+                    replicas_ok ? "present" : "MISSING");
+        sharded_ok = sharded_ok && replicas_ok;
+      }
     }
     server.Shutdown();
     if (router != nullptr) {
@@ -1230,11 +1321,15 @@ int ServeBench(int argc, char** argv) {
   int64_t threads_arg = 4;
   int64_t cache_arg = 1024;
   int64_t shards_arg = 1;
+  int64_t replicas_arg = 1;
   int64_t chaos_shard_arg = 0;
+  int64_t chaos_replica_arg = 0;
   bool threads_flag_set = false;
   double deadline_ms = 0;
   double dup_ratio = 0;
   double hedge_ms = 0;
+  // Negative sentinel: "flag absent, keep the router's default slack".
+  double gather_slack_ms = -1;
   bool coalesce = false;
   bool http_mode = false;
   std::vector<char*> positional;
@@ -1282,15 +1377,33 @@ int ServeBench(int argc, char** argv) {
           !s.ok()) {
         return Fail(s);
       }
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(11), "--replicas", 1, 64,
+                                &replicas_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
     } else if (arg.rfind("--hedge-ms=", 0) == 0) {
       if (Status s = ParseDoubleArg(arg.substr(11), "--hedge-ms", 0, 1e6,
                                     &hedge_ms);
           !s.ok()) {
         return Fail(s);
       }
+    } else if (arg.rfind("--gather-slack-ms=", 0) == 0) {
+      if (Status s = ParseDoubleArg(arg.substr(18), "--gather-slack-ms", 0,
+                                    1e6, &gather_slack_ms);
+          !s.ok()) {
+        return Fail(s);
+      }
     } else if (arg.rfind("--chaos-shard=", 0) == 0) {
       if (Status s = ParseCount(arg.substr(14), "--chaos-shard", 0, 63,
                                 &chaos_shard_arg);
+          !s.ok()) {
+        return Fail(s);
+      }
+    } else if (arg.rfind("--chaos-replica=", 0) == 0) {
+      if (Status s = ParseCount(arg.substr(16), "--chaos-replica", 0, 63,
+                                &chaos_replica_arg);
           !s.ok()) {
         return Fail(s);
       }
@@ -1359,20 +1472,26 @@ int ServeBench(int argc, char** argv) {
     queries = std::move(expanded);
   }
 
-  if (shards_arg > 1) {
+  if (shards_arg > 1 || replicas_arg > 1) {
     if (http_mode) {
       return Fail(Status::InvalidArgument(
-          "--shards and --http are mutually exclusive; bench one serving "
-          "stack at a time"));
+          "--shards/--replicas and --http are mutually exclusive; bench one "
+          "serving stack at a time"));
     }
     if (chaos_shard_arg >= shards_arg) {
       return Fail(Status::InvalidArgument(
           "--chaos-shard must name one of the --shards shards"));
     }
+    if (chaos_replica_arg >= replicas_arg) {
+      return Fail(Status::InvalidArgument(
+          "--chaos-replica must name one of the --replicas replicas"));
+    }
     return RunShardBench(*db, queries, distinct_queries, repeat, clients,
                          threads, deadline_ms, cache_arg, coalesce, chaos_spec,
                          metrics_out, static_cast<size_t>(shards_arg),
-                         hedge_ms, static_cast<size_t>(chaos_shard_arg));
+                         static_cast<size_t>(replicas_arg), hedge_ms,
+                         gather_slack_ms, static_cast<size_t>(chaos_shard_arg),
+                         static_cast<size_t>(chaos_replica_arg));
   }
 
   if (http_mode) {

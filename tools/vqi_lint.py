@@ -286,6 +286,10 @@ def self_test():
         ("src/shard/scratch_ok.h",
          '#include "graph/graph_database.h"\n'
          '#include "service/resilience/service_client.h"\n'),
+        # Replica-labeled series are bounded (R <= 64 replicas per shard), so
+        # {shard, replica} must pass the cardinality rule.
+        ("src/shard/scratch_replica_ok.h",
+         'obs::Labels labels{{"shard", "0"}, {"replica", "1"}};\n'),
     ]
     failures = []
     for rule, rel, content in cases:
