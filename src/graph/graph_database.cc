@@ -17,6 +17,7 @@ GraphId GraphDatabase::Add(Graph g) {
   VQI_CHECK(index_.find(id) == index_.end())
       << "graph id " << id << " already present";
   index_[id] = graphs_.size();
+  versions_[id] = ++version_counter_;
   graphs_.push_back(std::move(g));
   return id;
 }
@@ -32,6 +33,7 @@ bool GraphDatabase::Remove(GraphId id) {
   }
   graphs_.pop_back();
   index_.erase(it);
+  versions_[id] = ++version_counter_;
   return true;
 }
 

@@ -1,0 +1,50 @@
+#include "match/csr_graph.h"
+
+#include <algorithm>
+
+namespace vqi {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const size_t n = g.NumVertices();
+  num_edges_ = g.NumEdges();
+  vertex_labels_.resize(n);
+  offsets_.assign(n + 1, 0);
+  size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    vertex_labels_[v] = g.VertexLabel(v);
+    offsets_[v] = static_cast<uint32_t>(total);
+    total += g.Degree(v);
+  }
+  offsets_[n] = static_cast<uint32_t>(total);
+  neighbors_.reserve(total);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::vector<Neighbor>& row = g.Neighbors(v);
+    neighbors_.insert(neighbors_.end(), row.begin(), row.end());
+  }
+}
+
+const Neighbor* CsrGraph::Find(VertexId u, VertexId v) const {
+  const Neighbor* begin = NeighborsBegin(u);
+  const Neighbor* end = NeighborsEnd(u);
+  const Neighbor* it = std::lower_bound(
+      begin, end, v,
+      [](const Neighbor& nb, VertexId id) { return nb.vertex < id; });
+  if (it == end || it->vertex != v) return nullptr;
+  return it;
+}
+
+bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  return Find(u, v) != nullptr;
+}
+
+std::optional<Label> CsrGraph::EdgeLabel(VertexId u, VertexId v) const {
+  if (u == v) return std::nullopt;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const Neighbor* it = Find(u, v);
+  if (it == nullptr) return std::nullopt;
+  return it->edge_label;
+}
+
+}  // namespace vqi

@@ -1,31 +1,132 @@
 #include "match/vf2.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
+#include "truss/truss.h"
 
 namespace vqi {
 
 SubgraphMatcher::SubgraphMatcher(const Graph& pattern, const Graph& target,
                                  MatchOptions options)
-    : pattern_(pattern), target_(target), options_(options) {
-  mapping_.assign(pattern_.NumVertices(), kUnmapped);
+    : SubgraphMatcher(pattern, target, nullptr, options) {}
+
+SubgraphMatcher::SubgraphMatcher(const Graph& pattern, const Graph& target,
+                                 std::shared_ptr<const MatchIndex> index,
+                                 MatchOptions options)
+    : pattern_(pattern),
+      target_(target),
+      options_(options),
+      pattern_csr_(pattern),
+      index_(std::move(index)) {
+  if (options_.use_index && index_ == nullptr) {
+    index_ = MatchIndex::Build(target_);
+  }
+  if (index_ != nullptr) {
+    tcsr_ = &index_->csr;
+  } else {
+    owned_target_csr_ = CsrGraph(target_);
+    tcsr_ = &owned_target_csr_;
+  }
+  candidates_ =
+      (options_.use_index && index_ != nullptr) ? &index_->candidates : nullptr;
+  // Label-bucket seeding and signature subsumption compare labels exactly, so
+  // they are only sound when vertex labels are matched and dummies are not
+  // wildcards; degree and truss filters are structural and always sound.
+  label_filters_ = candidates_ != nullptr && options_.match_vertex_labels &&
+                   !options_.dummy_is_wildcard;
+
+  const size_t n = pattern_csr_.NumVertices();
+  pattern_degree_.resize(n);
+  for (VertexId v = 0; v < n; ++v) pattern_degree_[v] = pattern_csr_.Degree(v);
+  if (label_filters_) {
+    pattern_sig_.assign(n, 0);
+    pattern_repeat_sig_.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      uint64_t sig = 0;
+      uint64_t repeat = 0;
+      for (const Neighbor* nb = pattern_csr_.NeighborsBegin(v);
+           nb != pattern_csr_.NeighborsEnd(v); ++nb) {
+        uint64_t bit =
+            CandidateIndex::LabelBit(pattern_csr_.VertexLabel(nb->vertex));
+        repeat |= sig & bit;
+        sig |= bit;
+      }
+      pattern_sig_[v] = sig;
+      pattern_repeat_sig_[v] = repeat;
+    }
+  }
+  if (candidates_ != nullptr && candidates_->has_truss() &&
+      pattern_csr_.NumEdges() > 0) {
+    TrussDecomposition truss = DecomposeTruss(pattern_);
+    pattern_shell_.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      int shell = 0;
+      for (const Neighbor* nb = pattern_csr_.NeighborsBegin(v);
+           nb != pattern_csr_.NeighborsEnd(v); ++nb) {
+        shell = std::max(shell, truss.EdgeTrussness(v, nb->vertex));
+      }
+      pattern_shell_[v] = shell;
+    }
+  }
+  mapping_.assign(n, kUnmapped);
   used_.assign(target_.NumVertices(), false);
   ComputeOrder();
 }
 
 void SubgraphMatcher::ComputeOrder() {
-  size_t n = pattern_.NumVertices();
+  size_t n = pattern_csr_.NumVertices();
   order_.clear();
   anchor_.assign(n, -1);
   if (n == 0) return;
 
   std::vector<bool> placed(n, false);
-  // Start from the highest-degree vertex; a strong static heuristic at
-  // pattern scale.
   VertexId start = 0;
-  for (VertexId v = 1; v < n; ++v) {
-    if (pattern_.Degree(v) > pattern_.Degree(start)) start = v;
+  // Seed from the rarest pattern vertex: the one with the fewest viable
+  // target candidates |{tv : label(tv) == label(v), deg(tv) >= deg(v)}|.
+  // Ties prefer higher degree (a stronger anchor for the rest of the order),
+  // then lower id for determinism. Both engines compute the SAME number —
+  // the indexed path reads it off the label buckets, the oracle counts by a
+  // direct scan — so the match order never depends on use_index. That
+  // invariant is what makes "indexed steps <= legacy steps" a theorem: with
+  // identical orders the indexed search tree is a prune-only subset of the
+  // legacy tree (tests/differential_test.cc asserts it pairwise). When label
+  // seeding is unsound (wildcards, labels ignored) both engines fall back to
+  // the highest-degree start.
+  if (options_.match_vertex_labels && !options_.dummy_is_wildcard) {
+    std::vector<size_t> width(n, 0);
+    if (label_filters_) {
+      for (VertexId v = 0; v < n; ++v) {
+        width[v] = candidates_
+                       ->CandidatesForLabel(pattern_csr_.VertexLabel(v),
+                                            pattern_degree_[v])
+                       .size();
+      }
+    } else {
+      for (VertexId tv = 0; tv < tcsr_->NumVertices(); ++tv) {
+        for (VertexId v = 0; v < n; ++v) {
+          if (tcsr_->VertexLabel(tv) == pattern_csr_.VertexLabel(v) &&
+              tcsr_->Degree(tv) >= pattern_degree_[v]) {
+            ++width[v];
+          }
+        }
+      }
+    }
+    size_t best_width = std::numeric_limits<size_t>::max();
+    for (VertexId v = 0; v < n; ++v) {
+      if (width[v] < best_width ||
+          (width[v] == best_width &&
+           pattern_degree_[v] > pattern_degree_[start])) {
+        start = v;
+        best_width = width[v];
+      }
+    }
+  } else {
+    // Highest-degree vertex: a strong static heuristic at pattern scale.
+    for (VertexId v = 1; v < n; ++v) {
+      if (pattern_degree_[v] > pattern_degree_[start]) start = v;
+    }
   }
   order_.push_back(start);
   placed[start] = true;
@@ -40,10 +141,11 @@ void SubgraphMatcher::ComputeOrder() {
     for (VertexId v = 0; v < n; ++v) {
       if (placed[v]) continue;
       size_t connected = 0;
-      for (const Neighbor& nb : pattern_.Neighbors(v)) {
-        if (placed[nb.vertex]) ++connected;
+      for (const Neighbor* nb = pattern_csr_.NeighborsBegin(v);
+           nb != pattern_csr_.NeighborsEnd(v); ++nb) {
+        if (placed[nb->vertex]) ++connected;
       }
-      size_t degree = pattern_.Degree(v);
+      size_t degree = pattern_degree_[v];
       if (best == -1 || connected > best_connected ||
           (connected == best_connected && degree > best_degree)) {
         best = static_cast<int>(v);
@@ -56,10 +158,11 @@ void SubgraphMatcher::ComputeOrder() {
     // Remember one already-placed neighbor: its image anchors the candidate
     // set for v.
     int anchor = -1;
-    for (const Neighbor& nb : pattern_.Neighbors(v)) {
-      if (placed[nb.vertex] && nb.vertex != v) {
+    for (const Neighbor* nb = pattern_csr_.NeighborsBegin(v);
+         nb != pattern_csr_.NeighborsEnd(v); ++nb) {
+      if (placed[nb->vertex] && nb->vertex != v) {
         for (size_t i = 0; i < order_.size(); ++i) {
-          if (order_[i] == nb.vertex) {
+          if (order_[i] == nb->vertex) {
             anchor = static_cast<int>(i);
             break;
           }
@@ -79,27 +182,30 @@ bool SubgraphMatcher::Feasible(VertexId pu, VertexId tv) const {
            (a == kDummyLabel || b == kDummyLabel);
   };
   if (options_.match_vertex_labels &&
-      !labels_compatible(pattern_.VertexLabel(pu), target_.VertexLabel(tv))) {
+      !labels_compatible(pattern_csr_.VertexLabel(pu),
+                         tcsr_->VertexLabel(tv))) {
     return false;
   }
-  if (pattern_.Degree(pu) > target_.Degree(tv)) return false;
+  if (pattern_degree_[pu] > tcsr_->Degree(tv)) return false;
   // Every pattern edge from pu to an already-mapped vertex must exist in the
   // target (with a matching label); for induced matching, mapped non-edges
   // must stay non-edges.
-  for (const Neighbor& nb : pattern_.Neighbors(pu)) {
-    VertexId mapped = mapping_[nb.vertex];
+  for (const Neighbor* nb = pattern_csr_.NeighborsBegin(pu);
+       nb != pattern_csr_.NeighborsEnd(pu); ++nb) {
+    VertexId mapped = mapping_[nb->vertex];
     if (mapped == kUnmapped) continue;
-    std::optional<Label> elabel = target_.EdgeLabel(tv, mapped);
+    std::optional<Label> elabel = tcsr_->EdgeLabel(tv, mapped);
     if (!elabel.has_value()) return false;
     if (options_.match_edge_labels &&
-        !labels_compatible(*elabel, nb.edge_label)) {
+        !labels_compatible(*elabel, nb->edge_label)) {
       return false;
     }
   }
   if (options_.induced) {
-    for (VertexId pv = 0; pv < pattern_.NumVertices(); ++pv) {
+    for (VertexId pv = 0; pv < pattern_csr_.NumVertices(); ++pv) {
       if (mapping_[pv] == kUnmapped || pv == pu) continue;
-      if (!pattern_.HasEdge(pu, pv) && target_.HasEdge(tv, mapping_[pv])) {
+      if (!pattern_csr_.HasEdge(pu, pv) &&
+          tcsr_->HasEdge(tv, mapping_[pv])) {
         return false;
       }
     }
@@ -107,14 +213,46 @@ bool SubgraphMatcher::Feasible(VertexId pu, VertexId tv) const {
   return true;
 }
 
+bool SubgraphMatcher::IndexAdmits(VertexId pu, VertexId tv) const {
+  if (tcsr_->Degree(tv) < pattern_degree_[pu]) return false;
+  if (label_filters_) {
+    if (pattern_csr_.VertexLabel(pu) != tcsr_->VertexLabel(tv)) return false;
+    if (!CandidateIndex::SignatureSubsumes(
+            pattern_sig_[pu], candidates_->NeighborhoodSignature(tv))) {
+      return false;
+    }
+    if (!CandidateIndex::SignatureSubsumes(
+            pattern_repeat_sig_[pu],
+            candidates_->NeighborhoodRepeatSignature(tv))) {
+      return false;
+    }
+  }
+  if (!pattern_shell_.empty() &&
+      candidates_->Shell(tv) < pattern_shell_[pu]) {
+    return false;
+  }
+  return true;
+}
+
 bool SubgraphMatcher::Recurse(
     size_t depth, const std::function<bool(const Embedding&)>& cb,
     uint64_t* found) {
-  if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
-    hit_step_limit_ = true;
-    return false;
-  }
-  ++steps_;
+  // A step is one unit of matcher work: a node expansion (this check) or a
+  // feasibility probe on a candidate (the check in try_candidate below).
+  // Counting probes is what lets the candidate index show up in the step
+  // budget — its O(1) admission filters reject candidates before they cost a
+  // probe. The budget check precedes every increment and aborts immediately,
+  // so for any budget B: hit_step_limit ⟺ (full-run steps > B), and the
+  // run's prefix up to the abort is identical to the unbudgeted run.
+  auto budget_ok = [&]() {
+    if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
+      hit_step_limit_ = true;
+      return false;
+    }
+    ++steps_;
+    return true;
+  };
+  if (!budget_ok()) return false;
   if (depth == order_.size()) {
     ++*found;
     if (!cb(mapping_)) return false;
@@ -126,7 +264,9 @@ bool SubgraphMatcher::Recurse(
   VertexId pu = order_[depth];
   int anchor = anchor_[depth];
   auto try_candidate = [&](VertexId tv) {
-    if (used_[tv] || !Feasible(pu, tv)) return true;
+    if (used_[tv]) return true;
+    if (!budget_ok()) return false;
+    if (!Feasible(pu, tv)) return true;
     mapping_[pu] = tv;
     used_[tv] = true;
     bool keep_going = Recurse(depth + 1, cb, found);
@@ -137,11 +277,34 @@ bool SubgraphMatcher::Recurse(
   if (anchor >= 0) {
     // Candidates: target neighbors of the anchor's image.
     VertexId t_anchor = mapping_[order_[static_cast<size_t>(anchor)]];
-    for (const Neighbor& nb : target_.Neighbors(t_anchor)) {
-      if (!try_candidate(nb.vertex)) return false;
+    if (candidates_ != nullptr) {
+      for (const Neighbor* nb = tcsr_->NeighborsBegin(t_anchor);
+           nb != tcsr_->NeighborsEnd(t_anchor); ++nb) {
+        if (!IndexAdmits(pu, nb->vertex)) continue;
+        if (!try_candidate(nb->vertex)) return false;
+      }
+    } else {
+      for (const Neighbor* nb = tcsr_->NeighborsBegin(t_anchor);
+           nb != tcsr_->NeighborsEnd(t_anchor); ++nb) {
+        if (!try_candidate(nb->vertex)) return false;
+      }
+    }
+  } else if (label_filters_) {
+    // Anchorless depth on the indexed path: the label bucket, restricted to
+    // degrees >= the pattern vertex's, replaces the full vertex scan.
+    CandidateIndex::Range range = candidates_->CandidatesForLabel(
+        pattern_csr_.VertexLabel(pu), pattern_degree_[pu]);
+    for (const VertexId* tv = range.begin; tv != range.end; ++tv) {
+      if (!IndexAdmits(pu, *tv)) continue;
+      if (!try_candidate(*tv)) return false;
+    }
+  } else if (candidates_ != nullptr) {
+    for (VertexId tv = 0; tv < tcsr_->NumVertices(); ++tv) {
+      if (!IndexAdmits(pu, tv)) continue;
+      if (!try_candidate(tv)) return false;
     }
   } else {
-    for (VertexId tv = 0; tv < target_.NumVertices(); ++tv) {
+    for (VertexId tv = 0; tv < tcsr_->NumVertices(); ++tv) {
       if (!try_candidate(tv)) return false;
     }
   }

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "graph/graph.h"
+#include "match/candidate_index.h"
+#include "match/csr_graph.h"
 
 namespace vqi {
 
@@ -28,20 +31,39 @@ struct MatchOptions {
   /// Abort search after this many recursive steps (guards worst cases on
   /// large targets). 0 = unlimited.
   uint64_t max_steps = 0;
+  /// Run the index-driven candidate generation (label buckets, neighborhood
+  /// signature subsumption, truss shells) over the target's MatchIndex. The
+  /// default-off legacy path scans target adjacency directly and is the
+  /// differential-testing oracle (tests/differential_test.cc); both paths
+  /// return identical embedding sets. New field — keep appended so existing
+  /// aggregate initializers stay valid.
+  bool use_index = false;
 };
 
 /// An embedding maps pattern vertex i to Embedding[i] in the target.
 using Embedding = std::vector<VertexId>;
 
-/// VF2-style backtracking matcher for one (pattern, target) pair.
+/// VF2-style backtracking matcher for one (pattern, target) pair. Both paths
+/// (legacy oracle and indexed) traverse immutable CSR snapshots built at
+/// construction; the indexed path additionally seeds from the rarest-label
+/// pattern vertex and pre-filters extensions by degree, neighborhood label
+/// signatures, and truss shells before the full feasibility check.
 ///
 /// The pattern must be connected for meaningful candidate propagation; a
 /// disconnected pattern is matched component-by-component implicitly by
 /// falling back to full candidate scans, which is correct but slow.
 class SubgraphMatcher {
  public:
-  /// Both graphs must outlive the matcher.
+  /// Both graphs must outlive the matcher. When options.use_index is set a
+  /// private MatchIndex is built for `target`.
   SubgraphMatcher(const Graph& pattern, const Graph& target,
+                  MatchOptions options = {});
+
+  /// Same, reusing a prebuilt (typically cached) index of `target`: `index`
+  /// must have been built from this exact target graph content. Passing
+  /// nullptr behaves like the two-argument constructor.
+  SubgraphMatcher(const Graph& pattern, const Graph& target,
+                  std::shared_ptr<const MatchIndex> index,
                   MatchOptions options = {});
 
   /// True when at least one embedding exists.
@@ -68,20 +90,39 @@ class SubgraphMatcher {
   /// caller retry the same matcher with a bigger budget after a limited run.
   void set_max_steps(uint64_t max_steps) { options_.max_steps = max_steps; }
 
-  /// Recursive search steps consumed by the last Exists/FindOne/Count/
-  /// Enumerate call — the unit max_steps budgets, exposed so callers (e.g.
-  /// the query service's deadline slicing) can meter matcher work.
+  /// Search steps consumed by the last Exists/FindOne/Count/Enumerate call —
+  /// one step per search-tree node expansion plus one per feasibility probe
+  /// on a candidate vertex (the O(degree) consistency check). This is the
+  /// unit max_steps budgets, exposed so callers (e.g. the query service's
+  /// deadline slicing) can meter matcher work. Candidates rejected by the
+  /// index's O(1) admission filters never cost a step, so the step count is
+  /// directly comparable between the indexed and legacy engines.
   uint64_t steps() const { return steps_; }
 
  private:
   void ComputeOrder();
   bool Feasible(VertexId pu, VertexId tv) const;
+  /// Cheap prune-only index filters (degree, exact label, signature
+  /// subsumption, truss shell). Only called on the indexed path.
+  bool IndexAdmits(VertexId pu, VertexId tv) const;
   bool Recurse(size_t depth, const std::function<bool(const Embedding&)>& cb,
                uint64_t* found);
 
   const Graph& pattern_;
   const Graph& target_;
   MatchOptions options_;
+  CsrGraph pattern_csr_;                      // always owned; patterns are small
+  CsrGraph owned_target_csr_;                 // filled when no shared index
+  std::shared_ptr<const MatchIndex> index_;   // shared target index, may be null
+  const CsrGraph* tcsr_ = nullptr;            // target adjacency in use
+  const CandidateIndex* candidates_ = nullptr;  // non-null on the indexed path
+  bool label_filters_ = false;  // bucket seeding + signatures are sound
+  // Pattern-side data hoisted to construction (previously recomputed per
+  // Run() via Graph::Degree calls in the hot loop).
+  std::vector<uint32_t> pattern_degree_;
+  std::vector<uint64_t> pattern_sig_;   // only filled when label_filters_
+  std::vector<uint64_t> pattern_repeat_sig_;  // labels seen >= 2x; ditto
+  std::vector<int> pattern_shell_;      // only filled when truss filter active
   std::vector<VertexId> order_;        // pattern vertices in match order
   std::vector<int> anchor_;            // order index of an earlier neighbor
   std::vector<VertexId> mapping_;      // pattern -> target (kUnmapped if none)

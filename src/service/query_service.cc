@@ -653,13 +653,21 @@ Status QueryService::CountWithDeadline(const Graph& pattern,
 
   MatchOptions opts = options_.match_options;
   opts.max_embeddings = request.max_embeddings;
+  // One index fetch per (request, target): slices reuse the same immutable
+  // snapshot, and the cache revalidates against the database's content
+  // version so a maintainer rewrite of this graph forces a rebuild here.
+  std::shared_ptr<const MatchIndex> index;
+  if (options_.use_match_index) {
+    opts.use_index = true;
+    index = index_cache_.Get(db_, target.id());
+  }
   if (request.deadline_ms <= 0) {
     opts.max_steps = 0;
     if (CancelRequested(request)) {
       return Status::Cancelled("request cancelled before matching");
     }
     VQI_RETURN_IF_ERROR(slice_fault());
-    SubgraphMatcher matcher(pattern, target, opts);
+    SubgraphMatcher matcher(pattern, target, index, opts);
     *count = matcher.CountEmbeddings();
     result->match_steps += matcher.steps();
     result->match_slices += 1;
@@ -677,7 +685,7 @@ Status QueryService::CountWithDeadline(const Graph& pattern,
     }
     VQI_RETURN_IF_ERROR(slice_fault());
     opts.max_steps = slice;
-    SubgraphMatcher matcher(pattern, target, opts);
+    SubgraphMatcher matcher(pattern, target, index, opts);
     // Each slice recounts from scratch, so overwrite rather than accumulate:
     // after a deadline the last value is the best lower bound found.
     *count = matcher.CountEmbeddings();
@@ -777,6 +785,7 @@ ServiceStats QueryService::Snapshot() const {
   obs::HistogramSnapshot latency = latency_ms_->Snapshot();
   stats.p50_latency_ms = latency.Quantile(0.50);
   stats.p99_latency_ms = latency.Quantile(0.99);
+  stats.index_builds = index_cache_.builds();
   return stats;
 }
 

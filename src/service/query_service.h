@@ -16,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "graph/graph.h"
 #include "graph/graph_database.h"
+#include "match/candidate_index.h"
 #include "match/vf2.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -53,6 +54,10 @@ struct ServiceStats {
   uint64_t coalesce_detached = 0;  ///< waiters detached by mid-flight invalidation
   double p50_latency_ms = 0;
   double p99_latency_ms = 0;
+  /// MatchIndex builds (lazy, content-version driven). Steady state is one
+  /// per distinct target graph; growth after that means maintenance batches
+  /// are rewriting graphs (each rewrite forces one rebuild on next use).
+  uint64_t index_builds = 0;
 };
 
 /// Sizing and semantics knobs for a QueryService.
@@ -105,6 +110,14 @@ struct QueryServiceOptions {
   /// shards stay distinct in one registry. Instruments with their own label
   /// dimension (shed priority, cache_shard, pool) append it to these.
   obs::Labels metric_labels;
+  /// Serve kMatchCount requests through the per-graph MatchIndex (CSR
+  /// adjacency + candidate index, see docs/matching.md): indexes are built
+  /// lazily per target graph, cached, and revalidated against
+  /// GraphDatabase::ContentVersion, so maintainer batches that rewrite a
+  /// graph force a rebuild on next use. Off = the legacy direct-adjacency
+  /// oracle path. Appended field — keep last so existing aggregate
+  /// initializers stay valid.
+  bool use_match_index = true;
 };
 
 /// Concurrent serving layer over a GraphDatabase.
@@ -243,6 +256,9 @@ class QueryService {
 
   const GraphDatabase& db_;
   QueryServiceOptions options_;
+  /// Lazy per-graph CSR + candidate indexes, revalidated against the
+  /// database's content versions on every fetch (see docs/matching.md).
+  MatchIndexCache index_cache_;
   // Declared before cache_/pool_: both register instruments here during
   // construction and hold references for their lifetime.
   obs::MetricsRegistry metrics_;

@@ -1,0 +1,259 @@
+// Differential harness for the matcher core: the indexed engine (CSR
+// adjacency + CandidateIndex pruning, MatchOptions::use_index) must be
+// observationally equivalent to the legacy direct-adjacency oracle on every
+// seeded (pattern, target) pair. Three contracts are pinned per pair:
+//
+//  1. Identical embedding sets (compared in sorted canonical order) and
+//     identical counts on unbudgeted runs.
+//  2. hit_step_limit mirrors budget exhaustion identically for both engines:
+//     for any max_steps budget B, hit ⟺ (full-run steps > B). Asserted at
+//     B = indexed_steps/2 (tight: typically both engines clip) and at
+//     B = legacy_steps (exactly enough: neither engine clips).
+//  3. The index only prunes: indexed steps <= legacy steps on every pair.
+//
+// Pairs are drawn from the BA / WS / molecule generators at mixed label
+// alphabet sizes, with induced and edge-label-insensitive variants mixed in.
+// Everything is seeded — failures reproduce deterministically.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "match/pattern_utils.h"
+#include "match/vf2.h"
+
+namespace vqi {
+namespace {
+
+// Full-run safety budget: pairs whose legacy enumeration exceeds this are
+// skipped for set equality (tallied below; the seeds keep this rare).
+constexpr uint64_t kStepBudget = 300000;
+// Embedding sets larger than this are compared by count only.
+constexpr size_t kSetCap = 30000;
+
+struct TestPair {
+  std::string name;
+  Graph pattern;
+  Graph target;
+  MatchOptions options;  // use_index overridden per engine below
+};
+
+struct RunResult {
+  uint64_t count = 0;
+  uint64_t steps = 0;
+  bool hit_limit = false;
+  std::vector<Embedding> embeddings;  // first kSetCap, sorted by caller
+};
+
+RunResult RunEngine(const TestPair& pair, bool use_index, uint64_t max_steps) {
+  MatchOptions options = pair.options;
+  options.use_index = use_index;
+  options.max_steps = max_steps;
+  options.max_embeddings = 0;
+  SubgraphMatcher matcher(pair.pattern, pair.target, options);
+  RunResult run;
+  run.count = matcher.Enumerate([&run](const Embedding& e) {
+    if (run.embeddings.size() < kSetCap) run.embeddings.push_back(e);
+    return true;
+  });
+  run.steps = matcher.steps();
+  run.hit_limit = matcher.hit_step_limit();
+  std::sort(run.embeddings.begin(), run.embeddings.end());
+  return run;
+}
+
+std::vector<TestPair> MakePairs() {
+  std::vector<TestPair> pairs;
+  Rng rng(0xD1FFE7E57ull);
+
+  auto add_patterns = [&](const Graph& target, const std::string& base,
+                          size_t count, size_t min_edges, size_t max_edges) {
+    for (size_t i = 0; i < count; ++i) {
+      size_t edges = min_edges + rng.UniformInt(max_edges - min_edges + 1);
+      std::optional<Graph> pattern;
+      for (int attempt = 0; attempt < 5 && !pattern.has_value(); ++attempt) {
+        pattern = RandomConnectedSubgraph(target, edges, rng);
+      }
+      if (!pattern.has_value()) continue;
+      TestPair pair;
+      pair.name = base + "/p" + std::to_string(i);
+      pair.pattern = std::move(*pattern);
+      pair.target = target;
+      // Mix matching semantics across the corpus: every 5th pair induced,
+      // every 7th ignoring edge labels.
+      pair.options.induced = pairs.size() % 5 == 4;
+      pair.options.match_edge_labels = pairs.size() % 7 != 6;
+      pairs.push_back(std::move(pair));
+    }
+  };
+
+  // Barabási–Albert: heavy-tailed degrees, mixed label alphabets.
+  for (size_t n : {40u, 90u, 150u}) {
+    for (size_t m : {2u, 3u}) {
+      for (size_t num_labels : {2u, 5u, 9u}) {
+        gen::LabelConfig labels;
+        labels.num_vertex_labels = num_labels;
+        labels.num_edge_labels = num_labels >= 5 ? 3 : 1;
+        Graph target = gen::BarabasiAlbert(n, m, labels, rng);
+        add_patterns(target,
+                     "ba/n" + std::to_string(n) + "m" + std::to_string(m) +
+                         "l" + std::to_string(num_labels),
+                     6, 2, 6);
+      }
+    }
+  }
+
+  // Watts–Strogatz: high clustering (exercises the truss filter).
+  for (size_t n : {40u, 120u}) {
+    for (size_t k : {4u, 6u}) {
+      for (size_t num_labels : {3u, 8u}) {
+        gen::LabelConfig labels;
+        labels.num_vertex_labels = num_labels;
+        labels.num_edge_labels = 2;
+        Graph target = gen::WattsStrogatz(n, k, 0.1, labels, rng);
+        add_patterns(target,
+                     "ws/n" + std::to_string(n) + "k" + std::to_string(k) +
+                         "l" + std::to_string(num_labels),
+                     6, 2, 6);
+      }
+    }
+  }
+
+  // Molecules: skewed atom/bond alphabets; half the patterns come from a
+  // *different* molecule, so empty and near-empty result sets are covered.
+  GraphDatabase molecules = gen::MoleculeDatabase(24, {}, 0xBEEF);
+  const std::vector<Graph>& mols = molecules.graphs();
+  for (size_t i = 0; i < mols.size(); ++i) {
+    add_patterns(mols[i], "mol/self" + std::to_string(i), 1, 2, 5);
+    const Graph& other = mols[(i + 7) % mols.size()];
+    std::optional<Graph> cross;
+    for (int attempt = 0; attempt < 5 && !cross.has_value(); ++attempt) {
+      cross = RandomConnectedSubgraph(other, 2 + rng.UniformInt(4), rng);
+    }
+    if (cross.has_value()) {
+      TestPair pair;
+      pair.name = "mol/cross" + std::to_string(i);
+      pair.pattern = std::move(*cross);
+      pair.target = mols[i];
+      pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+TEST(DifferentialTest, CorpusHasTargetSize) {
+  // The harness is only meaningful at volume; guard against generator
+  // changes silently shrinking the corpus.
+  EXPECT_GE(MakePairs().size(), 190u);
+}
+
+TEST(DifferentialTest, IndexedMatchesLegacyOracleOnSeededCorpus) {
+  std::vector<TestPair> pairs = MakePairs();
+  size_t verified = 0;
+  size_t skipped_over_budget = 0;
+  for (const TestPair& pair : pairs) {
+    SCOPED_TRACE(pair.name);
+    RunResult legacy = RunEngine(pair, /*use_index=*/false, kStepBudget);
+    if (legacy.hit_limit) {
+      // Too expensive to enumerate fully at this seed; the budgeted-flag
+      // contract for heavy pairs is covered by StepLimitBehaviorIsIdentical.
+      ++skipped_over_budget;
+      continue;
+    }
+    RunResult indexed = RunEngine(pair, /*use_index=*/true, kStepBudget);
+    ASSERT_FALSE(indexed.hit_limit);
+
+    // Contract 3: pruning only ever shrinks the search tree.
+    EXPECT_LE(indexed.steps, legacy.steps);
+    // Contract 1: identical answers.
+    ASSERT_EQ(indexed.count, legacy.count);
+    if (legacy.count <= kSetCap) {
+      ASSERT_EQ(indexed.embeddings, legacy.embeddings);
+    }
+    ++verified;
+  }
+  // The corpus must stay overwhelmingly verifiable at full depth.
+  EXPECT_GE(verified, 150u);
+  EXPECT_LE(skipped_over_budget, pairs.size() / 10);
+}
+
+TEST(DifferentialTest, StepLimitBehaviorIsIdentical) {
+  std::vector<TestPair> pairs = MakePairs();
+  size_t checked = 0;
+  for (const TestPair& pair : pairs) {
+    SCOPED_TRACE(pair.name);
+    RunResult legacy = RunEngine(pair, /*use_index=*/false, kStepBudget);
+    RunResult indexed = RunEngine(pair, /*use_index=*/true, kStepBudget);
+    if (legacy.hit_limit || indexed.hit_limit) continue;
+
+    // Tight budget: both engines' flags must mirror budget exhaustion
+    // exactly — hit ⟺ (full-run steps > budget) — and because the index only
+    // prunes, an indexed clip implies a legacy clip.
+    const uint64_t tight = std::max<uint64_t>(1, indexed.steps / 2);
+    RunResult legacy_tight = RunEngine(pair, /*use_index=*/false, tight);
+    RunResult indexed_tight = RunEngine(pair, /*use_index=*/true, tight);
+    EXPECT_EQ(legacy_tight.hit_limit, legacy.steps > tight);
+    EXPECT_EQ(indexed_tight.hit_limit, indexed.steps > tight);
+    if (indexed_tight.hit_limit) {
+      EXPECT_TRUE(legacy_tight.hit_limit);
+    }
+    // A clipped run reports a lower bound, never an overcount.
+    EXPECT_LE(legacy_tight.count, legacy.count);
+    EXPECT_LE(indexed_tight.count, indexed.count);
+
+    // Exactly-enough budget: neither engine clips and both still return the
+    // full answer.
+    RunResult legacy_exact =
+        RunEngine(pair, /*use_index=*/false, std::max<uint64_t>(1, legacy.steps));
+    RunResult indexed_exact =
+        RunEngine(pair, /*use_index=*/true, std::max<uint64_t>(1, indexed.steps));
+    EXPECT_FALSE(legacy_exact.hit_limit);
+    EXPECT_FALSE(indexed_exact.hit_limit);
+    EXPECT_EQ(legacy_exact.count, legacy.count);
+    EXPECT_EQ(indexed_exact.count, indexed.count);
+    ++checked;
+  }
+  EXPECT_GE(checked, 150u);
+}
+
+TEST(DifferentialTest, WildcardDummySemanticsAgree) {
+  // Closure-graph semantics: dummy labels match anything, which disables the
+  // index's label filters — degree and truss pruning must still agree with
+  // the oracle.
+  Rng rng(0x5EED);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 4;
+  Graph target = gen::BarabasiAlbert(60, 2, labels, rng);
+  for (size_t i = 0; i < 10; ++i) {
+    std::optional<Graph> pattern =
+        RandomConnectedSubgraph(target, 3 + rng.UniformInt(3), rng);
+    if (!pattern.has_value()) continue;
+    // Blank out one pattern vertex per draw.
+    pattern->SetVertexLabel(
+        static_cast<VertexId>(rng.UniformInt(pattern->NumVertices())),
+        kDummyLabel);
+    TestPair pair;
+    pair.name = "wildcard/p" + std::to_string(i);
+    SCOPED_TRACE(pair.name);
+    pair.pattern = std::move(*pattern);
+    pair.target = target;
+    pair.options.dummy_is_wildcard = true;
+    RunResult legacy = RunEngine(pair, /*use_index=*/false, kStepBudget);
+    RunResult indexed = RunEngine(pair, /*use_index=*/true, kStepBudget);
+    ASSERT_FALSE(legacy.hit_limit);
+    ASSERT_FALSE(indexed.hit_limit);
+    EXPECT_LE(indexed.steps, legacy.steps);
+    ASSERT_EQ(indexed.count, legacy.count);
+    ASSERT_EQ(indexed.embeddings, legacy.embeddings);
+  }
+}
+
+}  // namespace
+}  // namespace vqi

@@ -8,8 +8,11 @@
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
 #include "match/canonical.h"
+#include "match/candidate_index.h"
+#include "match/csr_graph.h"
 #include "match/pattern_utils.h"
 #include "match/vf2.h"
+#include "truss/truss.h"
 
 namespace vqi {
 namespace {
@@ -254,6 +257,175 @@ TEST(PatternUtilsTest, RandomConnectedSubgraphTooLarge) {
   Rng rng(5);
   Graph tiny = builder::Path(3);  // 2 edges
   EXPECT_FALSE(RandomConnectedSubgraph(tiny, 10, rng).has_value());
+}
+
+TEST(CsrGraphTest, RoundTripMatchesGraphAdjacency) {
+  Rng rng(0xC5A0);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 5;
+  labels.num_edge_labels = 3;
+  std::vector<Graph> graphs = {
+      gen::ErdosRenyi(40, 0.1, labels, rng),
+      gen::BarabasiAlbert(60, 3, labels, rng),
+      gen::WattsStrogatz(50, 4, 0.2, labels, rng),
+      gen::Molecule({}, rng),
+      Graph(),                 // empty
+      builder::Star(5),        // hub + leaves
+  };
+  for (const Graph& g : graphs) {
+    CsrGraph csr(g);
+    ASSERT_EQ(csr.NumVertices(), g.NumVertices());
+    ASSERT_EQ(csr.NumEdges(), g.NumEdges());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(csr.VertexLabel(v), g.VertexLabel(v));
+      ASSERT_EQ(csr.Degree(v), g.Degree(v));
+      // Rows must be byte-identical to the sorted Graph adjacency — the
+      // legacy-over-CSR path being step-identical to the old code depends on
+      // identical iteration order.
+      const std::vector<Neighbor>& row = g.Neighbors(v);
+      ASSERT_TRUE(std::equal(csr.NeighborsBegin(v), csr.NeighborsEnd(v),
+                             row.begin(), row.end()));
+    }
+    // Both directions of every ordered pair: presence and labels agree.
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        EXPECT_EQ(csr.HasEdge(u, v), g.HasEdge(u, v));
+        EXPECT_EQ(csr.EdgeLabel(u, v), g.EdgeLabel(u, v));
+      }
+    }
+  }
+}
+
+TEST(CandidateIndexTest, NeverPrunesATrueEmbeddingVertex) {
+  // Soundness against brute force: every filter the index applies (label
+  // bucket membership with min-degree cutoff, signature subsumption, truss
+  // shell dominance) must admit the image of every pattern vertex in every
+  // real embedding the oracle finds.
+  Rng rng(0x50F7);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 4;
+  labels.num_edge_labels = 2;
+  size_t embeddings_checked = 0;
+  for (int round = 0; round < 8; ++round) {
+    Graph target = gen::ErdosRenyi(24, 0.15, labels, rng);
+    CsrGraph csr(target);
+    CandidateIndex index = CandidateIndex::Build(target, csr);
+    for (int p = 0; p < 4; ++p) {
+      auto pattern = RandomConnectedSubgraph(target, 2 + rng.UniformInt(3), rng);
+      if (!pattern.has_value()) continue;
+      // Pattern-side data the matcher precomputes, rebuilt here by hand.
+      TrussDecomposition pattern_truss = DecomposeTruss(*pattern);
+      SubgraphMatcher oracle(*pattern, target, MatchOptions{});
+      oracle.Enumerate([&](const Embedding& emb) {
+        ++embeddings_checked;
+        for (VertexId u = 0; u < pattern->NumVertices(); ++u) {
+          VertexId tv = emb[u];
+          // Bucket membership with the min-degree cutoff.
+          CandidateIndex::Range range = index.CandidatesForLabel(
+              pattern->VertexLabel(u),
+              static_cast<uint32_t>(pattern->Degree(u)));
+          EXPECT_TRUE(std::find(range.begin, range.end, tv) != range.end);
+          // Signature subsumption: base mask and the >=2x repeat mask.
+          uint64_t pattern_sig = 0;
+          uint64_t pattern_repeat = 0;
+          for (const Neighbor& nb : pattern->Neighbors(u)) {
+            uint64_t bit =
+                CandidateIndex::LabelBit(pattern->VertexLabel(nb.vertex));
+            pattern_repeat |= pattern_sig & bit;
+            pattern_sig |= bit;
+          }
+          EXPECT_TRUE(CandidateIndex::SignatureSubsumes(
+              pattern_sig, index.NeighborhoodSignature(tv)));
+          EXPECT_TRUE(CandidateIndex::SignatureSubsumes(
+              pattern_repeat, index.NeighborhoodRepeatSignature(tv)));
+          // Truss shell dominance.
+          int pattern_shell = 0;
+          for (const Neighbor& nb : pattern->Neighbors(u)) {
+            pattern_shell = std::max(
+                pattern_shell, pattern_truss.EdgeTrussness(u, nb.vertex));
+          }
+          EXPECT_TRUE(index.has_truss());
+          EXPECT_GE(index.Shell(tv), pattern_shell);
+        }
+        return true;
+      });
+    }
+  }
+  EXPECT_GT(embeddings_checked, 100u);
+}
+
+TEST(CandidateIndexTest, TrussShellsAreMonotoneUnderEdgeAddition) {
+  // Trussness only grows when edges are added (more triangles, never fewer),
+  // so vertex shells must be monotone too — the property that makes the
+  // shell filter safe to compare across pattern (sub)graphs.
+  Rng rng(0x7A55);
+  gen::LabelConfig labels;
+  Graph g = gen::WattsStrogatz(30, 4, 0.1, labels, rng);
+  CsrGraph csr(g);
+  CandidateIndex before = CandidateIndex::Build(g, csr);
+  for (int added = 0; added < 20;) {
+    VertexId u = static_cast<VertexId>(rng.UniformInt(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.UniformInt(g.NumVertices()));
+    if (u == v || g.HasEdge(u, v)) continue;
+    ASSERT_TRUE(g.AddEdge(u, v));
+    ++added;
+    CsrGraph dense_csr(g);
+    CandidateIndex after = CandidateIndex::Build(g, dense_csr);
+    for (VertexId w = 0; w < g.NumVertices(); ++w) {
+      EXPECT_GE(after.Shell(w), before.Shell(w));
+      // Any vertex with an edge sits in a shell of at least 2.
+      if (g.Degree(w) > 0) {
+        EXPECT_GE(after.Shell(w), 2);
+      }
+    }
+    before = std::move(after);
+  }
+}
+
+TEST(Vf2Test, RepeatedRunsGiveIdenticalResultsAndStepCounts) {
+  // Regression for the hoisted pattern-side precomputation: one matcher must
+  // be reusable — two consecutive runs see identical counts AND identical
+  // step counts, on both engines.
+  Rng rng(0x2E9);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 3;
+  Graph target = gen::BarabasiAlbert(50, 2, labels, rng);
+  auto pattern = RandomConnectedSubgraph(target, 4, rng);
+  ASSERT_TRUE(pattern.has_value());
+  for (bool use_index : {false, true}) {
+    MatchOptions options;
+    options.use_index = use_index;
+    SubgraphMatcher matcher(*pattern, target, options);
+    uint64_t count1 = matcher.CountEmbeddings();
+    uint64_t steps1 = matcher.steps();
+    uint64_t count2 = matcher.CountEmbeddings();
+    uint64_t steps2 = matcher.steps();
+    EXPECT_GT(count1, 0u);
+    EXPECT_EQ(count1, count2);
+    EXPECT_EQ(steps1, steps2);
+    // And a third run through Enumerate agrees too.
+    uint64_t count3 = matcher.Enumerate([](const Embedding&) { return true; });
+    EXPECT_EQ(count1, count3);
+    EXPECT_EQ(steps1, matcher.steps());
+  }
+}
+
+TEST(Vf2Test, SharedMatchIndexMatchesPrivateIndex) {
+  // A prebuilt (cached) MatchIndex must behave exactly like the privately
+  // built one — same counts, same steps.
+  Rng rng(0x1D0);
+  gen::LabelConfig labels;
+  labels.num_vertex_labels = 4;
+  Graph target = gen::WattsStrogatz(40, 4, 0.1, labels, rng);
+  auto pattern = RandomConnectedSubgraph(target, 3, rng);
+  ASSERT_TRUE(pattern.has_value());
+  std::shared_ptr<const MatchIndex> shared = MatchIndex::Build(target);
+  MatchOptions options;
+  options.use_index = true;
+  SubgraphMatcher with_private(*pattern, target, options);
+  SubgraphMatcher with_shared(*pattern, target, shared, options);
+  EXPECT_EQ(with_private.CountEmbeddings(), with_shared.CountEmbeddings());
+  EXPECT_EQ(with_private.steps(), with_shared.steps());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // driven by maintenance batches), the service's metrics/trace surface, and a
 // multi-threaded stress run.
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <string>
@@ -590,6 +591,172 @@ TEST(QueryServiceTest, MaintainerBatchListenerInvalidatesCache) {
                 .GetCounter("vqi_cache_invalidations_total")
                 .Value(),
             1u);
+}
+
+TEST(QueryServiceTest, MaintainerBatchRebuildsOwnerGraphMatchIndex) {
+  // End-to-end index invalidation: a maintainer batch that rewrites one
+  // graph's edge set (delete + re-add under the same id) must force the
+  // match-index layer to rebuild that graph's index — a stale-index answer
+  // is impossible because the index cache revalidates against the database's
+  // content version, independently of the result-cache epochs.
+  GraphDatabase db = gen::MoleculeDatabase(40, gen::MoleculeConfig{}, 45);
+  // Deterministic extra member: P4, all labels 0 — the (0,0) edge pattern
+  // embeds 3 edges x 2 orientations = 6 ways.
+  Graph member;
+  for (int i = 0; i < 4; ++i) member.AddVertex(0);
+  member.AddEdge(0, 1, 0);
+  member.AddEdge(1, 2, 0);
+  member.AddEdge(2, 3, 0);
+  GraphId member_id = db.Add(std::move(member));
+
+  CatapultConfig config;
+  config.budget = 4;
+  config.num_clusters = 4;
+  config.tree_config.min_support = 4;
+  config.walks_per_csg = 16;
+  config.use_closed_trees = true;
+  auto built = BuildVqiForDatabase(db, config);
+  ASSERT_TRUE(built.ok());
+  VisualQueryInterface vqi = std::move(built->vqi);
+
+  MidasConfig midas;
+  midas.base = config;
+  midas.drift_threshold = 0.0;
+  VqiMaintainer maintainer(std::move(built->catapult_state), midas);
+
+  QueryService service(db);  // defaults: use_match_index on
+  maintainer.AddBatchListener([&service] { service.InvalidateCache(); });
+
+  QueryRequest request;
+  request.pattern.AddVertex(0);
+  request.pattern.AddVertex(0);
+  request.pattern.AddEdge(0, 1, 0);
+  request.target = member_id;
+  QueryResult before = service.Execute(request);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.embedding_count, 6u);
+  ASSERT_TRUE(service.Execute(request).from_cache);
+  const uint64_t builds_before = service.Snapshot().index_builds;
+  EXPECT_EQ(builds_before, 1u);  // one target graph queried so far
+
+  // The batch rewrites the member's edges under the same id: 1-2 goes away,
+  // 0-2 and 0-3 appear (4 edges -> 8 embeddings).
+  Graph rewritten = db.Get(member_id);
+  ASSERT_TRUE(rewritten.RemoveEdge(1, 2));
+  ASSERT_TRUE(rewritten.AddEdge(0, 2, 0));
+  ASSERT_TRUE(rewritten.AddEdge(0, 3, 0));
+  BatchUpdate update;
+  update.deletions = {member_id};
+  update.additions.push_back(std::move(rewritten));
+  auto report = maintainer.ApplyBatch(vqi, db, std::move(update));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  QueryResult after = service.Execute(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.from_cache);
+  EXPECT_EQ(after.embedding_count, 8u);
+  // Post-batch results must equal a fresh service over the updated database.
+  QueryService fresh(db);
+  QueryResult expected = fresh.Execute(request);
+  ASSERT_TRUE(expected.status.ok());
+  EXPECT_EQ(after.embedding_count, expected.embedding_count);
+  EXPECT_EQ(after.matched_graphs, expected.matched_graphs);
+  // Exactly one rebuild: the rewritten graph's index, nothing else.
+  EXPECT_EQ(service.Snapshot().index_builds, builds_before + 1);
+}
+
+TEST(ShardedRouterTest, ShardIndexesStayConsistentAcrossEpochInvalidation) {
+  // The sharded path of the same story. Replicas snapshot their slices at
+  // construction, so index and data can never disagree inside a shard; the
+  // per-shard epoch machinery governs result caches only. Assert (a)
+  // epoch invalidation forces a recount that reuses every index (content
+  // versions unchanged inside the shard copies), and (b) after a
+  // collection-level rewrite, a router over the updated database agrees
+  // exactly with a fresh unsharded service.
+  GraphDatabase db;
+  Graph p4;
+  for (int i = 0; i < 4; ++i) p4.AddVertex(0);
+  p4.AddEdge(0, 1, 0);
+  p4.AddEdge(1, 2, 0);
+  p4.AddEdge(2, 3, 0);
+  GraphId victim = db.Add(std::move(p4));
+  Graph triangle;
+  for (int i = 0; i < 3; ++i) triangle.AddVertex(0);
+  triangle.AddEdge(0, 1, 0);
+  triangle.AddEdge(1, 2, 0);
+  triangle.AddEdge(0, 2, 0);
+  db.Add(std::move(triangle));
+  Graph square;
+  for (int i = 0; i < 4; ++i) square.AddVertex(0);
+  square.AddEdge(0, 1, 0);
+  square.AddEdge(1, 2, 0);
+  square.AddEdge(2, 3, 0);
+  square.AddEdge(0, 3, 0);
+  db.Add(std::move(square));
+  Graph star;
+  for (int i = 0; i < 4; ++i) star.AddVertex(0);
+  star.AddEdge(0, 1, 0);
+  star.AddEdge(0, 2, 0);
+  star.AddEdge(0, 3, 0);
+  db.Add(std::move(star));
+
+  shard::ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.shard_options = QueryServiceOptions{2, 32, 64, 4, {}};
+  shard::ShardedRouter router(db, options);
+
+  QueryRequest request;
+  request.pattern.AddVertex(0);
+  request.pattern.AddVertex(0);
+  request.pattern.AddEdge(0, 1, 0);
+  request.target = kAllGraphs;
+  QueryResult before = router.Execute(request);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.embedding_count, 26u);  // 6 + 6 + 8 + 6
+  auto total_builds = [&router] {
+    uint64_t total = 0;
+    for (size_t i = 0; i < router.num_shards(); ++i) {
+      total += router.shard(i).Snapshot().index_builds;
+    }
+    return total;
+  };
+  // Every member got indexed exactly once on the scatter.
+  EXPECT_EQ(total_builds(), db.size());
+
+  // Per-shard epoch bump: the owner shard recounts (its collection-scoped
+  // cache entry is gone) but rebuilds nothing — the content versions inside
+  // its snapshot never moved, so every index is reused.
+  router.InvalidateCacheKey(victim);
+  QueryResult again = router.Execute(request);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.embedding_count, before.embedding_count);
+  EXPECT_EQ(total_builds(), db.size());
+
+  // Collection-level rewrite of the victim (the maintainer's delete +
+  // re-add path), then a router over the updated collection: results must
+  // match a fresh unsharded service exactly, and must differ from the
+  // pre-rewrite answer (a stale answer cannot survive reconstruction).
+  Graph rewritten = db.Get(victim);
+  ASSERT_TRUE(rewritten.RemoveEdge(1, 2));
+  ASSERT_TRUE(rewritten.AddEdge(0, 2, 0));
+  ASSERT_TRUE(rewritten.AddEdge(0, 3, 0));
+  ASSERT_TRUE(db.Remove(victim));
+  db.Add(std::move(rewritten));
+
+  shard::ShardedRouter updated(db, options);
+  QueryResult after = updated.Execute(request);
+  ASSERT_TRUE(after.status.ok());
+  QueryService fresh(db);
+  QueryResult expected = fresh.Execute(request);
+  ASSERT_TRUE(expected.status.ok());
+  EXPECT_EQ(after.embedding_count, expected.embedding_count);
+  EXPECT_EQ(after.embedding_count, 28u);
+  EXPECT_NE(after.embedding_count, before.embedding_count);
+  std::vector<GraphId> merged = after.matched_graphs;
+  std::vector<GraphId> reference = expected.matched_graphs;
+  std::sort(merged.begin(), merged.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(merged, reference);
 }
 
 TEST(QueryServiceTest, MetricsAndTracesCoverRequestLifecycle) {

@@ -39,6 +39,12 @@ Rules (each has a stable id used in messages and the self-test):
                    src/common/mutex.h (and its definition in
                    thread_annotations.h); the annotated codebase has no other
                    sanctioned opt-outs.
+  vf2-csr          src/match/vf2.cc may not call Graph::Neighbors() — the
+                   matcher's hot loops run over the CSR mirror
+                   (NeighborsBegin/NeighborsEnd); a direct adjacency-map walk
+                   there silently forks the engine off the representation the
+                   differential harness certifies. CSR construction itself
+                   (csr_graph.cc) is the one sanctioned caller in src/match/.
 
 Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
 """
@@ -76,6 +82,9 @@ NONDETERMINISM_RES = [
 
 QUOTED_INCLUDE_RE = re.compile(r"#\s*include\s*\"([^\"]+)\"")
 OPTOUT_RE = re.compile(r"\bVQLIB_NO_THREAD_SAFETY_ANALYSIS\b")
+
+# Matches `x.Neighbors(` / `x->Neighbors(` but not NeighborsBegin/NeighborsEnd.
+ADJACENCY_CALL_RE = re.compile(r"(?:\.|->)\s*Neighbors\s*\(")
 
 # A label literal starts with {{" and each pair starts {"key", — the key is
 # always a string literal even when the value is computed.
@@ -144,6 +153,7 @@ class Linter:
         in_common = rel.startswith("src/common/")
         in_net = rel.startswith("src/net/")
         in_shard = rel.startswith("src/shard/")
+        is_vf2_impl = rel == "src/match/vf2.cc"
         try:
             text = path.read_text(encoding="utf-8")
         except UnicodeDecodeError:
@@ -228,6 +238,13 @@ class Linter:
                         "router composes the service API over common/, obs/, "
                         "graph/, service/, shard/")
 
+            if is_vf2_impl and ADJACENCY_CALL_RE.search(line):
+                self.report(
+                    "vf2-csr", path, lineno,
+                    "Graph::Neighbors() is banned in src/match/vf2.cc; the "
+                    "matcher iterates the CSR mirror via "
+                    "NeighborsBegin/NeighborsEnd")
+
             if not is_mutex_header and not is_annotations_header:
                 if OPTOUT_RE.search(line):
                     self.report(
@@ -272,6 +289,10 @@ def self_test():
          '#include "match/vf2.h"\n'),
         ("no-analysis-optout", "src/service/scratch.h",
          "void F() VQLIB_NO_THREAD_SAFETY_ANALYSIS;\n"),
+        ("vf2-csr", "src/match/vf2.cc",
+         "void F(const Graph& g) {\n"
+         "  for (const Neighbor& n : g.Neighbors(0)) { (void)n; }\n"
+         "}\n"),
     ]
     clean = [
         ("src/scratch_ok.cc",
@@ -290,6 +311,17 @@ def self_test():
         # {shard, replica} must pass the cardinality rule.
         ("src/shard/scratch_replica_ok.h",
          'obs::Labels labels{{"shard", "0"}, {"replica", "1"}};\n'),
+        # CSR construction is the sanctioned Graph::Neighbors() caller in
+        # src/match/; the matcher itself walks the CSR spans.
+        ("src/match/csr_graph.cc",
+         "void Build(const Graph& g) {\n"
+         "  for (const Neighbor& n : g.Neighbors(0)) { (void)n; }\n"
+         "}\n"),
+        ("src/match/vf2.cc",
+         "void F(const CsrGraph& csr) {\n"
+         "  for (const Neighbor* it = csr.NeighborsBegin(0);\n"
+         "       it != csr.NeighborsEnd(0); ++it) { (void)it; }\n"
+         "}\n"),
     ]
     failures = []
     for rule, rel, content in cases:
