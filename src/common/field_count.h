@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace vqi {
+namespace internal {
+
+/// Probe that brace-initializes any field type; only ever used inside an
+/// unevaluated `requires` expression.
+struct AnyField {
+  template <typename T>
+  constexpr operator T() const noexcept;
+};
+
+template <typename T, typename... Probe>
+constexpr std::size_t CountFieldsImpl() {
+  if constexpr (requires { T{Probe{}..., AnyField{}}; }) {
+    return CountFieldsImpl<T, Probe..., AnyField>();
+  } else {
+    return sizeof...(Probe);
+  }
+}
+
+}  // namespace internal
+
+/// Number of members an aggregate accepts in braced initialization.
+///
+/// Structs like ServiceStats and QueryServiceOptions are positionally
+/// brace-initialized by tests and tools; inserting a field in the middle
+/// silently shifts every later initializer onto the wrong member. Pin the
+/// shape next to the definition:
+///
+///   static_assert(FieldCount<ServiceStats>() == 17,
+///                 "append fields, update the count, audit initializers");
+///
+/// so any change to the member list fails to compile until the author has
+/// looked at the call sites. Counts top-level members only (a nested
+/// aggregate is one field) and requires every member to carry a default.
+template <typename T>
+constexpr std::size_t FieldCount() {
+  static_assert(std::is_aggregate_v<T>,
+                "FieldCount only counts aggregate members");
+  return internal::CountFieldsImpl<T>();
+}
+
+}  // namespace vqi

@@ -60,6 +60,11 @@ class VQLIB_SCOPED_CAPABILITY MutexLock {
 /// inside the caller's analyzed scope (a predicate lambda would need its own
 /// REQUIRES annotation that the analysis cannot match against the Wait
 /// parameter).
+///
+/// The wait-in-loop invariant is machine-checked: tools/vqi_analyze
+/// (`ctest -R vqi_analyze_condvar`) flags any Wait/WaitFor on a declared
+/// CondVar that is not on a `while`/`for`/`do` line or nested inside one,
+/// across src/ and tests/.
 class CondVar {
  public:
   CondVar() = default;

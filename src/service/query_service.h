@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/field_count.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -60,6 +61,13 @@ struct ServiceStats {
   uint64_t index_builds = 0;
 };
 
+// ServiceStats is positionally brace-initialized by tests and tools;
+// inserting a field mid-struct silently shifts every later initializer.
+// Append only, then update this count after auditing the call sites.
+static_assert(FieldCount<ServiceStats>() == 17,
+              "ServiceStats changed shape: append fields at the end, audit "
+              "brace initializers, then update this count");
+
 /// Sizing and semantics knobs for a QueryService.
 struct QueryServiceOptions {
   size_t num_threads = 4;
@@ -69,7 +77,7 @@ struct QueryServiceOptions {
   size_t cache_shards = 8;
   /// Matching semantics applied to every kMatchCount request. The step cap
   /// is managed internally by the deadline logic; leave max_steps at 0.
-  MatchOptions match_options;
+  MatchOptions match_options = {};
   /// Completed-request traces retained in the ring buffer (0 disables
   /// tracing).
   size_t trace_capacity = 256;
@@ -109,7 +117,7 @@ struct QueryServiceOptions {
   /// {{"shard", "2"}} under a sharded router, so same-named series from N
   /// shards stay distinct in one registry. Instruments with their own label
   /// dimension (shed priority, cache_shard, pool) append it to these.
-  obs::Labels metric_labels;
+  obs::Labels metric_labels = {};
   /// Serve kMatchCount requests through the per-graph MatchIndex (CSR
   /// adjacency + candidate index, see docs/matching.md): indexes are built
   /// lazily per target graph, cached, and revalidated against
@@ -119,6 +127,14 @@ struct QueryServiceOptions {
   /// initializers stay valid.
   bool use_match_index = true;
 };
+
+// Same positional-initializer guard as ServiceStats: every member carries
+// an explicit default, so `QueryServiceOptions{}` is always the documented
+// configuration and a mid-struct insertion fails here instead of silently
+// reconfiguring brace-initialized call sites.
+static_assert(FieldCount<QueryServiceOptions>() == 14,
+              "QueryServiceOptions changed shape: append fields at the end, "
+              "audit brace initializers, then update this count");
 
 /// Concurrent serving layer over a GraphDatabase.
 ///

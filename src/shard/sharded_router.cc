@@ -605,11 +605,21 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
   // request deadline themselves (returning partials where allowed); the
   // gather deadline adds slack on top so late shard partials still merge,
   // and only a shard stuck well past its budget is abandoned.
+  //
+  // Locking discipline: pool_.Submit is never called with state->mutex
+  // held. Submit blocks when the fan-out queue is full, and every pool
+  // worker re-enters state->mutex the moment its leg finishes — a submit
+  // under the gather lock turns pool saturation into a stall of every
+  // in-flight leg (and of the workers trying to resolve them). Hedge
+  // *decisions* are made under the lock; the submits they schedule happen
+  // with it released.
   const double gather_deadline_ms =
       request.deadline_ms > 0 ? request.deadline_ms + options_.gather_slack_ms
                               : 0;
   std::vector<QueryResult> results;
   std::vector<size_t> leg_shards;
+
+  // Phase 1: build the legs. No pool work under the gather lock.
   {
     MutexLock lock(&state->mutex);
     state->legs.reserve(subs.size());
@@ -622,88 +632,145 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
       state->legs.push_back(std::move(leg));
     }
     state->unresolved = state->legs.size();
-    for (size_t i = 0; i < state->legs.size(); ++i) {
+  }
+
+  // Phase 2: submit every primary leg with the lock released.
+  const size_t num_legs = subs.size();
+  for (size_t i = 0; i < num_legs; ++i) {
+    QueryRequest sub;
+    size_t leg_shard = 0;
+    {
+      MutexLock lock(&state->mutex);
       GatherState::Leg& leg = state->legs[i];
-      // Every primary leg deposits into the hedge budget; each fired hedge
-      // withdraws one full token, bounding hedges to ~ratio of leg traffic.
-      hedge_budget_.OnRequest();
-      Status submitted = submit_leg(i, leg.shard, leg.primary, false, 0,
-                                    false);
-      if (!submitted.ok()) {
-        // Fan-out pool saturated: the leg resolves immediately as
-        // unavailable and the merge degrades per the partial contract.
+      sub = leg.primary;
+      leg_shard = leg.shard;
+    }
+    // Every primary leg deposits into the hedge budget; each fired hedge
+    // withdraws one full token, bounding hedges to ~ratio of leg traffic.
+    hedge_budget_.OnRequest();
+    Status submitted =
+        submit_leg(i, leg_shard, std::move(sub), false, 0, false);
+    if (!submitted.ok()) {
+      // Fan-out pool saturated: the leg resolves immediately as
+      // unavailable and the merge degrades per the partial contract.
+      {
+        MutexLock lock(&state->mutex);
+        GatherState::Leg& leg = state->legs[i];
         leg.resolved = true;
         leg.result.status = submitted;
         --state->unresolved;
-        MutexLock stats_lock(&stats_mutex_);
-        shard_errors_total_[leg.shard]->Increment();
       }
+      MutexLock stats_lock(&stats_mutex_);
+      shard_errors_total_[leg_shard]->Increment();
     }
-    while (state->unresolved > 0) {
-      double wait_ms = -1;
-      if (hedging) {
-        for (size_t i = 0; i < state->legs.size(); ++i) {
-          GatherState::Leg& leg = state->legs[i];
-          if (leg.resolved || leg.hedge_attempted) continue;
-          const double trigger = HedgeTriggerMs(leg.shard);
-          const double age = leg.age.ElapsedMillis();
-          if (age < trigger) {
-            const double until = trigger - age;
-            wait_ms = wait_ms < 0 ? until : std::min(wait_ms, until);
-            continue;
-          }
-          leg.hedge_attempted = true;
-          if (!hedge_budget_.TryConsumeRetry()) {
-            MutexLock stats_lock(&stats_mutex_);
-            hedges_denied_total_->Increment();
-            continue;
-          }
-          QueryRequest hedge = leg.primary;
-          hedge.hedge = true;
-          hedge.cancel = std::make_shared<std::atomic<bool>>(false);
-          leg.hedge_cancel = hedge.cancel;
-          // Cross-replica hedge: the duplicate goes to the best healthy
-          // replica that is NOT the one the primary chain is on — when a
-          // replica (not the data) is slow, redrawing the same replica buys
-          // nothing. Same-replica fallback when unreplicated or no healthy
-          // sibling exists.
-          size_t hedge_replica = leg.primary_replica;
-          bool cross = false;
-          if (map_.num_replicas() > 1) {
-            ReplicaPick pick = PickReplica(
-                leg.shard, uint64_t{1} << leg.primary_replica);
-            if (pick.replica != ShardMap::kNoShard && !pick.picked_open) {
-              hedge_replica = pick.replica;
-              cross = true;
+  }
+
+  // Phase 3: gather, firing hedges as their triggers pass.
+  struct PendingHedge {
+    size_t index = 0;
+    size_t shard = 0;
+    QueryRequest request;
+    size_t replica = 0;
+    bool cross = false;
+  };
+  for (;;) {
+    std::vector<PendingHedge> pending;
+    size_t denied = 0;
+    {
+      MutexLock lock(&state->mutex);
+      while (state->unresolved > 0 && pending.empty()) {
+        double wait_ms = -1;
+        if (hedging) {
+          for (size_t i = 0; i < state->legs.size(); ++i) {
+            GatherState::Leg& leg = state->legs[i];
+            if (leg.resolved || leg.hedge_attempted) continue;
+            const double trigger = HedgeTriggerMs(leg.shard);
+            const double age = leg.age.ElapsedMillis();
+            if (age < trigger) {
+              const double until = trigger - age;
+              wait_ms = wait_ms < 0 ? until : std::min(wait_ms, until);
+              continue;
             }
+            leg.hedge_attempted = true;
+            if (!hedge_budget_.TryConsumeRetry()) {
+              ++denied;
+              continue;
+            }
+            PendingHedge hedge;
+            hedge.index = i;
+            hedge.shard = leg.shard;
+            hedge.request = leg.primary;
+            hedge.request.hedge = true;
+            hedge.request.cancel = std::make_shared<std::atomic<bool>>(false);
+            leg.hedge_cancel = hedge.request.cancel;
+            // Cross-replica hedge: the duplicate goes to the best healthy
+            // replica that is NOT the one the primary chain is on — when a
+            // replica (not the data) is slow, redrawing the same replica
+            // buys nothing. Same-replica fallback when unreplicated or no
+            // healthy sibling exists.
+            hedge.replica = leg.primary_replica;
+            if (map_.num_replicas() > 1) {
+              ReplicaPick pick = PickReplica(
+                  leg.shard, uint64_t{1} << leg.primary_replica);
+              if (pick.replica != ShardMap::kNoShard && !pick.picked_open) {
+                hedge.replica = pick.replica;
+                hedge.cross = true;
+              }
+            }
+            pending.push_back(std::move(hedge));
           }
-          Status submitted = submit_leg(i, leg.shard, std::move(hedge), true,
-                                        hedge_replica, cross);
-          if (!submitted.ok()) {
-            leg.hedge_cancel = nullptr;
-            MutexLock stats_lock(&stats_mutex_);
-            hedges_denied_total_->Increment();
-            continue;
-          }
-          leg.hedge_fired = true;
-          MutexLock stats_lock(&stats_mutex_);
-          hedges_fired_total_->Increment();
-          if (cross) cross_hedges_fired_total_->Increment();
+          if (!pending.empty()) break;  // submit with the lock released
+        }
+        if (gather_deadline_ms > 0) {
+          const double remaining =
+              gather_deadline_ms - started.ElapsedMillis();
+          if (remaining <= 0) break;
+          wait_ms = wait_ms < 0 ? remaining : std::min(wait_ms, remaining);
+        }
+        if (wait_ms < 0) {
+          state->cv.Wait(state->mutex);
+        } else {
+          (void)state->cv.WaitFor(state->mutex, std::max(wait_ms, 0.05));
         }
       }
-      if (gather_deadline_ms > 0) {
-        const double remaining = gather_deadline_ms - started.ElapsedMillis();
-        if (remaining <= 0) break;
-        wait_ms = wait_ms < 0 ? remaining : std::min(wait_ms, remaining);
+    }
+    if (denied > 0) {
+      MutexLock stats_lock(&stats_mutex_);
+      for (size_t i = 0; i < denied; ++i) hedges_denied_total_->Increment();
+    }
+    if (pending.empty()) break;  // gathered everything, or deadline expired
+    for (PendingHedge& hedge : pending) {
+      // A leg can resolve between the decision and this submit; the hedge
+      // then finds the leg resolved and discards itself (its cancel token
+      // was poisoned by the winner).
+      Status submitted =
+          submit_leg(hedge.index, hedge.shard, std::move(hedge.request),
+                     true, hedge.replica, hedge.cross);
+      const bool fired = submitted.ok();
+      {
+        MutexLock lock(&state->mutex);
+        GatherState::Leg& leg = state->legs[hedge.index];
+        if (fired) {
+          leg.hedge_fired = true;
+        } else {
+          leg.hedge_cancel = nullptr;
+        }
       }
-      if (wait_ms < 0) {
-        state->cv.Wait(state->mutex);
+      MutexLock stats_lock(&stats_mutex_);
+      if (fired) {
+        hedges_fired_total_->Increment();
+        if (hedge.cross) cross_hedges_fired_total_->Increment();
       } else {
-        (void)state->cv.WaitFor(state->mutex, std::max(wait_ms, 0.05));
+        hedges_denied_total_->Increment();
       }
     }
-    // Gather deadline expired: claim every still-outstanding leg as timed
-    // out and poison its attempts so they stop burning shard budget.
+  }
+
+  // Gather deadline expired: claim every still-outstanding leg as timed
+  // out and poison its attempts so they stop burning shard budget.
+  std::vector<size_t> timed_out_shards;
+  {
+    MutexLock lock(&state->mutex);
     for (GatherState::Leg& leg : state->legs) {
       if (leg.resolved) continue;
       leg.resolved = true;
@@ -713,15 +780,20 @@ QueryResult ShardedRouter::Execute(QueryRequest request) {
       if (leg.primary_cancel != nullptr) leg.primary_cancel->store(true);
       if (leg.hedge_cancel != nullptr) leg.hedge_cancel->store(true);
       --state->unresolved;
-      MutexLock stats_lock(&stats_mutex_);
-      gather_timeout_total_->Increment();
-      shard_errors_total_[leg.shard]->Increment();
+      timed_out_shards.push_back(leg.shard);
     }
     results.reserve(state->legs.size());
     leg_shards.reserve(state->legs.size());
     for (GatherState::Leg& leg : state->legs) {
       results.push_back(std::move(leg.result));
       leg_shards.push_back(leg.shard);
+    }
+  }
+  if (!timed_out_shards.empty()) {
+    MutexLock stats_lock(&stats_mutex_);
+    for (size_t timed_out_shard : timed_out_shards) {
+      gather_timeout_total_->Increment();
+      shard_errors_total_[timed_out_shard]->Increment();
     }
   }
   return finish(Merge(request, std::move(results), leg_shards));

@@ -25,6 +25,39 @@ namespace vqi {
 namespace {
 
 // ---------------------------------------------------------------------------
+// Aggregate shapes
+
+// `QueryServiceOptions{}` / `ServiceStats{}` must mean the documented
+// defaults: every member carries an explicit initializer (enforced by the
+// FieldCount static_asserts in query_service.h), so a zero-argument brace
+// init can never leave a field indeterminate.
+TEST(AggregateDefaultsTest, ZeroArgBraceInitIsTheDocumentedConfiguration) {
+  QueryServiceOptions options{};
+  EXPECT_EQ(options.num_threads, 4u);
+  EXPECT_EQ(options.queue_capacity, 256u);
+  EXPECT_EQ(options.cache_capacity, 1024u);
+  EXPECT_EQ(options.cache_shards, 8u);
+  EXPECT_FALSE(options.match_options.induced);
+  EXPECT_TRUE(options.match_options.match_vertex_labels);
+  EXPECT_EQ(options.trace_capacity, 256u);
+  EXPECT_DOUBLE_EQ(options.shed_high_water, 0.75);
+  EXPECT_EQ(options.fault_injector, nullptr);
+  EXPECT_TRUE(options.enable_coalescing);
+  EXPECT_DOUBLE_EQ(options.coalesce_retry_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(options.coalesce_retry_capacity, 8.0);
+  EXPECT_EQ(options.metrics, nullptr);
+  EXPECT_TRUE(options.metric_labels.empty());
+  EXPECT_TRUE(options.use_match_index);
+
+  ServiceStats stats{};
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.backend_executions, 0u);
+  EXPECT_EQ(stats.index_builds, 0u);
+  EXPECT_DOUBLE_EQ(stats.p99_latency_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // ThreadPool
 
 TEST(ThreadPoolTest, ExecutesSubmittedTasks) {

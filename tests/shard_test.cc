@@ -259,6 +259,43 @@ TEST(ShardedRouterTest, GatherDeadlineYieldsPartialFromHealthyShards) {
   EXPECT_GE(stats.shards[1].errors, 2u);
 }
 
+// Regression: pool submissions must happen with the gather lock released.
+// With a one-thread / one-slot fan-out pool most primary legs are refused
+// admission; before the fix those submits ran under GatherState::mutex, so
+// a saturated pool stalled the gather thread while the one worker that
+// could drain it was itself waiting to re-enter that mutex.
+TEST(ShardedRouterTest, RouterSurvivesSaturatedFanoutPool) {
+  GraphDatabase db = MakeMolecules(16);
+  FaultPlan plan;
+  plan.seed = 7;
+  // Pin the single worker for a while so admission rejections are
+  // deterministic: at most two legs fit (one running, one queued).
+  plan.At(FaultPoint::kVf2Slice).latency_p = 1.0;
+  plan.At(FaultPoint::kVf2Slice).latency_ms = 50;
+  FaultInjector injector(plan);
+  ShardedRouterOptions options;
+  options.num_shards = 4;
+  options.router_threads = 1;
+  options.router_queue = 1;
+  options.shard_options.fault_injector = &injector;
+  ShardedRouter router(db, options);
+
+  QueryRequest request = MatchAll(SingleVertexPattern(0));
+  request.allow_partial = true;
+  QueryResult merged = router.Execute(request);
+  ASSERT_TRUE(merged.status.ok()) << merged.status.ToString();
+  EXPECT_TRUE(merged.truncated);
+  // The first leg is always admitted, so its shard's slice is present.
+  EXPECT_FALSE(merged.matched_graphs.empty());
+
+  router.Shutdown();
+  shard::RouterStats stats = router.Snapshot();
+  uint64_t errors = 0;
+  for (const shard::RouterShardStats& s : stats.shards) errors += s.errors;
+  // At least two of the four legs were refused admission outright.
+  EXPECT_GE(errors, 2u);
+}
+
 // A shard failing 100% of requests opens its own breaker and costs its slice
 // of the collection — the other shards' breakers stay closed and their
 // results keep flowing.

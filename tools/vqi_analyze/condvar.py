@@ -1,0 +1,63 @@
+"""Pass: every CondVar wait must sit in a loop.
+
+src/common/mutex.h documents the invariant (`while (!cond) cv.Wait(&mu);`)
+— CondVar deliberately has no predicate overload, so a wait outside a loop
+is vulnerable to spurious wakeups and lost-notify races. This pass checks
+every `.Wait(` / `.WaitFor(` whose receiver is a declared CondVar (member
+or local) across src/ AND tests/: the wait must either share a line with a
+`while`/`for`/`do` head or be nested (at any depth) inside one.
+"""
+
+import re
+
+from .cxx import LOOP_HEAD_RE
+
+RULE = "condvar-wait-loop"
+
+
+def _receiver_leaf(recv):
+    parts = [p for p in re.split(r"->|\.", recv) if p]
+    return re.sub(r"[\[\(].*$", "", parts[-1]) if parts else ""
+
+
+def run(model, rels, used_waivers):
+    diagnostics = []
+    waits = []
+    for facts, fn in model.functions:
+        if facts.rel not in rels:
+            continue
+        stack = []  # (open depth, head) of currently-open blocks
+        for ev in fn.events:
+            kind = ev[0]
+            if kind == "open":
+                stack.append((ev[1], ev[3]))
+            elif kind == "close":
+                d = ev[1]
+                stack = [(k, h) for (k, h) in stack if k < d - 1]
+            elif kind == "wait":
+                _depth, line, recv, meth, same_line = ev[1:6]
+                leaf = _receiver_leaf(recv)
+                if leaf not in model.condvar_names:
+                    continue
+                in_loop = same_line or any(
+                    LOOP_HEAD_RE.search(h) for _k, h in stack)
+                waits.append({"file": facts.rel, "line": line,
+                              "method": meth, "in_loop": in_loop})
+                if in_loop:
+                    continue
+                w = None
+                for at in (line, line - 1):
+                    cand = facts.waivers.get(at)
+                    if cand and cand[0] == RULE and cand[1]:
+                        w = at
+                        break
+                if w is not None:
+                    used_waivers.add((facts.rel, w))
+                    continue
+                diagnostics.append({
+                    "rel": facts.rel, "line": line, "rule": RULE,
+                    "message": f"CondVar {meth} on `{recv}` is not inside a "
+                               f"while/for/do loop (in {fn.qualname}); "
+                               "spurious wakeups make this a race",
+                })
+    return {"diagnostics": diagnostics, "waits": waits}

@@ -1,0 +1,175 @@
+"""Pass: global lock-order graph.
+
+Aggregates the per-function replay edges (lock B acquired while lock A is
+held — directly or transitively through a resolved callee) into one directed
+graph, reports every cycle (including self-edges) as a potential deadlock,
+and pins the full edge set against tools/vqi_analyze/lock_order.expected so
+a new ordering shows up as a test failure, not an archaeology project.
+"""
+
+BASELINE_HEADER = """\
+# Lock-order baseline — every `A -> B` line means lock B is (somewhere in
+# src/) acquired while lock A is held. vqi_analyze fails if the discovered
+# edge set differs from this file in either direction. Regenerate with:
+#   python3 -m tools.vqi_analyze --root . --write-baseline
+# and review the diff like any other code change: a NEW edge is a new lock
+# nesting that every other thread must now respect; a VANISHED edge usually
+# means a fix (or a lost annotation).
+"""
+
+
+def load_baseline(path):
+    edges = set()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "->" in line:
+            a, _, b = line.partition("->")
+            edges.add((a.strip(), b.strip()))
+    return edges
+
+
+def write_baseline(path, pairs):
+    lines = [BASELINE_HEADER]
+    for a, b in sorted(pairs):
+        lines.append(f"{a} -> {b}\n")
+    path.write_text("".join(lines), encoding="utf-8")
+
+
+def find_cycles(pairs):
+    """Tarjan SCC over the edge set; returns cycles as sorted node lists
+    (SCCs of size > 1, plus self-loops)."""
+    graph = {}
+    for a, b in pairs:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    cycles = []
+
+    def strongconnect(v):
+        # Iterative Tarjan to dodge recursion limits.
+        work = [(v, iter(sorted(graph[v])))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    cycles.append(sorted(scc))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    for a, b in sorted(pairs):
+        if a == b:
+            cycles.append([a])
+    return cycles
+
+
+def run(edges, baseline_path, write=False):
+    by_pair = {}
+    for e in edges:
+        by_pair.setdefault((e.src, e.dst), []).append(e)
+    pairs = set(by_pair)
+    diagnostics = []
+
+    for cycle in find_cycles(pairs):
+        if len(cycle) == 1:
+            site = by_pair[(cycle[0], cycle[0])][0]
+            diagnostics.append({
+                "rel": site.rel, "line": site.line, "rule": "lock-cycle",
+                "message": f"lock {cycle[0]} re-acquired while already held "
+                           f"(self-deadlock) in {site.func}",
+            })
+            continue
+        members = set(cycle)
+        sites = sorted(
+            {f"{e.rel}:{e.line}" for (a, b), es in by_pair.items()
+             if a in members and b in members for e in es})
+        first = min((by_pair[(a, b)][0] for (a, b) in by_pair
+                     if a in members and b in members),
+                    key=lambda e: (e.rel, e.line))
+        diagnostics.append({
+            "rel": first.rel, "line": first.line, "rule": "lock-cycle",
+            "message": "lock-order cycle (potential deadlock): "
+                       + " -> ".join(cycle + [cycle[0]])
+                       + "; acquisition sites: " + ", ".join(sites),
+        })
+
+    baseline = None
+    if write:
+        write_baseline(baseline_path, pairs)
+    else:
+        baseline = load_baseline(baseline_path)
+        if baseline is None:
+            diagnostics.append({
+                "rel": str(baseline_path), "line": 1,
+                "rule": "lock-order-baseline",
+                "message": "missing baseline; run with --write-baseline and "
+                           "commit the result",
+            })
+        else:
+            for a, b in sorted(pairs - baseline):
+                site = by_pair[(a, b)][0]
+                diagnostics.append({
+                    "rel": site.rel, "line": site.line,
+                    "rule": "lock-order-baseline",
+                    "message": f"new lock-order edge {a} -> {b} (via "
+                               f"{site.via} in {site.func}) not in "
+                               "lock_order.expected; review the nesting, "
+                               "then regenerate with --write-baseline",
+                })
+            for a, b in sorted(baseline - pairs):
+                diagnostics.append({
+                    "rel": str(baseline_path), "line": 1,
+                    "rule": "lock-order-baseline",
+                    "message": f"stale baseline edge {a} -> {b} no longer "
+                               "discovered; regenerate with --write-baseline",
+                })
+
+    return {
+        "edges": [
+            {"from": a, "to": b,
+             "sites": [{"file": e.rel, "line": e.line, "function": e.func,
+                        "via": e.via} for e in es]}
+            for (a, b), es in sorted(by_pair.items())],
+        "cycles": find_cycles(pairs),
+        "baseline": sorted(baseline) if baseline is not None else None,
+        "diagnostics": diagnostics,
+    }

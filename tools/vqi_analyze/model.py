@@ -1,0 +1,466 @@
+"""Whole-repo model built from per-file facts (see cxx.py).
+
+Responsibilities:
+  * merge per-file class facts into one registry (a class declared in a
+    header and defined across a .cc contributes one ClassInfo);
+  * resolve receiver expressions / lock expressions to nesting-qualified
+    identities ("ShardedRouter::GatherState::mutex");
+  * compute per-function transitive lock-acquisition summaries by fixpoint
+    over the (resolved) call graph — lambdas passed to a thread pool are
+    deliberately NOT inlined at the Submit site because their bodies run on
+    another thread, only *named* lambda invocations inline;
+  * replay each function's event stream with a held-lock stack, producing
+    lock-order edges and calls-made-under-lock for the passes.
+
+Unresolvable receivers and lock expressions are counted, never guessed.
+"""
+
+import re
+
+from . import cxx
+
+NON_TYPE_WORDS = {
+    "const", "class", "struct", "enum", "union", "friend", "using",
+    "typedef", "return", "static", "mutable", "public", "private",
+    "protected", "virtual", "inline", "constexpr", "volatile", "auto",
+    "void", "bool", "int", "char", "float", "double", "unsigned", "signed",
+    "long", "short", "operator", "template", "typename", "explicit",
+}
+
+
+class ClassInfo:
+    def __init__(self, qualname):
+        self.qualname = qualname
+        self.rel = ""
+        self.line = 0
+        self.mutex_members = {}    # name -> (rel, line)
+        self.condvar_members = {}  # name -> (rel, line)
+        self.member_types = {}     # name -> type text
+        self.method_requires = {}  # method -> [expr]
+        self.method_names = set()
+
+    def absorb(self, facts_cls):
+        if not self.rel:
+            self.rel, self.line = facts_cls.rel, facts_cls.line
+        for name, line in facts_cls.mutex_members:
+            self.mutex_members.setdefault(name, (facts_cls.rel, line))
+        for name, line in facts_cls.condvar_members:
+            self.condvar_members.setdefault(name, (facts_cls.rel, line))
+        for name, t in facts_cls.member_types.items():
+            self.member_types.setdefault(name, t)
+        for m, reqs in facts_cls.method_requires.items():
+            self.method_requires.setdefault(m, reqs)
+        self.method_names |= facts_cls.method_names
+
+
+class Edge:
+    __slots__ = ("src", "dst", "rel", "line", "func", "via")
+
+    def __init__(self, src, dst, rel, line, func, via):
+        self.src, self.dst = src, dst
+        self.rel, self.line, self.func, self.via = rel, line, func, via
+
+
+class LockedCall:
+    __slots__ = ("rel", "line", "func", "held", "obj", "name", "qual")
+
+    def __init__(self, rel, line, func, held, obj, name, qual):
+        self.rel, self.line, self.func = rel, line, func
+        self.held, self.obj, self.name, self.qual = held, obj, name, qual
+
+
+class Model:
+    def __init__(self):
+        self.files = {}             # rel -> FileFacts
+        self.classes = {}           # qualname -> ClassInfo
+        self.class_suffix = {}      # last segment -> [qualname]
+        self.functions = []         # (FileFacts, FunctionFacts)
+        self.fn_by_qual = {}        # qualname -> [FunctionFacts]
+        self.method_classes = {}    # short name -> set(class qualnames)
+        self.condvar_names = set()  # member/local names declared CondVar
+        self.summaries = {}         # id(fn) -> set(lock ids)
+        self.unresolved_acquires = []  # (rel, line, expr)
+        self.unresolved_calls = 0
+
+    # ------------------------------------------------------------------ build
+
+    def add_file(self, facts):
+        self.files[facts.rel] = facts
+        for c in facts.classes:
+            info = self.classes.get(c.qualname)
+            if info is None:
+                info = self.classes[c.qualname] = ClassInfo(c.qualname)
+                suffix = c.qualname.rsplit("::", 1)[-1]
+                self.class_suffix.setdefault(suffix, []).append(c.qualname)
+            info.absorb(c)
+            for name, _line in c.condvar_members:
+                self.condvar_names.add(name)
+            for m in c.method_names:
+                self.method_classes.setdefault(m, set()).add(c.qualname)
+        for fn in facts.functions:
+            self.functions.append((facts, fn))
+            self.fn_by_qual.setdefault(fn.qualname, []).append(fn)
+            short = fn.qualname.rsplit("::", 1)[-1]
+            if fn.class_ctx:
+                info = self.classes.get(fn.class_ctx)
+                if info is not None:
+                    info.method_names.add(short)
+                self.method_classes.setdefault(short, set()).add(fn.class_ctx)
+            for _d, _l, tname, lname in (
+                    (e[1], e[2], e[3], e[4]) for e in fn.events
+                    if e[0] == "local"):
+                if "CondVar" in tname:
+                    self.condvar_names.add(lname)
+
+    def finalize(self):
+        self.compute_summaries()
+
+    # ------------------------------------------------------------- resolution
+
+    def resolve_class_token(self, token, class_ctx=""):
+        # A nested class shadows same-named classes elsewhere: prefer
+        # Ancestor::token for every enclosing class of the use site.
+        for anc in self.class_ancestry(class_ctx):
+            cand = f"{anc}::{token}"
+            if cand in self.classes:
+                return cand
+        if token in self.classes:
+            return token
+        cands = self.class_suffix.get(token.rsplit("::", 1)[-1], [])
+        if len(cands) == 1:
+            return cands[0]
+        return None
+
+    def resolve_type_text(self, text, class_ctx=""):
+        for tok in re.findall(r"[A-Za-z_][\w:]*", text or ""):
+            if tok in NON_TYPE_WORDS:
+                continue
+            cls = self.resolve_class_token(tok, class_ctx)
+            if cls:
+                return cls
+        return None
+
+    @staticmethod
+    def _locals_of(fn):
+        """name -> type text, walking enclosing lambdas (captures)."""
+        out = {}
+        f = fn
+        while f is not None:
+            for ev in f.events:
+                if ev[0] == "local" and ev[4] not in out:
+                    out[ev[4]] = ev[3]
+            for pname, ptype in f.param_types().items():
+                out.setdefault(pname, ptype)
+            f = f.parent
+        return out
+
+    def class_ancestry(self, qual):
+        """[A::B::C, A::B, A] — nesting chain, innermost first."""
+        out = []
+        while qual:
+            out.append(qual)
+            if "::" not in qual:
+                break
+            qual = qual.rsplit("::", 1)[0]
+        return out
+
+    def member_type_in(self, class_ctx, name):
+        for cls in self.class_ancestry(class_ctx):
+            info = self.classes.get(cls)
+            if info and name in info.member_types:
+                return info.member_types[name]
+        return None
+
+    def owning_class_with_mutex(self, class_ctx, member):
+        for cls in self.class_ancestry(class_ctx):
+            info = self.classes.get(cls)
+            if info and member in info.mutex_members:
+                return cls
+        return None
+
+    def resolve_chain_type(self, fn, parts, _depth=0):
+        """Type of `parts[0].parts[1]...` — a receiver chain."""
+        first = parts[0]
+        if first == "this":
+            cur = fn.class_ctx or None
+        else:
+            locals_ = self._locals_of(fn)
+            type_text = locals_.get(first)
+            if type_text is None and fn.class_ctx:
+                type_text = self.member_type_in(fn.class_ctx, first)
+            if type_text and type_text.startswith("="):
+                # `auto& x = shards_[i];` — resolve the initializer chain.
+                cur = self._resolve_init_chain(fn, type_text[1:], _depth)
+            else:
+                cur = (self.resolve_type_text(type_text, fn.class_ctx)
+                       if type_text else None)
+        for part in parts[1:]:
+            if cur is None:
+                return None
+            t = self.member_type_in(cur, part)
+            cur = self.resolve_type_text(t, cur) if t else None
+        return cur
+
+    def _resolve_init_chain(self, fn, rhs, depth):
+        if depth > 4 or "(" in rhs:
+            return None  # call results are beyond this resolver
+        rhs = re.sub(r"\[[^\]]*\]", "", rhs).strip().lstrip("&*")
+        parts = [p.strip() for p in re.split(r"->|\.", rhs) if p.strip()]
+        if not parts:
+            return None
+        return self.resolve_chain_type(fn, parts, depth + 1)
+
+    def resolve_lock_expr(self, fn, expr):
+        """`MutexLock l(&EXPR)` → canonical lock id, or None."""
+        expr = expr.strip()
+        if expr.endswith("()"):
+            return expr  # accessor-returned mutex: identity is the call text
+        expr = re.sub(r"\[[^\]]*\]", "", expr)
+        parts = [p.strip() for p in re.split(r"->|\.", expr) if p.strip()]
+        if not parts:
+            return None
+        member = parts[0] if len(parts) == 1 else parts[-1]
+        if len(parts) == 1:
+            cls = self.owning_class_with_mutex(fn.class_ctx, member)
+            if cls:
+                return f"{cls}::{member}"
+            t = self._locals_of(fn).get(member, "")
+            if "Mutex" in t:
+                return f"{fn.qualname}::{member}"
+            return None
+        if parts[0] == "this" and len(parts) == 2:
+            cls = self.owning_class_with_mutex(fn.class_ctx, member)
+            if cls:
+                return f"{cls}::{member}"
+        recv = self.resolve_chain_type(fn, parts[:-1])
+        if recv:
+            cls = self.owning_class_with_mutex(recv, member)
+            if cls:
+                return f"{cls}::{member}"
+            info = self.classes.get(recv)
+            if info and "Mutex" in info.member_types.get(member, ""):
+                return f"{recv}::{member}"
+        return None
+
+    def _named_lambda(self, fn, name):
+        f = fn
+        while f is not None:
+            if name in f.lambdas:
+                return f.lambdas[name]
+            f = f.parent
+        return None
+
+    def resolve_call(self, fn, obj, name):
+        """→ qualified callee name, or None. Never guesses across an
+        ambiguous short name."""
+        if obj.startswith("::"):
+            ns = obj[2:]
+            return f"{ns}::{name}" if ns else name
+        if obj == "":
+            lam = self._named_lambda(fn, name)
+            if lam is not None:
+                return lam.qualname
+            for cls in self.class_ancestry(fn.class_ctx):
+                info = self.classes.get(cls)
+                if info and name in info.method_names:
+                    return f"{cls}::{name}"
+            if name in self.fn_by_qual:
+                return name
+            owners = self.method_classes.get(name, set())
+            if len(owners) == 1:
+                owner = next(iter(owners))
+                return f"{owner}::{name}" if owner else name
+            return None
+        if "(" in obj:
+            # chained call receiver (`client.breaker()`): unique-name fallback
+            owners = self.method_classes.get(name, set())
+            if len(owners) == 1:
+                owner = next(iter(owners))
+                return f"{owner}::{name}" if owner else name
+            return None
+        parts = [p.strip() for p in
+                 re.split(r"->|\.", re.sub(r"\[[^\]]*\]", "", obj))
+                 if p.strip()]
+        recv = self.resolve_chain_type(fn, parts) if parts else None
+        if recv:
+            info = self.classes.get(recv)
+            if info and name in info.method_names:
+                return f"{recv}::{name}"
+            # method on a class we know but never saw declared: still
+            # attribute to the class so summaries/blocklists can match.
+            if info:
+                return f"{recv}::{name}"
+        if parts:
+            first = parts[0]
+            typed = (self._locals_of(fn).get(first) is not None
+                     or (fn.class_ctx
+                         and self.member_type_in(fn.class_ctx, first)
+                         is not None))
+            if typed:
+                # The receiver HAS a declared type that did not resolve to a
+                # known class; attributing the call elsewhere by unique name
+                # would contradict the declaration. Stay silent.
+                return None
+        owners = self.method_classes.get(name, set())
+        if len(owners) == 1:
+            owner = next(iter(owners))
+            return f"{owner}::{name}" if owner else name
+        return None
+
+    def callee_definitions(self, qual):
+        return self.fn_by_qual.get(qual, [])
+
+    # -------------------------------------------------------------- summaries
+
+    def entry_held(self, facts, fn):
+        """Locks held on entry, from VQLIB_REQUIRES on the definition or the
+        in-class declaration."""
+        exprs = list(fn.requires_exprs)
+        short = fn.qualname.rsplit("::", 1)[-1]
+        for cls in self.class_ancestry(fn.class_ctx):
+            info = self.classes.get(cls)
+            if info and short in info.method_requires:
+                exprs.extend(info.method_requires[short])
+        held = []
+        for e in exprs:
+            if e.startswith("!"):
+                continue  # negative capability (EXCLUDES-style)
+            lock = self.resolve_lock_expr(fn, e)
+            if lock and lock not in held:
+                held.append(lock)
+        return held
+
+    def _direct_acquires(self, fn):
+        out = set()
+        for ev in fn.events:
+            if ev[0] == "acquire":
+                lock = self.resolve_lock_expr(fn, ev[3])
+                if lock:
+                    out.add(lock)
+        return out
+
+    def compute_summaries(self):
+        summaries = {}
+        call_edges = {}  # id(fn) -> set(callee FunctionFacts)
+        for _facts, fn in self.functions:
+            summaries[id(fn)] = self._direct_acquires(fn)
+            callees = set()
+            for ev in fn.events:
+                if ev[0] != "call":
+                    continue
+                qual = self.resolve_call(fn, ev[3], ev[4])
+                if qual is None:
+                    continue
+                for d in self.callee_definitions(qual):
+                    callees.add(id(d))
+            call_edges[id(fn)] = callees
+        by_id = {id(fn): fn for _f, fn in self.functions}
+        changed = True
+        while changed:
+            changed = False
+            for fid, callees in call_edges.items():
+                s = summaries[fid]
+                before = len(s)
+                for cid in callees:
+                    if cid in summaries:
+                        s |= summaries[cid]
+                if len(s) != before:
+                    changed = True
+        self.summaries = summaries
+
+    def summary_for_qual(self, qual):
+        out = set()
+        for d in self.callee_definitions(qual):
+            out |= self.summaries.get(id(d), set())
+        return out
+
+    def compute_reach_summaries(self, classify):
+        """Per-function transitive reach of `classify`-flagged calls.
+
+        classify(obj, name, qual) returns (rule, target) or None. The
+        closure only flows through *invoked* callees — a lambda handed to a
+        thread pool runs on another thread and is deliberately excluded
+        (anonymous lambdas are never called by name).
+        """
+        reach = {}
+        call_edges = {}
+        for _facts, fn in self.functions:
+            d = set()
+            callees = set()
+            for ev in fn.events:
+                if ev[0] != "call":
+                    continue
+                qual = self.resolve_call(fn, ev[3], ev[4])
+                hit = classify(ev[3], ev[4], qual)
+                if hit is not None:
+                    d.add(hit)
+                if qual is not None:
+                    for cd in self.callee_definitions(qual):
+                        callees.add(id(cd))
+            reach[id(fn)] = d
+            call_edges[id(fn)] = callees
+        changed = True
+        while changed:
+            changed = False
+            for fid, callees in call_edges.items():
+                s = reach[fid]
+                before = len(s)
+                for cid in callees:
+                    s |= reach.get(cid, set())
+                if len(s) != before:
+                    changed = True
+        return reach
+
+    # ------------------------------------------------------------------ replay
+
+    def replay(self, facts, fn):
+        """Walks fn's events with a held-lock stack.
+
+        Returns (edges, locked_calls). A lock acquired at block depth d is
+        released when that block closes; depth 0 (function body) lives to
+        the end.
+        """
+        edges = []
+        locked_calls = []
+        held = [(l, -1) for l in self.entry_held(facts, fn)]
+        for ev in fn.events:
+            kind = ev[0]
+            if kind == "close":
+                d = ev[1]
+                held = [(l, ld) for (l, ld) in held if ld < d]
+            elif kind == "acquire":
+                d, line, expr = ev[1], ev[2], ev[3]
+                lock = self.resolve_lock_expr(fn, expr)
+                if lock is None:
+                    self.unresolved_acquires.append((facts.rel, line, expr))
+                    continue
+                for h, _hd in held:
+                    if h != lock:
+                        edges.append(Edge(h, lock, facts.rel, line,
+                                          fn.qualname, "MutexLock"))
+                held.append((lock, d))
+            elif kind == "call":
+                _d, line, obj, name = ev[1], ev[2], ev[3], ev[4]
+                qual = self.resolve_call(fn, obj, name)
+                if qual is None:
+                    self.unresolved_calls += 1
+                if held:
+                    locked_calls.append(LockedCall(
+                        facts.rel, line, fn.qualname,
+                        [h for h, _ in held], obj, name, qual))
+                    if qual is not None:
+                        for lock in sorted(self.summary_for_qual(qual)):
+                            for h, _hd in held:
+                                if h != lock:
+                                    edges.append(Edge(h, lock, facts.rel,
+                                                      line, fn.qualname,
+                                                      qual))
+        return edges, locked_calls
+
+
+def build_model(root, rels):
+    model = Model()
+    for rel in rels:
+        model.add_file(cxx.scan_file(root, rel))
+    model.finalize()
+    return model

@@ -1,0 +1,260 @@
+"""Self-test: plant one violation per rule in a scratch tree and assert the
+analyzer catches each — and does NOT flag the adjacent clean constructs.
+
+This is the analyzer's canary: a refactor of the scanner that silently stops
+seeing (say) calls inside `if (...)` heads turns every pass green at once,
+and only a planted-violation corpus notices. Run with
+`python3 -m tools.vqi_analyze --self-test`.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+# One violation per rule, each next to a clean twin where that makes sense.
+SCRATCH = {
+    # lock-cycle: Pair::a_ -> Pair::b_ and Pair::b_ -> Pair::a_.
+    # lock-order-baseline: the scratch tree ships no lock_order.expected.
+    "src/service/pair.h": """\
+#pragma once
+namespace vqi {
+class Pair {
+ public:
+  void First() {
+    MutexLock a(&a_);
+    MutexLock b(&b_);
+    ++n_;
+  }
+  void Second() {
+    MutexLock b(&b_);
+    MutexLock a(&a_);
+    --n_;
+  }
+ private:
+  Mutex a_;
+  Mutex b_;
+  int n_ = 0;
+};
+}  // namespace vqi
+""",
+    # The four blocking rules, plus the waiver grammar corpus: one waived
+    # site with a justification (clean), one waiver missing its
+    # justification, and one stale waiver suppressing nothing.
+    "src/service/blocker.h": """\
+#pragma once
+namespace vqi {
+class ThreadPool {
+ public:
+  Status Submit(std::function<void()> task);
+  void Wait();
+};
+class MatchIndex {
+ public:
+  void Build();
+};
+class Blocker {
+ public:
+  void SubmitUnderLock() {
+    MutexLock lock(&mu_);
+    pool_.Submit([] {});
+  }
+  void SleepUnderLock() {
+    MutexLock lock(&mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  void SocketUnderLock() {
+    MutexLock lock(&mu_);
+    ::send(fd_, nullptr, 0, 0);
+  }
+  void IndexUnderLock() {
+    MutexLock lock(&mu_);
+    index_.Build();
+  }
+  void WaivedSleep() {
+    MutexLock lock(&mu_);
+    // vqi-analyze: allow(sleep-under-lock) fixture needs a real delay
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  void UnjustifiedWaiverSleep() {
+    MutexLock lock(&mu_);
+    // vqi-analyze: allow(sleep-under-lock)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  void StaleWaiver() {
+    // vqi-analyze: allow(sleep-under-lock) nothing left to waive here
+    n_ = 0;
+  }
+ private:
+  Mutex mu_;
+  ThreadPool pool_;
+  MatchIndex index_;
+  int fd_ = -1;
+  int n_ = 0;
+};
+}  // namespace vqi
+""",
+    # condvar-wait-loop: a predicate-less wait next to the canonical loop.
+    "src/service/waiter.h": """\
+#pragma once
+namespace vqi {
+class Waiter {
+ public:
+  void BadWait() {
+    MutexLock lock(&mu_);
+    if (!ready_) cv_.Wait(mu_);
+  }
+  void GoodWait() {
+    MutexLock lock(&mu_);
+    while (!ready_) cv_.Wait(mu_);
+  }
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+};
+}  // namespace vqi
+""",
+    # layer-order: common (rank 0) must not reach up into net.
+    "src/common/clock.h": """\
+#pragma once
+#include "net/socket.h"
+""",
+    "src/net/socket.h": """\
+#pragma once
+""",
+    # include-cycle: two graph/ headers including each other.
+    "src/graph/a.h": """\
+#pragma once
+#include "graph/b.h"
+""",
+    "src/graph/b.h": """\
+#pragma once
+#include "graph/a.h"
+""",
+    # layer-unknown: a directory absent from LAYER_ORDER.
+    "src/widgets/widget.h": """\
+#pragma once
+""",
+    # metric-catalog: one documented literal, one that drifted.
+    "src/service/metrics_user.cc": """\
+#include "service/metrics_user.h"
+namespace vqi {
+void Register(MetricRegistry& r) {
+  r.GetCounter("vqi_good_total", "documented");
+  r.GetCounter("vqi_bogus_total", "not documented");
+}
+}  // namespace vqi
+""",
+    "docs/observability.md": """\
+# Instrument catalog
+
+| name | kind |
+|------|------|
+| `vqi_good_total` | counter |
+""",
+    # sanitizer-gating: foo_test links vqi_service but no preset label
+    # regex matches it; service_test is gated by every preset (clean).
+    "tests/CMakeLists.txt": """\
+vqi_add_test(service_test vqi_service vqi_graph)
+vqi_add_test(foo_test vqi_service vqi_graph)
+vqi_add_test(pure_test vqi_graph)
+""",
+    "CMakePresets.json": json.dumps({
+        "version": 6,
+        "testPresets": [
+            {"name": p, "configurePreset": p,
+             "filter": {"include": {"label": "^(service_test|chaos_test)$"}}}
+            for p in ("tsan", "asan", "ubsan")
+        ],
+    }, indent=2),
+}
+
+# Every rule the analyzer knows, with the file its planted violation lives
+# in. A rule missing from the report fails the self-test.
+PLANTED = {
+    "lock-cycle": "src/service/pair.h",
+    "lock-order-baseline": "lock_order.expected",
+    "pool-submit-under-lock": "src/service/blocker.h",
+    "sleep-under-lock": "src/service/blocker.h",
+    "socket-under-lock": "src/service/blocker.h",
+    "index-build-under-lock": "src/service/blocker.h",
+    "condvar-wait-loop": "src/service/waiter.h",
+    "layer-order": "src/common/clock.h",
+    "layer-unknown": "src/widgets/widget.h",
+    "include-cycle": "src/graph/a.h",
+    "metric-catalog": "src/service/metrics_user.cc",
+    "sanitizer-gating": "tests/CMakeLists.txt",
+    "unused-waiver": "src/service/blocker.h",
+}
+
+
+def run():
+    from . import __main__ as cli
+
+    failures = []
+
+    def check(ok, what):
+        print(f"  {'ok' if ok else 'FAIL'}: {what}")
+        if not ok:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="vqi_analyze_selftest.") as td:
+        root = Path(td)
+        for rel, text in SCRATCH.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text, encoding="utf-8")
+        report_path = root / "report.json"
+        rc = cli.main(["--root", str(root), "--json", str(report_path)])
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        diags = report["diagnostics"]
+
+        check(rc == 1, f"planted tree exits 1 (got {rc})")
+        check(not report["unresolved_acquires"],
+              "every planted MutexLock resolves "
+              f"(unresolved: {report['unresolved_acquires']})")
+
+        by_rule = {}
+        for d in diags:
+            by_rule.setdefault(d["rule"], []).append(d)
+        for rule, rel in sorted(PLANTED.items()):
+            hits = by_rule.get(rule, [])
+            check(any(rel in d["rel"] for d in hits),
+                  f"rule {rule} fires in {rel} "
+                  f"(hits: {[d['rel'] for d in hits]})")
+        check(set(by_rule) == set(PLANTED),
+              "no rule fires outside the planted corpus "
+              f"(unexpected: {sorted(set(by_rule) - set(PLANTED))})")
+        stray = [d for rule, rel in PLANTED.items()
+                 for d in by_rule.get(rule, []) if rel not in d["rel"]]
+        check(not stray,
+              "every diagnostic lands in its planted file (stray: "
+              f"{[(d['rule'], d['rel'], d['line']) for d in stray]})")
+
+        # Clean twins must stay clean.
+        blocking = report["passes"]["blocking"]
+        check(any(w["justification"] for w in blocking["waived"]),
+              "justified waiver suppresses its finding")
+        check(any("missing a justification" in d["message"]
+                  for d in by_rule.get("sleep-under-lock", [])),
+              "waiver without justification still reports the finding")
+        condvar_hits = by_rule.get("condvar-wait-loop", [])
+        check(len(condvar_hits) == 1 and "BadWait" in
+              condvar_hits[0]["message"],
+              "only the predicate-less wait is flagged, not the while-loop")
+        check(all("vqi_good_total" not in d["message"]
+                  for d in by_rule.get("metric-catalog", [])),
+              "documented metric literal is not flagged")
+        check(all("`service_test`" not in d["message"]
+                  and "`pure_test`" not in d["message"]
+                  for d in by_rule.get("sanitizer-gating", [])),
+              "gated and non-concurrency tests are not flagged")
+        lock = report["passes"]["lock-order"]
+        check(any(set(c) == {"Pair::a_", "Pair::b_"} for c in lock["cycles"]),
+              f"the a_/b_ inversion is the reported cycle ({lock['cycles']})")
+
+    if failures:
+        print(f"vqi_analyze --self-test: {len(failures)} check(s) FAILED")
+        return 1
+    print("vqi_analyze --self-test: all checks passed")
+    return 0

@@ -83,6 +83,12 @@ NONDETERMINISM_RES = [
 QUOTED_INCLUDE_RE = re.compile(r"#\s*include\s*\"([^\"]+)\"")
 OPTOUT_RE = re.compile(r"\bVQLIB_NO_THREAD_SAFETY_ANALYSIS\b")
 
+# tools/vqi_analyze waiver grammar: `// vqi-analyze: allow(<rule>) <why>`.
+# The justification is mandatory — vqi_analyze rejects it too, but the lint
+# fires on ANY file, including ones the analyzer's scanner cannot parse.
+ANALYZE_WAIVER_RE = re.compile(
+    r"//\s*vqi-analyze:\s*allow\(([a-z][a-z0-9-]*)\)\s*(.*)$")
+
 # Matches `x.Neighbors(` / `x->Neighbors(` but not NeighborsBegin/NeighborsEnd.
 ADJACENCY_CALL_RE = re.compile(r"(?:\.|->)\s*Neighbors\s*\(")
 
@@ -252,6 +258,14 @@ class Linter:
                         "VQLIB_NO_THREAD_SAFETY_ANALYSIS is only sanctioned "
                         "in src/common/mutex.h")
 
+            waiver = ANALYZE_WAIVER_RE.search(raw_line)
+            if waiver and not waiver.group(2).strip():
+                self.report(
+                    "waiver-grammar", path, lineno,
+                    f"vqi-analyze waiver allow({waiver.group(1)}) has no "
+                    "justification; write `// vqi-analyze: allow(<rule>) "
+                    "<why this site is safe>`")
+
     def run(self):
         for path in self.files():
             self.lint_file(path)
@@ -293,11 +307,17 @@ def self_test():
          "void F(const Graph& g) {\n"
          "  for (const Neighbor& n : g.Neighbors(0)) { (void)n; }\n"
          "}\n"),
+        ("waiver-grammar", "src/scratch.cc",
+         "void F() {\n"
+         "  // vqi-analyze: allow(sleep-under-lock)\n"
+         "  G();\n"
+         "}\n"),
     ]
     clean = [
         ("src/scratch_ok.cc",
          'void F(R& r) { r.GetCounter("vqi_queries_served_total"); }\n'
-         '// std::mutex in a comment is fine\n'),
+         '// std::mutex in a comment is fine\n'
+         '// vqi-analyze: allow(sleep-under-lock) justified waivers lint clean\n'),
         ("tests/scratch_ok_test.cc",
          '#include "common/rng.h"\nvqi::Rng rng(42);\n'),
         ("src/net/scratch_ok.h",
